@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark/reproduction suite.
+
+Every bench regenerates one of the paper's tables or figures, prints it in
+paper layout next to the paper's reported values, and asserts the *shape*
+criteria from DESIGN.md.  ``pytest-benchmark`` times a representative unit
+of each experiment (one trial, one campaign-day, one transformation).
+
+``REPRO_BENCH_TRIALS`` (default 40; the paper used 100) controls trial
+counts so a full-fidelity run is one environment variable away::
+
+    REPRO_BENCH_TRIALS=100 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Trials per (tree, component, oracle) cell.
+TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "40"))
+
+#: The paper's Table 4 (seconds), keyed by (tree, oracle) then component.
+PAPER_TABLE4 = {
+    ("I", "perfect"): {
+        "mbus": 24.75, "ses": 24.75, "str": 24.75, "rtu": 24.75, "fedrcom": 24.75,
+    },
+    ("II", "perfect"): {
+        "mbus": 5.73, "ses": 9.50, "str": 9.76, "rtu": 5.59, "fedrcom": 20.93,
+    },
+    ("III", "perfect"): {
+        "mbus": 5.73, "ses": 9.50, "str": 9.76, "rtu": 5.59, "fedr": 5.76,
+        "pbcom": 21.24,
+    },
+    ("IV", "perfect"): {
+        "mbus": 5.73, "ses": 6.25, "str": 6.11, "rtu": 5.59, "fedr": 5.76,
+        "pbcom": 21.24,
+    },
+    ("IV", "faulty"): {
+        "mbus": 5.73, "ses": 6.25, "str": 6.11, "rtu": 5.59, "fedr": 5.76,
+        "pbcom": 29.19,
+    },
+    ("V", "faulty"): {
+        "mbus": 5.73, "ses": 6.25, "str": 6.11, "rtu": 5.59, "fedr": 5.76,
+        "pbcom": 21.63,
+    },
+}
+
+#: Table 1: observed per-component MTTFs.
+PAPER_TABLE1 = {
+    "mbus": "1 month",
+    "fedrcom": "10 min",
+    "ses": "5 hr",
+    "str": "5 hr",
+    "rtu": "5 hr",
+}
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture
+def banner():
+    return print_banner

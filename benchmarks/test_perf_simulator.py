@@ -1,0 +1,69 @@
+"""Simulator performance — not a paper table, but the budget every other
+bench spends.  Tracks the throughput of the three hot paths: raw kernel
+event dispatch, bus message round-trips (parse + route + serialize per
+hop), and a full-fidelity station boot.
+"""
+
+from repro.bus.broker import BusBroker
+from repro.bus.client import BusClient
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_v
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, constant_work
+from repro.sim.kernel import Kernel
+from repro.transport.network import Network
+from repro.xmlcmd.commands import PingRequest
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_10k_events():
+        kernel = Kernel(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                kernel.call_after(0.001, tick)
+
+        kernel.call_after(0.001, tick)
+        kernel.run()
+        return count[0]
+
+    result = benchmark(run_10k_events)
+    assert result == 10_000
+
+
+def test_bus_roundtrip_throughput(benchmark):
+    kernel = Kernel(seed=2)
+    network = Network(kernel)
+    manager = ProcessManager(kernel)
+    manager.spawn(
+        ProcessSpec("mbus", constant_work(0.1), lambda p: BusBroker(p, network))
+    )
+    manager.start("mbus")
+    kernel.run()
+    client = BusClient(kernel, network, "perf")
+    client.connect()
+    kernel.run(until=kernel.now + 1.0)
+    seq = [0]
+
+    def thousand_pings():
+        start = len(client.received)
+        for _ in range(1000):
+            seq[0] += 1
+            client.send(PingRequest("perf", "mbus", seq[0]))
+        kernel.run(until=kernel.now + 5.0)
+        return len(client.received) - start
+
+    replies = benchmark.pedantic(thousand_pings, rounds=3, iterations=1)
+    assert replies == 1000
+
+
+def test_station_boot_time(benchmark):
+    def boot():
+        station = MercuryStation(tree=tree_v(), seed=3)
+        station.boot()
+        return station.kernel.events_executed
+
+    events = benchmark.pedantic(boot, rounds=3, iterations=1)
+    assert events > 100

@@ -1,0 +1,119 @@
+"""Applying the RR core to a system that is not Mercury.
+
+The :mod:`repro.core` package has no ground-station dependency; this
+example supervises a small three-tier web service (load balancer, two app
+servers, a cache, a database proxy) with the same machinery: a restart
+tree, a policy, and the abstract supervisor.  It then *evolves* the tree
+with the paper's transformations, driven by the correlated failures we
+observe — the §5 design guidelines as a recipe:
+
+1. start with per-component cells (depth augmentation);
+2. observe that cache restarts always crash the app servers (a state
+   dependency, like ses/str) → consolidate them;
+3. the db proxy is slow to restart and has joint failures with the cache →
+   promote it (like pbcom).
+"""
+
+from repro.core import (
+    NaiveOracle,
+    RestartPolicy,
+    RestartTree,
+    consolidate_groups,
+    depth_augment,
+    promote_component,
+    render_tree,
+)
+from repro.core.tree import RestartCell
+from repro.detection.abstract import AbstractSupervisor
+from repro.faults.correlation import ResyncCoupling
+from repro.faults.injector import FaultInjector
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, noisy_work
+from repro.sim.kernel import Kernel
+
+SERVICES = {
+    "lb": 1.5,        # seconds of startup work
+    "app1": 4.0,
+    "app2": 4.0,
+    "cache": 3.0,
+    "dbproxy": 18.0,  # slow: connection-pool warmup (the pbcom of this system)
+}
+
+
+def build_supervised_service(tree: RestartTree, seed: int):
+    kernel = Kernel(seed=seed)
+    manager = ProcessManager(kernel, contention_coefficient=0.05)
+    for name, work in SERVICES.items():
+        manager.spawn(ProcessSpec(name, noisy_work(work, 0.03)))
+    injector = FaultInjector(kernel, manager)
+    # Cache restarts crash the app servers' sessions (ses/str-style).
+    ResyncCoupling(injector, "cache", "app1", induce_probability=0.9)
+    ResyncCoupling(injector, "cache", "app2", induce_probability=0.9)
+    policy = RestartPolicy(tree, NaiveOracle())
+    supervisor = AbstractSupervisor(kernel, manager, policy, monitored=list(SERVICES))
+    manager.start_all()
+    kernel.run(until=60.0)
+    return kernel, manager, injector, supervisor
+
+
+def measure(tree: RestartTree, component: str, trials: int = 8) -> float:
+    kernel, manager, injector, supervisor = build_supervised_service(tree, seed=5)
+    samples = []
+    for _ in range(trials):
+        # Quiesce, then wait out the episode-observation window so the next
+        # injection opens a fresh episode instead of reading as an uncured
+        # restart.
+        while not (manager.all_running() and not injector.active_failures):
+            if not kernel.step():
+                break
+        kernel.run(until=kernel.now + supervisor.observation_window + 2.0)
+        failure = injector.inject_simple(component)
+        # Measure until the whole cascade drains (induced app crashes
+        # included) — the quantity group consolidation actually improves.
+        # The healthy state must *hold* for a second: induced crashes land
+        # shortly after the provoking restart completes.
+        recovered_at = None
+        while True:
+            healthy = not injector.active_failures and manager.all_running()
+            if healthy:
+                if recovered_at is None:
+                    recovered_at = kernel.now
+                elif kernel.now - recovered_at >= 1.0:
+                    break
+            else:
+                recovered_at = None
+            if not kernel.step():
+                if healthy:
+                    break
+                raise RuntimeError(f"service wedged recovering {component!r}")
+        samples.append(recovered_at - failure.injected_at)
+    return sum(samples) / len(samples)
+
+
+def main() -> None:
+    flat = RestartTree(RestartCell("R_service", components=SERVICES), name="svc-flat")
+    per_component = depth_augment(flat, name="svc-split")
+    consolidated = consolidate_groups(
+        per_component, ["R_cache", "R_app1", "R_app2"], "R_app_tier",
+        name="svc-consolidated",
+    )
+    promoted = promote_component(consolidated, "dbproxy", name="svc-promoted")
+
+    print("Evolving the service's restart tree:\n")
+    for tree in (flat, per_component, consolidated, promoted):
+        print(render_tree(tree))
+        print()
+
+    print("Mean recovery from a cache failure (8 trials each):")
+    for tree in (flat, per_component, consolidated):
+        print(f"  {tree.name:>18}: {measure(tree, 'cache'):6.2f} s")
+    print(
+        "\nThe flat tree pays the dbproxy's warmup on every failure; the\n"
+        "per-component tree pays serial induced restarts of app1/app2; the\n"
+        "consolidated tier restarts all three in parallel — the same\n"
+        "progression as Mercury's trees I, III and IV."
+    )
+
+
+if __name__ == "__main__":
+    main()

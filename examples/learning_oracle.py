@@ -1,0 +1,53 @@
+"""The §7 extension: an oracle that learns f_ci values from its mistakes.
+
+The paper's future work: "we intend to extend the oracle with the ability
+to learn from its mistakes and this way generate estimates for f_ci
+values."  This example runs tree III (where some pbcom-manifest failures
+are only curable by the joint [fedr, pbcom] restart) with a
+:class:`~repro.core.oracle.LearningOracle`:
+
+* early episodes guess the pbcom leaf, fail to cure, and escalate — paying
+  the double-restart price of a guess-too-low mistake;
+* after a few observed outcomes the oracle jumps straight to the joint
+  cell, recovering in one restart — the same win node promotion achieves
+  structurally, obtained behaviourally instead.
+
+Run with::
+
+    python examples/learning_oracle.py
+"""
+
+from repro import LearningOracle, MercuryStation, tree_iii
+
+
+def main() -> None:
+    oracle = LearningOracle(min_samples=3, confidence=0.6)
+    station = MercuryStation(tree=tree_iii(), seed=21, oracle=oracle)
+    station.boot()
+
+    print("Injecting 12 joint-curable pbcom failures under tree III:\n")
+    episodes = []
+    for index in range(12):
+        station.run_until_quiescent()
+        station.run_for(0.5 + 0.1 * index)
+        failure = station.injector.inject_joint("pbcom", ["fedr", "pbcom"])
+        recovery = station.run_until_recovered(failure)
+        recommended = oracle.recommend(station.tree, "pbcom")
+        episodes.append(recovery)
+        print(
+            f"  episode {index + 1:2d}: recovered in {recovery:6.2f} s "
+            f"(oracle now recommends {recommended})"
+        )
+
+    early = sum(episodes[:3]) / 3
+    late = sum(episodes[-3:]) / 3
+    print(f"\nMean recovery, first 3 episodes: {early:.2f} s (guess-too-low + escalation)")
+    print(f"Mean recovery, last 3 episodes:  {late:.2f} s (learned the joint restart)")
+
+    print("\nLearned f estimates for pbcom-manifest failures (cell -> cure rate):")
+    for cell_id, rate in sorted(oracle.f_estimates("pbcom").items()):
+        print(f"  {cell_id:>16}: {rate:.2f}")
+
+
+if __name__ == "__main__":
+    main()

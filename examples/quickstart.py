@@ -1,0 +1,44 @@
+"""Quickstart: boot the Mercury station, kill a component, watch it recover.
+
+Run with::
+
+    python examples/quickstart.py
+
+This exercises the whole stack in under a second of wall time: the
+simulated station boots (message bus, five components, FD, REC), we SIGKILL
+the radio tuner, the failure detector notices via application-level XML
+pings, REC consults the restart tree, and the component is restarted —
+exactly the §4.1 kill-and-measure experiment, once.
+"""
+
+from repro import MercuryStation, render_tree, tree_v
+
+
+def main() -> None:
+    station = MercuryStation(tree=tree_v(), seed=42, oracle="perfect")
+    print("Restart tree in force:\n")
+    print(render_tree(station.tree))
+    print("\nBooting the station ...")
+    station.boot()
+    print(f"  up at t={station.kernel.now:.2f}s: {sorted(station.manager.running())}")
+
+    for component in ("rtu", "ses", "mbus"):
+        print(f"\nInjecting a fail-silent crash into {component!r} ...")
+        failure = station.injector.inject_simple(component)
+        recovery = station.run_until_recovered(failure)
+        cell = station.tree.minimal_cell_covering([component])
+        bounced = sorted(station.tree.components_restarted_by(cell))
+        print(
+            f"  detected, REC pushed the button on {cell} "
+            f"(restarting {bounced}); recovered in {recovery:.2f} s"
+        )
+        station.run_until_quiescent()
+
+    print("\nEpisode log (REC's view):")
+    for record in station.trace.filter(kind="restart_ordered"):
+        print(f"  t={record.time:8.2f}s  restart {record.data['cell']:>14}  "
+              f"triggered by {record.data['trigger']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` (the legacy
+editable path) works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — recursive restartability, reproduced.
+
+A from-scratch Python implementation of the system described in Candea et
+al., *Reducing Recovery Time in a Small Recursively Restartable System*
+(DSN 2002): restart trees, restart groups, oracles and recoverers; the
+three tree transformations (depth augmentation, group consolidation, node
+promotion); and a discrete-event-simulated Mercury satellite ground station
+calibrated to the paper's measurements.
+
+Quick start::
+
+    from repro import MercuryStation, tree_v
+
+    station = MercuryStation(tree=tree_v(), seed=42)
+    station.boot()
+    failure = station.injector.inject_simple("rtu")
+    print(f"recovered in {station.run_until_recovered(failure):.2f} s")
+
+Layering (see DESIGN.md):
+
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.transport`, :mod:`repro.xmlcmd`, :mod:`repro.procmgr`,
+  :mod:`repro.bus`, :mod:`repro.components`, :mod:`repro.faults`,
+  :mod:`repro.detection` — the substrates;
+* :mod:`repro.core` — the paper's contribution (portable; no Mercury
+  dependency);
+* :mod:`repro.mercury` — the ground-station model and calibration;
+* :mod:`repro.experiments`, :mod:`repro.analysis` — harness and theory.
+"""
+
+from repro.core import (
+    FaultyOracle,
+    LearningOracle,
+    NaiveOracle,
+    Oracle,
+    PerfectOracle,
+    RestartCell,
+    RestartPolicy,
+    RestartTree,
+    consolidate_groups,
+    depth_augment,
+    insert_joint_node,
+    promote_component,
+    render_tree,
+    replace_component,
+)
+from repro.mercury import (
+    MercuryStation,
+    PAPER_CONFIG,
+    StationConfig,
+    TREE_BUILDERS,
+    tree_i,
+    tree_ii,
+    tree_ii_prime,
+    tree_iii,
+    tree_iv,
+    tree_v,
+)
+from repro.sim import Kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultyOracle",
+    "Kernel",
+    "LearningOracle",
+    "MercuryStation",
+    "NaiveOracle",
+    "Oracle",
+    "PAPER_CONFIG",
+    "PerfectOracle",
+    "RestartCell",
+    "RestartPolicy",
+    "RestartTree",
+    "StationConfig",
+    "TREE_BUILDERS",
+    "consolidate_groups",
+    "depth_augment",
+    "insert_joint_node",
+    "promote_component",
+    "render_tree",
+    "replace_component",
+    "tree_i",
+    "tree_ii",
+    "tree_ii_prime",
+    "tree_iii",
+    "tree_iv",
+    "tree_v",
+]

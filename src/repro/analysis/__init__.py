@@ -1,0 +1,31 @@
+"""General-purpose analysis: statistics and analytic availability models.
+
+Separate from :mod:`repro.core.analysis` (which reasons about restart
+*trees*); this package holds the domain-free machinery: summary statistics
+with bootstrap confidence intervals, and the alternating-renewal /
+Markov-style availability model the paper's §7 points to as future work.
+"""
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    coefficient_of_variation,
+    mean,
+    percentile,
+    stddev,
+)
+from repro.analysis.markov import (
+    ComponentModel,
+    SeriesSystemModel,
+    component_availability,
+)
+
+__all__ = [
+    "ComponentModel",
+    "SeriesSystemModel",
+    "bootstrap_mean_ci",
+    "coefficient_of_variation",
+    "component_availability",
+    "mean",
+    "percentile",
+    "stddev",
+]

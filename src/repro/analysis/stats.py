@@ -1,0 +1,89 @@
+"""Summary statistics used by the experiment harness and benches.
+
+Small, dependency-free implementations (the library keeps its runtime free
+of numpy so it installs anywhere; the test suite cross-checks these against
+numpy/scipy where available).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not samples:
+        raise ExperimentError("mean of empty sample set")
+    return sum(samples) / len(samples)
+
+
+def stddev(samples: Sequence[float], population: bool = True) -> float:
+    """Standard deviation (population by default, ddof=1 otherwise)."""
+    n = len(samples)
+    if n == 0:
+        raise ExperimentError("stddev of empty sample set")
+    if n == 1:
+        return 0.0
+    m = mean(samples)
+    denominator = n if population else n - 1
+    return math.sqrt(sum((s - m) ** 2 for s in samples) / denominator)
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """std/mean — the paper's §3.2 'small coefficient of variation' check."""
+    m = mean(samples)
+    if m == 0:
+        raise ExperimentError("coefficient of variation undefined for zero mean")
+    return stddev(samples) / m
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not samples:
+        raise ExperimentError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ExperimentError(f"percentile out of range: {q!r}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Used by EXPERIMENTS.md to report whether the paper's value falls inside
+    the simulated interval.
+    """
+    if not samples:
+        raise ExperimentError("bootstrap of empty sample set")
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(f"confidence out of (0,1): {confidence!r}")
+    rng = random.Random(seed)
+    n = len(samples)
+    means: List[float] = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(n):
+            total += samples[rng.randrange(n)]
+        means.append(total / n)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        percentile(means, 100.0 * alpha),
+        percentile(means, 100.0 * (1.0 - alpha)),
+    )

@@ -1,0 +1,15 @@
+"""The software message bus (``mbus``).
+
+Mercury's components "interoperate through passing of messages composed in
+our XML command language ... over a TCP/IP-based software messaging bus"
+(§2.1).  The bus is itself an ordinary restartable component: the broker
+behavior runs inside the ``mbus`` process, clients hold TCP-like channels to
+it, and when ``mbus`` is killed every client observes a disconnect and runs
+a reconnect loop — which is what makes a standalone ``mbus`` restart curable
+without restarting the clients (tree II's mbus column).
+"""
+
+from repro.bus.broker import BusBroker
+from repro.bus.client import BusClient
+
+__all__ = ["BusBroker", "BusClient"]

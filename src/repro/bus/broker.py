@@ -1,0 +1,129 @@
+"""The message-bus broker behavior (runs inside the ``mbus`` process).
+
+Protocol: clients connect to the broker's address and send a ``command``
+message with verb ``attach`` naming themselves; thereafter the broker routes
+every message to the channel registered for the message's ``to`` attribute.
+Messages addressed to ``mbus`` itself are handled by the broker (it answers
+liveness pings — that is how FD monitors the bus, §2.2).
+
+All traffic is serialized XML on the wire: the broker *parses* every message
+(and re-serializes on forward), so a broker whose dispatcher is wedged would
+stop routing — fidelity to the paper's argument that application-level pings
+indicate liveness "with higher confidence than a network-level ICMP ping".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.components.base import Behavior
+from repro.errors import ChannelClosedError, XmlError
+from repro.types import Severity
+from repro.xmlcmd.commands import (
+    CommandMessage,
+    PingReply,
+    PingRequest,
+    encode_message,
+    parse_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.process import SimProcess
+    from repro.transport.channel import Endpoint
+    from repro.transport.network import Network
+
+
+class BusBroker(Behavior):
+    """Routes XML command messages between attached clients."""
+
+    def __init__(self, process: "SimProcess", network: "Network", address: str = "mbus:7000") -> None:
+        super().__init__(process)
+        self.network = network
+        self.address = address
+        self._listener = None
+        self._clients: Dict[str, "Endpoint"] = {}
+        #: Every accepted endpoint, attached or not — the OS closes all of a
+        #: dead process's sockets, including connections the application
+        #: never finished registering.
+        self._endpoints: List["Endpoint"] = []
+        self.routed = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._clients = {}
+        self._endpoints = []
+        self._listener = self.network.listen(self.address, self._on_accept)
+        self.trace("bus_listening", address=self.address)
+
+    def on_kill(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for endpoint in list(self._endpoints):
+            endpoint.close()
+        self._endpoints = []
+        self._clients = {}
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _on_accept(self, endpoint: "Endpoint") -> None:
+        # The client's identity arrives in its attach message; until then the
+        # endpoint is anonymous and can only attach.
+        self._endpoints.append(endpoint)
+        endpoint.on_message(lambda raw: self._on_raw(endpoint, raw))
+        endpoint.on_close(lambda: self._on_client_close(endpoint))
+
+    def _on_client_close(self, endpoint: "Endpoint") -> None:
+        if endpoint in self._endpoints:
+            self._endpoints.remove(endpoint)
+        for name, registered in list(self._clients.items()):
+            if registered is endpoint:
+                del self._clients[name]
+                self.trace("bus_detached", client=name)
+
+    def _on_raw(self, endpoint: "Endpoint", raw: str) -> None:
+        try:
+            message = parse_message(raw)
+        except XmlError as error:
+            self.dropped += 1
+            self.trace(
+                "bus_bad_message", severity=Severity.WARNING, error=str(error)
+            )
+            return
+        if isinstance(message, CommandMessage) and message.verb == "attach":
+            self._attach(message.sender, endpoint)
+            return
+        if message.target == self.name:
+            self._handle_own(message)
+            return
+        self._route(message, raw)
+
+    def _attach(self, client_name: str, endpoint: "Endpoint") -> None:
+        # Last attach wins: a restarted client re-attaches over a new channel
+        # while the broker may not yet have seen the old channel's close.
+        self._clients[client_name] = endpoint
+        self.trace("bus_attached", client=client_name)
+
+    def _handle_own(self, message: object) -> None:
+        if isinstance(message, PingRequest):
+            reply = PingReply(sender=self.name, target=message.sender, seq=message.seq)
+            self._route(reply, encode_message(reply))
+
+    def _route(self, message: object, raw: str) -> None:
+        target: Optional[str] = getattr(message, "target", None)
+        endpoint = self._clients.get(target) if target else None
+        if endpoint is None or not endpoint.open:
+            self.dropped += 1
+            self.trace("bus_unroutable", target=target)
+            return
+        try:
+            endpoint.send(raw)
+            self.routed += 1
+        except ChannelClosedError:
+            self.dropped += 1

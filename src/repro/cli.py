@@ -1,0 +1,203 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro.cli recovery --tree V --component rtu --trials 20
+    python -m repro.cli table2 --trials 40
+    python -m repro.cli trees
+    python -m repro.cli availability --days 3
+    python -m repro.cli passes --days 7 --tree I --tree V
+
+Every subcommand prints the same paper-layout tables the benches produce;
+the CLI is a thin veneer over :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.render import render_tree
+from repro.experiments.availability import measure_availability
+from repro.experiments.passes_experiment import run_pass_campaign
+from repro.experiments.recovery import measure_recovery
+from repro.experiments.report import format_table
+from repro.mercury.trees import TREE_BUILDERS
+
+
+def _tree_argument(parser: argparse.ArgumentParser, multiple: bool = False) -> None:
+    kwargs = dict(choices=sorted(TREE_BUILDERS), default=None)
+    if multiple:
+        parser.add_argument(
+            "--tree", action="append", help="tree label (repeatable)", **kwargs
+        )
+    else:
+        parser.add_argument("--tree", help="tree label", **kwargs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Recursive-restartability reproduction experiments",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    trees = subparsers.add_parser("trees", help="render the restart trees I-V")
+
+    recovery = subparsers.add_parser(
+        "recovery", help="kill-and-measure one component (Table 2/4 cell)"
+    )
+    _tree_argument(recovery)
+    recovery.add_argument("--component", required=True)
+    recovery.add_argument("--trials", type=int, default=20)
+    recovery.add_argument(
+        "--oracle", choices=["perfect", "naive", "faulty", "learning"],
+        default="perfect",
+    )
+    recovery.add_argument("--error-rate", type=float, default=0.3)
+    recovery.add_argument(
+        "--cure", nargs="*", default=None,
+        help="minimal cure set (defaults to the component alone)",
+    )
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--trials", type=int, default=20)
+
+    availability = subparsers.add_parser(
+        "availability", help="steady-state availability per tree"
+    )
+    availability.add_argument("--days", type=float, default=3.0)
+    _tree_argument(availability, multiple=True)
+
+    passes = subparsers.add_parser(
+        "passes", help="satellite-pass data-loss campaign (§5.2)"
+    )
+    passes.add_argument("--days", type=float, default=7.0)
+    _tree_argument(passes, multiple=True)
+
+    return parser
+
+
+def cmd_trees(args: argparse.Namespace) -> int:
+    for label in ("I", "II", "II'", "III", "IV", "V"):
+        print(render_tree(TREE_BUILDERS[label]()))
+        print()
+    return 0
+
+
+def cmd_recovery(args: argparse.Namespace) -> int:
+    label = args.tree or "V"
+    tree = TREE_BUILDERS[label]()
+    if args.component not in tree.components:
+        print(
+            f"error: component {args.component!r} not in tree {label} "
+            f"(has {sorted(tree.components)})",
+            file=sys.stderr,
+        )
+        return 2
+    result = measure_recovery(
+        tree,
+        args.component,
+        trials=args.trials,
+        seed=args.seed,
+        oracle=args.oracle,
+        oracle_error_rate=args.error_rate,
+        cure_set=args.cure,
+    )
+    stats = result.stats
+    print(
+        f"tree {label}, {result.oracle} oracle, {args.component} "
+        f"(cure set {sorted(result.cure_set)}): "
+        f"mean {stats.mean:.2f}s  std {stats.std:.2f}s  "
+        f"min {stats.minimum:.2f}s  max {stats.maximum:.2f}s  n={stats.n}"
+    )
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    components = ["mbus", "ses", "str", "rtu", "fedrcom"]
+    rows = []
+    for label in ("I", "II"):
+        tree = TREE_BUILDERS[label]()
+        row: List[object] = [label]
+        for index, component in enumerate(components):
+            result = measure_recovery(
+                tree, component, trials=args.trials, seed=args.seed + index
+            )
+            row.append(result.mean)
+        rows.append(row)
+    print(format_table(["tree"] + components, rows, title="Table 2 (measured)"))
+    return 0
+
+
+def cmd_availability(args: argparse.Namespace) -> int:
+    labels = args.tree or ["I", "V"]
+    rows = []
+    for label in labels:
+        result = measure_availability(
+            TREE_BUILDERS[label](), horizon_s=args.days * 86400.0, seed=args.seed
+        )
+        rows.append(
+            [
+                label,
+                f"{result.availability:.5f}",
+                result.outages,
+                f"{result.mean_outage_s:.1f}" if result.mean_outage_s else "—",
+            ]
+        )
+    print(
+        format_table(
+            ["tree", "availability", "outages", "mean outage (s)"],
+            rows,
+            title=f"Availability over {args.days:g} days",
+        )
+    )
+    return 0
+
+
+def cmd_passes(args: argparse.Namespace) -> int:
+    labels = args.tree or ["I", "V"]
+    rows = []
+    for label in labels:
+        result = run_pass_campaign(
+            TREE_BUILDERS[label](), days=args.days, seed=args.seed
+        )
+        summary = result.summary
+        rows.append(
+            [
+                label,
+                summary.passes,
+                f"{100 * summary.loss_fraction:.2f}%",
+                summary.broken_links,
+                summary.whole_passes_lost,
+            ]
+        )
+    print(
+        format_table(
+            ["tree", "passes", "data lost", "links broken", "whole passes lost"],
+            rows,
+            title=f"Pass campaign over {args.days:g} days (§5.2)",
+        )
+    )
+    return 0
+
+
+COMMANDS = {
+    "trees": cmd_trees,
+    "recovery": cmd_recovery,
+    "table2": cmd_table2,
+    "availability": cmd_availability,
+    "passes": cmd_passes,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Behavior base classes.
+
+:class:`Behavior` is the minimal lifecycle contract a simulated process
+calls into; :class:`BusAttachedBehavior` adds the standard Mercury component
+equipment: a bus connection with an automatic reconnect loop, XML
+parse/dispatch, automatic ping replies, and a ``send`` helper.
+
+Statelessness discipline: behaviors keep only *soft* state — connections and
+caches rebuilt on restart — matching the paper's observation that Mercury
+components "use only the state explicitly encapsulated by received messages
+from mbus" and that hard state is read-only during a pass (§2.1).  The
+framework enforces the restart half of this: every behavior's ``on_start``
+begins from a fresh connection state because ``on_kill`` dropped everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.errors import ChannelClosedError, ConnectionRefusedError_, XmlError
+from repro.types import Severity, SimTime
+from repro.xmlcmd.commands import (
+    CommandMessage,
+    Message,
+    PingReply,
+    PingRequest,
+    encode_message,
+    parse_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.process import SimProcess
+    from repro.transport.channel import Endpoint
+    from repro.transport.network import Network
+
+
+class Behavior:
+    """Base class for process-hosted component logic."""
+
+    def __init__(self, process: "SimProcess") -> None:
+        self.process = process
+        self.kernel = process.kernel
+
+    @property
+    def name(self) -> str:
+        """The hosting process's (and hence the component's) name."""
+        return self.process.name
+
+    def trace(self, kind: str, severity: Severity = Severity.INFO, **data: Any) -> None:
+        """Emit a trace record attributed to this component."""
+        self.kernel.trace.emit(self.name, kind, severity=severity, **data)
+
+    # -- lifecycle hooks -------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called when the hosting process transitions to RUNNING."""
+
+    def on_kill(self) -> None:
+        """Called when the hosting process dies (OS-level teardown only)."""
+
+
+class BusAttachedBehavior(Behavior):
+    """A behavior connected to the message bus with automatic reconnection."""
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        bus_address: str = "mbus:7000",
+        reconnect_interval: SimTime = 0.25,
+    ) -> None:
+        super().__init__(process)
+        self.network = network
+        self.bus_address = bus_address
+        self.reconnect_interval = reconnect_interval
+        self._endpoint: Optional["Endpoint"] = None
+        self._alive = False
+        self._reconnect_pending = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._alive = True
+        self._try_connect()
+
+    def on_kill(self) -> None:
+        self._alive = False
+        if self._endpoint is not None:
+            self._endpoint.close()
+            self._endpoint = None
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live bus connection exists right now."""
+        return self._endpoint is not None and self._endpoint.open
+
+    def _try_connect(self) -> None:
+        self._reconnect_pending = False
+        if not self._alive or self.connected:
+            return
+        try:
+            endpoint = self.network.connect(self.name, self.bus_address)
+        except ConnectionRefusedError_:
+            self._schedule_reconnect()
+            return
+        self._endpoint = endpoint
+        endpoint.on_message(self._on_raw)
+        endpoint.on_close(self._on_bus_close)
+        attach = CommandMessage(sender=self.name, target="mbus", verb="attach")
+        endpoint.send(encode_message(attach))
+        self.trace("bus_connected")
+        self.on_bus_connected()
+
+    def _on_bus_close(self) -> None:
+        self._endpoint = None
+        if self._alive:
+            self.trace("bus_connection_lost", severity=Severity.WARNING)
+            self._schedule_reconnect()
+
+    def _schedule_reconnect(self) -> None:
+        if self._reconnect_pending or not self._alive:
+            return
+        self._reconnect_pending = True
+        self.kernel.call_after(self.reconnect_interval, self._try_connect)
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        """Serialize and send; returns False when not connected."""
+        if not self.connected:
+            return False
+        assert self._endpoint is not None
+        try:
+            self._endpoint.send(encode_message(message))
+        except ChannelClosedError:
+            return False
+        return True
+
+    def _on_raw(self, raw: str) -> None:
+        if not self._alive:
+            return
+        try:
+            message = parse_message(raw)
+        except XmlError as error:
+            self.trace("bad_message", severity=Severity.WARNING, error=str(error))
+            return
+        if isinstance(message, PingRequest):
+            self.send(PingReply(sender=self.name, target=message.sender, seq=message.seq))
+            return
+        self.on_message(message)
+
+    # -- hooks for subclasses --------------------------------------------
+
+    def on_bus_connected(self) -> None:
+        """Called after each successful (re)attachment to the bus."""
+
+    def on_message(self, message: Message) -> None:
+        """Called for every non-ping message addressed to this component."""

@@ -1,0 +1,50 @@
+"""Component registry: name → behavior lookup for an assembled system."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.components.base import Behavior
+from repro.errors import DuplicateComponentError
+
+
+class ComponentRegistry:
+    """Tracks the behaviors composing a system, by component name.
+
+    The registry is bookkeeping for assembly and tests; the runtime message
+    path never consults it (components find each other through the bus, as
+    in the real station).
+    """
+
+    def __init__(self) -> None:
+        self._behaviors: Dict[str, Behavior] = {}
+
+    def add(self, behavior: Behavior) -> Behavior:
+        """Register a behavior under its component name."""
+        name = behavior.name
+        if name in self._behaviors:
+            raise DuplicateComponentError(f"component {name!r} already registered")
+        self._behaviors[name] = behavior
+        return behavior
+
+    def get(self, name: str) -> Behavior:
+        """Behavior by name; raises ``KeyError`` for unknown components."""
+        return self._behaviors[name]
+
+    def maybe_get(self, name: str) -> Optional[Behavior]:
+        """Behavior by name, or ``None``."""
+        return self._behaviors.get(name)
+
+    @property
+    def names(self) -> List[str]:
+        """Registered component names, in registration order."""
+        return list(self._behaviors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._behaviors
+
+    def __iter__(self) -> Iterator[Behavior]:
+        return iter(list(self._behaviors.values()))
+
+    def __len__(self) -> int:
+        return len(self._behaviors)

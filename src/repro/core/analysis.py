@@ -1,0 +1,189 @@
+"""Analytic MTTF/MTTR reasoning about restart trees (paper §3.2, §4.1).
+
+These functions implement the paper's closed-form arguments so experiments
+can be cross-checked against theory:
+
+* the group bounds ``MTTF_G <= min(MTTF_ci)`` and ``MTTR_G >= max(MTTR_ci)``;
+* the depth-augmentation expectation ``MTTR_G^II <= sum f_ci * MTTR_ci``;
+* a recovery-time predictor for a (tree, failure, oracle-model) triple that
+  mirrors the simulator's composition — detection, restart batch with
+  contention, escalation after a guess-too-low mistake — and is validated
+  against simulation in the test suite;
+* the availability ratio ``MTTF / (MTTF + MTTR)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.core.tree import RestartTree
+from repro.errors import TreeError
+
+
+def group_mttf_bound(component_mttfs: Iterable[float]) -> float:
+    """Upper bound on a group's MTTF: ``min`` of its components' MTTFs.
+
+    §3.2: "the MTTF for a restart group G containing components c_0..c_n is
+    MTTF_G <= min(MTTF_ci)" — the group has failed as soon as any member
+    has.
+    """
+    values = list(component_mttfs)
+    if not values:
+        raise TreeError("a group must contain at least one component")
+    return min(values)
+
+
+def group_mttr_bound(component_mttrs: Iterable[float]) -> float:
+    """Lower bound on a group's MTTR: ``max`` of its components' MTTRs.
+
+    §3.2: recovering the group means recovering every member, so the group
+    cannot recover faster than its slowest member.
+    """
+    values = list(component_mttrs)
+    if not values:
+        raise TreeError("a group must contain at least one component")
+    return max(values)
+
+
+def expected_group_mttr(
+    f_values: Mapping[FrozenSet[str], float],
+    restart_mttrs: Mapping[FrozenSet[str], float],
+) -> float:
+    """§4.1's expectation: ``MTTR_G = sum over cures of f_ci * MTTR_ci``.
+
+    ``f_values`` maps each minimal cure set to its probability (summing to 1
+    under ``A_cure``); ``restart_mttrs`` maps the same cure sets to the time
+    a restart of that set takes.
+    """
+    total_probability = sum(f_values.values())
+    if abs(total_probability - 1.0) > 1e-9:
+        raise TreeError(
+            f"f values must sum to 1 under A_cure, got {total_probability!r}"
+        )
+    missing = set(f_values) - set(restart_mttrs)
+    if missing:
+        raise TreeError(f"no MTTR given for cure sets {sorted(map(sorted, missing))}")
+    return sum(
+        probability * restart_mttrs[cure]
+        for cure, probability in f_values.items()
+        if probability > 0
+    )
+
+
+def minimal_curing_cell(tree: RestartTree, cure_set: Iterable[str]) -> str:
+    """The paper's minimal cure node ``n`` for a failure with this cure set."""
+    return tree.minimal_cell_covering(cure_set)
+
+
+def restart_duration(
+    tree: RestartTree,
+    cell_id: str,
+    component_restart_seconds: Mapping[str, float],
+    contention_coefficient: float = 0.0,
+) -> float:
+    """Wall-clock duration of pushing ``cell_id``'s button.
+
+    All covered components restart concurrently; the batch completes with
+    its slowest member, inflated by the batch contention factor
+    ``1 + c*(k-1)`` (see :mod:`repro.procmgr.contention`).
+    """
+    components = tree.components_restarted_by(cell_id)
+    k = len(components)
+    factor = 1.0 + contention_coefficient * (k - 1)
+    try:
+        slowest = max(component_restart_seconds[c] for c in components)
+    except KeyError as error:
+        raise TreeError(f"no restart time for component {error.args[0]!r}") from None
+    return slowest * factor
+
+
+def predict_recovery_time(
+    tree: RestartTree,
+    cure_set: Iterable[str],
+    component_restart_seconds: Mapping[str, float],
+    mean_detection: float = 0.7,
+    contention_coefficient: float = 0.0,
+    guess_too_low_probability: float = 0.0,
+    manifest_component: Optional[str] = None,
+    remanifest_delay: float = 0.05,
+) -> float:
+    """Expected recovery time for a failure with the given cure set.
+
+    Mirrors the simulator's episode composition:
+
+    * detection (mean ``mean_detection``);
+    * with probability ``1 - p``: one restart of the minimal curing cell;
+    * with probability ``p`` (guess-too-low): a wasted restart of the
+      deepest cell holding the manifest component, then re-detection and a
+      restart of the *parent* (escalating one level per §3.3; for the
+      two-level trees of the paper the parent is the minimal cell).
+
+    Returns the mean over the oracle's mistake distribution.
+    """
+    wanted = frozenset(cure_set)
+    minimal = tree.minimal_cell_covering(wanted)
+    correct_duration = restart_duration(
+        tree, minimal, component_restart_seconds, contention_coefficient
+    )
+    base = mean_detection + correct_duration
+    if guess_too_low_probability <= 0.0:
+        return base
+    manifest = manifest_component or sorted(wanted)[0]
+    low_cell = tree.cell_of_component(manifest)
+    if low_cell == minimal:
+        return base  # structure forbids the mistake (node promotion's point)
+    low_duration = restart_duration(
+        tree, low_cell, component_restart_seconds, contention_coefficient
+    )
+    parent = tree.parent_of(low_cell)
+    assert parent is not None  # low_cell != minimal implies a parent exists
+    escalated_duration = restart_duration(
+        tree, parent, component_restart_seconds, contention_coefficient
+    )
+    mistaken = (
+        mean_detection
+        + low_duration
+        + remanifest_delay
+        + mean_detection
+        + escalated_duration
+    )
+    p = guess_too_low_probability
+    return (1.0 - p) * base + p * mistaken
+
+
+def availability(mttf: float, mttr: float) -> float:
+    """The classic ratio ``MTTF / (MTTF + MTTR)`` (§3)."""
+    if mttf <= 0 or mttr < 0:
+        raise TreeError(f"invalid MTTF/MTTR: {mttf!r}, {mttr!r}")
+    return mttf / (mttf + mttr)
+
+
+def system_mttr_table(
+    tree: RestartTree,
+    component_restart_seconds: Mapping[str, float],
+    mean_detection: float = 0.7,
+    contention_coefficient: float = 0.0,
+    cure_sets: Optional[Mapping[str, FrozenSet[str]]] = None,
+    guess_too_low_probability: float = 0.0,
+) -> Dict[str, float]:
+    """Predicted recovery time per manifest component (a Table 4 row).
+
+    ``cure_sets`` overrides the default self-cure assumption per component
+    (e.g. ``{"pbcom": frozenset({"fedr", "pbcom"})}`` for the §4.4
+    experiments).
+    """
+    out: Dict[str, float] = {}
+    for component in sorted(tree.components):
+        cure = frozenset([component])
+        if cure_sets and component in cure_sets:
+            cure = cure_sets[component]
+        out[component] = predict_recovery_time(
+            tree,
+            cure,
+            component_restart_seconds,
+            mean_detection=mean_detection,
+            contention_coefficient=contention_coefficient,
+            guess_too_low_probability=guess_too_low_probability,
+            manifest_component=component,
+        )
+    return out

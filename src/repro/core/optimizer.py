@@ -1,0 +1,358 @@
+"""Automatic restart-tree optimization (paper §7: "we also plan to
+identify specific algorithms for transforming restart trees").
+
+The paper derives trees II–V by hand from observed failure data: component
+MTTFs (Table 1), restart costs (Table 2), curability probabilities
+(``f_ci``, §4.1), correlated-failure structure (§4.2–4.3) and the oracle's
+error rate (§4.4).  This module closes the loop: given exactly those
+inputs as a :class:`SystemModel`, :func:`optimize_tree` greedily applies
+the §4 transformations — joint-node insertion, group consolidation, node
+promotion — whenever they lower the system's expected *downtime rate*, and
+(given Mercury's numbers) rediscovers the paper's final tree.
+
+Cost model
+----------
+The expected downtime rate (seconds of downtime per second) is::
+
+    R(tree) = Σ_m  λ_m · Σ_cure f_m(cure) · [ E[recovery] + E[induced] ]
+
+* ``E[recovery]`` composes detection, the (possibly mistaken) restart
+  chain, and batch durations: a batch's duration is its slowest member's
+  restart cost — plus a lone-resync penalty for a coupled component whose
+  peer is outside the batch — inflated by the batch contention factor,
+  exactly as the simulator computes it.
+* A guess-too-low oracle mistake (probability ``p``, §4.4) starts the
+  chain at the deepest cell holding the manifest component and escalates
+  parent-by-parent, paying each failed attempt plus a re-detection.
+* ``E[induced]`` charges the §4.3 correlation: when the curing batch
+  restarts one side of a resync pair without the other, the stale peer
+  crashes (probability ``q``) and its own recovery episode is added.
+  (Induction from *wasted* mistaken attempts is ignored — second-order for
+  Mercury, where the mistake-prone components have no resync peer.)
+
+Aging (§4.2) and proactive rejuvenation are outside this model; see
+:mod:`repro.core.rejuvenation` for that axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.transformations import (
+    consolidate_groups,
+    insert_joint_node,
+    promote_component,
+)
+from repro.core.tree import RestartTree
+from repro.errors import TreeError
+from repro.faults.curability import CurabilityProfile
+
+
+@dataclass(frozen=True)
+class ComponentParams:
+    """Failure and restart characteristics of one component."""
+
+    name: str
+    #: Failures per second (1 / MTTF).
+    failure_rate: float
+    #: Uncontended restart duration, seconds (startup work).
+    restart_seconds: float
+
+
+@dataclass(frozen=True)
+class ResyncPair:
+    """A §4.3-style startup-resynchronisation coupling."""
+
+    left: str
+    right: str
+    #: Extra restart seconds when ``left`` restarts without ``right``.
+    left_lone_penalty: float
+    #: Extra restart seconds when ``right`` restarts without ``left``.
+    right_lone_penalty: float
+    #: Probability a lone restart of one side crashes the stale peer.
+    induce_probability: float = 1.0
+
+    def peer_of(self, name: str) -> Optional[str]:
+        """The coupled peer, or None."""
+        if name == self.left:
+            return self.right
+        if name == self.right:
+            return self.left
+        return None
+
+    def lone_penalty_of(self, name: str) -> float:
+        """The penalty ``name`` pays when restarted without its peer."""
+        if name == self.left:
+            return self.left_lone_penalty
+        if name == self.right:
+            return self.right_lone_penalty
+        return 0.0
+
+
+@dataclass
+class SystemModel:
+    """Everything the optimizer knows about the system's failure behaviour."""
+
+    components: Dict[str, ComponentParams]
+    curability: CurabilityProfile
+    resync_pairs: List[ResyncPair] = field(default_factory=list)
+    mean_detection: float = 0.7
+    contention_coefficient: float = 0.047
+    oracle_error_rate: float = 0.0
+    remanifest_delay: float = 0.05
+
+    # ------------------------------------------------------------------
+    # durations
+    # ------------------------------------------------------------------
+
+    def batch_duration(self, batch: FrozenSet[str]) -> float:
+        """Wall-clock duration of restarting ``batch`` together."""
+        if not batch:
+            raise TreeError("empty restart batch")
+        worst = 0.0
+        for name in batch:
+            params = self.components[name]
+            seconds = params.restart_seconds
+            for pair in self.resync_pairs:
+                peer = pair.peer_of(name)
+                if peer is not None and peer not in batch:
+                    seconds += pair.lone_penalty_of(name)
+            worst = max(worst, seconds)
+        factor = 1.0 + self.contention_coefficient * (len(batch) - 1)
+        return worst * factor
+
+    # ------------------------------------------------------------------
+    # per-failure expectations
+    # ------------------------------------------------------------------
+
+    def expected_recovery(
+        self, tree: RestartTree, manifest: str, cure_set: FrozenSet[str]
+    ) -> float:
+        """Mean recovery time for one failure, over the oracle's mistakes."""
+        minimal = tree.minimal_cell_covering(cure_set)
+        correct = self.mean_detection + self.batch_duration(
+            tree.components_restarted_by(minimal)
+        )
+        p = self.oracle_error_rate
+        low = tree.cell_of_component(manifest)
+        if p <= 0.0 or low == minimal:
+            return correct
+        # Mistaken chain: attempt `low`, escalate parent-by-parent until a
+        # covering cell; each failed attempt costs its duration plus a
+        # re-manifestation and re-detection.
+        mistaken = self.mean_detection
+        for cell_id in tree.path_to_root(low):
+            batch = tree.components_restarted_by(cell_id)
+            mistaken += self.batch_duration(batch)
+            if cure_set <= batch:
+                break
+            mistaken += self.remanifest_delay + self.mean_detection
+        return (1.0 - p) * correct + p * mistaken
+
+    def induced_cost(self, tree: RestartTree, batch: FrozenSet[str]) -> float:
+        """Expected downtime of peer episodes the curing restart provokes."""
+        total = 0.0
+        for pair in self.resync_pairs:
+            for name in (pair.left, pair.right):
+                peer = pair.peer_of(name)
+                assert peer is not None
+                if name in batch and peer not in batch and peer in self.components:
+                    # The stale peer crashes and runs its own (lone) episode;
+                    # the freshness rule stops the cascade after one level.
+                    episode = self.mean_detection + self.batch_duration(
+                        tree.components_restarted_by(tree.cell_of_component(peer))
+                    )
+                    total += pair.induce_probability * episode
+        return total
+
+    def failure_cost(self, tree: RestartTree, manifest: str) -> float:
+        """Expected downtime caused by one failure manifesting in ``manifest``."""
+        total = 0.0
+        for probability, cure in self.curability.alternatives_for(manifest):
+            if probability <= 0.0:
+                continue
+            recovery = self.expected_recovery(tree, manifest, cure)
+            curing_batch = tree.components_restarted_by(
+                tree.minimal_cell_covering(cure)
+            )
+            total += probability * (recovery + self.induced_cost(tree, curing_batch))
+        return total
+
+    # ------------------------------------------------------------------
+    # system-level objective
+    # ------------------------------------------------------------------
+
+    def downtime_rate(self, tree: RestartTree) -> float:
+        """Expected seconds of downtime per second of operation."""
+        missing = set(self.components) - tree.components
+        if missing:
+            raise TreeError(f"tree does not cover components {sorted(missing)}")
+        return sum(
+            params.failure_rate * self.failure_cost(tree, name)
+            for name, params in self.components.items()
+        )
+
+    def annual_downtime_minutes(self, tree: RestartTree) -> float:
+        """The ops framing of :meth:`downtime_rate`."""
+        return self.downtime_rate(tree) * 365.0 * 24.0 * 60.0
+
+
+# ----------------------------------------------------------------------
+# the search
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OptimizationStep:
+    """One accepted greedy move."""
+
+    description: str
+    downtime_rate: float
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of :func:`optimize_tree`."""
+
+    tree: RestartTree
+    downtime_rate: float
+    initial_downtime_rate: float
+    steps: List[OptimizationStep]
+
+    @property
+    def improvement_factor(self) -> float:
+        """How many times lower the optimized downtime rate is."""
+        if self.downtime_rate == 0:
+            return float("inf")
+        return self.initial_downtime_rate / self.downtime_rate
+
+
+def neighbor_trees(tree: RestartTree) -> Iterator[Tuple[str, RestartTree]]:
+    """All single-transformation neighbors of ``tree``.
+
+    Moves: consolidate any two sibling cells; insert a joint node over any
+    two sibling cells; promote any non-root-attached component one level.
+    """
+    counter = 0
+
+    def fresh_id(prefix: str, pair: Sequence[str]) -> str:
+        nonlocal counter
+        while True:
+            counter += 1
+            candidate = f"{prefix}{counter}_{'_'.join(pair)}"[:60]
+            if not tree.has_cell(candidate):
+                return candidate
+
+    for parent_id in tree.cell_ids:
+        parent = tree.get_cell(parent_id)
+        children = [child.cell_id for child in parent.children]
+        for i in range(len(children)):
+            for j in range(i + 1, len(children)):
+                pair = [children[i], children[j]]
+                yield (
+                    f"consolidate({pair[0]}, {pair[1]})",
+                    consolidate_groups(tree, pair, fresh_id("M", pair)),
+                )
+                yield (
+                    f"insert_joint({pair[0]}, {pair[1]})",
+                    insert_joint_node(tree, pair, fresh_id("J", pair)),
+                )
+    for component in sorted(tree.components):
+        home = tree.cell_of_component(component)
+        if tree.parent_of(home) is not None:
+            yield (f"promote({component})", promote_component(tree, component))
+
+
+def optimize_tree(
+    model: SystemModel,
+    initial: RestartTree,
+    max_iterations: int = 50,
+    min_relative_gain: float = 1e-6,
+) -> OptimizationResult:
+    """Greedy descent over the transformation neighborhood.
+
+    At each iteration, evaluates every neighbor's downtime rate and takes
+    the best strictly improving move; stops when no move improves by more
+    than ``min_relative_gain`` (relative) or after ``max_iterations``.
+    Greedy is adequate here: the §4 transformations' gains are largely
+    independent (they touch disjoint subtrees), which is also why the
+    paper could apply them one at a time.
+    """
+    current = initial
+    current_cost = model.downtime_rate(current)
+    initial_cost = current_cost
+    steps: List[OptimizationStep] = []
+    for _ in range(max_iterations):
+        best: Optional[Tuple[str, RestartTree, float]] = None
+        for description, candidate in neighbor_trees(current):
+            cost = model.downtime_rate(candidate)
+            if best is None or cost < best[2]:
+                best = (description, candidate, cost)
+        if best is None or best[2] >= current_cost * (1.0 - min_relative_gain):
+            break
+        description, current, current_cost = best
+        steps.append(OptimizationStep(description, current_cost))
+    return OptimizationResult(
+        tree=current.with_name(f"{initial.name}+optimized"),
+        downtime_rate=current_cost,
+        initial_downtime_rate=initial_cost,
+        steps=steps,
+    )
+
+
+def mercury_system_model(
+    config=None,
+    oracle_error_rate: float = 0.3,
+    pbcom_joint_fraction: float = 0.4,
+) -> SystemModel:
+    """The Mercury inputs the paper derived its trees from.
+
+    ``pbcom_joint_fraction`` is the share of pbcom-manifest failures that
+    are only curable by the joint [fedr, pbcom] restart (the §4.4 class);
+    the paper gives no number, only that such failures exist.
+    """
+    from repro.mercury.config import PAPER_CONFIG
+
+    config = config or PAPER_CONFIG
+    names = config.station_components(split_fedrcom=True)
+    base = config.restart_seconds(lone=False)
+    components = {
+        name: ComponentParams(
+            name=name,
+            failure_rate=1.0 / config.mttf_seconds[name],
+            restart_seconds=base[name],
+        )
+        for name in names
+    }
+    curability = CurabilityProfile()
+    for name in names:
+        if name == "pbcom" and pbcom_joint_fraction > 0:
+            curability.set_alternatives(
+                "pbcom",
+                [
+                    (1.0 - pbcom_joint_fraction, ["pbcom"]),
+                    (pbcom_joint_fraction, ["pbcom", "fedr"]),
+                ],
+            )
+        else:
+            curability.set_simple(name)
+    ses = config.timing_for("ses")
+    strk = config.timing_for("str")
+    return SystemModel(
+        components=components,
+        curability=curability,
+        resync_pairs=[
+            ResyncPair(
+                "ses",
+                "str",
+                left_lone_penalty=ses.lone_penalty,
+                right_lone_penalty=strk.lone_penalty,
+                induce_probability=config.resync_induce_probability,
+            )
+        ],
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+        oracle_error_rate=oracle_error_rate,
+        remanifest_delay=config.remanifest_delay,
+    )

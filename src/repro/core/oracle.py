@@ -1,0 +1,235 @@
+"""Oracles: the brain of the restart policy (paper §3.3, §4.4).
+
+"A recoverer does not make any decisions as to which component needs to be
+restarted — that is captured in the oracle, which represents the restart
+policy."  Given the component a failure manifested in, an oracle recommends
+a cell to restart; if the failure persists, the *policy* escalates to the
+cell's parent, all the way to the root.
+
+Four oracles are provided:
+
+:class:`NaiveOracle`
+    Recommends the failed component's own cell.  This is what a real REC
+    with no extra knowledge does, and is the paper's de-facto behaviour for
+    self-curable failures.
+
+:class:`PerfectOracle`
+    Embodies the *minimal restart policy* (assumption ``A_oracle``): for
+    every minimally n-curable failure it recommends exactly node n.  In the
+    simulation it is granted access to the injected failure's ground-truth
+    cure set — that is precisely the privilege "perfect" denotes.
+
+:class:`FaultyOracle`
+    Wraps another oracle and, with probability ``error_rate``, commits the
+    paper's *guess-too-low* mistake: it recommends a strict descendant of
+    the correct cell (when the tree structure offers one).  §4.4 used a 30 %
+    error rate.
+
+:class:`LearningOracle`
+    The §7 future-work extension: "extend the oracle with the ability to
+    learn from its mistakes and this way generate estimates for f_ci
+    values."  It starts naive and tracks, per manifest component, which
+    cell's restart eventually cured past episodes; once confident, it jumps
+    straight to the historically curing cell.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.core.tree import RestartTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.manager import ProcessManager
+
+
+class Oracle(ABC):
+    """Maps a manifest failure to the restart-tree cell to push."""
+
+    @abstractmethod
+    def recommend(self, tree: RestartTree, failed_component: str) -> str:
+        """Cell id to restart for a fresh failure in ``failed_component``."""
+
+    def notify_outcome(
+        self, tree: RestartTree, failed_component: str, cell_id: str, cured: bool
+    ) -> None:
+        """Feedback hook: the policy reports how a recommendation went.
+
+        ``cured`` is True when no re-detection followed the restart of
+        ``cell_id`` (so that cell was sufficient).  Stateless oracles ignore
+        this; the learning oracle builds its estimates from it.
+        """
+
+    def describe(self) -> str:
+        """Human-readable label used in experiment reports."""
+        return type(self).__name__
+
+
+class NaiveOracle(Oracle):
+    """Always recommends the failed component's own cell."""
+
+    def recommend(self, tree: RestartTree, failed_component: str) -> str:
+        return tree.cell_of_component(failed_component)
+
+    def describe(self) -> str:
+        return "naive"
+
+
+class PerfectOracle(Oracle):
+    """The minimal restart policy, granted ground-truth cure sets.
+
+    Reads the active :class:`~repro.faults.failure.FailureDescriptor` off
+    the failed process and recommends the lowest cell covering its cure set.
+    Failures without a descriptor (e.g. a bare kill in a test) degrade to
+    the naive recommendation.
+    """
+
+    def __init__(self, manager: "ProcessManager") -> None:
+        self._manager = manager
+
+    def recommend(self, tree: RestartTree, failed_component: str) -> str:
+        process = self._manager.maybe_get(failed_component)
+        descriptor = getattr(process, "last_failure", None) if process else None
+        if descriptor is None:
+            return tree.cell_of_component(failed_component)
+        cure = frozenset(descriptor.cure_set) & tree.components
+        if not cure:
+            return tree.cell_of_component(failed_component)
+        return tree.minimal_cell_covering(cure)
+
+    def describe(self) -> str:
+        return "perfect"
+
+
+class FaultyOracle(Oracle):
+    """Wraps an oracle, injecting the paper's two mistake kinds (§4.4).
+
+    *Guess-too-low* (rate ``error_rate``) recommends a strict descendant of
+    the correct cell — the deepest cell containing the manifest component,
+    as in the paper's example where the oracle restarts ``pbcom`` alone
+    although the joint ``[fedr, pbcom]`` restart is the minimal cure.  The
+    wasted restart is paid in full before escalation cures the failure.
+
+    *Guess-too-high* (rate ``too_high_rate``, default 0 as in the paper's
+    experiment) recommends the correct cell's parent: "the recovery time is
+    therefore potentially greater than it had to be, since the failure
+    could have been cured by restarting a smaller subsystem, with lower
+    MTTR" — the restart cures, just expensively.
+
+    When the tree's structure offers no cell in the mistaken direction, no
+    mistake is possible and the correct recommendation stands (which is
+    node promotion's entire point for the too-low case).
+    """
+
+    def __init__(
+        self,
+        inner: Oracle,
+        error_rate: float,
+        rng: random.Random,
+        too_high_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate out of range: {error_rate!r}")
+        if not 0.0 <= too_high_rate <= 1.0 or error_rate + too_high_rate > 1.0:
+            raise ValueError(
+                f"too_high_rate out of range: {too_high_rate!r} "
+                f"(error_rate + too_high_rate must stay <= 1)"
+            )
+        self.inner = inner
+        self.error_rate = error_rate
+        self.too_high_rate = too_high_rate
+        self._rng = rng
+        self.mistakes = 0
+        self.too_high_mistakes = 0
+        self.recommendations = 0
+
+    def recommend(self, tree: RestartTree, failed_component: str) -> str:
+        correct = self.inner.recommend(tree, failed_component)
+        self.recommendations += 1
+        roll = self._rng.random()
+        if roll < self.error_rate:
+            low = self._deepest_cell_with(tree, failed_component, below=correct)
+            if low == correct:
+                return correct
+            self.mistakes += 1
+            return low
+        if roll < self.error_rate + self.too_high_rate:
+            parent = tree.parent_of(correct)
+            if parent is None:
+                return correct
+            self.too_high_mistakes += 1
+            return parent
+        return correct
+
+    @staticmethod
+    def _deepest_cell_with(tree: RestartTree, component: str, below: str) -> str:
+        home = tree.cell_of_component(component)
+        if tree.is_ancestor(below, home) and home != below:
+            return home
+        return below
+
+    def notify_outcome(
+        self, tree: RestartTree, failed_component: str, cell_id: str, cured: bool
+    ) -> None:
+        self.inner.notify_outcome(tree, failed_component, cell_id, cured)
+
+    def describe(self) -> str:
+        return f"faulty({self.inner.describe()}, p={self.error_rate})"
+
+
+class LearningOracle(Oracle):
+    """Learns per-component curing cells from episode outcomes (§7).
+
+    Bookkeeping: for each (manifest component, cell) pair, counts how many
+    restarts of that cell cured vs. failed to cure.  Recommendation: among
+    cells with at least ``min_samples`` observations, pick the deepest cell
+    whose empirical cure rate is at least ``confidence``; otherwise fall
+    back to the naive choice.  The resulting estimates are exactly empirical
+    ``f_ci`` values, exposed via :meth:`f_estimates` for reports.
+    """
+
+    def __init__(self, min_samples: int = 3, confidence: float = 0.8) -> None:
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 < confidence <= 1.0:
+            raise ValueError("confidence must be in (0, 1]")
+        self.min_samples = min_samples
+        self.confidence = confidence
+        self._attempts: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._cures: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def recommend(self, tree: RestartTree, failed_component: str) -> str:
+        naive = tree.cell_of_component(failed_component)
+        best: Optional[str] = None
+        best_depth = -1
+        for cell_id, attempts in self._attempts[failed_component].items():
+            if attempts < self.min_samples or not tree.has_cell(cell_id):
+                continue
+            cures = self._cures[failed_component][cell_id]
+            if cures / attempts < self.confidence:
+                continue
+            depth = tree.depth_of(cell_id)
+            if depth > best_depth:
+                best, best_depth = cell_id, depth
+        return best if best is not None else naive
+
+    def notify_outcome(
+        self, tree: RestartTree, failed_component: str, cell_id: str, cured: bool
+    ) -> None:
+        self._attempts[failed_component][cell_id] += 1
+        if cured:
+            self._cures[failed_component][cell_id] += 1
+
+    def f_estimates(self, component: str) -> Dict[str, float]:
+        """Empirical cure rates per cell for ``component`` (the f_ci view)."""
+        out: Dict[str, float] = {}
+        for cell_id, attempts in self._attempts[component].items():
+            if attempts:
+                out[cell_id] = self._cures[component][cell_id] / attempts
+        return out
+
+    def describe(self) -> str:
+        return f"learning(n>={self.min_samples}, conf={self.confidence})"

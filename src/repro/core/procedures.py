@@ -1,0 +1,117 @@
+"""Recursive recovery: custom per-cell recovery procedures (paper §7).
+
+"For cases where some of the system's components are using hard state, we
+are developing a general model of *recursively recoverable* systems.  With
+recursive recovery, we can accommodate a wider range of recovery semantics,
+since each component is recovered using a custom procedure; **restart is
+just one example of a recovery procedure**."
+
+This module implements that generalisation on top of the existing
+machinery.  A :class:`ProcedureMap` assigns a :class:`RecoveryProcedure` to
+restart-tree cells; the supervisors consult it when "pushing the button",
+so everything else — detection, suppression, escalation, cure semantics,
+budgets — is unchanged.  Escalation still climbs the same tree; only *what
+pushing a button does* becomes pluggable.
+
+Two procedures ship:
+
+:class:`RestartProcedure`
+    The default: kill + cold start (the whole paper's mechanism).
+
+:class:`WarmRecoveryProcedure`
+    Models checkpoint-restore-style recovery for hard-state components:
+    the process still bounces, but its startup-work function sees the
+    ``"warm"`` hint and may skip the expensive cold path (e.g. a database
+    replaying its log vs restoring a checkpoint).  A component that does
+    not understand the hint behaves exactly as under a cold restart, which
+    makes warm procedures safe to assign optimistically.
+
+The escalation interplay is the interesting design point: if a warm
+recovery does not cure the failure (state corruption survived the
+checkpoint), the failure re-manifests, and the *policy escalates to the
+parent cell* — whose procedure defaults to the cold restart.  "Restart is
+just one example" composes with "try the cheapest cure first".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.manager import ProcessManager
+
+
+class RecoveryProcedure(ABC):
+    """What pushing a restart cell's button actually does."""
+
+    @abstractmethod
+    def execute(self, manager: "ProcessManager", components: FrozenSet[str]) -> None:
+        """Begin recovering ``components`` as one batch.
+
+        Implementations must leave every component in a state from which it
+        will reach RUNNING again (the supervisors' completion tracking and
+        watchdogs rely on the usual ready notifications).
+        """
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short label for traces and reports."""
+
+
+class RestartProcedure(RecoveryProcedure):
+    """The default: kill + cold start."""
+
+    def execute(self, manager: "ProcessManager", components: FrozenSet[str]) -> None:
+        manager.restart(components, hint="cold")
+
+    def describe(self) -> str:
+        return "restart"
+
+
+class WarmRecoveryProcedure(RecoveryProcedure):
+    """Checkpoint-restore-style recovery: bounce with the ``warm`` hint."""
+
+    def __init__(self, hint: str = "warm") -> None:
+        self.hint = hint
+
+    def execute(self, manager: "ProcessManager", components: FrozenSet[str]) -> None:
+        manager.restart(components, hint=self.hint)
+
+    def describe(self) -> str:
+        return f"warm-recovery({self.hint})"
+
+
+class ProcedureMap:
+    """Cell id → recovery procedure, with a restart default.
+
+    The map is deliberately keyed by *cell*, not component: recursive
+    recovery attaches semantics to the tree's units of recovery, and an
+    escalation from a warm-recovering child cell to its parent naturally
+    falls back to the parent's (default, cold) procedure.
+    """
+
+    def __init__(
+        self,
+        overrides: Optional[Mapping[str, RecoveryProcedure]] = None,
+        default: Optional[RecoveryProcedure] = None,
+    ) -> None:
+        self._default = default or RestartProcedure()
+        self._overrides: Dict[str, RecoveryProcedure] = dict(overrides or {})
+
+    def assign(self, cell_id: str, procedure: RecoveryProcedure) -> "ProcedureMap":
+        """Set the procedure for one cell (chainable)."""
+        self._overrides[cell_id] = procedure
+        return self
+
+    def for_cell(self, cell_id: str) -> RecoveryProcedure:
+        """The procedure to run when this cell's button is pushed."""
+        return self._overrides.get(cell_id, self._default)
+
+    def overridden_cells(self) -> Iterable[str]:
+        """Cells with a non-default procedure (for reports)."""
+        return sorted(self._overrides)
+
+    def describe(self, cell_id: str) -> str:
+        """Label of the procedure assigned to ``cell_id``."""
+        return self.for_cell(cell_id).describe()

@@ -1,0 +1,373 @@
+"""REC: the recovery module (paper §2.2, §3.3).
+
+REC hosts the recoverer and the oracle (via the
+:class:`~repro.core.policy.RestartPolicy`).  It:
+
+* listens on a dedicated control address for the failure detector's
+  :class:`~repro.xmlcmd.commands.FailureReport` messages (FD↔REC traffic is
+  deliberately *not* on the bus, "for improved isolation");
+* executes restart decisions through the process manager, one restart
+  action at a time (a real REC is a small single-threaded supervisor);
+* tells FD which components are being bounced (``RestartOrder`` with reason
+  ``begin``) so FD does not report the restart's own fallout, and when the
+  batch is back up (reason ``complete``) so FD resumes watching them;
+* pings FD over the control channel and restarts FD if it stops answering
+  — the REC half of the FD/REC mutual-recovery special case.
+
+REC is itself a supervised process: killing it drops all in-flight episode
+state, and a fresh REC process relearns the world from FD's re-reports.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, FrozenSet, List, Optional, TYPE_CHECKING
+from collections import deque
+
+from repro.components.base import Behavior
+from repro.core.policy import RestartDecision, RestartPolicy
+from repro.core.procedures import ProcedureMap
+from repro.errors import ChannelClosedError
+from repro.types import Severity, SimTime
+from repro.xmlcmd.commands import (
+    FailureReport,
+    Message,
+    PingReply,
+    PingRequest,
+    RestartOrder,
+    encode_message,
+    parse_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.manager import ProcessManager
+    from repro.procmgr.process import SimProcess
+    from repro.transport.channel import Endpoint
+    from repro.transport.network import Network
+
+
+class RecoveryModule(Behavior):
+    """The REC behavior."""
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        manager: "ProcessManager",
+        policy: RestartPolicy,
+        ctl_address: str = "rec:7100",
+        observation_window: SimTime = 3.0,
+        fd_name: str = "fd",
+        fd_ping_period: SimTime = 1.0,
+        fd_ping_timeout: SimTime = 0.5,
+        fd_grace: SimTime = 2.0,
+        restart_timeout: SimTime = 90.0,
+        procedures: Optional[ProcedureMap] = None,
+    ) -> None:
+        super().__init__(process)
+        self.network = network
+        self.manager = manager
+        self.policy = policy
+        self.ctl_address = ctl_address
+        self.observation_window = observation_window
+        self.fd_name = fd_name
+        self.fd_ping_period = fd_ping_period
+        self.fd_ping_timeout = fd_ping_timeout
+        self.fd_grace = fd_grace
+        #: A restart action not complete after this long has lost a member
+        #: (e.g. a component killed mid-startup by a concurrent fault); the
+        #: watchdog re-kicks terminal members so the action cannot wedge.
+        self.restart_timeout = restart_timeout
+        self._action_seq = 0
+        #: Per-cell recovery procedures (§7 recursive recovery); pushing a
+        #: cell's button runs its procedure, restart being the default.
+        self.procedures = procedures or ProcedureMap()
+
+        self._alive = False
+        self._listener = None
+        self._fd_endpoint: Optional["Endpoint"] = None
+        self._pending_reports: Deque[str] = deque()
+        self._inflight_batch: Optional[FrozenSet[str]] = None
+        self._inflight_cell: Optional[str] = None
+        #: Batch members that completed their restart; the batch finishes
+        #: when all members have been ready once (gating on "all currently
+        #: running" would deadlock if a member fails again while a slower
+        #: member is still starting).
+        self._inflight_ready: set = set()
+        self._ping_seq = 0
+        self._outstanding_ping: Optional[int] = None
+        self._fd_misses = 0
+        self._fd_restart_inflight = False
+        #: Decisions executed, for tests and reports.
+        self.restart_log: List[RestartDecision] = []
+        manager.subscribe(self._on_lifecycle)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._alive = True
+        self._pending_reports.clear()
+        self._inflight_batch = None
+        self._inflight_cell = None
+        self._inflight_ready = set()
+        self._outstanding_ping = None
+        self._fd_misses = 0
+        self._fd_restart_inflight = False
+        self._listener = self.network.listen(self.ctl_address, self._on_accept)
+        self.trace("rec_listening", address=self.ctl_address)
+        self._schedule_fd_ping()
+
+    def on_kill(self) -> None:
+        self._alive = False
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._fd_endpoint is not None:
+            self._fd_endpoint.close()
+            self._fd_endpoint = None
+
+    # ------------------------------------------------------------------
+    # control channel
+    # ------------------------------------------------------------------
+
+    def _on_accept(self, endpoint: "Endpoint") -> None:
+        # One live FD connection at a time; a reconnecting FD supersedes the
+        # old channel (whose close may still be in flight).
+        self._fd_endpoint = endpoint
+        endpoint.on_message(self._on_ctl_raw)
+        endpoint.on_close(lambda: self._on_ctl_close(endpoint))
+        self._fd_misses = 0
+
+    def _on_ctl_close(self, endpoint: "Endpoint") -> None:
+        if self._fd_endpoint is endpoint:
+            self._fd_endpoint = None
+
+    def _ctl_send(self, message: Message) -> bool:
+        if self._fd_endpoint is None or not self._fd_endpoint.open:
+            return False
+        try:
+            self._fd_endpoint.send(encode_message(message))
+        except ChannelClosedError:
+            return False
+        return True
+
+    def _on_ctl_raw(self, raw: str) -> None:
+        if not self._alive:
+            return
+        message = parse_message(raw)
+        if isinstance(message, PingRequest):
+            self._ctl_send(PingReply(sender=self.name, target=message.sender, seq=message.seq))
+            return
+        if isinstance(message, PingReply):
+            if message.seq == self._outstanding_ping:
+                self._outstanding_ping = None
+                self._fd_misses = 0
+            return
+        if isinstance(message, FailureReport):
+            for component in message.failed_components:
+                self._handle_failure(component)
+
+    # ------------------------------------------------------------------
+    # recovery flow
+    # ------------------------------------------------------------------
+
+    def _handle_failure(self, component: str) -> None:
+        self.trace("failure_reported", component=component)
+        if self._inflight_batch is not None:
+            if component in self._inflight_batch:
+                return  # fallout of our own restart; FD races are harmless
+            self._pending_reports.append(component)
+            return
+        self._decide_and_execute(component)
+
+    def _decide_and_execute(self, component: str) -> None:
+        decision = self.policy.report_failure(component, self.kernel.now)
+        self.restart_log.append(decision)
+        if decision.action == "ignore":
+            self.trace("decision_ignore", component=component, reason=decision.reason)
+            return
+        if decision.action == "give_up":
+            self.trace(
+                "operator_escalation",
+                severity=Severity.ERROR,
+                component=component,
+                reason=decision.reason,
+            )
+            return
+        assert decision.cell_id is not None
+        self._execute_restart(decision.cell_id, decision.components, component)
+
+    def _execute_restart(
+        self, cell_id: str, components: FrozenSet[str], trigger: str
+    ) -> None:
+        self._inflight_cell = cell_id
+        self._inflight_batch = components
+        self._inflight_ready = set()
+        procedure = self.procedures.for_cell(cell_id)
+        self.trace(
+            "restart_ordered",
+            cell=cell_id,
+            components=tuple(sorted(components)),
+            trigger=trigger,
+            procedure=procedure.describe(),
+        )
+        self._ctl_send(
+            RestartOrder(
+                sender=self.name,
+                target=self.fd_name,
+                cell_id=cell_id,
+                components=tuple(sorted(components)),
+                reason="begin",
+            )
+        )
+        self.policy.restart_began(components, self.kernel.now)
+        self._action_seq += 1
+        self.kernel.call_after(
+            self.restart_timeout, self._check_restart_progress, self._action_seq
+        )
+        procedure.execute(self.manager, components)
+
+    def _check_restart_progress(self, action_seq: int) -> None:
+        """Watchdog: re-kick batch members that died during the restart."""
+        if not self._alive or action_seq != self._action_seq:
+            return
+        batch = self._inflight_batch
+        if batch is None:
+            return
+        stragglers = [
+            name
+            for name in sorted(batch - self._inflight_ready)
+            if self.manager.get(name).state.is_terminal
+        ]
+        if stragglers:
+            self.trace(
+                "restart_rekick",
+                severity=Severity.WARNING,
+                components=tuple(stragglers),
+            )
+            for name in stragglers:
+                self.manager.start(name, batch=batch)
+        self.kernel.call_after(
+            self.restart_timeout, self._check_restart_progress, action_seq
+        )
+
+    def request_restart(self, cell_id: str, reason: str = "") -> bool:
+        """Execute a proactive restart of ``cell_id`` (rejuvenation).
+
+        Accepted only when REC is alive and has no restart action in
+        flight; proactive rounds are skipped under load, never queued.  The
+        restart runs through the normal path, so FD suppression and action
+        serialization apply and no false failure reports arise.
+        """
+        if not self._alive or self._inflight_batch is not None:
+            return False
+        if not self.policy.tree.has_cell(cell_id):
+            return False
+        components = self.policy.tree.components_restarted_by(cell_id)
+        if not self.manager.all_running(components):
+            return False  # something is already down: leave it to recovery
+        self._execute_restart(cell_id, components, trigger=reason or "proactive")
+        return True
+
+    def _on_lifecycle(self, process: "SimProcess", event: str) -> None:
+        if not self._alive:
+            return
+        if process.name == self.fd_name and event == "ready":
+            self._fd_restart_inflight = False
+            self._fd_misses = 0
+        if event != "ready" or self._inflight_batch is None:
+            return
+        if process.name not in self._inflight_batch:
+            return
+        self._inflight_ready.add(process.name)
+        if self._inflight_ready >= self._inflight_batch:
+            self._finish_restart()
+
+    def _finish_restart(self) -> None:
+        batch = self._inflight_batch
+        cell_id = self._inflight_cell
+        assert batch is not None
+        self._inflight_batch = None
+        self._inflight_cell = None
+        self._inflight_ready = set()
+        self._action_seq += 1  # invalidate the progress watchdog
+        now = self.kernel.now
+        self.policy.restart_completed(batch, now)
+        self.trace("restart_complete", cell=cell_id, components=tuple(sorted(batch)))
+        self._ctl_send(
+            RestartOrder(
+                sender=self.name,
+                target=self.fd_name,
+                cell_id=cell_id or "",
+                components=tuple(sorted(batch)),
+                reason="complete",
+            )
+        )
+        for component in sorted(batch):
+            self.kernel.call_after(
+                self.observation_window, self._expire_observation, component
+            )
+        # Serve reports queued while the restart was in flight.  Reports
+        # about components the restart just covered are stale (FD will
+        # re-report if the failure actually persists).
+        pending, self._pending_reports = list(self._pending_reports), deque()
+        for component in pending:
+            process = self.manager.maybe_get(component)
+            if process is not None and process.is_running:
+                continue  # stale report: the completed restart covered it
+            if self._inflight_batch is None:
+                self._decide_and_execute(component)
+            else:
+                self._pending_reports.append(component)
+
+    def _expire_observation(self, component: str) -> None:
+        if not self._alive:
+            return
+        if self.policy.observation_expired(component, self.kernel.now):
+            self.trace("episode_closed", component=component)
+
+    # ------------------------------------------------------------------
+    # FD watchdog (the REC half of §2.2's mutual special case)
+    # ------------------------------------------------------------------
+
+    def _schedule_fd_ping(self) -> None:
+        if not self._alive:
+            return
+        self.kernel.call_after(self.fd_ping_period, self._ping_fd)
+
+    def _ping_fd(self) -> None:
+        if not self._alive:
+            return
+        if self._fd_restart_inflight:
+            self._schedule_fd_ping()
+            return
+        self._ping_seq += 1
+        self._outstanding_ping = self._ping_seq
+        sent = self._ctl_send(
+            PingRequest(sender=self.name, target=self.fd_name, seq=self._ping_seq)
+        )
+        if not sent:
+            self._register_fd_miss()
+            self._schedule_fd_ping()
+            return
+        self.kernel.call_after(self.fd_ping_timeout, self._check_fd_ping, self._ping_seq)
+        self._schedule_fd_ping()
+
+    def _check_fd_ping(self, seq: int) -> None:
+        if not self._alive or self._outstanding_ping != seq:
+            return
+        self._outstanding_ping = None
+        self._register_fd_miss()
+
+    def _register_fd_miss(self) -> None:
+        self._fd_misses += 1
+        if self._fd_misses * self.fd_ping_period < self.fd_grace:
+            return
+        fd = self.manager.maybe_get(self.fd_name)
+        if fd is None or self._fd_restart_inflight:
+            return
+        self._fd_restart_inflight = True
+        self._fd_misses = 0
+        self.trace("fd_restart", severity=Severity.WARNING)
+        self.manager.restart([self.fd_name])

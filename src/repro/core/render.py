@@ -1,0 +1,94 @@
+"""ASCII rendering of restart trees (the paper's Figures 2–6).
+
+Two renderings:
+
+* :func:`render_tree` — a box-drawing hierarchy listing each cell and its
+  attached components, e.g.::
+
+      tree-IV
+      R_root
+      ├── R_mbus  [mbus]
+      ├── R_fp
+      │   ├── R_fedr  [fedr]
+      │   └── R_pbcom  [pbcom]
+      ├── R_ses_str  [ses, str]
+      └── R_rtu  [rtu]
+
+* :func:`render_compact` — the nested-parentheses form used in tables and
+  trace lines: ``(R_root (R_mbus:mbus) (R_fp (R_fedr:fedr) ...))``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.tree import RestartCell, RestartTree
+
+
+def render_tree(tree: RestartTree, show_name: bool = True) -> str:
+    """Multi-line box-drawing rendering of the tree."""
+    lines: List[str] = []
+    if show_name:
+        lines.append(tree.name)
+    _render_cell(tree.root, prefix="", is_last=True, is_root=True, lines=lines)
+    return "\n".join(lines)
+
+
+def _label(node: RestartCell) -> str:
+    if node.components:
+        return f"{node.cell_id}  [{', '.join(sorted(node.components))}]"
+    return node.cell_id
+
+
+def _render_cell(
+    node: RestartCell, prefix: str, is_last: bool, is_root: bool, lines: List[str]
+) -> None:
+    if is_root:
+        lines.append(_label(node))
+        child_prefix = ""
+    else:
+        connector = "└── " if is_last else "├── "
+        lines.append(f"{prefix}{connector}{_label(node)}")
+        child_prefix = prefix + ("    " if is_last else "│   ")
+    for index, child in enumerate(node.children):
+        _render_cell(
+            child,
+            prefix=child_prefix,
+            is_last=index == len(node.children) - 1,
+            is_root=False,
+            lines=lines,
+        )
+
+
+def render_compact(tree: RestartTree) -> str:
+    """One-line nested-parentheses rendering."""
+    return _compact(tree.root)
+
+
+def _compact(node: RestartCell) -> str:
+    parts = [node.cell_id]
+    if node.components:
+        parts[0] = f"{node.cell_id}:{'+'.join(sorted(node.components))}"
+    for child in node.children:
+        parts.append(_compact(child))
+    return f"({' '.join(parts)})"
+
+
+def render_side_by_side(left: str, right: str, gap: int = 6, arrow: str = "=>") -> str:
+    """Place two multi-line renderings next to each other (figure style).
+
+    Used by the figure benches to show a transformation's before/after, as
+    the paper's Figures 3–6 do.
+    """
+    left_lines = left.splitlines() or [""]
+    right_lines = right.splitlines() or [""]
+    width = max(len(line) for line in left_lines)
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    middle = height // 2
+    out = []
+    for index, (l, r) in enumerate(zip(left_lines, right_lines)):
+        joiner = arrow if index == middle else " " * len(arrow)
+        out.append(f"{l:<{width}}{' ' * gap}{joiner}{' ' * gap}{r}".rstrip())
+    return "\n".join(out)

@@ -1,0 +1,238 @@
+"""Collapsed FD+REC for long-horizon experiments.
+
+Simulating every liveness ping costs ~10 events per component-second; a
+one-month availability run would spend almost all its time routing pings
+that detect nothing.  :class:`AbstractSupervisor` collapses the detector and
+recoverer into one object that:
+
+* observes process deaths directly from the process manager, but declares
+  them only after a *sampled* detection latency — ``U(0, ping_period) +
+  reply_timeout`` — matching the full detector's distribution;
+* drives the same :class:`~repro.core.policy.RestartPolicy` (episodes,
+  escalation, budgets, oracle feedback) as the real REC;
+* serialises restart actions and applies the same suppression rules.
+
+Because the policy object and the restart semantics are shared with the
+full stack, recovery-time distributions agree between the two supervisors
+(validated by a dedicated test), so availability numbers from this fast
+path are faithful.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, FrozenSet, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.policy import RestartDecision, RestartPolicy
+from repro.core.procedures import ProcedureMap
+from repro.types import Severity, SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.manager import ProcessManager
+    from repro.procmgr.process import SimProcess
+    from repro.sim.kernel import Kernel
+
+
+class AbstractSupervisor:
+    """Sampled-latency detector + inline recoverer."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        manager: "ProcessManager",
+        policy: RestartPolicy,
+        monitored: Sequence[str],
+        ping_period: SimTime = 1.0,
+        reply_timeout: SimTime = 0.2,
+        observation_window: SimTime = 3.0,
+        restart_timeout: SimTime = 90.0,
+        procedures: Optional[ProcedureMap] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.manager = manager
+        self.policy = policy
+        self.monitored = set(monitored)
+        self.ping_period = ping_period
+        self.reply_timeout = reply_timeout
+        self.observation_window = observation_window
+        #: Watchdog deadline for a restart action; see the recoverer's
+        #: equivalent — a member killed mid-startup is re-kicked.
+        self.restart_timeout = restart_timeout
+        self._action_seq = 0
+        #: Per-cell recovery procedures (§7 recursive recovery).
+        self.procedures = procedures or ProcedureMap()
+        self._rng = kernel.rngs.stream("abstract_supervisor.detection")
+        self._inflight_batch: Optional[FrozenSet[str]] = None
+        self._inflight_cell: Optional[str] = None
+        #: Batch members that have completed their restart.  The batch
+        #: finishes when every member has been ready *once* — gating on
+        #: "all currently running" would deadlock if a member fails again
+        #: while a slower member is still starting.
+        self._inflight_ready: set = set()
+        self._pending: Deque[str] = deque()
+        self.detections = 0
+        self.restart_log: List[RestartDecision] = []
+        manager.subscribe(self._on_lifecycle)
+
+    # ------------------------------------------------------------------
+    # proactive restarts (rejuvenation)
+    # ------------------------------------------------------------------
+
+    def request_restart(self, cell_id: str, reason: str = "") -> bool:
+        """Execute a proactive restart of ``cell_id`` (rejuvenation).
+
+        Same contract as the recoverer's: accepted only when idle and the
+        cell's components are all up; runs through the normal restart path.
+        """
+        if self._inflight_batch is not None:
+            return False
+        if not self.policy.tree.has_cell(cell_id):
+            return False
+        components = self.policy.tree.components_restarted_by(cell_id)
+        if not self.manager.all_running(components):
+            return False
+        self._inflight_cell = cell_id
+        self._inflight_batch = components
+        self._inflight_ready = set()
+        self.kernel.trace.emit(
+            "supervisor",
+            "restart_ordered",
+            cell=cell_id,
+            components=tuple(sorted(components)),
+            trigger=reason or "proactive",
+        )
+        self.policy.restart_began(components, self.kernel.now)
+        self._action_seq += 1
+        self.kernel.call_after(
+            self.restart_timeout, self._check_restart_progress, self._action_seq
+        )
+        self.manager.restart(components)
+        return True
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+
+    def _on_lifecycle(self, process: "SimProcess", event: str) -> None:
+        name = process.name
+        if event.startswith("down:"):
+            if name not in self.monitored:
+                return
+            if self._inflight_batch is not None and name in self._inflight_batch:
+                if name not in self._inflight_ready:
+                    return  # expected downtime of our own restart
+                # The member completed its restart and then failed anew
+                # (fresh fault or re-manifestation); detect it normally.
+            delay = self._rng.uniform(0.0, self.ping_period) + self.reply_timeout
+            self.kernel.call_after(delay, self._declare, name)
+            return
+        if event == "ready" and self._inflight_batch is not None:
+            if name in self._inflight_batch:
+                self._inflight_ready.add(name)
+                if self._inflight_ready >= self._inflight_batch:
+                    self._finish_restart()
+
+    def _declare(self, component: str) -> None:
+        process = self.manager.get(component)
+        if process.is_running:
+            return  # came back before we would have noticed
+        if (
+            self._inflight_batch is not None
+            and component in self._inflight_batch
+            and component not in self._inflight_ready
+        ):
+            return  # still restarting as part of the in-flight batch
+        self.detections += 1
+        self.kernel.trace.emit("supervisor", "detection", component=component)
+        if self._inflight_batch is not None:
+            self._pending.append(component)
+            return
+        self._decide(component)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _decide(self, component: str) -> None:
+        decision = self.policy.report_failure(component, self.kernel.now)
+        self.restart_log.append(decision)
+        if decision.action == "ignore":
+            return
+        if decision.action == "give_up":
+            self.kernel.trace.emit(
+                "supervisor",
+                "operator_escalation",
+                severity=Severity.ERROR,
+                component=component,
+                reason=decision.reason,
+            )
+            return
+        assert decision.cell_id is not None
+        self._inflight_cell = decision.cell_id
+        self._inflight_batch = decision.components
+        self._inflight_ready = set()
+        self.kernel.trace.emit(
+            "supervisor",
+            "restart_ordered",
+            cell=decision.cell_id,
+            components=tuple(sorted(decision.components)),
+            trigger=component,
+        )
+        self.policy.restart_began(decision.components, self.kernel.now)
+        self._action_seq += 1
+        self.kernel.call_after(
+            self.restart_timeout, self._check_restart_progress, self._action_seq
+        )
+        self.procedures.for_cell(decision.cell_id).execute(
+            self.manager, decision.components
+        )
+
+    def _check_restart_progress(self, action_seq: int) -> None:
+        """Watchdog: re-kick batch members that died during the restart."""
+        if action_seq != self._action_seq or self._inflight_batch is None:
+            return
+        batch = self._inflight_batch
+        stragglers = [
+            name
+            for name in sorted(batch - self._inflight_ready)
+            if self.manager.get(name).state.is_terminal
+        ]
+        for name in stragglers:
+            self.manager.start(name, batch=batch)
+        if stragglers:
+            self.kernel.trace.emit(
+                "supervisor", "restart_rekick", components=tuple(stragglers)
+            )
+        self.kernel.call_after(
+            self.restart_timeout, self._check_restart_progress, action_seq
+        )
+
+    def _finish_restart(self) -> None:
+        batch = self._inflight_batch
+        assert batch is not None
+        cell_id = self._inflight_cell
+        self._inflight_batch = None
+        self._inflight_cell = None
+        self._inflight_ready = set()
+        self._action_seq += 1  # invalidate the progress watchdog
+        self.policy.restart_completed(batch, self.kernel.now)
+        self.kernel.trace.emit(
+            "supervisor", "restart_complete", cell=cell_id,
+            components=tuple(sorted(batch)),
+        )
+        for component in sorted(batch):
+            self.kernel.call_after(
+                self.observation_window, self._expire_observation, component
+            )
+        pending, self._pending = list(self._pending), deque()
+        for component in pending:
+            process = self.manager.get(component)
+            if process.is_running:
+                continue  # stale report: the completed restart covered it
+            if self._inflight_batch is None:
+                self._decide(component)
+            else:
+                self._pending.append(component)
+
+    def _expire_observation(self, component: str) -> None:
+        self.policy.observation_expired(component, self.kernel.now)

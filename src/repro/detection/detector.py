@@ -1,0 +1,320 @@
+"""FD: the liveness-ping failure detector (paper §2.2).
+
+Detection mechanics:
+
+* every ``ping_period`` seconds (1 s in the paper, "determined from
+  operational experience to minimize detection time without overloading
+  mbus") FD sends an XML ping to every monitored component over the bus;
+* a ping unanswered within ``reply_timeout`` is a miss;
+  ``misses_to_declare`` consecutive misses declare the component failed;
+* the bus itself is monitored: when ``mbus`` misses, only ``mbus`` is
+  reported — other components' silence is unattributable while the bus is
+  down, so their misses are ignored until the bus answers again;
+* components named in a REC ``begin`` restart order are *suppressed* (their
+  downtime is expected) until the matching ``complete`` order arrives;
+* FD reports failures to REC over a dedicated control connection, not the
+  bus, and answers REC's watchdog pings on it;
+* FD also watches REC: if REC's control channel stays dead past a grace
+  period, FD restarts the REC process — the FD half of the mutual-recovery
+  special case ("the generalized procedural knowledge for how to choose the
+  modules to restart ... is only in REC"; FD knows just this one move).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, TYPE_CHECKING
+
+from repro.components.base import BusAttachedBehavior
+from repro.errors import ChannelClosedError, ConnectionRefusedError_
+from repro.types import Severity, SimTime
+from repro.xmlcmd.commands import (
+    FailureReport,
+    Message,
+    PingReply,
+    PingRequest,
+    RestartOrder,
+    encode_message,
+    parse_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.manager import ProcessManager
+    from repro.procmgr.process import SimProcess
+    from repro.transport.channel import Endpoint
+    from repro.transport.network import Network
+
+
+class FailureDetector(BusAttachedBehavior):
+    """The FD behavior."""
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        manager: "ProcessManager",
+        monitored: Sequence[str],
+        bus_address: str = "mbus:7000",
+        rec_name: str = "rec",
+        rec_ctl_address: str = "rec:7100",
+        ping_period: SimTime = 1.0,
+        reply_timeout: SimTime = 0.2,
+        misses_to_declare: int = 1,
+        report_interval: SimTime = 1.0,
+        rec_grace: SimTime = 2.0,
+        bus_component: str = "mbus",
+        warmup_grace: SimTime = 60.0,
+    ) -> None:
+        super().__init__(process, network, bus_address)
+        self.manager = manager
+        self.monitored = list(monitored)
+        self.rec_name = rec_name
+        self.rec_ctl_address = rec_ctl_address
+        self.ping_period = ping_period
+        self.reply_timeout = reply_timeout
+        self.misses_to_declare = misses_to_declare
+        self.report_interval = report_interval
+        self.rec_grace = rec_grace
+        self.bus_component = bus_component
+        #: After this long since FD's own start, judge even components this
+        #: incarnation has never seen alive.  Bounds the blind spot where a
+        #: component fails, FD itself is then restarted, and the fresh FD —
+        #: protected by warm-up — would otherwise never report the still-dead
+        #: component.
+        self.warmup_grace = warmup_grace
+        self._started_at: SimTime = 0.0
+
+        self._ctl: Optional["Endpoint"] = None
+        self._ctl_pending = False
+        self._seq = 0
+        self._outstanding: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        self._warmed: Set[str] = set()
+        self._suspected: Set[str] = set()
+        self._suppressed: Set[str] = set()
+        self._last_report_at: Dict[str, SimTime] = {}
+        self._rec_seq = 0
+        self._rec_outstanding: Optional[int] = None
+        self._rec_misses = 0
+        self._rec_restart_inflight = False
+        self.reports_sent = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._outstanding = {}
+        self._misses = {name: 0 for name in self.monitored}
+        self._warmed = set()
+        self._suspected = set()
+        self._suppressed = set()
+        self._last_report_at = {}
+        self._rec_outstanding = None
+        self._rec_misses = 0
+        self._rec_restart_inflight = False
+        self._started_at = self.kernel.now
+        super().on_start()
+        self._connect_ctl()
+        self.kernel.call_after(self.ping_period, self._tick)
+
+    def on_kill(self) -> None:
+        super().on_kill()
+        if self._ctl is not None:
+            self._ctl.close()
+            self._ctl = None
+
+    # ------------------------------------------------------------------
+    # control channel to REC
+    # ------------------------------------------------------------------
+
+    def _connect_ctl(self) -> None:
+        self._ctl_pending = False
+        if not self._alive or (self._ctl is not None and self._ctl.open):
+            return
+        try:
+            self._ctl = self.network.connect(self.name, self.rec_ctl_address)
+        except ConnectionRefusedError_:
+            self._schedule_ctl_reconnect()
+            return
+        self._ctl.on_message(self._on_ctl_raw)
+        self._ctl.on_close(self._on_ctl_close)
+        self.trace("ctl_connected")
+
+    def _on_ctl_close(self) -> None:
+        self._ctl = None
+        if self._alive:
+            self._schedule_ctl_reconnect()
+
+    def _schedule_ctl_reconnect(self) -> None:
+        if self._ctl_pending or not self._alive:
+            return
+        self._ctl_pending = True
+        self.kernel.call_after(0.25, self._connect_ctl)
+
+    def _ctl_send(self, message: Message) -> bool:
+        if self._ctl is None or not self._ctl.open:
+            return False
+        try:
+            self._ctl.send(encode_message(message))
+        except ChannelClosedError:
+            return False
+        return True
+
+    def _on_ctl_raw(self, raw: str) -> None:
+        if not self._alive:
+            return
+        message = parse_message(raw)
+        if isinstance(message, PingRequest):
+            self._ctl_send(PingReply(sender=self.name, target=message.sender, seq=message.seq))
+            return
+        if isinstance(message, PingReply):
+            if message.seq == self._rec_outstanding:
+                self._rec_outstanding = None
+                self._rec_misses = 0
+            return
+        if isinstance(message, RestartOrder):
+            if message.reason == "begin":
+                self._suppressed.update(message.components)
+                self.trace("suppression_begin", components=message.components)
+            elif message.reason == "complete":
+                for component in message.components:
+                    self._suppressed.discard(component)
+                    self._misses[component] = 0
+                    self._outstanding.pop(component, None)
+                    self._suspected.discard(component)
+                self.trace("suppression_end", components=message.components)
+
+    # ------------------------------------------------------------------
+    # ping loop
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        if not self._alive:
+            return
+        self.kernel.call_after(self.ping_period, self._tick)
+        if not self.connected:
+            # Try the bus right now rather than waiting for the retry loop:
+            # a successful TCP connect is itself evidence the bus is back,
+            # and avoids falsely judging mbus in the reconnect gap.
+            self._try_connect()
+        self._ping_rec()
+        for component in self.monitored:
+            if component in self._suppressed:
+                continue
+            self._seq += 1
+            self._outstanding[component] = self._seq
+            sent = self.send(PingRequest(sender=self.name, target=component, seq=self._seq))
+            if not sent:
+                # Cannot even reach the bus: only the bus's own ping can be
+                # meaningfully judged.  Treat as an immediate miss for mbus,
+                # and leave others unjudged.
+                if component == self.bus_component:
+                    self.kernel.call_after(
+                        self.reply_timeout, self._judge, component, self._seq
+                    )
+                else:
+                    self._outstanding.pop(component, None)
+                continue
+            self.kernel.call_after(self.reply_timeout, self._judge, component, self._seq)
+
+    def on_message(self, message: Message) -> None:
+        if isinstance(message, PingReply):
+            component = message.sender
+            self._warmed.add(component)
+            if self._outstanding.get(component) == message.seq:
+                del self._outstanding[component]
+                self._misses[component] = 0
+                if component in self._suspected:
+                    self._suspected.discard(component)
+                    self.trace("component_recovered_observed", component=component)
+
+    def _judge(self, component: str, seq: int) -> None:
+        if not self._alive:
+            return
+        if self._outstanding.get(component) != seq:
+            return  # answered (or superseded by a later ping)
+        del self._outstanding[component]
+        if component in self._suppressed:
+            return
+        if (
+            component not in self._warmed
+            and self.kernel.now - self._started_at < self.warmup_grace
+        ):
+            # Warm-up: never judge a component this FD incarnation has not
+            # yet seen alive — during boot, components attach to the bus at
+            # very different times, and reporting them would storm REC with
+            # spurious restarts.  The grace deadline bounds the blind spot:
+            # anything still silent long after FD's start is genuinely down.
+            return
+        self._misses[component] = self._misses.get(component, 0) + 1
+        if self._misses[component] < self.misses_to_declare:
+            return
+        # Attribution: while the bus is suspected, other components' silence
+        # proves nothing.
+        if component != self.bus_component and self.bus_component in self._suspected:
+            return
+        if component not in self._suspected:
+            self._suspected.add(component)
+            self.trace(
+                "failure_detected",
+                severity=Severity.WARNING,
+                component=component,
+            )
+            self.kernel.trace.emit(
+                self.name, "detection", component=component
+            )
+        self._report(component)
+
+    def _report(self, component: str) -> None:
+        now = self.kernel.now
+        last = self._last_report_at.get(component)
+        if last is not None and now - last < self.report_interval:
+            return
+        report = FailureReport(
+            sender=self.name,
+            target=self.rec_name,
+            failed_components=(component,),
+            detected_at=now,
+        )
+        if self._ctl_send(report):
+            self._last_report_at[component] = now
+            self.reports_sent += 1
+
+    # ------------------------------------------------------------------
+    # REC watchdog (the FD half of §2.2's mutual special case)
+    # ------------------------------------------------------------------
+
+    def _ping_rec(self) -> None:
+        if self._rec_restart_inflight:
+            rec = self.manager.maybe_get(self.rec_name)
+            if rec is not None and rec.is_running:
+                self._rec_restart_inflight = False
+                self._rec_misses = 0
+            return
+        self._rec_seq += 1
+        self._rec_outstanding = self._rec_seq
+        sent = self._ctl_send(
+            PingRequest(sender=self.name, target=self.rec_name, seq=self._rec_seq)
+        )
+        if not sent:
+            self._rec_miss()
+            return
+        self.kernel.call_after(self.reply_timeout, self._judge_rec, self._rec_seq)
+
+    def _judge_rec(self, seq: int) -> None:
+        if not self._alive or self._rec_outstanding != seq:
+            return
+        self._rec_outstanding = None
+        self._rec_miss()
+
+    def _rec_miss(self) -> None:
+        self._rec_misses += 1
+        if self._rec_misses * self.ping_period < self.rec_grace:
+            return
+        rec = self.manager.maybe_get(self.rec_name)
+        if rec is None or self._rec_restart_inflight:
+            return
+        self._rec_restart_inflight = True
+        self._rec_misses = 0
+        self.trace("rec_restart", severity=Severity.WARNING)
+        self.manager.restart([self.rec_name])

@@ -1,0 +1,27 @@
+"""The experiment harness.
+
+One module per experiment family, mirroring the paper's evaluation:
+
+* :mod:`repro.experiments.recovery` — kill-and-measure recovery trials
+  (Tables 2 and 4, the §4.2–4.4 text numbers);
+* :mod:`repro.experiments.lifetimes` — long-run observed MTTFs (Table 1);
+* :mod:`repro.experiments.availability` — steady-state availability per
+  tree (the §8 "factor of four" framing);
+* :mod:`repro.experiments.passes_experiment` — satellite-pass data loss
+  (§5.2, "not all downtime is the same");
+* :mod:`repro.experiments.metrics` — uptime/interval accounting shared by
+  the above;
+* :mod:`repro.experiments.report` — paper-style table formatting.
+"""
+
+from repro.experiments.metrics import RecoveryStats, UptimeTracker
+from repro.experiments.recovery import RecoveryResult, measure_recovery
+from repro.experiments.report import format_table
+
+__all__ = [
+    "RecoveryResult",
+    "RecoveryStats",
+    "UptimeTracker",
+    "format_table",
+    "measure_recovery",
+]

@@ -1,0 +1,81 @@
+"""Paper-style table formatting for experiment results.
+
+The benches print their regenerated tables through these helpers so the
+output visually matches the paper's layout (component columns, tree/oracle
+rows) and records paper-vs-measured deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_left_columns: int = 1,
+) -> str:
+    """Render an ASCII table with padded columns.
+
+    The first ``align_left_columns`` columns are left-aligned (labels); the
+    rest are right-aligned (numbers).
+    """
+    rendered: List[List[str]] = [[_cell(value) for value in headers]]
+    for row in rows:
+        rendered.append([_cell(value) for value in row])
+    widths = [
+        max(len(row[i]) for row in rendered) for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(rendered):
+        cells = []
+        for column, value in enumerate(row):
+            if column < align_left_columns:
+                cells.append(value.ljust(widths[column]))
+            else:
+                cells.append(value.rjust(widths[column]))
+        lines.append(" | ".join(cells))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def comparison_row(
+    label: str,
+    paper: Mapping[str, Optional[float]],
+    measured: Mapping[str, Optional[float]],
+    columns: Sequence[str],
+) -> List[List[object]]:
+    """Two table rows (paper vs measured) for a set of component columns."""
+    paper_row: List[object] = [f"{label} (paper)"]
+    measured_row: List[object] = [f"{label} (measured)"]
+    for column in columns:
+        paper_row.append(paper.get(column))
+        measured_row.append(measured.get(column))
+    return [paper_row, measured_row]
+
+
+def relative_errors(
+    paper: Mapping[str, Optional[float]],
+    measured: Mapping[str, Optional[float]],
+) -> Dict[str, float]:
+    """Per-column |measured − paper| / paper, for columns present in both."""
+    out: Dict[str, float] = {}
+    for key, expected in paper.items():
+        observed = measured.get(key)
+        if expected is None or observed is None or expected == 0:
+            continue
+        out[key] = abs(observed - expected) / expected
+    return out

@@ -1,0 +1,41 @@
+"""Fault injection.
+
+The paper's experiments inject fail-silent failures with SIGKILL (§4.1) and
+observe naturally occurring transient failures with the MTTFs of Table 1.
+This package supplies both:
+
+* :mod:`repro.faults.distributions` — lifetime distributions (exponential,
+  Weibull, lognormal, deterministic) used to draw times-to-failure;
+* :mod:`repro.faults.failure` — :class:`FailureDescriptor`, the metadata
+  attached to each injected failure: which components must restart together
+  for the failure to be *cured* (its minimal cure set, the ``n`` of the
+  paper's "minimally n-curable");
+* :mod:`repro.faults.injector` — one-shot and steady-state injectors;
+* :mod:`repro.faults.curability` — curability profiles: the ``f_ci``
+  probabilities (§4.1) from which each failure's cure set is drawn;
+* :mod:`repro.faults.correlation` — cross-component failure correlation:
+  restart-induced peer failures (ses/str) and disconnect aging (fedr→pbcom).
+"""
+
+from repro.faults.curability import CurabilityProfile
+from repro.faults.distributions import (
+    Deterministic,
+    Exponential,
+    LifetimeDistribution,
+    LogNormal,
+    Weibull,
+)
+from repro.faults.failure import FailureDescriptor
+from repro.faults.injector import FaultInjector, SteadyStateInjector
+
+__all__ = [
+    "CurabilityProfile",
+    "Deterministic",
+    "Exponential",
+    "FailureDescriptor",
+    "FaultInjector",
+    "LifetimeDistribution",
+    "LogNormal",
+    "SteadyStateInjector",
+    "Weibull",
+]

@@ -1,0 +1,109 @@
+"""Lifetime distributions for times-to-failure.
+
+The paper treats MTTF/MTTR as "means of distributions with small coefficients
+of variation" (§3.2) for recovery times, while times-to-failure of COTS
+components are conventionally modelled as exponential (memoryless crashes) or
+Weibull (aging).  All distributions are parameterised by their *mean* so
+Table 1 values plug in directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import FaultModelError
+
+
+class LifetimeDistribution(ABC):
+    """A positive random variable parameterised by its mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise FaultModelError(f"distribution mean must be positive, got {mean!r}")
+        self.mean = float(mean)
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one lifetime, strictly positive."""
+
+    @abstractmethod
+    def coefficient_of_variation(self) -> float:
+        """Standard deviation divided by the mean."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(mean={self.mean!r})"
+
+
+class Deterministic(LifetimeDistribution):
+    """Always returns exactly the mean (useful for reproducible tests)."""
+
+    def sample(self, rng: random.Random) -> float:
+        return self.mean
+
+    def coefficient_of_variation(self) -> float:
+        return 0.0
+
+
+class Exponential(LifetimeDistribution):
+    """Memoryless lifetimes — the default crash model for Table 1 MTTFs."""
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def coefficient_of_variation(self) -> float:
+        return 1.0
+
+
+class Weibull(LifetimeDistribution):
+    """Weibull lifetimes; ``shape > 1`` models aging (rising hazard).
+
+    Scale is derived from the requested mean: ``scale = mean / Γ(1 + 1/k)``.
+    """
+
+    def __init__(self, mean: float, shape: float = 1.5) -> None:
+        super().__init__(mean)
+        if shape <= 0:
+            raise FaultModelError(f"Weibull shape must be positive, got {shape!r}")
+        self.shape = float(shape)
+        self.scale = self.mean / math.gamma(1.0 + 1.0 / self.shape)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.weibullvariate(self.scale, self.shape)
+
+    def coefficient_of_variation(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return math.sqrt(max(g2 / (g1 * g1) - 1.0, 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Weibull(mean={self.mean!r}, shape={self.shape!r})"
+
+
+class LogNormal(LifetimeDistribution):
+    """Log-normal lifetimes with a chosen coefficient of variation.
+
+    Used for recovery-time noise: small ``cov`` keeps the distribution tight
+    around the mean, per the paper's §3.2 assumption.
+    """
+
+    def __init__(self, mean: float, cov: float = 0.05) -> None:
+        super().__init__(mean)
+        if cov < 0:
+            raise FaultModelError(f"coefficient of variation must be >= 0, got {cov!r}")
+        self._cov = float(cov)
+        sigma2 = math.log(1.0 + cov * cov)
+        self._sigma = math.sqrt(sigma2)
+        self._mu = math.log(mean) - sigma2 / 2.0
+
+    def sample(self, rng: random.Random) -> float:
+        if self._cov == 0.0:
+            return self.mean
+        return rng.lognormvariate(self._mu, self._sigma)
+
+    def coefficient_of_variation(self) -> float:
+        return self._cov
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogNormal(mean={self.mean!r}, cov={self._cov!r})"

@@ -1,0 +1,33 @@
+"""The Mercury ground station model (paper §2), simulated.
+
+Everything specific to the paper's testbed lives here: the station
+components (``mbus``, ``fedrcom`` / ``fedr`` + ``pbcom``, ``ses``, ``str``,
+``rtu``), the simulated radio/serial/antenna hardware, the calibrated timing
+configuration, the restart trees I–V, and the satellite-pass workload used
+by the §5.2 analysis.
+"""
+
+from repro.mercury.config import StationConfig, PAPER_CONFIG
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import (
+    TREE_BUILDERS,
+    tree_i,
+    tree_ii,
+    tree_ii_prime,
+    tree_iii,
+    tree_iv,
+    tree_v,
+)
+
+__all__ = [
+    "MercuryStation",
+    "PAPER_CONFIG",
+    "StationConfig",
+    "TREE_BUILDERS",
+    "tree_i",
+    "tree_ii",
+    "tree_ii_prime",
+    "tree_iii",
+    "tree_iv",
+    "tree_v",
+]

@@ -1,0 +1,34 @@
+"""Mercury's software components, as bus-attached behaviors.
+
+One module per component, mirroring Figure 1:
+
+* :mod:`~repro.mercury.components.ses_component` — satellite estimator:
+  computes position/frequency/pointing solutions and commands str and rtu;
+* :mod:`~repro.mercury.components.str_component` — satellite tracker:
+  points the antenna;
+* :mod:`~repro.mercury.components.rtu_component` — radio tuner: commands
+  the radio (through the fedrcom/fedr proxy);
+* :mod:`~repro.mercury.components.fedrcom_component` — the original
+  monolithic XML↔radio proxy (trees I/II);
+* :mod:`~repro.mercury.components.fedr_component` and
+  :mod:`~repro.mercury.components.pbcom_component` — the §4.2 split: fedr
+  translates commands and talks TCP to pbcom, which owns the serial port.
+
+The broker behavior for ``mbus`` lives in :mod:`repro.bus.broker`.
+"""
+
+from repro.mercury.components.fedr_component import FedrBehavior
+from repro.mercury.components.fedrcom_component import FedrcomBehavior
+from repro.mercury.components.pbcom_component import PbcomBehavior
+from repro.mercury.components.rtu_component import RtuBehavior
+from repro.mercury.components.ses_component import SesBehavior
+from repro.mercury.components.str_component import StrBehavior
+
+__all__ = [
+    "FedrBehavior",
+    "FedrcomBehavior",
+    "PbcomBehavior",
+    "RtuBehavior",
+    "SesBehavior",
+    "StrBehavior",
+]

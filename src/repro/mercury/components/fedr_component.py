@@ -1,0 +1,122 @@
+"""fedr — front-end driver-radio (the unstable half of the §4.2 split).
+
+"fedr, the front end driver-radio that connects to pbcom over TCP ... is
+buggy and unstable, but recovers very quickly (under 6 seconds)."  fedr is
+bus-attached: it receives high-level ``radio-set-freq`` commands and
+translates them to the low-level ``FREQ`` line protocol on its TCP
+connection to pbcom, reconnecting with a retry loop when pbcom is down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.components.base import BusAttachedBehavior
+from repro.errors import ChannelClosedError, ConnectionRefusedError_
+from repro.types import Severity, SimTime
+from repro.xmlcmd.commands import CommandMessage, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.process import SimProcess
+    from repro.transport.channel import Endpoint
+    from repro.transport.network import Network
+
+
+class FedrBehavior(BusAttachedBehavior):
+    """The command-translator behavior."""
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        bus_address: str = "mbus:7000",
+        pbcom_address: str = "pbcom:9000",
+        pbcom_retry_interval: SimTime = 0.25,
+    ) -> None:
+        super().__init__(process, network, bus_address)
+        self.pbcom_address = pbcom_address
+        self.pbcom_retry_interval = pbcom_retry_interval
+        self._pbcom: Optional["Endpoint"] = None
+        self._pbcom_pending = False
+        #: Most recent commanded frequency; replayed after a pbcom
+        #: (re)connect so radio state survives link outages.
+        self._last_frequency: Optional[str] = None
+        self.translated = 0
+        self.dropped_while_disconnected = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        super().on_start()
+        self._connect_pbcom()
+
+    def on_kill(self) -> None:
+        super().on_kill()
+        if self._pbcom is not None:
+            self._pbcom.close()
+            self._pbcom = None
+
+    # ------------------------------------------------------------------
+    # pbcom link
+    # ------------------------------------------------------------------
+
+    @property
+    def pbcom_connected(self) -> bool:
+        """Whether the TCP link to pbcom is currently up."""
+        return self._pbcom is not None and self._pbcom.open
+
+    def _connect_pbcom(self) -> None:
+        self._pbcom_pending = False
+        if not self._alive or self.pbcom_connected:
+            return
+        try:
+            self._pbcom = self.network.connect(self.name, self.pbcom_address)
+        except ConnectionRefusedError_:
+            self._schedule_pbcom_retry()
+            return
+        self._pbcom.on_close(self._on_pbcom_close)
+        self.trace("pbcom_connected")
+        if self._last_frequency is not None:
+            self._send_frequency(self._last_frequency)
+
+    def _on_pbcom_close(self) -> None:
+        self._pbcom = None
+        if self._alive:
+            self.trace("pbcom_connection_lost", severity=Severity.WARNING)
+            self._schedule_pbcom_retry()
+
+    def _schedule_pbcom_retry(self) -> None:
+        if self._pbcom_pending or not self._alive:
+            return
+        self._pbcom_pending = True
+        self.kernel.call_after(self.pbcom_retry_interval, self._connect_pbcom)
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if not isinstance(message, CommandMessage) or message.verb != "radio-set-freq":
+            return
+        frequency = message.params.get("frequency_hz")
+        if frequency is None:
+            self.trace("bad_radio_set_freq", severity=Severity.WARNING)
+            return
+        self._last_frequency = frequency
+        if not self.pbcom_connected:
+            self.dropped_while_disconnected += 1
+            return
+        self._send_frequency(frequency)
+
+    def _send_frequency(self, frequency: str) -> None:
+        if not self.pbcom_connected:
+            return
+        assert self._pbcom is not None
+        try:
+            self._pbcom.send(f"FREQ {frequency}")
+        except ChannelClosedError:
+            self.dropped_while_disconnected += 1
+            return
+        self.translated += 1

@@ -1,0 +1,67 @@
+"""fedrcom — the original monolithic bidirectional radio proxy (trees I/II).
+
+"fedrcom is a bidirectional proxy between XML command messages and low-level
+radio commands" (§2.1).  Before the §4.2 split it both owned the serial
+port (the slow hardware negotiation — high MTTR) and ran the buggy command
+translator (low MTTF): "high MTTR and low MTTF — a bad combination", the
+motivating example for splitting components along MTTR/MTTF lines.
+
+Functionally it is the fusion of :class:`FedrBehavior` and
+:class:`PbcomBehavior` in one address space: bus command in, radio hardware
+out, no TCP hop in between.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.components.base import BusAttachedBehavior
+from repro.errors import ComponentError
+from repro.types import Severity
+from repro.xmlcmd.commands import CommandMessage, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mercury.hardware import Radio, SerialPort
+    from repro.procmgr.process import SimProcess
+    from repro.transport.network import Network
+
+
+class FedrcomBehavior(BusAttachedBehavior):
+    """The monolithic radio-proxy behavior."""
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        serial: "SerialPort",
+        radio: "Radio",
+        bus_address: str = "mbus:7000",
+    ) -> None:
+        super().__init__(process, network, bus_address)
+        self.serial = serial
+        self.radio = radio
+        self.commands_applied = 0
+
+    def on_start(self) -> None:
+        # Serial acquisition and radio negotiation happen before the bus
+        # attach, exactly as in the real startup sequence; their duration is
+        # the dominant share of fedrcom's calibrated startup work.
+        self.serial.acquire(self.name)
+        self.radio.negotiate(self.name)
+        super().on_start()
+
+    def on_kill(self) -> None:
+        super().on_kill()
+        self.serial.release(self.name)
+        self.radio.drop_negotiation(self.name)
+
+    def on_message(self, message: Message) -> None:
+        if not isinstance(message, CommandMessage) or message.verb != "radio-set-freq":
+            return
+        try:
+            frequency = float(message.params["frequency_hz"])
+            self.radio.tune(frequency, by=self.name)
+        except (KeyError, ValueError, ComponentError) as error:
+            self.trace("bad_radio_command", severity=Severity.WARNING, error=str(error))
+            return
+        self.commands_applied += 1

@@ -1,0 +1,104 @@
+"""pbcom — serial-port-to-TCP proxy (the stable half of the §4.2 split).
+
+"pbcom, which maps a serial port to a TCP socket ... is simple and very
+stable, but takes a long time to recover (over 21 seconds)" — the slow part
+is the serial-port/radio parameter negotiation, whose duration is in the
+calibrated startup work.  At the behavior level, pbcom:
+
+* acquires the serial port and records the radio negotiation on start;
+* listens on a TCP address for fedr;
+* applies ``FREQ <hz>`` low-level commands from fedr to the radio;
+* releases the hardware when killed (the OS reclaims the port; the radio
+  forgets its negotiated parameters, which is why every pbcom restart pays
+  the negotiation again).
+
+Its aging under fedr disconnects is modelled by
+:class:`repro.faults.correlation.DisconnectAging`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.components.base import BusAttachedBehavior
+from repro.errors import ComponentError
+from repro.types import Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mercury.hardware import Radio, SerialPort
+    from repro.procmgr.process import SimProcess
+    from repro.transport.channel import Endpoint
+    from repro.transport.network import Network
+
+
+class PbcomBehavior(BusAttachedBehavior):
+    """The serial-to-TCP proxy behavior.
+
+    pbcom's *data* path is the raw TCP line protocol from fedr; it is also
+    attached to the bus, but only so FD's application-level liveness pings
+    reach it (every Mercury component answers pings over mbus, §2.2).
+    """
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        serial: "SerialPort",
+        radio: "Radio",
+        listen_address: str = "pbcom:9000",
+        bus_address: str = "mbus:7000",
+    ) -> None:
+        super().__init__(process, network, bus_address)
+        self.serial = serial
+        self.radio = radio
+        self.listen_address = listen_address
+        self._listener = None
+        self._peer: Optional["Endpoint"] = None
+        self.commands_applied = 0
+        self.disconnects_seen = 0
+
+    def on_start(self) -> None:
+        self.serial.acquire(self.name)
+        self.radio.negotiate(self.name)
+        self._listener = self.network.listen(self.listen_address, self._on_accept)
+        self.trace("pbcom_listening", address=self.listen_address)
+        super().on_start()
+
+    def on_kill(self) -> None:
+        super().on_kill()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._peer is not None:
+            self._peer.close()
+            self._peer = None
+        self.serial.release(self.name)
+        self.radio.drop_negotiation(self.name)
+
+    def _on_accept(self, endpoint: "Endpoint") -> None:
+        self._peer = endpoint
+        endpoint.on_message(self._on_command)
+        endpoint.on_close(lambda: self._on_peer_close(endpoint))
+        self.trace("fedr_connected")
+
+    def _on_peer_close(self, endpoint: "Endpoint") -> None:
+        if self._peer is endpoint:
+            self._peer = None
+            self.disconnects_seen += 1
+            self.trace("fedr_disconnected", severity=Severity.WARNING)
+
+    def _on_command(self, raw: str) -> None:
+        """Apply one low-level radio command line (``FREQ <hz>``)."""
+        parts = str(raw).split()
+        if len(parts) == 2 and parts[0] == "FREQ":
+            try:
+                frequency = float(parts[1])
+                self.radio.tune(frequency, by=self.name)
+            except (ValueError, ComponentError) as error:
+                self.trace(
+                    "bad_radio_command", severity=Severity.WARNING, error=str(error)
+                )
+                return
+            self.commands_applied += 1
+        else:
+            self.trace("bad_radio_command", severity=Severity.WARNING, raw=str(raw))

@@ -1,0 +1,105 @@
+"""ses — the satellite estimator.
+
+"ses (satellite estimator) calculates satellite position, radio frequencies,
+and antenna pointing angles" (§2.1).  Every ``solution_period`` seconds it
+computes a tracking solution and commands ``str`` (pointing angles) and
+``rtu`` (downlink frequency with Doppler correction).
+
+The solution function is pluggable: the station wires in the orbit model's
+look angles during passes; outside passes ses idles (no satellite in view).
+ses also runs the startup synchronisation handshake with ``str`` whose
+failure modes drive §4.3's group consolidation (the timing cost of the
+handshake is part of the calibrated startup work; the induced-failure
+behaviour is modelled by :class:`repro.faults.correlation.ResyncCoupling`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, TYPE_CHECKING
+
+from repro.components.base import BusAttachedBehavior
+from repro.types import SimTime
+from repro.xmlcmd.commands import CommandMessage, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.procmgr.process import SimProcess
+    from repro.transport.network import Network
+
+#: Returns (azimuth_deg, elevation_deg, downlink_hz) or None when no
+#: satellite is in view.
+SolutionFn = Callable[[SimTime], Optional[Tuple[float, float, float]]]
+
+
+def _default_solution(now: SimTime) -> Optional[Tuple[float, float, float]]:
+    """A bland always-in-view solution used by unit tests and the quickstart."""
+    azimuth = (now * 0.5) % 360.0
+    elevation = 45.0
+    frequency = 437.1e6
+    return azimuth, elevation, frequency
+
+
+class SesBehavior(BusAttachedBehavior):
+    """The satellite-estimator behavior."""
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        bus_address: str = "mbus:7000",
+        solution_period: SimTime = 2.0,
+        solution_fn: Optional[SolutionFn] = None,
+        tracker_name: str = "str",
+        tuner_name: str = "rtu",
+    ) -> None:
+        super().__init__(process, network, bus_address)
+        self.solution_period = solution_period
+        self.solution_fn = solution_fn or _default_solution
+        self.tracker_name = tracker_name
+        self.tuner_name = tuner_name
+        self.solutions_sent = 0
+        self._loop_epoch = 0
+
+    def on_start(self) -> None:
+        super().on_start()
+        self._loop_epoch += 1
+        self.kernel.call_after(self.solution_period, self._solve, self._loop_epoch)
+
+    def on_bus_connected(self) -> None:
+        # Startup synchronisation with the tracker (§4.3): announce a fresh
+        # session so the peer can resynchronise.
+        self.send(
+            CommandMessage(sender=self.name, target=self.tracker_name, verb="sync")
+        )
+
+    def on_message(self, message: Message) -> None:
+        if isinstance(message, CommandMessage) and message.verb == "sync":
+            self.send(
+                CommandMessage(sender=self.name, target=message.sender, verb="sync-ack")
+            )
+
+    def _solve(self, epoch: int) -> None:
+        if not self._alive or epoch != self._loop_epoch:
+            return
+        self.kernel.call_after(self.solution_period, self._solve, epoch)
+        solution = self.solution_fn(self.kernel.now)
+        if solution is None:
+            return  # no satellite in view
+        azimuth, elevation, frequency = solution
+        sent_track = self.send(
+            CommandMessage(
+                sender=self.name,
+                target=self.tracker_name,
+                verb="track",
+                params={"azimuth": f"{azimuth:.3f}", "elevation": f"{elevation:.3f}"},
+            )
+        )
+        sent_tune = self.send(
+            CommandMessage(
+                sender=self.name,
+                target=self.tuner_name,
+                verb="tune",
+                params={"frequency_hz": f"{frequency:.1f}"},
+            )
+        )
+        if sent_track and sent_tune:
+            self.solutions_sent += 1

@@ -1,0 +1,69 @@
+"""str — the satellite tracker.
+
+"str (satellite tracker) points antennas to track a satellite during a pass"
+(§2.1).  It consumes ``track`` commands from ses and slews the antenna.  The
+module is named ``str_component`` because ``str`` is a Python builtin; the
+*component name* on the bus remains ``"str"`` as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.components.base import BusAttachedBehavior
+from repro.errors import ComponentError
+from repro.types import Severity
+from repro.xmlcmd.commands import CommandMessage, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mercury.hardware import Antenna
+    from repro.procmgr.process import SimProcess
+    from repro.transport.network import Network
+
+
+class StrBehavior(BusAttachedBehavior):
+    """The satellite-tracker behavior."""
+
+    def __init__(
+        self,
+        process: "SimProcess",
+        network: "Network",
+        antenna: "Antenna",
+        bus_address: str = "mbus:7000",
+        estimator_name: str = "ses",
+    ) -> None:
+        super().__init__(process, network, bus_address)
+        self.antenna = antenna
+        self.estimator_name = estimator_name
+        self.track_commands = 0
+
+    def on_bus_connected(self) -> None:
+        # Mirror of ses's handshake (§4.3): both sides block on this in the
+        # real system, which is where the lone-restart penalty comes from.
+        self.send(
+            CommandMessage(sender=self.name, target=self.estimator_name, verb="sync")
+        )
+
+    def on_message(self, message: Message) -> None:
+        if not isinstance(message, CommandMessage):
+            return
+        if message.verb == "sync":
+            self.send(
+                CommandMessage(sender=self.name, target=message.sender, verb="sync-ack")
+            )
+            return
+        if message.verb == "track":
+            try:
+                azimuth = float(message.params["azimuth"])
+                elevation = float(message.params["elevation"])
+            except (KeyError, ValueError):
+                self.trace("bad_track_command", severity=Severity.WARNING)
+                return
+            try:
+                self.antenna.point(azimuth, elevation, by=self.name)
+            except ComponentError as error:
+                self.trace(
+                    "pointing_rejected", severity=Severity.WARNING, error=str(error)
+                )
+                return
+            self.track_commands += 1

@@ -1,0 +1,197 @@
+"""Calibrated Mercury timing and fault-model configuration.
+
+The paper reports *measured* recovery times (Tables 2 and 4) on physical
+hardware; this module holds the simulator parameters fitted so the simulated
+means land on those measurements.  The decomposition is:
+
+    recovery = detection + startup work × batch contention (+ resync penalty)
+
+with mean detection ``ping_period/2 + reply_timeout`` (FD pings on a 1 s
+period; injections land at a uniform phase).  Startup-work values are backed
+out of the paper's numbers:
+
+================  =======================  =========================
+component         paper measurement        derived startup work (s)
+================  =======================  =========================
+mbus              5.73  (tree II)          5.73 − 0.70 = 5.03
+ses               6.25  (tree IV, joint)   (6.25−0.70)/1.047 = 5.30
+ses (lone)        9.50  (tree II/III)      penalty 9.50−0.70−5.30 = 3.50
+str               6.11  (tree IV, joint)   (6.11−0.70)/1.047 = 5.17
+str (lone)        9.76  (tree II/III)      penalty 9.76−0.70−5.17 = 3.89
+rtu               5.59  (tree II)          4.89
+fedrcom           20.93 (tree II)          20.23
+fedr              5.76  (tree III)         5.06
+pbcom             21.24 (tree III)         20.54
+================  =======================  =========================
+
+The contention coefficient is fitted from the tree-I row: a whole-system
+restart (batch of 5) took 24.75 s while fedrcom alone takes 20.93 s, giving
+``0.70 + 20.23·(1 + 4c) = 24.75  →  c ≈ 0.047``.
+
+Residual tension (documented in EXPERIMENTS.md): the paper's joint
+[fedr, pbcom] restart under tree V measured 21.63 s, implying a *smaller*
+pairwise contention than the system-wide fit (we predict ≈ 22.2 s, +2.7 %).
+A single linear coefficient cannot satisfy both measurements exactly; we
+keep the system-wide fit because tree I's row is the paper's headline 4×
+baseline.
+
+Table 1 MTTFs are inputs, converted to seconds (1 month ≈ 30 days).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+MONTH = 30 * DAY
+
+
+@dataclass(frozen=True)
+class ComponentTiming:
+    """Startup timing for one component."""
+
+    #: Uncontended startup work, seconds (includes hardware negotiation).
+    work: float
+    #: Extra work when restarted without its resync peer (ses/str only).
+    lone_penalty: float = 0.0
+    #: The peer whose joint restart waives the penalty.
+    resync_peer: str = ""
+
+
+@dataclass(frozen=True)
+class StationConfig:
+    """Full parameterisation of a simulated Mercury station."""
+
+    # -- process startup timing (fitted to Tables 2/4) --------------------
+    timings: Mapping[str, ComponentTiming] = field(
+        default_factory=lambda: {
+            "mbus": ComponentTiming(work=5.03),
+            "fedrcom": ComponentTiming(work=20.23),
+            "ses": ComponentTiming(work=5.30, lone_penalty=3.50, resync_peer="str"),
+            "str": ComponentTiming(work=5.17, lone_penalty=3.89, resync_peer="ses"),
+            "rtu": ComponentTiming(work=4.89),
+            "fedr": ComponentTiming(work=5.06),
+            "pbcom": ComponentTiming(work=20.54),
+            "fd": ComponentTiming(work=0.80),
+            "rec": ComponentTiming(work=0.80),
+        }
+    )
+    #: Batch restart contention coefficient (see procmgr.contention).
+    contention_coefficient: float = 0.047
+    #: "batch" reproduces the paper's whole-restart slowdown; "shared" is
+    #: the processor-sharing alternative studied in the ablation bench.
+    contention_mode: str = "batch"
+    #: Multiplicative startup-work noise (Gaussian sigma, relative).  Small,
+    #: per §3.2's small-coefficient-of-variation assumption.
+    work_noise_sigma: float = 0.01
+
+    # -- failure detection -------------------------------------------------
+    ping_period: float = 1.0
+    reply_timeout: float = 0.2
+    misses_to_declare: int = 1
+
+    # -- recovery policy ---------------------------------------------------
+    observation_window: float = 3.0
+    restart_budget: int = 6
+    restart_budget_window: float = 300.0
+
+    # -- fault model (Table 1 + §4.2 correlation mechanisms) ---------------
+    mttf_seconds: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "mbus": 1 * MONTH,
+            "fedrcom": 10 * MINUTE,
+            "ses": 5 * HOUR,
+            "str": 5 * HOUR,
+            "rtu": 5 * HOUR,
+            # Post-split characteristics (§4.2): fedr inherits fedrcom's
+            # instability; pbcom is "simple and very stable" apart from
+            # disconnect aging.
+            "fedr": 10 * MINUTE,
+            "pbcom": 10 * DAY,
+        }
+    )
+    #: Mean number of fedr disconnects that age pbcom to failure (§4.2:
+    #: "multiple fedr failures eventually lead to a pbcom failure").
+    pbcom_aging_mean_disconnects: float = 6.0
+    #: Delay between the aged-out condition and pbcom's crash.  The paper
+    #: says aging "at some point ... leads to its total failure"; the aged
+    #: process limps on briefly rather than dying at the disconnect
+    #: instant, so the crash typically lands after the provoking fedr
+    #: episode has closed (its own failure, its own recovery).
+    pbcom_aging_fail_delay: float = 45.0
+    #: Probability a lone ses/str restart crashes the stale peer (§4.3
+    #: observed ≈ 1).
+    resync_induce_probability: float = 1.0
+    #: Delay between a lone restart completing and the stale peer's crash.
+    resync_induced_delay: float = 0.2
+    #: Delay between an insufficient restart completing and the failure
+    #: re-manifesting.
+    remanifest_delay: float = 0.05
+
+    # -- satellite pass workload (§2.1, §5.2) -------------------------------
+    downlink_bps: float = 38400.0
+    passes_per_day: float = 4.0
+    pass_duration_s: float = 15 * MINUTE
+    #: A tracking outage longer than this breaks the communication link and
+    #: forfeits the remainder of the pass (§5.2 gives no number; 15 s sits
+    #: between tree V's ~6 s tracking recovery and tree I's ~25 s full
+    #: reboot, which is exactly the regime the section describes).
+    link_break_outage_s: float = 15.0
+    #: Components whose outage interrupts the downlink (A_entire).
+    downlink_chain: Tuple[str, ...] = ("mbus", "ses", "str", "rtu")
+    #: Components whose *sustained* outage breaks the session: losing the
+    #: pointing loop (ses/str via mbus) or the radio path (fedrcom, or the
+    #: fedr/pbcom pair) for longer than ``link_break_outage_s`` drops
+    #: carrier lock and forfeits the rest of the pass.
+    session_chain: Tuple[str, ...] = (
+        "mbus",
+        "ses",
+        "str",
+        "fedrcom",
+        "fedr",
+        "pbcom",
+    )
+
+    # ----------------------------------------------------------------------
+    # derived helpers
+    # ----------------------------------------------------------------------
+
+    @property
+    def mean_detection(self) -> float:
+        """Mean failure-detection latency: uniform ping phase + timeout."""
+        return self.ping_period / 2.0 + self.reply_timeout
+
+    def station_components(self, split_fedrcom: bool) -> Tuple[str, ...]:
+        """The supervised station components for a tree generation."""
+        if split_fedrcom:
+            return ("mbus", "fedr", "pbcom", "ses", "str", "rtu")
+        return ("mbus", "fedrcom", "ses", "str", "rtu")
+
+    def restart_seconds(self, lone: bool = True) -> Dict[str, float]:
+        """Per-component uncontended restart durations for the analytic model.
+
+        ``lone=True`` includes the ses/str resync penalty (the cost of
+        restarting them without their peer); ``lone=False`` is the joint
+        cost used when predicting consolidated-group restarts.
+        """
+        out: Dict[str, float] = {}
+        for name, timing in self.timings.items():
+            if name in ("fd", "rec"):
+                continue
+            out[name] = timing.work + (timing.lone_penalty if lone else 0.0)
+        return out
+
+    def timing_for(self, name: str) -> ComponentTiming:
+        """Timing entry for a component (KeyError for unknown names)."""
+        return self.timings[name]
+
+    def with_overrides(self, **changes: object) -> "StationConfig":
+        """Functional update (this dataclass is frozen)."""
+        return replace(self, **changes)
+
+
+#: The configuration fitted to the paper's measurements.
+PAPER_CONFIG = StationConfig()

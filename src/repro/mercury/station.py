@@ -1,0 +1,413 @@
+"""MercuryStation: the fully assembled simulated ground station.
+
+The station wires every substrate together for a chosen restart tree:
+
+* one simulated process per component (the set depends on whether the tree
+  predates or postdates the §4.2 fedrcom split), with startup-work functions
+  from the calibrated :class:`~repro.mercury.config.StationConfig`;
+* the bus broker in ``mbus``; ses/str/rtu and the radio-proxy component(s)
+  as bus-attached behaviors over shared simulated hardware;
+* the correlated-failure mechanisms: ses/str resync coupling and
+  fedr→pbcom disconnect aging;
+* a supervisor — either the full FD + REC process pair (bus pings, control
+  channel, mutual watchdogs) or the collapsed
+  :class:`~repro.detection.abstract.AbstractSupervisor` for long runs;
+* a :class:`~repro.faults.injector.FaultInjector` for experiments.
+
+Typical use::
+
+    station = MercuryStation(tree=tree_v(), seed=42, oracle="perfect")
+    station.boot()
+    failure = station.injector.inject_simple("rtu")
+    station.run_until_recovered(failure)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.bus.broker import BusBroker
+from repro.core.oracle import (
+    FaultyOracle,
+    LearningOracle,
+    NaiveOracle,
+    Oracle,
+    PerfectOracle,
+)
+from repro.core.policy import RestartPolicy
+from repro.core.recoverer import RecoveryModule
+from repro.core.tree import RestartTree
+from repro.detection.abstract import AbstractSupervisor
+from repro.detection.detector import FailureDetector
+from repro.errors import ExperimentError
+from repro.faults.correlation import DisconnectAging, ResyncCoupling
+from repro.faults.injector import FaultInjector, SteadyStateInjector
+from repro.faults.distributions import Exponential
+from repro.mercury.components import (
+    FedrBehavior,
+    FedrcomBehavior,
+    PbcomBehavior,
+    RtuBehavior,
+    SesBehavior,
+    StrBehavior,
+)
+from repro.mercury.config import PAPER_CONFIG, StationConfig
+from repro.mercury.hardware import GroundStationHardware
+from repro.mercury.trees import tree_v, uses_split_components
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, StartupContext
+from repro.sim.kernel import Kernel
+from repro.transport.network import Network
+
+BUS_ADDRESS = "mbus:7000"
+PBCOM_ADDRESS = "pbcom:9000"
+REC_CTL_ADDRESS = "rec:7100"
+
+OracleSpec = Union[str, Oracle]
+
+
+class MercuryStation:
+    """A ready-to-run simulated Mercury ground station."""
+
+    def __init__(
+        self,
+        tree: Optional[RestartTree] = None,
+        config: StationConfig = PAPER_CONFIG,
+        seed: int = 0,
+        oracle: OracleSpec = "perfect",
+        oracle_error_rate: float = 0.3,
+        oracle_too_high_rate: float = 0.0,
+        supervisor: str = "full",
+        steady_faults: bool = False,
+        solution_fn: Optional[Callable] = None,
+        solution_period: float = 2.0,
+        trace_capacity: Optional[int] = None,
+    ) -> None:
+        """Assemble the station.
+
+        Parameters
+        ----------
+        tree:
+            The restart tree (default: the final tree V).
+        oracle:
+            ``"perfect"``, ``"naive"``, ``"learning"``, ``"faulty"``
+            (guess-too-low wrapper around perfect, with
+            ``oracle_error_rate``), or any :class:`Oracle` instance.
+        supervisor:
+            ``"full"`` for the FD+REC process pair, ``"abstract"`` for the
+            collapsed fast-path supervisor, ``"none"`` for experiments that
+            drive recovery by hand.
+        steady_faults:
+            Arm the Table 1 steady-state failure arrivals (availability
+            experiments).
+        """
+        self.config = config
+        self.tree = tree if tree is not None else tree_v()
+        self.split = uses_split_components(self.tree)
+        self.kernel = Kernel(seed=seed, trace_capacity=trace_capacity)
+        self.network = Network(self.kernel)
+        self.hardware = GroundStationHardware(self.kernel)
+        self.manager = ProcessManager(
+            self.kernel,
+            contention_coefficient=config.contention_coefficient,
+            contention_mode=config.contention_mode,
+        )
+        self.station_components: List[str] = list(
+            config.station_components(self.split)
+        )
+        expected = frozenset(self.station_components)
+        if self.tree.components != expected:
+            raise ExperimentError(
+                f"tree {self.tree.name!r} covers {sorted(self.tree.components)}, "
+                f"but the station runs {sorted(expected)}"
+            )
+        self._solution_fn = solution_fn
+        #: ses's tracking-solution period; long-horizon availability runs
+        #: raise it to avoid simulating millions of idle solution rounds.
+        self._solution_period = solution_period
+        self._build_processes()
+
+        self.injector = FaultInjector(
+            self.kernel, self.manager, remanifest_delay=config.remanifest_delay
+        )
+        self.resync_coupling = ResyncCoupling(
+            self.injector,
+            "ses",
+            "str",
+            induced_delay=config.resync_induced_delay,
+            induce_probability=config.resync_induce_probability,
+        )
+        self.aging: Optional[DisconnectAging] = None
+        if self.split:
+            self.aging = DisconnectAging(
+                self.injector,
+                provoker="fedr",
+                victim="pbcom",
+                mean_failures_to_age_out=config.pbcom_aging_mean_disconnects,
+                fail_delay=config.pbcom_aging_fail_delay,
+            )
+
+        self.oracle = self._build_oracle(oracle, oracle_error_rate, oracle_too_high_rate)
+        self.policy = RestartPolicy(
+            self.tree,
+            self.oracle,
+            budget=config.restart_budget,
+            budget_window=config.restart_budget_window,
+        )
+        self.supervisor_kind = supervisor
+        self.fd: Optional[FailureDetector] = None
+        self.rec: Optional[RecoveryModule] = None
+        self.abstract_supervisor: Optional[AbstractSupervisor] = None
+        if supervisor == "full":
+            self._build_full_supervisor()
+        elif supervisor == "abstract":
+            self.abstract_supervisor = AbstractSupervisor(
+                self.kernel,
+                self.manager,
+                self.policy,
+                monitored=self.station_components,
+                ping_period=config.ping_period,
+                reply_timeout=config.reply_timeout,
+                observation_window=config.observation_window,
+            )
+        elif supervisor != "none":
+            raise ExperimentError(f"unknown supervisor kind {supervisor!r}")
+
+        self.steady: Optional[SteadyStateInjector] = None
+        if steady_faults:
+            lifetimes = {
+                name: Exponential(config.mttf_seconds[name])
+                for name in self.station_components
+                if name in config.mttf_seconds
+            }
+            self.steady = SteadyStateInjector(self.injector, lifetimes)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _make_work_fn(self, name: str):
+        timing = self.config.timing_for(name)
+        sigma = self.config.work_noise_sigma
+
+        def work(context: StartupContext) -> float:
+            noise = max(0.0, context.rng.gauss(1.0, sigma)) if sigma > 0 else 1.0
+            total = timing.work * noise
+            if timing.resync_peer and timing.resync_peer not in context.batch:
+                peer_noise = (
+                    max(0.0, context.rng.gauss(1.0, sigma)) if sigma > 0 else 1.0
+                )
+                total += timing.lone_penalty * peer_noise
+            return total
+
+        return work
+
+    def _build_processes(self) -> None:
+        network = self.network
+        hardware = self.hardware
+
+        def behavior_factory(name: str):
+            if name == "mbus":
+                return lambda p: BusBroker(p, network, BUS_ADDRESS)
+            if name == "ses":
+                return lambda p: SesBehavior(
+                    p,
+                    network,
+                    BUS_ADDRESS,
+                    solution_period=self._solution_period,
+                    solution_fn=self._solution_fn,
+                )
+            if name == "str":
+                return lambda p: StrBehavior(p, network, hardware.antenna, BUS_ADDRESS)
+            if name == "rtu":
+                proxy = "fedr" if self.split else "fedrcom"
+                return lambda p: RtuBehavior(p, network, BUS_ADDRESS, radio_proxy_name=proxy)
+            if name == "fedrcom":
+                return lambda p: FedrcomBehavior(
+                    p, network, hardware.serial, hardware.radio, BUS_ADDRESS
+                )
+            if name == "fedr":
+                return lambda p: FedrBehavior(p, network, BUS_ADDRESS, PBCOM_ADDRESS)
+            if name == "pbcom":
+                return lambda p: PbcomBehavior(
+                    p, network, hardware.serial, hardware.radio, PBCOM_ADDRESS
+                )
+            raise ExperimentError(f"no behavior for component {name!r}")
+
+        for name in self.station_components:
+            self.manager.spawn(
+                ProcessSpec(
+                    name=name,
+                    startup_work=self._make_work_fn(name),
+                    behavior_factory=behavior_factory(name),
+                    metadata={"mttf_s": self.config.mttf_seconds.get(name)},
+                )
+            )
+
+    def _build_oracle(
+        self, spec: OracleSpec, error_rate: float, too_high_rate: float = 0.0
+    ) -> Oracle:
+        if isinstance(spec, Oracle):
+            return spec
+        if spec == "perfect":
+            return PerfectOracle(self.manager)
+        if spec == "naive":
+            return NaiveOracle()
+        if spec == "learning":
+            return LearningOracle()
+        if spec == "faulty":
+            return FaultyOracle(
+                PerfectOracle(self.manager),
+                error_rate,
+                self.kernel.rngs.stream("oracle.faulty"),
+                too_high_rate=too_high_rate,
+            )
+        raise ExperimentError(f"unknown oracle spec {spec!r}")
+
+    def _build_full_supervisor(self) -> None:
+        config = self.config
+
+        def rec_factory(process):
+            self.rec = RecoveryModule(
+                process,
+                self.network,
+                self.manager,
+                self.policy,
+                ctl_address=REC_CTL_ADDRESS,
+                observation_window=config.observation_window,
+                fd_ping_period=config.ping_period,
+                fd_ping_timeout=config.reply_timeout,
+            )
+            return self.rec
+
+        def fd_factory(process):
+            self.fd = FailureDetector(
+                process,
+                self.network,
+                self.manager,
+                monitored=list(self.station_components),
+                bus_address=BUS_ADDRESS,
+                rec_ctl_address=REC_CTL_ADDRESS,
+                ping_period=config.ping_period,
+                reply_timeout=config.reply_timeout,
+                misses_to_declare=config.misses_to_declare,
+            )
+            return self.fd
+
+        self.manager.spawn(
+            ProcessSpec("rec", self._make_work_fn("rec"), rec_factory)
+        )
+        self.manager.spawn(
+            ProcessSpec("fd", self._make_work_fn("fd"), fd_factory)
+        )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def boot(self, settle: float = 3.0) -> None:
+        """Start every process and run until the station is stable.
+
+        "Stable" means all processes RUNNING plus ``settle`` seconds for
+        attachments, handshakes, and the first ping round to complete.
+        """
+        self.manager.start_all()
+        deadline = self.kernel.now + 300.0
+        while not self.manager.all_running() and self.kernel.now < deadline:
+            if not self.kernel.step():
+                break
+        if not self.manager.all_running():
+            raise ExperimentError("station failed to boot within 300 s")
+        self.kernel.run(until=self.kernel.now + settle)
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds``."""
+        self.kernel.run(until=self.kernel.now + seconds)
+
+    def all_station_running(self) -> bool:
+        """Whether every *station* component (not FD/REC) is RUNNING."""
+        return self.manager.all_running(self.station_components)
+
+    def run_until_recovered(self, failure, timeout: float = 300.0) -> float:
+        """Run until the restart action that cured ``failure`` completes.
+
+        Returns the recovery time — the paper's Table 2/4 quantity: the
+        interval from the SIGKILL until every component bounced by the
+        *curing* restart is functionally ready again.  For a singleton
+        restart that is the failed component's own readiness; for a group
+        restart (tree I's whole-system reboot, tree IV's consolidated
+        cells) it is the group's completion.  Failures injected by
+        *unrelated* concurrent mechanisms (e.g. pbcom aging out during a
+        fedr episode) are separate failures with their own episodes, as in
+        the paper's per-failure accounting; long-run availability
+        experiments capture their union instead.
+
+        Raises on timeout, which under ``A_cure`` indicates a supervisor
+        bug or an exhausted restart budget.
+        """
+        deadline = failure.injected_at + timeout
+        manifest = failure.manifest_component
+        while self.kernel.now < deadline:
+            if not self.injector.is_active(failure.failure_id):
+                curing_batch = self.manager.get(manifest).last_batch
+                if self.manager.all_running(curing_batch):
+                    return self.kernel.now - failure.injected_at
+            if not self.kernel.step():
+                break
+        raise ExperimentError(
+            f"failure {failure.failure_id} not recovered within {timeout}s "
+            f"(active={self.injector.is_active(failure.failure_id)}, "
+            f"running={sorted(self.manager.running())})"
+        )
+
+    def run_until_quiescent(self, timeout: float = 300.0, settle: float = 2.0) -> None:
+        """Run until the station is fully up with no active failures.
+
+        Used between experiment trials: correlated mechanisms (resync
+        induction, pbcom aging) can queue follow-on failures after an
+        episode's measured recovery, and injecting the next trial's failure
+        before those drain would conflate episodes.
+        """
+        deadline = self.kernel.now + timeout
+
+        def quiescent() -> bool:
+            return (
+                self.all_station_running()
+                and not self.injector.active_failures
+                and self.supervisor_idle()
+                # Open recovery episodes must finish observing: a failure
+                # injected inside an episode's observation window would be
+                # mistaken for "the restart did not cure" and escalate.
+                and not self.policy.open_episodes()
+            )
+
+        while self.kernel.now < deadline:
+            if quiescent():
+                self.kernel.run(until=self.kernel.now + settle)
+                if quiescent():
+                    return
+                continue
+            if not self.kernel.step():
+                break
+        if not quiescent():
+            raise ExperimentError(
+                f"station not quiescent within {timeout}s: "
+                f"running={sorted(self.manager.running())}, "
+                f"active={[str(d) for d in self.injector.active_failures]}"
+            )
+
+    def supervisor_idle(self) -> bool:
+        """Whether no restart action is currently in flight."""
+        if self.rec is not None and self.rec._inflight_batch is not None:
+            return False
+        if (
+            self.abstract_supervisor is not None
+            and self.abstract_supervisor._inflight_batch is not None
+        ):
+            return False
+        return True
+
+    @property
+    def trace(self):
+        """The kernel's structured trace."""
+        return self.kernel.trace

@@ -1,0 +1,80 @@
+"""The paper's restart trees I–V, derived by the §4 transformations.
+
+Each factory applies the corresponding transformation to its predecessor,
+so ``tree_v().history`` records the full evolution — the same provenance
+the paper walks through in Figures 3–6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.transformations import (
+    consolidate_groups,
+    depth_augment,
+    insert_joint_node,
+    promote_component,
+    replace_component,
+)
+from repro.core.tree import RestartCell, RestartTree
+
+#: Mercury's pre-split component set (trees I, II).
+UNSPLIT_COMPONENTS = ("mbus", "fedrcom", "ses", "str", "rtu")
+#: Mercury's post-split component set (trees II', III, IV, V).
+SPLIT_COMPONENTS = ("mbus", "fedr", "pbcom", "ses", "str", "rtu")
+
+ROOT_ID = "R_mercury"
+JOINT_ID = "R_fedr_pbcom"
+CONSOLIDATED_ID = "R_ses_str"
+
+
+def tree_i() -> RestartTree:
+    """Tree I: one restart group; any failure reboots all of Mercury."""
+    return RestartTree(
+        RestartCell(ROOT_ID, components=UNSPLIT_COMPONENTS), name="tree-I"
+    )
+
+
+def tree_ii() -> RestartTree:
+    """Tree II (Figure 3): simple depth augmentation of tree I."""
+    return depth_augment(tree_i(), name="tree-II")
+
+
+def tree_ii_prime() -> RestartTree:
+    """Tree II' (§4.2): tree II with fedrcom split into fedr + pbcom."""
+    return replace_component(tree_ii(), "fedrcom", ["fedr", "pbcom"], name="tree-II'")
+
+
+def tree_iii() -> RestartTree:
+    """Tree III (Figure 4): joint [fedr, pbcom] node inserted into II'."""
+    return insert_joint_node(
+        tree_ii_prime(), ["R_fedr", "R_pbcom"], JOINT_ID, name="tree-III"
+    )
+
+
+def tree_iv() -> RestartTree:
+    """Tree IV (Figure 5): ses and str consolidated into one cell."""
+    return consolidate_groups(
+        tree_iii(), ["R_ses", "R_str"], CONSOLIDATED_ID, name="tree-IV"
+    )
+
+
+def tree_v() -> RestartTree:
+    """Tree V (Figure 6): pbcom promoted onto the joint cell."""
+    return promote_component(tree_iv(), "pbcom", name="tree-V")
+
+
+#: Factories by the paper's tree labels.
+TREE_BUILDERS: Dict[str, Callable[[], RestartTree]] = {
+    "I": tree_i,
+    "II": tree_ii,
+    "II'": tree_ii_prime,
+    "III": tree_iii,
+    "IV": tree_iv,
+    "V": tree_v,
+}
+
+
+def uses_split_components(tree: RestartTree) -> bool:
+    """Whether a tree covers the post-split component set."""
+    return "fedr" in tree.components

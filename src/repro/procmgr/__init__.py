@@ -1,0 +1,31 @@
+"""Simulated process management.
+
+The paper's components each run in their own JVM process; failures are
+induced with ``SIGKILL`` and recovery is a process restart.  This package is
+the stand-in for that operating-system layer:
+
+* :class:`~repro.procmgr.process.SimProcess` — one supervised process with a
+  ``NEW → STARTING → RUNNING → FAILED/STOPPED`` lifecycle and a
+  *startup work* quantity (seconds of single-process startup effort);
+* :class:`~repro.procmgr.contention.StartupContention` — the shared-resource
+  model that slows concurrent restarts down.  The paper observes that "a
+  whole system restart causes contention for resources ... this contention
+  slows all components down" (Table 2 discussion); we model startup as
+  processor-sharing: with ``k`` processes starting concurrently each
+  progresses at rate ``1 / (1 + c*(k-1))``;
+* :class:`~repro.procmgr.manager.ProcessManager` — spawn/kill/restart API,
+  including the batch restart used by the recoverer to restart a whole
+  restart group simultaneously.
+"""
+
+from repro.procmgr.contention import StartupContention
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, SimProcess, StartupContext
+
+__all__ = [
+    "ProcessManager",
+    "ProcessSpec",
+    "SimProcess",
+    "StartupContention",
+    "StartupContext",
+]

@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the substrate for everything in this library: the simulated
+Mercury ground station, its message bus, failure detector, and recoverer all
+run as events and coroutine processes on a :class:`Kernel`.
+
+Design notes
+------------
+
+* Time is a float number of simulated seconds (:data:`repro.types.SimTime`).
+  The paper's measurements are seconds-scale recovery times, so seconds are
+  the natural unit.
+* The kernel is strictly deterministic given a seed: events scheduled for the
+  same instant fire in FIFO order of scheduling, and all randomness flows
+  through named :class:`~repro.sim.rng.RngRegistry` streams.
+* Two programming styles are supported and freely mixed:
+
+  - **callbacks** via :meth:`Kernel.call_at` / :meth:`Kernel.call_after`;
+  - **coroutine processes** (generator functions yielding
+    :class:`~repro.sim.process.Timeout` / :class:`~repro.sim.process.WaitEvent`)
+    via :meth:`Kernel.spawn`, convenient for sequential component logic such
+    as a startup sequence that negotiates with hardware.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.event import EventHandle, SimEvent
+from repro.sim.kernel import Kernel
+from repro.sim.process import ProcessExit, SimTask, Timeout, WaitEvent
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "Clock",
+    "EventHandle",
+    "Kernel",
+    "PeriodicTimer",
+    "ProcessExit",
+    "RngRegistry",
+    "SimEvent",
+    "SimTask",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+    "WaitEvent",
+]

@@ -1,0 +1,44 @@
+"""Simulated clock.
+
+The clock is owned by the kernel; user code reads it through
+:attr:`repro.sim.kernel.Kernel.now`.  It exists as a separate object so that
+subsystems (trace, metrics) can hold a reference to the clock without holding
+the whole kernel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+from repro.types import SimTime
+
+
+class Clock:
+    """Monotonically non-decreasing simulated time source."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: SimTime = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now: SimTime = float(start)
+
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def advance_to(self, when: SimTime) -> None:
+        """Move the clock forward to ``when``.
+
+        Only the kernel should call this.  Raises :class:`ClockError` if the
+        target is in the past — the event queue must never hand the kernel a
+        stale event.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {when!r}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,176 @@
+"""The discrete-event kernel: event queue, clock, and run loop.
+
+The kernel owns the :class:`~repro.sim.clock.Clock`, a binary heap of
+scheduled :class:`~repro.sim.event.EventHandle` callbacks, the shared
+:class:`~repro.sim.trace.Trace`, and the :class:`~repro.sim.rng.RngRegistry`.
+All higher layers (transport, processes, bus, detector, recoverer) are built
+from these four primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import KernelStoppedError, SimulationError
+from repro.sim.clock import Clock
+from repro.sim.event import EventHandle
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Trace
+from repro.types import SimTime
+
+
+class Kernel:
+    """Deterministic discrete-event simulation kernel.
+
+    Example
+    -------
+    >>> kernel = Kernel(seed=1)
+    >>> fired = []
+    >>> _ = kernel.call_after(2.5, fired.append, "a")
+    >>> _ = kernel.call_after(1.0, fired.append, "b")
+    >>> kernel.run()
+    >>> fired
+    ['b', 'a']
+    >>> kernel.now
+    2.5
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: SimTime = 0.0,
+        trace_capacity: Optional[int] = None,
+    ) -> None:
+        self.clock = Clock(start_time)
+        self.rngs = RngRegistry(seed)
+        self.trace = Trace(clock=self.clock, capacity=trace_capacity)
+        self._queue: List[EventHandle] = []
+        self._seq = 0
+        self._stopped = False
+        self._running = False
+        #: Number of callbacks executed so far (diagnostics / benchmarks).
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def call_at(self, when: SimTime, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+        if self._stopped:
+            raise KernelStoppedError("kernel has been stopped; cannot schedule")
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {when!r}, now is {self.now!r}"
+            )
+        handle = EventHandle(when, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def call_after(self, delay: SimTime, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self.now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current instant (FIFO order)."""
+        return self.call_at(self.now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # coroutine processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "task") -> "SimTask":
+        """Run a generator-style coroutine process on this kernel.
+
+        The generator may yield :class:`~repro.sim.process.Timeout`,
+        :class:`~repro.sim.process.WaitEvent`, or another :class:`SimTask`
+        (to join it).  See :mod:`repro.sim.process`.
+        """
+        # Imported here to avoid a module-level cycle (process imports kernel
+        # types for annotations only, but keep the layering obvious).
+        from repro.sim.process import SimTask
+
+        return SimTask(self, generator, name)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event; return False if queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.clock.advance_to(handle.when)
+            self.events_executed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[SimTime] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        When ``until`` is given and the queue still holds later events, the
+        clock is advanced exactly to ``until`` so successive ``run(until=...)``
+        calls observe contiguous time.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while not self._stopped and self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.when > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and not self._stopped and self.now < until:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Halt the simulation; pending events are never executed."""
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def peek_next_time(self) -> Optional[SimTime]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].when if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Kernel(now={self.now:.6f}, pending={self.pending_events}, "
+            f"executed={self.events_executed})"
+        )

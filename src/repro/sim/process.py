@@ -1,0 +1,210 @@
+"""Coroutine-style simulated processes.
+
+Component logic in the ground station is naturally sequential ("connect to
+the serial port, negotiate for 15 s, then announce readiness"), which is
+awkward to write as chained callbacks.  :class:`SimTask` wraps a Python
+generator so it can be written sequentially::
+
+    def startup(kernel):
+        yield Timeout(0.2)                  # exec / JVM spin-up
+        yield Timeout(15.0)                 # hardware negotiation
+        ready.trigger()
+
+    task = kernel.spawn(startup(kernel), name="pbcom.startup")
+
+A task may yield:
+
+* :class:`Timeout` — resume after a simulated delay;
+* :class:`WaitEvent` — resume when a :class:`~repro.sim.event.SimEvent`
+  triggers; the trigger value becomes the ``yield`` expression's value;
+* another :class:`SimTask` — resume when that task exits (join), receiving
+  its return value.
+
+Killing a task throws :class:`~repro.errors.ProcessInterrupt` into the
+generator at its current suspension point so ``finally`` blocks run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.event import EventHandle, SimEvent
+from repro.types import SimTime
+
+
+class Timeout:
+    """Yielded by a task to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: SimTime) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class WaitEvent:
+    """Yielded by a task to suspend until ``event`` triggers."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitEvent({self.event!r})"
+
+
+class ProcessExit(Exception):
+    """Raised inside a task to exit early with a return value."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+Yieldable = Union[Timeout, WaitEvent, "SimTask"]
+
+
+class SimTask:
+    """A generator coroutine scheduled on the kernel.
+
+    Tasks start automatically: spawning schedules the first resume at the
+    current instant.  Task completion is observable through :attr:`done_event`
+    (a :class:`SimEvent` triggered with the task's return value) or by another
+    task yielding this task.
+    """
+
+    def __init__(self, kernel: Any, generator: Generator, name: str = "task") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._generator = generator
+        self._finished = False
+        self._killed = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._pending_handle: Optional[EventHandle] = None
+        #: Triggered with the task's return value when it completes normally,
+        #: or with ``None`` when killed.
+        self.done_event = SimEvent(f"{name}.done")
+        self._pending_handle = kernel.call_soon(self._resume, None)
+
+    # ------------------------------------------------------------------
+    # public state
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the task has run to completion, errored, or been killed."""
+        return self._finished
+
+    @property
+    def killed(self) -> bool:
+        """Whether the task ended because :meth:`kill` was called."""
+        return self._killed
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (``None`` until finished)."""
+        return self._result
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The exception that terminated the task abnormally, if any."""
+        return self._error
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+
+    def kill(self) -> None:
+        """Terminate the task, running its ``finally`` blocks.
+
+        Models SIGKILL on the simulated process running this logic: the task
+        never resumes, and its pending timer or event wait is discarded.
+        Killing a finished task is a no-op.
+        """
+        if self._finished:
+            return
+        self._killed = True
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        try:
+            self._generator.throw(ProcessInterrupt(f"task {self.name} killed"))
+        except (ProcessInterrupt, StopIteration):
+            pass
+        except ProcessExit as exit_:
+            self._result = exit_.value
+        finally:
+            self._generator.close()
+        self._finish(None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _finish(self, value: Any) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._result = value if self._result is None else self._result
+        self._pending_handle = None
+        self.done_event.trigger(self._result)
+
+    def _resume(self, send_value: Any) -> None:
+        if self._finished:
+            return
+        self._pending_handle = None
+        try:
+            yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except ProcessExit as exit_:
+            self._generator.close()
+            self._finish(exit_.value)
+            return
+        except ProcessInterrupt:
+            self._finish(None)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Yieldable) -> None:
+        if isinstance(yielded, Timeout):
+            self._pending_handle = self.kernel.call_after(
+                yielded.delay, self._resume, None
+            )
+        elif isinstance(yielded, WaitEvent):
+            yielded.event.add_listener(self._on_event)
+        elif isinstance(yielded, SimTask):
+            yielded.done_event.add_listener(self._on_event)
+        else:
+            error = SimulationError(
+                f"task {self.name!r} yielded unsupported value {yielded!r}"
+            )
+            self._error = error
+            self._generator.close()
+            self._finished = True
+            self.done_event.trigger(None)
+            raise error
+
+    def _on_event(self, value: Any) -> None:
+        # Resume on the kernel queue (not inline) so that waking is always in
+        # deterministic FIFO order relative to other same-instant events.
+        if self._finished:
+            return
+        self._pending_handle = self.kernel.call_soon(self._resume, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._killed:
+            state = "killed"
+        elif self._finished:
+            state = "finished"
+        else:
+            state = "running"
+        return f"SimTask({self.name!r}, {state})"

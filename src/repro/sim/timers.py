@@ -1,0 +1,100 @@
+"""Periodic timers.
+
+The failure detector pings every component once per second (paper §2.2);
+:class:`PeriodicTimer` is the primitive behind that loop, with optional
+uniform jitter so that many timers created at the same instant do not stay
+phase-locked forever (phase-locking would make detection latency artificially
+deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import EventHandle
+from repro.types import SimTime
+
+
+class PeriodicTimer:
+    """Repeatedly invoke a callback with a fixed period.
+
+    Parameters
+    ----------
+    kernel:
+        The simulation kernel to schedule on.
+    period:
+        Seconds between invocations.
+    callback:
+        Zero-argument callable invoked every period.
+    jitter:
+        If > 0, each interval is ``period + U(-jitter, +jitter)`` (clamped to
+        be positive).  Requires ``rng``.
+    rng:
+        Random stream used for jitter.
+    start_delay:
+        Delay before the first invocation.  ``None`` (default) means one full
+        (jittered) period; ``0.0`` fires immediately.
+    """
+
+    def __init__(
+        self,
+        kernel: Any,
+        period: SimTime,
+        callback: Callable[[], None],
+        jitter: SimTime = 0.0,
+        rng: Optional[random.Random] = None,
+        start_delay: Optional[SimTime] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive, got {period!r}")
+        if jitter < 0:
+            raise SimulationError(f"timer jitter must be >= 0, got {jitter!r}")
+        if jitter > 0 and rng is None:
+            raise SimulationError("jitter requires an rng stream")
+        if jitter >= period:
+            raise SimulationError("jitter must be smaller than the period")
+        self._kernel = kernel
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._rng = rng
+        self._handle: Optional[EventHandle] = None
+        self._running = True
+        self._ticks = 0
+        first = self._next_interval() if start_delay is None else start_delay
+        self._handle = kernel.call_after(first, self._fire)
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has fired."""
+        return self._ticks
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer will keep firing."""
+        return self._running
+
+    def cancel(self) -> None:
+        """Stop the timer; the callback will not fire again."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_interval(self) -> SimTime:
+        if self._jitter == 0.0:
+            return self._period
+        assert self._rng is not None
+        offset = self._rng.uniform(-self._jitter, self._jitter)
+        return max(self._period + offset, 1e-9)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._ticks += 1
+        # Reschedule before invoking, so a callback that cancels the timer
+        # (or raises) leaves a consistent state.
+        self._handle = self._kernel.call_after(self._next_interval(), self._fire)
+        self._callback()

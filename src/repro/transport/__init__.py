@@ -1,0 +1,18 @@
+"""Simulated network transport.
+
+Mercury's components interoperate over a TCP/IP software messaging bus, and
+FD↔REC share a *dedicated* TCP connection (paper §2.2).  This package models
+just enough of TCP for those behaviours to be faithful:
+
+* reliable, ordered, non-duplicating delivery with configurable latency;
+* explicit connections between endpoints, established via listeners;
+* **connection-loss notification**: when one endpoint dies, the peer observes
+  a close.  This matters — the paper's ``pbcom`` ages each time its
+  connection to ``fedr`` is severed, eventually failing (§4.2).
+"""
+
+from repro.transport.network import LatencyModel, Network
+from repro.transport.channel import Channel, Endpoint
+from repro.transport.sockets import Listener
+
+__all__ = ["Channel", "Endpoint", "LatencyModel", "Listener", "Network"]

@@ -1,0 +1,161 @@
+"""Bidirectional reliable channels.
+
+A :class:`Channel` is the simulated analogue of an established TCP
+connection: two :class:`Endpoint` halves, each with a receive callback, FIFO
+in-order delivery with network latency, and close notification delivered to
+the peer.  Messages in flight when a channel closes are dropped — consistent
+with an abrupt process death (SIGKILL) severing the connection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ChannelClosedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.network import Network
+
+
+class Endpoint:
+    """One half of a channel, held by one of the two communicating parties."""
+
+    def __init__(self, channel: "Channel", name: str) -> None:
+        self._channel = channel
+        #: Human-readable identity of the holder (for traces and errors).
+        self.name = name
+        self._on_message: Optional[Callable[[Any], None]] = None
+        self._on_close: Optional[Callable[[], None]] = None
+        self._peer: Optional["Endpoint"] = None
+        self._inbox_while_unset: list = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def peer(self) -> "Endpoint":
+        """The opposite endpoint of this channel."""
+        assert self._peer is not None
+        return self._peer
+
+    @property
+    def open(self) -> bool:
+        """Whether the channel is still open."""
+        return self._channel.open
+
+    def on_message(self, callback: Callable[[Any], None]) -> None:
+        """Set the receive handler.
+
+        Messages delivered before a handler is installed are buffered and
+        flushed on installation, so a server may connect-then-configure
+        without a race.
+        """
+        self._on_message = callback
+        if self._inbox_while_unset:
+            pending, self._inbox_while_unset = self._inbox_while_unset, []
+            for message in pending:
+                callback(message)
+
+    def on_close(self, callback: Callable[[], None]) -> None:
+        """Set the handler invoked when the *peer* closes the channel."""
+        self._on_close = callback
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def send(self, message: Any) -> None:
+        """Queue ``message`` for in-order delivery to the peer."""
+        if not self._channel.open:
+            raise ChannelClosedError(
+                f"{self.name!r} cannot send on closed channel {self._channel!r}"
+            )
+        self._channel.transmit(self, message)
+
+    def close(self) -> None:
+        """Close the whole channel; the peer's close handler is notified.
+
+        Closing an already-closed endpoint is a no-op (both sides of a dying
+        connection often race to close).
+        """
+        self._channel.close(initiator=self)
+
+    # ------------------------------------------------------------------
+    # delivery (called by Channel)
+    # ------------------------------------------------------------------
+
+    def _deliver(self, message: Any) -> None:
+        if self._on_message is None:
+            self._inbox_while_unset.append(message)
+        else:
+            self._on_message(message)
+
+    def _notify_close(self) -> None:
+        if self._on_close is not None:
+            self._on_close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return f"Endpoint({self.name!r}, {state})"
+
+
+class Channel:
+    """A connected pair of endpoints with latency-delayed FIFO delivery."""
+
+    _counter = 0
+
+    def __init__(self, network: "Network", client_name: str, server_name: str) -> None:
+        Channel._counter += 1
+        self.id = Channel._counter
+        self._network = network
+        self._kernel = network.kernel
+        self.open = True
+        self.client_endpoint = Endpoint(self, client_name)
+        self.server_endpoint = Endpoint(self, server_name)
+        self.client_endpoint._peer = self.server_endpoint
+        self.server_endpoint._peer = self.client_endpoint
+        # Per-direction "last scheduled arrival" guarantees FIFO even when
+        # latency jitter would reorder independent sends.
+        self._last_arrival = {
+            id(self.client_endpoint): 0.0,
+            id(self.server_endpoint): 0.0,
+        }
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    def transmit(self, sender: Endpoint, message: Any) -> None:
+        """Schedule delivery of ``message`` from ``sender`` to its peer."""
+        receiver = sender.peer
+        delay = self._network.latency.sample()
+        arrival = max(
+            self._kernel.now + delay, self._last_arrival[id(receiver)]
+        )
+        self._last_arrival[id(receiver)] = arrival
+        self.messages_sent += 1
+        self._kernel.call_at(arrival, self._deliver, receiver, message)
+
+    def _deliver(self, receiver: Endpoint, message: Any) -> None:
+        if not self.open:
+            return  # connection severed while the message was in flight
+        self.messages_delivered += 1
+        receiver._deliver(message)
+
+    def close(self, initiator: Optional[Endpoint] = None) -> None:
+        """Tear down the channel, notifying the non-initiating side(s)."""
+        if not self.open:
+            return
+        self.open = False
+        for endpoint in (self.client_endpoint, self.server_endpoint):
+            if endpoint is not initiator:
+                # Close notification crosses the network like data does.
+                self._kernel.call_after(
+                    self._network.latency.sample(), endpoint._notify_close
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return (
+            f"Channel#{self.id}({self.client_endpoint.name!r}<->"
+            f"{self.server_endpoint.name!r}, {state})"
+        )

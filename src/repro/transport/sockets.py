@@ -1,0 +1,50 @@
+"""Listeners: the server side of connection establishment."""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.channel import Endpoint
+    from repro.transport.network import Network
+
+
+class Listener:
+    """A bound server socket.
+
+    Created by :meth:`repro.transport.network.Network.listen`.  When a client
+    connects, the listener invokes its accept callback with the server-side
+    :class:`~repro.transport.channel.Endpoint`.  Closing the listener unbinds
+    the address; existing connections are unaffected (as with TCP), so a
+    restarting server must close both its listener and its live channels —
+    the process manager's kill path does exactly that for simulated
+    processes.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        address: str,
+        on_accept: Callable[["Endpoint"], None],
+    ) -> None:
+        self._network = network
+        self.address = address
+        self._on_accept = on_accept
+        self.open = True
+        self.accepted = 0
+
+    def accept(self, endpoint: "Endpoint") -> None:
+        """Deliver a newly established server-side endpoint (network-internal)."""
+        self.accepted += 1
+        self._on_accept(endpoint)
+
+    def close(self) -> None:
+        """Stop accepting connections and release the address."""
+        if not self.open:
+            return
+        self.open = False
+        self._network.unbind(self.address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return f"Listener({self.address!r}, {state}, accepted={self.accepted})"

@@ -1,0 +1,53 @@
+"""The XML command language.
+
+Mercury is "controlled both remotely and locally via a high-level, XML-based
+command language" and liveness pings "are encoded in and replied to in a
+high-level XML command language, so a successful response indicates the
+component's liveness with higher confidence than a network-level ICMP ping"
+(paper §2.1–2.2).
+
+This package provides:
+
+* :mod:`repro.xmlcmd.document` — a tiny immutable element-tree model;
+* :mod:`repro.xmlcmd.parser` — a from-scratch recursive-descent parser for
+  the XML subset the command language uses (elements, attributes, text,
+  comments, declarations; no namespaces/DTDs/CDATA);
+* :mod:`repro.xmlcmd.serializer` — canonical serialization with escaping;
+* :mod:`repro.xmlcmd.commands` — the typed message schema (ping, ping reply,
+  commands, telemetry, failure reports) used on the bus.
+
+The point of carrying real (parsed, validated) XML through the simulated
+station — rather than passing Python objects — is fidelity to the paper's
+liveness argument: a ping reply proves the component can *parse, dispatch and
+serialize* application-level messages, not merely that its process exists.
+A component whose process is alive but whose dispatcher is wedged fails the
+XML ping, and FD correctly declares it failed.
+"""
+
+from repro.xmlcmd.commands import (
+    CommandMessage,
+    FailureReport,
+    Message,
+    PingReply,
+    PingRequest,
+    RestartOrder,
+    TelemetryFrame,
+    parse_message,
+)
+from repro.xmlcmd.document import Element
+from repro.xmlcmd.parser import parse_xml
+from repro.xmlcmd.serializer import serialize_xml
+
+__all__ = [
+    "CommandMessage",
+    "Element",
+    "FailureReport",
+    "Message",
+    "PingReply",
+    "PingRequest",
+    "RestartOrder",
+    "TelemetryFrame",
+    "parse_message",
+    "parse_xml",
+    "serialize_xml",
+]

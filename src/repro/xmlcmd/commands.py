@@ -1,0 +1,257 @@
+"""Typed message schema on top of the XML command language.
+
+Every message on the software bus (and on the dedicated FD↔REC channel) is
+one of the dataclasses below, serialized as a ``<msg type="...">`` document.
+``parse_message`` is the single entry point for decoding; it validates the
+schema and raises :class:`~repro.errors.CommandSchemaError` on violations, so
+components never dispatch on malformed input.
+
+Wire format examples::
+
+    <msg type="ping" from="fd" to="ses" seq="17"/>
+    <msg type="ping-reply" from="ses" to="fd" seq="17"/>
+    <msg type="command" from="ses" to="str" verb="track">
+      <param name="azimuth">143.2</param>
+      <param name="elevation">67.9</param>
+    </msg>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from repro.errors import CommandSchemaError
+from repro.xmlcmd.document import Element
+from repro.xmlcmd.parser import parse_xml
+from repro.xmlcmd.serializer import serialize_xml
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """Application-level liveness ping (FD → component)."""
+
+    sender: str
+    target: str
+    seq: int
+
+    def to_element(self) -> Element:
+        return Element(
+            "msg",
+            {"type": "ping", "from": self.sender, "to": self.target, "seq": str(self.seq)},
+        )
+
+
+@dataclass(frozen=True)
+class PingReply:
+    """Reply to a liveness ping (component → FD)."""
+
+    sender: str
+    target: str
+    seq: int
+
+    def to_element(self) -> Element:
+        return Element(
+            "msg",
+            {
+                "type": "ping-reply",
+                "from": self.sender,
+                "to": self.target,
+                "seq": str(self.seq),
+            },
+        )
+
+
+@dataclass(frozen=True)
+class CommandMessage:
+    """High-level command between station components."""
+
+    sender: str
+    target: str
+    verb: str
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def to_element(self) -> Element:
+        children = [
+            Element("param", {"name": name}, text=value)
+            for name, value in self.params.items()
+        ]
+        return Element(
+            "msg",
+            {
+                "type": "command",
+                "from": self.sender,
+                "to": self.target,
+                "verb": self.verb,
+            },
+            children=children,
+        )
+
+
+@dataclass(frozen=True)
+class TelemetryFrame:
+    """A chunk of downlinked satellite data relayed across the station."""
+
+    sender: str
+    target: str
+    satellite: str
+    pass_id: str
+    payload_bytes: int
+
+    def to_element(self) -> Element:
+        return Element(
+            "msg",
+            {
+                "type": "telemetry",
+                "from": self.sender,
+                "to": self.target,
+                "satellite": self.satellite,
+                "pass": self.pass_id,
+                "bytes": str(self.payload_bytes),
+            },
+        )
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """FD → REC: one or more components appear to have failed."""
+
+    sender: str
+    target: str
+    failed_components: tuple
+    detected_at: float
+
+    def to_element(self) -> Element:
+        children = [
+            Element("failed", {"component": name}) for name in self.failed_components
+        ]
+        return Element(
+            "msg",
+            {
+                "type": "failure-report",
+                "from": self.sender,
+                "to": self.target,
+                "detected-at": repr(self.detected_at),
+            },
+            children=children,
+        )
+
+
+@dataclass(frozen=True)
+class RestartOrder:
+    """REC's record of a restart decision (also used on the FD↔REC channel).
+
+    REC executes restarts directly through the process manager; this message
+    exists so FD can be told which components are *expected* to bounce, and
+    so operators see decisions in the message log.
+    """
+
+    sender: str
+    target: str
+    cell_id: str
+    components: tuple
+    reason: str = ""
+
+    def to_element(self) -> Element:
+        children = [Element("component", {"name": name}) for name in self.components]
+        return Element(
+            "msg",
+            {
+                "type": "restart-order",
+                "from": self.sender,
+                "to": self.target,
+                "cell": self.cell_id,
+                "reason": self.reason,
+            },
+            children=children,
+        )
+
+
+Message = Union[
+    PingRequest, PingReply, CommandMessage, TelemetryFrame, FailureReport, RestartOrder
+]
+
+
+def encode_message(message: Message) -> str:
+    """Serialize any schema message to its wire string."""
+    return serialize_xml(message.to_element())
+
+
+def _require(element: Element, attr: str) -> str:
+    value = element.get(attr)
+    if value is None:
+        raise CommandSchemaError(
+            f"<msg type={element.get('type')!r}> missing attribute {attr!r}"
+        )
+    return value
+
+
+def _parse_int(element: Element, attr: str) -> int:
+    raw = _require(element, attr)
+    try:
+        return int(raw)
+    except ValueError:
+        raise CommandSchemaError(f"attribute {attr!r} is not an integer: {raw!r}") from None
+
+
+def parse_message(text: str) -> Message:
+    """Decode a wire string into a typed message.
+
+    Raises :class:`~repro.errors.XmlParseError` for malformed XML and
+    :class:`~repro.errors.CommandSchemaError` for schema violations.
+    """
+    element = parse_xml(text)
+    return message_from_element(element)
+
+
+def message_from_element(element: Element) -> Message:
+    """Decode an already-parsed element into a typed message."""
+    if element.tag != "msg":
+        raise CommandSchemaError(f"document element must be <msg>, got <{element.tag}>")
+    kind = _require(element, "type")
+    sender = _require(element, "from")
+    target = _require(element, "to")
+
+    if kind == "ping":
+        return PingRequest(sender, target, _parse_int(element, "seq"))
+    if kind == "ping-reply":
+        return PingReply(sender, target, _parse_int(element, "seq"))
+    if kind == "command":
+        params: Dict[str, str] = {}
+        for param in element.find_all("param"):
+            name = param.get("name")
+            if name is None:
+                raise CommandSchemaError("<param> missing name attribute")
+            params[name] = param.text
+        return CommandMessage(sender, target, _require(element, "verb"), params)
+    if kind == "telemetry":
+        return TelemetryFrame(
+            sender,
+            target,
+            satellite=_require(element, "satellite"),
+            pass_id=_require(element, "pass"),
+            payload_bytes=_parse_int(element, "bytes"),
+        )
+    if kind == "failure-report":
+        failed = tuple(
+            child.require("component") for child in element.find_all("failed")
+        )
+        if not failed:
+            raise CommandSchemaError("failure-report must name at least one component")
+        try:
+            detected_at = float(_require(element, "detected-at"))
+        except ValueError:
+            raise CommandSchemaError("detected-at is not a float") from None
+        return FailureReport(sender, target, failed, detected_at)
+    if kind == "restart-order":
+        components = tuple(
+            child.require("name") for child in element.find_all("component")
+        )
+        return RestartOrder(
+            sender,
+            target,
+            cell_id=_require(element, "cell"),
+            components=components,
+            reason=element.get("reason", ""),
+        )
+    raise CommandSchemaError(f"unknown message type {kind!r}")

@@ -1,0 +1,220 @@
+"""Recursive-descent parser for the XML subset used by the command language.
+
+Supported: elements, attributes (single- or double-quoted), text content,
+the five predefined entities, comments, XML declarations, self-closing tags,
+and arbitrary nesting.  Not supported (not used by the command language):
+namespaces, DTDs, processing instructions other than the declaration, and
+CDATA sections.  Unsupported constructs raise
+:class:`~repro.errors.XmlParseError` rather than being silently skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import XmlParseError
+from repro.xmlcmd.document import Element
+
+_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Cursor:
+    """Position tracker over the input text."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    @property
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, length: int = 1) -> str:
+        return self.text[self.pos : self.pos + length]
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        text, pos = self.text, self.pos
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        self.pos = pos
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XmlParseError(
+                f"expected {literal!r} at offset {self.pos}", self.pos
+            )
+        self.pos += len(literal)
+
+    def fail(self, message: str) -> "XmlParseError":
+        return XmlParseError(f"{message} at offset {self.pos}", self.pos)
+
+
+def _decode_entities(raw: str, at: int) -> str:
+    """Replace ``&name;`` and ``&#NN;`` references; reject bare ampersands."""
+    if "&" not in raw:
+        return raw
+    out = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end == -1:
+            raise XmlParseError(f"unterminated entity reference at offset {at + i}", at + i)
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XmlParseError(f"unknown entity &{name}; at offset {at + i}", at + i)
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_name(cursor: _Cursor) -> str:
+    start = cursor.pos
+    text = cursor.text
+    if cursor.eof or text[start] not in _NAME_START:
+        raise cursor.fail("expected a name")
+    pos = start + 1
+    while pos < len(text) and text[pos] in _NAME_CHARS:
+        pos += 1
+    cursor.pos = pos
+    return text[start:pos]
+
+
+def _parse_attributes(cursor: _Cursor) -> Dict[str, str]:
+    attrs: Dict[str, str] = {}
+    while True:
+        cursor.skip_whitespace()
+        if cursor.eof:
+            raise cursor.fail("unterminated start tag")
+        if cursor.peek() in (">", "/"):
+            return attrs
+        name = _parse_name(cursor)
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise cursor.fail("attribute value must be quoted")
+        cursor.advance()
+        end = cursor.text.find(quote, cursor.pos)
+        if end == -1:
+            raise cursor.fail("unterminated attribute value")
+        raw = cursor.text[cursor.pos : end]
+        attrs_value = _decode_entities(raw, cursor.pos)
+        cursor.pos = end + 1
+        if name in attrs:
+            raise cursor.fail(f"duplicate attribute {name!r}")
+        attrs[name] = attrs_value
+
+
+def _skip_misc(cursor: _Cursor) -> None:
+    """Skip whitespace, comments and the XML declaration between elements."""
+    while True:
+        cursor.skip_whitespace()
+        if cursor.peek(4) == "<!--":
+            end = cursor.text.find("-->", cursor.pos + 4)
+            if end == -1:
+                raise cursor.fail("unterminated comment")
+            cursor.pos = end + 3
+        elif cursor.peek(5) == "<?xml":
+            end = cursor.text.find("?>", cursor.pos + 5)
+            if end == -1:
+                raise cursor.fail("unterminated XML declaration")
+            cursor.pos = end + 2
+        else:
+            return
+
+
+def _parse_element(cursor: _Cursor) -> Element:
+    cursor.expect("<")
+    tag = _parse_name(cursor)
+    attrs = _parse_attributes(cursor)
+    if cursor.peek(2) == "/>":
+        cursor.advance(2)
+        return Element(tag, attrs)
+    cursor.expect(">")
+
+    text_parts = []
+    children = []
+    while True:
+        if cursor.eof:
+            raise cursor.fail(f"unterminated element <{tag}>")
+        next_lt = cursor.text.find("<", cursor.pos)
+        if next_lt == -1:
+            raise cursor.fail(f"unterminated element <{tag}>")
+        if next_lt > cursor.pos:
+            raw = cursor.text[cursor.pos : next_lt]
+            text_parts.append(_decode_entities(raw, cursor.pos))
+            cursor.pos = next_lt
+        if cursor.peek(2) == "</":
+            cursor.advance(2)
+            closing = _parse_name(cursor)
+            if closing != tag:
+                raise cursor.fail(
+                    f"mismatched closing tag </{closing}> for <{tag}>"
+                )
+            cursor.skip_whitespace()
+            cursor.expect(">")
+            # Strip XML whitespace only — str.strip() would also eat
+            # Unicode whitespace like U+00A0, corrupting text content.
+            text = "".join(text_parts).strip(" \t\r\n")
+            return Element(tag, attrs, text, children)
+        if cursor.peek(4) == "<!--":
+            end = cursor.text.find("-->", cursor.pos + 4)
+            if end == -1:
+                raise cursor.fail("unterminated comment")
+            cursor.pos = end + 3
+            continue
+        children.append(_parse_element(cursor))
+
+
+def parse_xml(text: str) -> Element:
+    """Parse ``text`` into an :class:`~repro.xmlcmd.document.Element` tree.
+
+    Raises :class:`~repro.errors.XmlParseError` for malformed input or
+    trailing content after the document element.
+
+    >>> doc = parse_xml('<msg type="ping"><from>fd</from></msg>')
+    >>> doc.tag, doc.get('type'), doc.child_text('from')
+    ('msg', 'ping', 'fd')
+    """
+    cursor = _Cursor(text)
+    _skip_misc(cursor)
+    if cursor.eof or cursor.peek() != "<":
+        raise cursor.fail("expected document element")
+    root = _parse_element(cursor)
+    _skip_misc(cursor)
+    if not cursor.eof:
+        raise cursor.fail("unexpected content after document element")
+    return root
+
+
+def try_parse_xml(text: str) -> Tuple[bool, object]:
+    """Non-raising variant: ``(True, element)`` or ``(False, error)``."""
+    try:
+        return True, parse_xml(text)
+    except XmlParseError as error:
+        return False, error

@@ -1,0 +1,98 @@
+"""Tests for the statistics helpers, cross-checked against numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    coefficient_of_variation,
+    mean,
+    percentile,
+    stddev,
+)
+from repro.errors import ExperimentError
+
+_sample_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+def test_mean_simple():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_mean_empty_rejected():
+    with pytest.raises(ExperimentError):
+        mean([])
+
+
+@given(_sample_lists)
+@settings(max_examples=100, deadline=None)
+def test_mean_matches_numpy(samples):
+    assert mean(samples) == pytest.approx(float(np.mean(samples)), rel=1e-9, abs=1e-6)
+
+
+@given(_sample_lists)
+@settings(max_examples=100, deadline=None)
+def test_stddev_matches_numpy(samples):
+    assert stddev(samples) == pytest.approx(float(np.std(samples)), rel=1e-9, abs=1e-6)
+    assert stddev(samples, population=False) == pytest.approx(
+        float(np.std(samples, ddof=1)) if len(samples) > 1 else 0.0,
+        rel=1e-9,
+        abs=1e-6,
+    )
+
+
+def test_stddev_single_sample_is_zero():
+    assert stddev([5.0]) == 0.0
+
+
+def test_coefficient_of_variation():
+    assert coefficient_of_variation([10.0, 10.0]) == 0.0
+    assert coefficient_of_variation([5.0, 15.0]) == pytest.approx(0.5)
+    with pytest.raises(ExperimentError):
+        coefficient_of_variation([1.0, -1.0])  # zero mean
+
+
+@given(_sample_lists, st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_percentile_matches_numpy(samples, q):
+    assert percentile(samples, q) == pytest.approx(
+        float(np.percentile(samples, q)), rel=1e-9, abs=1e-6
+    )
+
+
+def test_percentile_bounds_rejected():
+    with pytest.raises(ExperimentError):
+        percentile([1.0], -1.0)
+    with pytest.raises(ExperimentError):
+        percentile([1.0], 101.0)
+    with pytest.raises(ExperimentError):
+        percentile([], 50.0)
+
+
+def test_bootstrap_ci_contains_true_mean_for_tight_data():
+    samples = [10.0 + 0.01 * i for i in range(50)]
+    low, high = bootstrap_mean_ci(samples, seed=1)
+    assert low <= mean(samples) <= high
+    assert high - low < 0.2
+
+
+def test_bootstrap_ci_widens_with_spread():
+    tight = bootstrap_mean_ci([10.0, 10.1, 9.9, 10.0] * 10, seed=1)
+    wide = bootstrap_mean_ci([1.0, 19.0, 2.0, 18.0] * 10, seed=1)
+    assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+
+def test_bootstrap_is_deterministic():
+    samples = [1.0, 2.0, 3.0, 4.0]
+    assert bootstrap_mean_ci(samples, seed=7) == bootstrap_mean_ci(samples, seed=7)
+
+
+def test_bootstrap_validates_inputs():
+    with pytest.raises(ExperimentError):
+        bootstrap_mean_ci([], seed=0)
+    with pytest.raises(ExperimentError):
+        bootstrap_mean_ci([1.0], confidence=1.5)

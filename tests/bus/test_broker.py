@@ -1,0 +1,144 @@
+"""Tests for the mbus broker behavior."""
+
+from repro.bus.broker import BusBroker
+from repro.procmgr.process import ProcessSpec, constant_work
+from repro.xmlcmd.commands import (
+    CommandMessage,
+    PingReply,
+    PingRequest,
+    encode_message,
+    parse_message,
+)
+
+
+def make_bus(kernel, network, manager, work=0.5):
+    process = manager.spawn(
+        ProcessSpec("mbus", constant_work(work), lambda p: BusBroker(p, network, "mbus:7000"))
+    )
+    manager.start("mbus")
+    kernel.run()
+    return process.behavior
+
+
+def raw_client(kernel, network, name):
+    """A hand-rolled client speaking the wire protocol directly."""
+    endpoint = network.connect(name, "mbus:7000")
+    inbox = []
+    endpoint.on_message(lambda raw: inbox.append(parse_message(raw)))
+    endpoint.send(encode_message(CommandMessage(sender=name, target="mbus", verb="attach")))
+    return endpoint, inbox
+
+
+def test_broker_listens_after_start(kernel, network, manager):
+    make_bus(kernel, network, manager)
+    assert network.is_bound("mbus:7000")
+
+
+def test_routes_between_attached_clients(kernel, network, manager):
+    make_bus(kernel, network, manager)
+    a, a_in = raw_client(kernel, network, "a")
+    b, b_in = raw_client(kernel, network, "b")
+    kernel.run()
+    a.send(encode_message(CommandMessage(sender="a", target="b", verb="hello")))
+    kernel.run()
+    assert len(b_in) == 1
+    assert b_in[0].verb == "hello"
+    assert a_in == []
+
+
+def test_broker_answers_own_pings(kernel, network, manager):
+    make_bus(kernel, network, manager)
+    a, a_in = raw_client(kernel, network, "a")
+    kernel.run()
+    a.send(encode_message(PingRequest(sender="a", target="mbus", seq=5)))
+    kernel.run()
+    assert a_in == [PingReply(sender="mbus", target="a", seq=5)]
+
+
+def test_unroutable_message_dropped_and_counted(kernel, network, manager):
+    broker = make_bus(kernel, network, manager)
+    a, _ = raw_client(kernel, network, "a")
+    kernel.run()
+    a.send(encode_message(CommandMessage(sender="a", target="ghost", verb="x")))
+    kernel.run()
+    assert broker.dropped == 1
+
+
+def test_malformed_message_dropped(kernel, network, manager):
+    broker = make_bus(kernel, network, manager)
+    a, _ = raw_client(kernel, network, "a")
+    kernel.run()
+    a.send("<not-xml")
+    kernel.run()
+    assert broker.dropped == 1
+
+
+def test_detach_on_client_close(kernel, network, manager):
+    broker = make_bus(kernel, network, manager)
+    a, _ = raw_client(kernel, network, "a")
+    b, b_in = raw_client(kernel, network, "b")
+    kernel.run()
+    a.close()
+    kernel.run()
+    b.send(encode_message(CommandMessage(sender="b", target="a", verb="x")))
+    kernel.run()
+    assert broker.dropped == 1  # a is gone
+
+
+def test_kill_closes_all_client_channels(kernel, network, manager):
+    make_bus(kernel, network, manager)
+    a, _ = raw_client(kernel, network, "a")
+    kernel.run()
+    manager.fail("mbus")
+    kernel.run()
+    assert not a.open
+    assert not network.is_bound("mbus:7000")
+
+
+def test_kill_closes_unattached_channels_too(kernel, network, manager):
+    """The zombie-channel regression: a connection accepted but whose attach
+    message was still in flight must be closed when the broker dies."""
+    make_bus(kernel, network, manager)
+    endpoint = network.connect("late", "mbus:7000")
+    manager.fail("mbus")  # attach never sent
+    kernel.run()
+    assert not endpoint.open
+
+
+def test_reattach_after_restart(kernel, network, manager):
+    make_bus(kernel, network, manager)
+    manager.fail("mbus")
+    manager.restart(["mbus"])
+    kernel.run()
+    a, a_in = raw_client(kernel, network, "a")
+    kernel.run()
+    a.send(encode_message(PingRequest(sender="a", target="mbus", seq=1)))
+    kernel.run()
+    assert len(a_in) == 1
+
+
+def test_last_attach_wins(kernel, network, manager):
+    """A restarted client re-attaches over a new channel before the old
+    channel's close is processed; traffic must go to the new channel."""
+    make_bus(kernel, network, manager)
+    old, old_in = raw_client(kernel, network, "dup")
+    kernel.run()
+    new, new_in = raw_client(kernel, network, "dup")
+    kernel.run()
+    b, _ = raw_client(kernel, network, "b")
+    kernel.run()
+    b.send(encode_message(CommandMessage(sender="b", target="dup", verb="x")))
+    kernel.run()
+    assert len(new_in) == 1
+    assert old_in == []
+
+
+def test_routed_counter(kernel, network, manager):
+    broker = make_bus(kernel, network, manager)
+    a, _ = raw_client(kernel, network, "a")
+    b, _ = raw_client(kernel, network, "b")
+    kernel.run()
+    for _ in range(3):
+        a.send(encode_message(CommandMessage(sender="a", target="b", verb="x")))
+    kernel.run()
+    assert broker.routed == 3

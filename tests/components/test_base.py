@@ -1,0 +1,129 @@
+"""Tests for the behavior framework: attach, ping replies, reconnection."""
+
+from repro.bus.broker import BusBroker
+from repro.bus.client import BusClient
+from repro.components.base import BusAttachedBehavior
+from repro.procmgr.process import ProcessSpec, constant_work
+from repro.xmlcmd.commands import CommandMessage, PingReply, PingRequest
+
+
+class EchoBehavior(BusAttachedBehavior):
+    """Test behavior: records messages, echoes 'echo' commands back."""
+
+    def __init__(self, process, network):
+        super().__init__(process, network)
+        self.messages = []
+        self.connects = 0
+
+    def on_bus_connected(self):
+        self.connects += 1
+
+    def on_message(self, message):
+        self.messages.append(message)
+        if isinstance(message, CommandMessage) and message.verb == "echo":
+            self.send(CommandMessage(self.name, message.sender, "echo-reply", message.params))
+
+
+def build(kernel, network, manager):
+    manager.spawn(
+        ProcessSpec("mbus", constant_work(0.5), lambda p: BusBroker(p, network, "mbus:7000"))
+    )
+    echo = manager.spawn(
+        ProcessSpec("echo", constant_work(0.5), lambda p: EchoBehavior(p, network))
+    )
+    manager.start_all()
+    kernel.run(until=kernel.now + 3.0)
+    return echo.behavior
+
+
+def ops_client(kernel, network):
+    client = BusClient(kernel, network, "ops")
+    client.connect()
+    kernel.run(until=kernel.now + 0.5)
+    return client
+
+
+def test_behavior_attaches_on_start(kernel, network, manager):
+    behavior = build(kernel, network, manager)
+    assert behavior.connected
+    assert behavior.connects == 1
+
+
+def test_behavior_replies_to_pings(kernel, network, manager):
+    build(kernel, network, manager)
+    ops = ops_client(kernel, network)
+    ops.send(PingRequest("ops", "echo", 3))
+    kernel.run(until=kernel.now + 0.5)
+    assert PingReply(sender="echo", target="ops", seq=3) in ops.received
+
+
+def test_behavior_dispatches_commands(kernel, network, manager):
+    behavior = build(kernel, network, manager)
+    ops = ops_client(kernel, network)
+    ops.send(CommandMessage("ops", "echo", "echo", {"k": "v"}))
+    kernel.run(until=kernel.now + 0.5)
+    assert len(behavior.messages) == 1
+    replies = [m for m in ops.received if getattr(m, "verb", "") == "echo-reply"]
+    assert replies and replies[0].params == {"k": "v"}
+
+
+def test_pings_not_passed_to_on_message(kernel, network, manager):
+    behavior = build(kernel, network, manager)
+    ops = ops_client(kernel, network)
+    ops.send(PingRequest("ops", "echo", 1))
+    kernel.run(until=kernel.now + 0.5)
+    assert behavior.messages == []
+
+
+def test_dead_behavior_does_not_reply(kernel, network, manager):
+    build(kernel, network, manager)
+    ops = ops_client(kernel, network)
+    manager.fail("echo")
+    kernel.run(until=kernel.now + 0.2)
+    ops.send(PingRequest("ops", "echo", 9))
+    kernel.run(until=kernel.now + 1.0)
+    assert not any(isinstance(m, PingReply) and m.seq == 9 for m in ops.received)
+
+
+def test_behavior_reconnects_after_bus_restart(kernel, network, manager):
+    behavior = build(kernel, network, manager)
+    manager.fail("mbus")
+    manager.restart(["mbus"])
+    kernel.run(until=kernel.now + 5.0)
+    assert behavior.connected
+    assert behavior.connects == 2
+
+
+def test_behavior_restart_reattaches(kernel, network, manager):
+    behavior_box = build(kernel, network, manager)
+    manager.fail("echo")
+    manager.restart(["echo"])
+    kernel.run(until=kernel.now + 3.0)
+    behavior = manager.get("echo").behavior
+    assert behavior.connected
+    ops = ops_client(kernel, network)
+    ops.send(PingRequest("ops", "echo", 77))
+    kernel.run(until=kernel.now + 0.5)
+    assert any(isinstance(m, PingReply) and m.seq == 77 for m in ops.received)
+
+
+def test_send_while_disconnected_returns_false(kernel, network, manager):
+    behavior = build(kernel, network, manager)
+    manager.fail("mbus")
+    kernel.run(until=kernel.now + 0.1)
+    assert behavior.send(CommandMessage("echo", "x", "v")) is False
+
+
+def test_behavior_starts_before_bus_and_retries(kernel, network, manager):
+    echo = manager.spawn(
+        ProcessSpec("echo", constant_work(0.5), lambda p: EchoBehavior(p, network))
+    )
+    manager.start("echo")
+    kernel.run(until=kernel.now + 2.0)
+    assert not echo.behavior.connected
+    manager.spawn(
+        ProcessSpec("mbus", constant_work(0.5), lambda p: BusBroker(p, network, "mbus:7000"))
+    )
+    manager.start("mbus")
+    kernel.run(until=kernel.now + 2.0)
+    assert echo.behavior.connected

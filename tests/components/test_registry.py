@@ -1,0 +1,46 @@
+"""Tests for the component registry."""
+
+import pytest
+
+from repro.components.base import Behavior
+from repro.components.registry import ComponentRegistry
+from repro.errors import DuplicateComponentError
+from repro.procmgr.process import ProcessSpec, constant_work
+
+
+def make_behavior(manager, name):
+    process = manager.spawn(ProcessSpec(name, constant_work(1.0)))
+    return Behavior(process)
+
+
+def test_add_and_get(manager):
+    registry = ComponentRegistry()
+    behavior = make_behavior(manager, "a")
+    registry.add(behavior)
+    assert registry.get("a") is behavior
+    assert registry.maybe_get("a") is behavior
+    assert "a" in registry
+
+
+def test_duplicate_rejected(manager):
+    registry = ComponentRegistry()
+    registry.add(make_behavior(manager, "a"))
+    with pytest.raises(DuplicateComponentError):
+        registry.add(make_behavior(manager, "a2").__class__(manager.get("a")))
+
+
+def test_missing_lookups(manager):
+    registry = ComponentRegistry()
+    assert registry.maybe_get("ghost") is None
+    with pytest.raises(KeyError):
+        registry.get("ghost")
+    assert "ghost" not in registry
+
+
+def test_iteration_and_len(manager):
+    registry = ComponentRegistry()
+    for name in ("x", "y"):
+        registry.add(make_behavior(manager, name))
+    assert len(registry) == 2
+    assert [b.name for b in registry] == ["x", "y"]
+    assert registry.names == ["x", "y"]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, constant_work
+from repro.sim.kernel import Kernel
+from repro.transport.network import Network
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh deterministic kernel."""
+    return Kernel(seed=1234)
+
+
+@pytest.fixture
+def network(kernel: Kernel) -> Network:
+    """A simulated network on the shared kernel."""
+    return Network(kernel)
+
+
+@pytest.fixture
+def manager(kernel: Kernel) -> ProcessManager:
+    """A process manager with mild batch contention."""
+    return ProcessManager(kernel, contention_coefficient=0.05)
+
+
+def spawn_simple(manager: ProcessManager, name: str, work: float = 1.0):
+    """Helper: register a bare process with constant startup work."""
+    return manager.spawn(ProcessSpec(name, constant_work(work)))

@@ -1,0 +1,179 @@
+"""Tests for the analytic MTTF/MTTR reasoning (§3.2, §4.1 formulas)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    availability,
+    expected_group_mttr,
+    group_mttf_bound,
+    group_mttr_bound,
+    minimal_curing_cell,
+    predict_recovery_time,
+    restart_duration,
+    system_mttr_table,
+)
+from repro.errors import TreeError
+from repro.mercury.config import PAPER_CONFIG
+from repro.mercury.trees import tree_i, tree_ii, tree_iii, tree_iv, tree_v
+
+
+def test_group_bounds():
+    assert group_mttf_bound([10.0, 5.0, 20.0]) == 5.0
+    assert group_mttr_bound([10.0, 5.0, 20.0]) == 20.0
+
+
+def test_group_bounds_empty_rejected():
+    with pytest.raises(TreeError):
+        group_mttf_bound([])
+    with pytest.raises(TreeError):
+        group_mttr_bound([])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_bounds_hold_per_paper_inequalities(values):
+    """§3.2: MTTF_G <= min(MTTF_ci) and MTTR_G >= max(MTTR_ci)."""
+    assert group_mttf_bound(values) <= min(values)
+    assert group_mttr_bound(values) >= max(values)
+    assert group_mttf_bound(values) == min(values)
+    assert group_mttr_bound(values) == max(values)
+
+
+def test_expected_group_mttr_formula():
+    """§4.1: MTTR_G = sum f_ci * MTTR_ci."""
+    f = {frozenset(["a"]): 0.8, frozenset(["b"]): 0.2}
+    mttr = {frozenset(["a"]): 5.0, frozenset(["b"]): 20.0}
+    assert expected_group_mttr(f, mttr) == pytest.approx(0.8 * 5 + 0.2 * 20)
+
+
+def test_expected_group_mttr_requires_normalised_f():
+    with pytest.raises(TreeError):
+        expected_group_mttr({frozenset(["a"]): 0.5}, {frozenset(["a"]): 1.0})
+
+
+def test_expected_group_mttr_requires_mttr_for_each_cure():
+    with pytest.raises(TreeError):
+        expected_group_mttr({frozenset(["a"]): 1.0}, {})
+
+
+def test_restart_duration_singleton():
+    seconds = PAPER_CONFIG.restart_seconds()
+    duration = restart_duration(tree_ii(), "R_rtu", seconds, 0.047)
+    assert duration == pytest.approx(seconds["rtu"])
+
+
+def test_restart_duration_group_contention():
+    seconds = PAPER_CONFIG.restart_seconds(lone=False)
+    duration = restart_duration(tree_i(), "R_mercury", seconds, 0.047)
+    assert duration == pytest.approx(max(seconds[c] for c in tree_i().components) * (1 + 0.047 * 4))
+
+
+def test_restart_duration_missing_component_rejected():
+    with pytest.raises(TreeError):
+        restart_duration(tree_ii(), "R_rtu", {}, 0.0)
+
+
+def test_minimal_curing_cell_matches_tree():
+    assert minimal_curing_cell(tree_iii(), ["fedr", "pbcom"]) == "R_fedr_pbcom"
+
+
+def test_predict_tree_i_full_reboot():
+    """The analytic prediction lands on the Table 2 tree-I value."""
+    config = PAPER_CONFIG
+    predicted = predict_recovery_time(
+        tree_i(),
+        ["rtu"],
+        config.restart_seconds(lone=False),
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+    )
+    assert predicted == pytest.approx(24.75, abs=0.6)
+
+
+def test_predict_tree_ii_rtu():
+    config = PAPER_CONFIG
+    predicted = predict_recovery_time(
+        tree_ii(),
+        ["rtu"],
+        config.restart_seconds(),
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+    )
+    assert predicted == pytest.approx(5.59, abs=0.2)
+
+
+def test_predict_faulty_oracle_blends_mistake_path():
+    config = PAPER_CONFIG
+    base = predict_recovery_time(
+        tree_iv(), ["fedr", "pbcom"], config.restart_seconds(lone=False),
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+        guess_too_low_probability=0.0, manifest_component="pbcom",
+    )
+    faulty = predict_recovery_time(
+        tree_iv(), ["fedr", "pbcom"], config.restart_seconds(lone=False),
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+        guess_too_low_probability=0.3, manifest_component="pbcom",
+    )
+    assert faulty > base
+    # Paper: 29.19s for tree IV with the 30% faulty oracle.
+    assert faulty == pytest.approx(29.19, abs=1.5)
+
+
+def test_predict_tree_v_immune_to_mistakes():
+    """Tree V structurally forbids guess-too-low on pbcom (§4.4)."""
+    config = PAPER_CONFIG
+    perfect = predict_recovery_time(
+        tree_v(), ["fedr", "pbcom"], config.restart_seconds(lone=False),
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+        guess_too_low_probability=0.0, manifest_component="pbcom",
+    )
+    faulty = predict_recovery_time(
+        tree_v(), ["fedr", "pbcom"], config.restart_seconds(lone=False),
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+        guess_too_low_probability=0.3, manifest_component="pbcom",
+    )
+    assert faulty == perfect
+    assert faulty == pytest.approx(21.63, abs=1.0)
+
+
+def test_availability_ratio():
+    assert availability(99.0, 1.0) == pytest.approx(0.99)
+    with pytest.raises(TreeError):
+        availability(0.0, 1.0)
+    with pytest.raises(TreeError):
+        availability(1.0, -1.0)
+
+
+@given(
+    mttf=st.floats(min_value=1e-3, max_value=1e9),
+    mttr=st.floats(min_value=0.0, max_value=1e9),
+)
+@settings(max_examples=100, deadline=None)
+def test_availability_in_unit_interval(mttf, mttr):
+    a = availability(mttf, mttr)
+    assert 0.0 < a <= 1.0
+
+
+def test_system_mttr_table_orders_trees_correctly():
+    """Theory predicts the paper's ordering: each evolution step helps the
+    failures it targets and never hurts under a perfect oracle."""
+    config = PAPER_CONFIG
+    kwargs = dict(
+        mean_detection=config.mean_detection,
+        contention_coefficient=config.contention_coefficient,
+    )
+    t1 = system_mttr_table(tree_i(), config.restart_seconds(lone=False), **kwargs)
+    t2 = system_mttr_table(tree_ii(), config.restart_seconds(), **kwargs)
+    for component in t2:
+        assert t2[component] <= t1[component] + 1e-9
+    # Consolidation: ses/str improve from III (lone restarts) to IV (joint).
+    t3 = system_mttr_table(tree_iii(), config.restart_seconds(), **kwargs)
+    t4 = system_mttr_table(tree_iv(), config.restart_seconds(lone=False), **kwargs)
+    assert t4["ses"] < t3["ses"]
+    assert t4["str"] < t3["str"]

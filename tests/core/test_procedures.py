@@ -1,0 +1,134 @@
+"""Tests for recursive recovery (per-cell procedures, §7)."""
+
+import pytest
+
+from repro.core.oracle import NaiveOracle
+from repro.core.policy import RestartPolicy
+from repro.core.procedures import (
+    ProcedureMap,
+    RestartProcedure,
+    WarmRecoveryProcedure,
+)
+from repro.core.tree import RestartTree, cell
+from repro.detection.abstract import AbstractSupervisor
+from repro.faults.injector import FaultInjector
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, StartupContext
+from repro.sim.kernel import Kernel
+
+
+def checkpointed_work(cold: float, warm: float):
+    """A hard-state component: cold replay vs checkpoint restore."""
+
+    def work(context: StartupContext) -> float:
+        return warm if context.hint == "warm" else cold
+
+    return work
+
+
+@pytest.fixture
+def rig():
+    kernel = Kernel(seed=7)
+    manager = ProcessManager(kernel)
+    manager.spawn(ProcessSpec("web", lambda ctx: 2.0))
+    manager.spawn(ProcessSpec("db", checkpointed_work(cold=30.0, warm=3.0)))
+    manager.start_all()
+    kernel.run()
+    tree = RestartTree(
+        cell("root", children=[cell("R_web", ["web"]), cell("R_db", ["db"])]),
+        name="svc",
+    )
+    injector = FaultInjector(kernel, manager)
+    return kernel, manager, tree, injector
+
+
+def test_procedure_map_default_is_restart():
+    procedures = ProcedureMap()
+    assert isinstance(procedures.for_cell("anything"), RestartProcedure)
+    assert procedures.describe("anything") == "restart"
+    assert list(procedures.overridden_cells()) == []
+
+
+def test_procedure_map_assignment_chains():
+    procedures = ProcedureMap().assign("R_db", WarmRecoveryProcedure())
+    assert procedures.describe("R_db") == "warm-recovery(warm)"
+    assert procedures.describe("R_web") == "restart"
+    assert list(procedures.overridden_cells()) == ["R_db"]
+
+
+def test_warm_hint_reaches_startup_context(rig):
+    kernel, manager, tree, injector = rig
+    WarmRecoveryProcedure().execute(manager, frozenset(["db"]))
+    kernel.run()
+    ready = kernel.trace.last("process_ready", name="db")
+    start = kernel.trace.last("process_start", name="db")
+    assert start.data["work"] == pytest.approx(3.0)  # warm path taken
+
+
+def test_cold_restart_unchanged(rig):
+    kernel, manager, tree, injector = rig
+    RestartProcedure().execute(manager, frozenset(["db"]))
+    kernel.run()
+    start = kernel.trace.last("process_start", name="db")
+    assert start.data["work"] == pytest.approx(30.0)
+
+
+def test_supervisor_uses_assigned_procedure(rig):
+    kernel, manager, tree, injector = rig
+    procedures = ProcedureMap().assign("R_db", WarmRecoveryProcedure())
+    policy = RestartPolicy(tree, NaiveOracle())
+    AbstractSupervisor(
+        kernel, manager, policy, monitored=["web", "db"], procedures=procedures
+    )
+    failure = injector.inject_simple("db")
+    deadline = kernel.now + 60.0
+    while kernel.now < deadline and injector.is_active(failure.failure_id):
+        kernel.step()
+    assert not injector.is_active(failure.failure_id)
+    recovery = kernel.now - failure.injected_at
+    assert recovery < 5.0  # warm: ~0.7 detect + 3.0, not 30.0
+
+
+def test_escalation_falls_back_to_cold_parent(rig):
+    """A warm recovery that cannot cure escalates to the parent cell, whose
+    default procedure is the cold restart — 'try the cheapest cure first'."""
+    kernel, manager, tree, injector = rig
+    procedures = ProcedureMap().assign("R_db", WarmRecoveryProcedure())
+    policy = RestartPolicy(tree, NaiveOracle())
+    AbstractSupervisor(
+        kernel, manager, policy, monitored=["web", "db"], procedures=procedures
+    )
+    # Cure requires the whole root (both components together).
+    failure = injector.inject_joint("db", ["db", "web"])
+    deadline = kernel.now + 120.0
+    while kernel.now < deadline and injector.is_active(failure.failure_id):
+        kernel.step()
+    assert not injector.is_active(failure.failure_id)
+    ordered = [
+        (r.data["cell"]) for r in kernel.trace.filter(kind="restart_ordered")
+    ]
+    assert ordered == ["R_db", "root"]
+    # First attempt was the cheap warm one; the curing root restart was cold.
+    db_starts = [r.data["work"] for r in kernel.trace.filter(kind="process_start", name="db")]
+    assert db_starts[-2:] == [pytest.approx(3.0), pytest.approx(30.0)]
+
+
+def test_components_ignoring_hints_are_unaffected(rig):
+    kernel, manager, tree, injector = rig
+    WarmRecoveryProcedure().execute(manager, frozenset(["web"]))
+    kernel.run()
+    start = kernel.trace.last("process_start", name="web")
+    assert start.data["work"] == pytest.approx(2.0)
+
+
+def test_rec_trace_names_procedure():
+    from repro.mercury.station import MercuryStation
+    from repro.mercury.trees import tree_v
+
+    station = MercuryStation(tree=tree_v(), seed=141)
+    station.rec.procedures.assign("R_rtu", WarmRecoveryProcedure())
+    station.boot()
+    failure = station.injector.inject_simple("rtu")
+    station.run_until_recovered(failure)
+    order = station.trace.first("restart_ordered")
+    assert order.data["procedure"] == "warm-recovery(warm)"

@@ -1,0 +1,123 @@
+"""Tests for proactive rejuvenation."""
+
+import pytest
+
+from repro.core.rejuvenation import RejuvenationScheduler, no_pass_imminent
+from repro.errors import TreeError, UnknownCellError
+from repro.mercury.orbit import PassWindow
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_v
+
+
+@pytest.fixture
+def station():
+    s = MercuryStation(tree=tree_v(), seed=101)
+    s.boot()
+    return s
+
+
+def test_proactive_restart_via_rec(station):
+    accepted = station.rec.request_restart("R_rtu", reason="rejuvenation")
+    assert accepted
+    station.run_for(10.0)
+    assert station.manager.get("rtu").start_count == 2
+    # No failure was ever injected or detected; FD stayed quiet.
+    assert station.trace.filter(kind="detection") == []
+    order = station.trace.first("restart_ordered")
+    assert order.data["trigger"] == "rejuvenation"
+
+
+def test_proactive_restart_rejected_while_busy(station):
+    station.injector.inject_simple("pbcom")
+    station.run_for(2.0)  # joint restart in flight (~22s)
+    assert not station.rec.request_restart("R_rtu")
+
+
+def test_proactive_restart_rejected_when_member_down(station):
+    station.injector.inject_simple("rtu")
+    station.run_for(0.2)  # not yet detected, but already down
+    assert not station.rec.request_restart("R_rtu")
+    station.run_until_quiescent()
+
+
+def test_proactive_restart_unknown_cell_rejected(station):
+    assert not station.rec.request_restart("R_ghost")
+
+
+def test_scheduler_runs_rounds(station):
+    scheduler = RejuvenationScheduler(
+        station.kernel, station.rec, station.tree, ["R_rtu"], period=30.0
+    )
+    station.run_for(100.0)
+    assert scheduler.rounds_executed >= 3
+    assert station.manager.get("rtu").start_count >= 4
+    assert station.all_station_running()
+
+
+def test_scheduler_respects_idle_predicate(station):
+    scheduler = RejuvenationScheduler(
+        station.kernel, station.rec, station.tree, ["R_rtu"],
+        period=20.0, idle_predicate=lambda now: False,
+    )
+    station.run_for(100.0)
+    assert scheduler.rounds_executed == 0
+    assert scheduler.rounds_skipped_not_idle >= 4
+    assert station.manager.get("rtu").start_count == 1
+
+
+def test_scheduler_stop(station):
+    scheduler = RejuvenationScheduler(
+        station.kernel, station.rec, station.tree, ["R_rtu"], period=20.0
+    )
+    scheduler.stop()
+    station.run_for(100.0)
+    assert scheduler.rounds_executed == 0
+
+
+def test_scheduler_validates_inputs(station):
+    with pytest.raises(TreeError):
+        RejuvenationScheduler(
+            station.kernel, station.rec, station.tree, ["R_rtu"], period=0.0
+        )
+    with pytest.raises(UnknownCellError):
+        RejuvenationScheduler(
+            station.kernel, station.rec, station.tree, ["R_typo"], period=10.0
+        )
+
+
+def test_rejuvenation_resets_pbcom_age(station):
+    """The Mercury payoff: a proactive pbcom restart resets disconnect age."""
+    station.aging._threshold = 100  # keep pbcom from aging out mid-test
+    for _ in range(3):
+        failure = station.injector.inject_simple("fedr")
+        station.run_until_recovered(failure)
+        station.run_until_quiescent()
+    assert station.aging.age == 3
+    assert station.rec.request_restart("R_fedr_pbcom", reason="rejuvenation")
+    station.run_for(30.0)
+    assert station.aging.age == 0
+    assert station.all_station_running()
+
+
+def test_abstract_supervisor_proactive_restart():
+    station = MercuryStation(tree=tree_v(), seed=102, supervisor="abstract")
+    station.manager.start_all(station.station_components)
+    station.kernel.run(until=60.0)
+    assert station.abstract_supervisor.request_restart("R_rtu", "rejuvenation")
+    station.run_for(10.0)
+    assert station.manager.get("rtu").start_count == 2
+    assert station.all_station_running()
+
+
+def test_no_pass_imminent_predicate():
+    windows = [
+        PassWindow("opal", start=100.0, duration=600.0, max_elevation_deg=60.0),
+        PassWindow("opal", start=2000.0, duration=600.0, max_elevation_deg=60.0),
+    ]
+    idle = no_pass_imminent(windows, margin_s=60.0)
+    assert idle(0.0)          # pass starts at 100, margin ends at 60
+    assert not idle(50.0)     # pass would start inside the margin
+    assert not idle(300.0)    # mid-pass
+    assert idle(800.0)        # between passes, next one far away
+    assert not idle(1950.0)   # second pass imminent
+    assert idle(2700.0)       # after the last pass

@@ -1,0 +1,63 @@
+"""Tests for ASCII tree rendering."""
+
+from hypothesis import given, settings
+
+from repro.core.render import render_compact, render_side_by_side, render_tree
+from repro.mercury.trees import tree_iv, tree_v
+
+from tests.core.test_tree import random_trees
+
+
+def test_render_tree_lists_every_cell_and_component():
+    text = render_tree(tree_iv())
+    for cell_id in tree_iv().cell_ids:
+        assert cell_id in text
+    for component in tree_iv().components:
+        assert component in text
+
+
+def test_render_tree_shows_name_by_default():
+    assert render_tree(tree_iv()).splitlines()[0] == "tree-IV"
+    assert render_tree(tree_iv(), show_name=False).splitlines()[0] == "R_mercury"
+
+
+def test_render_tree_nesting_markers():
+    text = render_tree(tree_iv(), show_name=False)
+    assert "├── " in text
+    assert "└── " in text
+    assert "│   " in text
+
+
+def test_render_compact_nested_parens():
+    compact = render_compact(tree_v())
+    assert compact.startswith("(R_mercury ")
+    assert "(R_fedr_pbcom:pbcom (R_fedr:fedr))" in compact
+    assert compact.count("(") == compact.count(")")
+
+
+def test_render_side_by_side_contains_both_and_arrow():
+    left = render_tree(tree_iv())
+    right = render_tree(tree_v())
+    combined = render_side_by_side(left, right)
+    assert "=>" in combined
+    assert "tree-IV" in combined and "tree-V" in combined
+
+
+def test_render_side_by_side_unequal_heights():
+    combined = render_side_by_side("a\nb\nc\nd", "x")
+    assert combined.count("\n") == 3
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_render_covers_all_cells(tree):
+    text = render_tree(tree)
+    for cell_id in tree.cell_ids:
+        assert cell_id in text
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_compact_parens_balanced(tree):
+    compact = render_compact(tree)
+    assert compact.count("(") == compact.count(")") == len(tree.cell_ids)

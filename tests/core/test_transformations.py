@@ -1,0 +1,282 @@
+"""Tests for the four tree transformations (paper §4, Table 3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.transformations import (
+    TRANSFORMATION_CATALOG,
+    consolidate_groups,
+    depth_augment,
+    insert_joint_node,
+    promote_component,
+    replace_component,
+)
+from repro.core.tree import RestartTree, cell
+from repro.errors import TransformationError
+from repro.mercury.trees import (
+    tree_i,
+    tree_ii,
+    tree_ii_prime,
+    tree_iii,
+    tree_iv,
+    tree_v,
+)
+
+from tests.core.test_tree import random_trees
+
+
+# ----------------------------------------------------------------------
+# depth augmentation (tree I -> II, Figure 3)
+# ----------------------------------------------------------------------
+
+
+def test_depth_augment_gives_each_component_a_cell():
+    t2 = depth_augment(tree_i())
+    assert t2.components == tree_i().components
+    for component in t2.components:
+        home = t2.get_cell(t2.cell_of_component(component))
+        assert home.is_leaf
+        assert home.components == frozenset([component])
+
+
+def test_depth_augment_root_loses_annotations():
+    t2 = depth_augment(tree_i())
+    assert t2.root.components == frozenset()
+    assert len(t2.root.children) == 5
+
+
+def test_depth_augment_on_cell_without_components_rejected():
+    t2 = depth_augment(tree_i())
+    with pytest.raises(TransformationError):
+        depth_augment(t2)  # root now attaches nothing
+
+
+def test_depth_augment_inner_cell():
+    tree = RestartTree(cell("root", children=[cell("mid", ["a", "b"])]))
+    out = depth_augment(tree, "mid")
+    mid = out.get_cell("mid")
+    assert mid.components == frozenset()
+    assert {c.cell_id for c in mid.children} == {"R_a", "R_b"}
+
+
+def test_depth_augment_records_history():
+    t2 = depth_augment(tree_i(), name="tree-II")
+    assert t2.name == "tree-II"
+    assert any("depth_augment" in entry for entry in t2.history)
+
+
+def test_depth_augment_avoids_id_collisions():
+    tree = RestartTree(cell("root", ["a"], children=[cell("R_a", ["b"])]))
+    out = depth_augment(tree, "root")
+    assert out.cell_of_component("a") == "R_a_2"
+    assert out.cell_of_component("b") == "R_a"
+
+
+# ----------------------------------------------------------------------
+# component split (tree II -> II')
+# ----------------------------------------------------------------------
+
+
+def test_replace_component_splits():
+    t2p = replace_component(tree_ii(), "fedrcom", ["fedr", "pbcom"])
+    assert "fedrcom" not in t2p.components
+    assert {"fedr", "pbcom"} <= t2p.components
+    assert t2p.parent_of(t2p.cell_of_component("fedr")) == t2p.root.cell_id
+    assert t2p.parent_of(t2p.cell_of_component("pbcom")) == t2p.root.cell_id
+
+
+def test_replace_component_on_shared_cell_keeps_others():
+    tree = RestartTree(cell("root", children=[cell("x", ["a", "b"])]))
+    out = replace_component(tree, "a", ["a1", "a2"])
+    assert out.components == frozenset(["b", "a1", "a2"])
+    assert out.cell_of_component("b") == "x"
+
+
+def test_replace_component_requires_two_parts():
+    with pytest.raises(TransformationError):
+        replace_component(tree_ii(), "fedrcom", ["only-one"])
+
+
+def test_replace_component_rejects_existing_names():
+    with pytest.raises(TransformationError):
+        replace_component(tree_ii(), "fedrcom", ["fedr", "ses"])
+
+
+def test_replace_component_at_root():
+    tree = RestartTree(cell("root", ["solo"]))
+    out = replace_component(tree, "solo", ["p1", "p2"])
+    assert out.components == frozenset(["p1", "p2"])
+    assert out.root.cell_id == "root"
+
+
+# ----------------------------------------------------------------------
+# joint node insertion (tree II' -> III, Figure 4)
+# ----------------------------------------------------------------------
+
+
+def test_insert_joint_node_structure():
+    t3 = insert_joint_node(tree_ii_prime(), ["R_fedr", "R_pbcom"], "R_fp")
+    joint = t3.get_cell("R_fp")
+    assert {c.cell_id for c in joint.children} == {"R_fedr", "R_pbcom"}
+    assert t3.components_restarted_by("R_fp") == frozenset(["fedr", "pbcom"])
+    assert t3.parent_of("R_fp") == t3.root.cell_id
+
+
+def test_insert_joint_node_preserves_individual_buttons():
+    t3 = insert_joint_node(tree_ii_prime(), ["R_fedr", "R_pbcom"], "R_fp")
+    assert t3.components_restarted_by("R_fedr") == frozenset(["fedr"])
+
+
+def test_insert_joint_requires_siblings():
+    t3 = tree_iii()
+    with pytest.raises(TransformationError):
+        insert_joint_node(t3, ["R_fedr", "R_mbus"], "R_bad")  # different parents
+
+
+def test_insert_joint_rejects_existing_id():
+    with pytest.raises(TransformationError):
+        insert_joint_node(tree_ii_prime(), ["R_fedr", "R_pbcom"], "R_mbus")
+
+
+def test_insert_joint_rejects_root():
+    tree = tree_ii_prime()
+    with pytest.raises(TransformationError):
+        insert_joint_node(tree, [tree.root.cell_id], "R_x")
+
+
+# ----------------------------------------------------------------------
+# group consolidation (tree III -> IV, Figure 5)
+# ----------------------------------------------------------------------
+
+
+def test_consolidation_merges_into_leaf():
+    t4 = consolidate_groups(tree_iii(), ["R_ses", "R_str"], "R_ses_str")
+    merged = t4.get_cell("R_ses_str")
+    assert merged.is_leaf
+    assert merged.components == frozenset(["ses", "str"])
+    assert t4.minimal_cell_covering(["ses"]) == "R_ses_str"
+
+
+def test_consolidation_removes_individual_buttons():
+    t4 = consolidate_groups(tree_iii(), ["R_ses", "R_str"], "R_ses_str")
+    assert not t4.has_cell("R_ses")
+    assert not t4.has_cell("R_str")
+
+
+def test_consolidation_requires_siblings():
+    with pytest.raises(TransformationError):
+        consolidate_groups(tree_iii(), ["R_ses", "R_fedr"], "R_bad")
+
+
+def test_consolidation_of_subtrees_merges_components():
+    t3 = tree_iii()
+    merged = consolidate_groups(t3, ["R_fedr_pbcom", "R_ses"], "R_big")
+    assert merged.components_restarted_by("R_big") == frozenset(["fedr", "pbcom", "ses"])
+    assert merged.get_cell("R_big").is_leaf
+
+
+def test_consolidation_requires_two_cells():
+    with pytest.raises(TransformationError):
+        consolidate_groups(tree_iii(), ["R_ses"], "R_x")
+
+
+# ----------------------------------------------------------------------
+# node promotion (tree IV -> V, Figure 6)
+# ----------------------------------------------------------------------
+
+
+def test_promotion_moves_annotation_to_parent():
+    t5 = promote_component(tree_iv(), "pbcom")
+    joint = t5.cell_of_component("pbcom")
+    assert joint == "R_fedr_pbcom"
+    assert not t5.get_cell(joint).is_leaf
+    assert t5.components_restarted_by(joint) == frozenset(["fedr", "pbcom"])
+
+
+def test_promotion_removes_empty_leaf():
+    t5 = promote_component(tree_iv(), "pbcom")
+    assert not t5.has_cell("R_pbcom")
+
+
+def test_promotion_keeps_sibling_button():
+    t5 = promote_component(tree_iv(), "pbcom")
+    assert t5.components_restarted_by("R_fedr") == frozenset(["fedr"])
+
+
+def test_promotion_eliminates_guess_too_low_site():
+    """After promotion, the deepest cell holding pbcom IS the joint cell."""
+    t5 = promote_component(tree_iv(), "pbcom")
+    assert t5.minimal_cell_covering(["pbcom"]) == t5.cell_of_component("pbcom")
+
+
+def test_promotion_of_root_component_rejected():
+    with pytest.raises(TransformationError):
+        promote_component(tree_i(), "mbus")  # attached to the root
+
+
+def test_promotion_keeps_cell_with_other_components():
+    tree = RestartTree(
+        cell("root", children=[cell("pair", ["a", "b"], children=[])])
+    )
+    out = promote_component(tree, "a")
+    assert out.cell_of_component("a") == "root"
+    assert out.cell_of_component("b") == "pair"
+
+
+# ----------------------------------------------------------------------
+# the full paper evolution + invariants
+# ----------------------------------------------------------------------
+
+
+def test_full_evolution_matches_paper_structures():
+    assert tree_i().height == 0
+    assert tree_ii().height == 1
+    assert tree_iii().height == 2
+    assert tree_iv().height == 2
+    t5 = tree_v()
+    assert t5.cell_of_component("pbcom") == "R_fedr_pbcom"
+    assert t5.components == frozenset(["mbus", "fedr", "pbcom", "ses", "str", "rtu"])
+
+
+def test_history_accumulates_through_evolution():
+    assert len(tree_v().history) == 5
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_transformations_preserve_component_sets(tree):
+    """Every applicable transformation preserves the covered components
+    (except replace_component, which renames by design)."""
+    for component in sorted(tree.components):
+        home = tree.cell_of_component(component)
+        if tree.parent_of(home) is not None:
+            promoted = promote_component(tree, component)
+            assert promoted.components == tree.components
+            break
+    root = tree.root
+    if root.components:
+        augmented = depth_augment(tree)
+        assert augmented.components == tree.components
+    if len(root.children) >= 2:
+        ids = [c.cell_id for c in root.children[:2]]
+        joint = insert_joint_node(tree, ids, "JOINT_NEW")
+        assert joint.components == tree.components
+        merged = consolidate_groups(tree, ids, "MERGED_NEW")
+        assert merged.components == tree.components
+
+
+def test_catalog_matches_table3():
+    keys = [t.key for t in TRANSFORMATION_CATALOG]
+    assert keys == [
+        "original",
+        "depth_augment",
+        "subtree_depth_augment",
+        "consolidate",
+        "promote",
+    ]
+    by_key = {t.key: t for t in TRANSFORMATION_CATALOG}
+    assert by_key["original"].assumptions_embodied == ("A_cure", "A_entire")
+    assert "A_independent" in by_key["depth_augment"].assumptions_embodied
+    assert "A_independent" not in by_key["consolidate"].assumptions_embodied
+    assert by_key["consolidate"].useful_when == "f_A + f_B << f_{A,B}"
+    assert "faulty" in by_key["promote"].useful_when

@@ -1,0 +1,92 @@
+"""Tests for the full-fidelity failure detector (FD) inside the station."""
+
+import pytest
+
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_ii, tree_v
+
+
+@pytest.fixture
+def station():
+    s = MercuryStation(tree=tree_v(), seed=11)
+    s.boot()
+    return s
+
+
+def detection_delay(station, component):
+    failure = station.injector.inject_simple(component)
+    injected_at = station.kernel.now
+    station.run_until_recovered(failure)
+    detected = station.trace.first(
+        "detection", component=component
+    )
+    return detected.time - injected_at
+
+
+def test_detects_failed_component_within_period_plus_timeout(station):
+    delay = detection_delay(station, "rtu")
+    assert 0.0 < delay <= station.config.ping_period + station.config.reply_timeout + 0.1
+
+
+def test_detection_reported_to_rec(station):
+    failure = station.injector.inject_simple("rtu")
+    station.run_until_recovered(failure)
+    assert station.trace.first("failure_reported", component="rtu") is not None
+    assert station.fd.reports_sent >= 1
+
+
+def test_mbus_failure_detected_and_attributed(station):
+    failure = station.injector.inject_simple("mbus")
+    station.run_until_recovered(failure)
+    detections = {r.data["component"] for r in station.trace.filter(kind="detection")}
+    assert detections == {"mbus"}  # no false accusations of other components
+
+
+def test_no_detections_when_healthy(station):
+    station.run_for(30.0)
+    assert station.trace.filter(kind="detection") == []
+
+
+def test_suppression_during_restart(station):
+    """Components bounced by REC are not reported as failed."""
+    failure = station.injector.inject_simple("ses")  # joint ses+str restart
+    station.run_until_recovered(failure)
+    detections = [r.data["component"] for r in station.trace.filter(kind="detection")]
+    assert detections == ["ses"]  # str's expected downtime never reported
+
+
+def test_redetection_after_insufficient_restart():
+    station = MercuryStation(tree=tree_v(), seed=12, oracle="naive")
+    station.boot()
+    # Joint-curable failure; the naive oracle restarts the joint cell in
+    # tree V (pbcom home IS the joint cell), so use fedr instead: cure
+    # requires both, naive restarts fedr alone -> re-detection -> escalate.
+    failure = station.injector.inject_joint("fedr", ["fedr", "pbcom"])
+    recovery = station.run_until_recovered(failure)
+    detections = [r for r in station.trace.filter(kind="detection", component="fedr")]
+    assert len(detections) >= 2  # initial + post-restart re-detection
+    assert recovery > 20.0  # paid the escalated joint restart
+
+
+def test_detection_of_multiple_sequential_failures(station):
+    for component in ("rtu", "fedr", "rtu"):
+        failure = station.injector.inject_simple(component)
+        station.run_until_recovered(failure)
+        station.run_until_quiescent()
+    assert len(station.trace.filter(kind="detection")) == 3
+
+
+def test_fd_pings_are_xml_on_the_wire(station):
+    """Liveness is judged via parsed XML replies, not object identity."""
+    assert station.fd.connected
+    station.run_for(5.0)
+    # The broker routed traffic; if parsing were broken nothing would flow.
+    assert station.manager.get("mbus").behavior.routed > 0
+
+
+def test_warmup_prevents_boot_storm():
+    """During a cold boot FD must not report slow-starting components."""
+    station = MercuryStation(tree=tree_v(), seed=13)
+    station.boot()  # raises if the station cannot stabilise
+    assert station.trace.filter(kind="detection") == []
+    assert station.policy.restarts_ordered == 0

@@ -1,0 +1,67 @@
+"""Tests for the kill-and-measure recovery harness."""
+
+import pytest
+
+from repro.experiments.recovery import measure_recovery, measure_recovery_row
+from repro.mercury.trees import tree_ii, tree_iv, tree_v
+
+TRIALS = 8  # small for test speed; the benches run the paper's 100
+
+
+def test_samples_count_and_metadata():
+    result = measure_recovery(tree_ii(), "rtu", trials=TRIALS, seed=61)
+    assert len(result.samples) == TRIALS
+    assert result.tree_name == "tree-II"
+    assert result.component == "rtu"
+    assert result.oracle == "perfect"
+    assert result.cure_set == frozenset(["rtu"])
+
+
+def test_small_coefficient_of_variation():
+    """§3.2's assumption, verified on our own measurements."""
+    result = measure_recovery(tree_ii(), "rtu", trials=TRIALS, seed=62)
+    assert result.stats.coefficient_of_variation < 0.1
+
+
+def test_mean_matches_paper_tree_ii_rtu():
+    result = measure_recovery(tree_ii(), "rtu", trials=TRIALS, seed=63)
+    assert result.mean == pytest.approx(5.59, abs=0.5)
+
+
+def test_joint_cure_set_forces_joint_restart():
+    result = measure_recovery(
+        tree_v(), "pbcom", trials=4, seed=64, cure_set=("fedr", "pbcom")
+    )
+    assert result.cure_set == frozenset(["fedr", "pbcom"])
+    assert result.mean == pytest.approx(22.2, abs=1.0)
+
+
+def test_faulty_oracle_slower_on_tree_iv():
+    perfect = measure_recovery(
+        tree_iv(), "pbcom", trials=6, seed=65, cure_set=("fedr", "pbcom")
+    )
+    faulty = measure_recovery(
+        tree_iv(), "pbcom", trials=6, seed=65,
+        oracle="faulty", oracle_error_rate=1.0, cure_set=("fedr", "pbcom"),
+    )
+    assert faulty.mean > perfect.mean + 15.0  # every trial pays the mistake
+    assert faulty.oracle.startswith("faulty")
+
+
+def test_row_helper_covers_components():
+    results = measure_recovery_row(tree_ii(), ["rtu", "mbus"], trials=3, seed=66)
+    assert [r.component for r in results] == ["rtu", "mbus"]
+    assert all(len(r.samples) == 3 for r in results)
+
+
+def test_abstract_supervisor_agrees_with_full():
+    """The fast path's recovery distribution matches the full stack."""
+    full = measure_recovery(tree_v(), "rtu", trials=10, seed=67, supervisor="full")
+    fast = measure_recovery(tree_v(), "rtu", trials=10, seed=67, supervisor="abstract")
+    assert fast.mean == pytest.approx(full.mean, abs=0.3)
+
+
+def test_determinism():
+    a = measure_recovery(tree_v(), "ses", trials=4, seed=68)
+    b = measure_recovery(tree_v(), "ses", trials=4, seed=68)
+    assert a.samples == b.samples

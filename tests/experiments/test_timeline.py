@@ -1,0 +1,76 @@
+"""Tests for the episode-timeline renderer."""
+
+import pytest
+
+from repro.experiments.timeline import episode_timeline
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_iii, tree_v
+
+
+@pytest.fixture
+def station():
+    s = MercuryStation(tree=tree_v(), seed=121)
+    s.boot()
+    return s
+
+
+def test_simple_episode_narrative(station):
+    failure = station.injector.inject_simple("rtu")
+    station.run_until_recovered(failure)
+    station.run_for(5.0)
+    text = episode_timeline(station.trace, failure)
+    assert "failure injected in rtu" in text
+    assert "FD detected rtu" in text
+    assert "restart ordered: R_rtu" in text
+    assert "rtu functionally ready" in text
+    assert "failure in rtu cured" in text
+    assert "episode closed for rtu" in text
+    # Relative timestamps, starting at the injection.
+    first_line = text.splitlines()[0]
+    assert first_line.startswith("t=+   0.000s")
+
+
+def test_narrative_is_chronological(station):
+    failure = station.injector.inject_simple("ses")
+    station.run_until_recovered(failure)
+    station.run_for(5.0)
+    text = episode_timeline(station.trace, failure)
+    times = [float(line.split("s", 1)[0][3:]) for line in text.splitlines()]
+    assert times == sorted(times)
+
+
+def test_escalation_narrative():
+    station = MercuryStation(tree=tree_iii(), seed=122, oracle="naive")
+    station.boot()
+    failure = station.injector.inject_joint("pbcom", ["fedr", "pbcom"])
+    station.run_until_recovered(failure, timeout=400.0)
+    station.run_for(5.0)
+    text = episode_timeline(station.trace, failure)
+    assert "restart ordered: R_pbcom" in text
+    assert "failure re-manifested in pbcom" in text
+    assert "restart ordered: R_fedr_pbcom" in text
+    assert text.index("R_pbcom") < text.index("R_fedr_pbcom")
+
+
+def test_component_filter(station):
+    failure = station.injector.inject_simple("ses")  # restarts ses AND str
+    station.run_until_recovered(failure)
+    station.run_for(5.0)
+    unfiltered = episode_timeline(station.trace, failure)
+    filtered = episode_timeline(station.trace, failure, components=["ses"])
+    assert "str functionally ready" in unfiltered
+    assert "str functionally ready" not in filtered
+    assert "ses functionally ready" in filtered
+
+
+def test_window_without_failure(station):
+    t0 = station.kernel.now
+    failure = station.injector.inject_simple("rtu")
+    station.run_until_recovered(failure)
+    text = episode_timeline(station.trace, since=t0)
+    assert "failure injected in rtu" in text
+
+
+def test_requires_anchor(station):
+    with pytest.raises(ValueError):
+        episode_timeline(station.trace)

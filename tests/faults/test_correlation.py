@@ -1,0 +1,202 @@
+"""Tests for correlated-failure mechanisms: resync coupling and aging."""
+
+import pytest
+
+from repro.faults.correlation import DisconnectAging, ResyncCoupling
+from repro.faults.injector import FaultInjector
+
+from tests.conftest import spawn_simple
+
+
+@pytest.fixture
+def pair(kernel, manager):
+    for name in ("ses", "str"):
+        spawn_simple(manager, name, work=1.0)
+    manager.start_all()
+    kernel.run()
+    injector = FaultInjector(kernel, manager)
+    coupling = ResyncCoupling(injector, "ses", "str", induced_delay=0.2)
+    return injector, coupling
+
+
+def settle(kernel, seconds=30.0):
+    kernel.run(until=kernel.now + seconds)
+
+
+def test_lone_restart_crashes_stale_peer(kernel, manager, pair):
+    injector, coupling = pair
+    settle(kernel)  # let the peer's session age past the freshness window
+    injector.inject_simple("ses")
+    manager.restart(["ses"])
+    settle(kernel, 5.0)
+    assert coupling.induced_count == 1
+    induced = [d for d in injector.history if d.kind == "induced-resync"]
+    assert len(induced) == 1
+    assert induced[0].manifest_component == "str"
+
+
+def test_joint_restart_does_not_induce(kernel, manager, pair):
+    injector, coupling = pair
+    settle(kernel)
+    injector.inject_simple("ses")
+    manager.restart(["ses", "str"])
+    settle(kernel, 5.0)
+    assert coupling.induced_count == 0
+
+
+def test_no_infinite_ping_pong(kernel, manager, pair):
+    """One induced round only: the freshly restarted side holds a fresh
+    session, so the cascade terminates."""
+    injector, coupling = pair
+    settle(kernel)
+    injector.inject_simple("ses")
+    manager.restart(["ses"])
+    settle(kernel, 2.0)
+    # Recover the induced str failure with a lone restart too.
+    manager.restart(["str"])
+    settle(kernel, 30.0)
+    assert coupling.induced_count == 1
+    assert manager.all_running()
+
+
+def test_fresh_peer_survives(kernel, manager, pair):
+    injector, coupling = pair
+    settle(kernel)
+    manager.restart(["str"])  # str bounces; ses is stale -> ses induced
+    settle(kernel, 2.0)
+    assert coupling.induced_count == 1
+    manager.restart(["ses"])  # ses bounces; str restarted seconds ago -> fresh
+    settle(kernel, 10.0)
+    assert coupling.induced_count == 1
+
+
+def test_induce_probability_zero_disables(kernel, manager):
+    for name in ("a", "b"):
+        spawn_simple(manager, name, work=1.0)
+    manager.start_all()
+    kernel.run()
+    injector = FaultInjector(kernel, manager)
+    coupling = ResyncCoupling(injector, "a", "b", induce_probability=0.0)
+    kernel.run(until=kernel.now + 30.0)
+    manager.restart(["a"])
+    kernel.run(until=kernel.now + 10.0)
+    assert coupling.induced_count == 0
+
+
+def test_enabled_flag_disables(kernel, manager, pair):
+    injector, coupling = pair
+    coupling.enabled = False
+    settle(kernel)
+    manager.restart(["ses"])
+    settle(kernel, 5.0)
+    assert coupling.induced_count == 0
+
+
+def test_coupling_validates_arguments(kernel, manager, pair):
+    injector, _ = pair
+    with pytest.raises(ValueError):
+        ResyncCoupling(injector, "x", "x")
+    with pytest.raises(ValueError):
+        ResyncCoupling(injector, "x", "y", induce_probability=1.5)
+
+
+def test_induced_failure_links_provoker(kernel, manager, pair):
+    injector, _ = pair
+    settle(kernel)
+    provoking = injector.inject_simple("ses")
+    manager.restart(["ses"])
+    settle(kernel, 5.0)
+    induced = [d for d in injector.history if d.kind == "induced-resync"][0]
+    assert induced.induced_by == provoking.failure_id
+
+
+# ----------------------------------------------------------------------
+# aging
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def aged(kernel, manager):
+    for name in ("fedr", "pbcom"):
+        spawn_simple(manager, name, work=1.0)
+    manager.start_all()
+    kernel.run()
+    injector = FaultInjector(kernel, manager)
+    aging = DisconnectAging(
+        injector, "fedr", "pbcom", mean_failures_to_age_out=3.0, fail_delay=0.5
+    )
+    return injector, aging
+
+
+def test_each_disconnect_ages_victim(kernel, manager, aged):
+    injector, aging = aged
+    manager.fail("fedr")
+    manager.restart(["fedr"])
+    kernel.run(until=kernel.now + 5.0)
+    assert aging.age >= 1 or aging.aged_out_count >= 1
+
+
+def test_victim_eventually_ages_out(kernel, manager, aged):
+    injector, aging = aged
+    for _ in range(20):
+        manager.fail("fedr")
+        manager.restart(["fedr"])
+        kernel.run(until=kernel.now + 3.0)
+        if not manager.get("pbcom").is_running:
+            manager.restart(["pbcom"])
+            kernel.run(until=kernel.now + 3.0)
+    assert aging.aged_out_count >= 2
+    aging_failures = [d for d in injector.history if d.kind == "aging"]
+    assert aging_failures
+    assert all(d.manifest_component == "pbcom" for d in aging_failures)
+
+
+def test_victim_restart_rejuvenates(kernel, manager, aged):
+    _, aging = aged
+    manager.fail("fedr")
+    manager.restart(["fedr"])
+    kernel.run(until=kernel.now + 0.1)
+    age_before = aging.age
+    manager.restart(["pbcom"])
+    kernel.run(until=kernel.now + 5.0)
+    assert aging.age == 0
+    assert age_before >= 0
+
+
+def test_aging_disabled_flag(kernel, manager, aged):
+    injector, aging = aged
+    aging.enabled = False
+    for _ in range(10):
+        manager.fail("fedr")
+        manager.restart(["fedr"])
+        kernel.run(until=kernel.now + 3.0)
+    assert aging.aged_out_count == 0
+    assert [d for d in injector.history if d.kind == "aging"] == []
+
+
+def test_aging_validates_arguments(kernel, manager, aged):
+    injector, _ = aged
+    with pytest.raises(ValueError):
+        DisconnectAging(injector, "x", "x")
+    with pytest.raises(ValueError):
+        DisconnectAging(injector, "x", "y", mean_failures_to_age_out=0.5)
+
+
+def test_mean_disconnects_to_age_out(kernel, manager):
+    """The geometric threshold's mean matches the configured value."""
+    for name in ("p", "v"):
+        spawn_simple(manager, name, work=0.2)
+    manager.start_all()
+    kernel.run()
+    injector = FaultInjector(kernel, manager)
+    aging = DisconnectAging(injector, "p", "v", mean_failures_to_age_out=4.0, fail_delay=0.1)
+    disconnects = 0
+    for _ in range(400):
+        manager.fail("p")
+        manager.restart(["p"])
+        disconnects += 1
+        kernel.run(until=kernel.now + 1.0)
+        if not manager.get("v").is_running:
+            manager.restart(["v"])
+            kernel.run(until=kernel.now + 1.0)
+    assert disconnects / max(aging.aged_out_count, 1) == pytest.approx(4.0, rel=0.3)

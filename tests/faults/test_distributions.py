@@ -1,0 +1,99 @@
+"""Tests for lifetime distributions, including hypothesis properties."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultModelError
+from repro.faults.distributions import Deterministic, Exponential, LogNormal, Weibull
+
+ALL_DISTS = [
+    lambda mean: Deterministic(mean),
+    lambda mean: Exponential(mean),
+    lambda mean: Weibull(mean, shape=1.5),
+    lambda mean: LogNormal(mean, cov=0.1),
+]
+
+
+def test_deterministic_returns_mean():
+    dist = Deterministic(5.0)
+    rng = random.Random(0)
+    assert all(dist.sample(rng) == 5.0 for _ in range(10))
+    assert dist.coefficient_of_variation() == 0.0
+
+
+def test_exponential_mean_converges():
+    dist = Exponential(100.0)
+    rng = random.Random(1)
+    samples = [dist.sample(rng) for _ in range(20000)]
+    assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.05)
+
+
+def test_exponential_cov_is_one():
+    assert Exponential(10.0).coefficient_of_variation() == 1.0
+
+
+def test_weibull_mean_converges():
+    dist = Weibull(50.0, shape=2.0)
+    rng = random.Random(2)
+    samples = [dist.sample(rng) for _ in range(20000)]
+    assert sum(samples) / len(samples) == pytest.approx(50.0, rel=0.05)
+
+
+def test_weibull_cov_matches_theory():
+    shape = 2.0
+    g1 = math.gamma(1.0 + 1.0 / shape)
+    g2 = math.gamma(1.0 + 2.0 / shape)
+    expected = math.sqrt(g2 / g1 ** 2 - 1.0)
+    assert Weibull(1.0, shape=shape).coefficient_of_variation() == pytest.approx(expected)
+
+
+def test_lognormal_mean_and_cov_converge():
+    dist = LogNormal(30.0, cov=0.2)
+    rng = random.Random(3)
+    samples = [dist.sample(rng) for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    std = math.sqrt(sum((s - mean) ** 2 for s in samples) / len(samples))
+    assert mean == pytest.approx(30.0, rel=0.03)
+    assert std / mean == pytest.approx(0.2, rel=0.1)
+
+
+def test_lognormal_zero_cov_is_deterministic():
+    dist = LogNormal(7.0, cov=0.0)
+    assert dist.sample(random.Random(0)) == 7.0
+
+
+@pytest.mark.parametrize("factory", ALL_DISTS)
+def test_invalid_mean_rejected(factory):
+    with pytest.raises(FaultModelError):
+        factory(0.0)
+    with pytest.raises(FaultModelError):
+        factory(-1.0)
+
+
+def test_invalid_shape_and_cov_rejected():
+    with pytest.raises(FaultModelError):
+        Weibull(1.0, shape=0.0)
+    with pytest.raises(FaultModelError):
+        LogNormal(1.0, cov=-0.1)
+
+
+@pytest.mark.parametrize("factory", ALL_DISTS)
+@given(mean=st.floats(min_value=0.01, max_value=1e6), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_samples_always_positive(factory, mean, seed):
+    dist = factory(mean)
+    rng = random.Random(seed)
+    for _ in range(20):
+        assert dist.sample(rng) > 0.0
+
+
+@pytest.mark.parametrize("factory", ALL_DISTS)
+def test_sampling_is_seed_deterministic(factory):
+    dist = factory(12.0)
+    a = [dist.sample(random.Random(9)) for _ in range(5)]
+    b = [dist.sample(random.Random(9)) for _ in range(5)]
+    assert a == b

@@ -1,0 +1,76 @@
+"""Randomized fault storms: the supervisor must always reach quiescence.
+
+A liveness property over the whole stack: whatever sequence of component
+crashes (including joint-curable ones and overlapping arrivals) hits the
+station, once the storm ends the supervisor drains every failure and the
+station returns to all-up with no stuck restart actions.  This is the class
+of test that caught the three wedges fixed during development (zombie bus
+channels, the all-running batch gate, and mid-start kills).
+"""
+
+import random
+
+import pytest
+
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import TREE_BUILDERS
+
+STORM_SEEDS = [7, 21, 99]
+TREES = ["II", "III", "IV", "V"]
+
+
+def storm(station, rng, rounds):
+    """Inject `rounds` random failures with random gaps and cure sets."""
+    components = list(station.station_components)
+    for _ in range(rounds):
+        station.run_for(rng.uniform(0.2, 12.0))
+        component = rng.choice(components)
+        process = station.manager.get(component)
+        if not process.is_running:
+            continue  # already down; the storm rages on elsewhere
+        if component in ("fedr", "pbcom") and rng.random() < 0.3:
+            station.injector.inject_joint(component, ["fedr", "pbcom"])
+        else:
+            station.injector.inject_simple(component)
+
+
+@pytest.mark.parametrize("tree_label", TREES)
+@pytest.mark.parametrize("seed", STORM_SEEDS)
+def test_storm_always_drains(tree_label, seed):
+    station = MercuryStation(tree=TREE_BUILDERS[tree_label](), seed=seed)
+    station.boot()
+    rng = random.Random(seed * 1000 + len(tree_label))
+    storm(station, rng, rounds=12)
+    station.run_until_quiescent(timeout=600.0)
+    assert station.all_station_running()
+    assert not station.injector.active_failures
+    assert station.supervisor_idle()
+    # No failure was abandoned: every one was restart-curable (A_cure).
+    assert not station.trace.filter(kind="operator_escalation")
+
+
+@pytest.mark.parametrize("seed", STORM_SEEDS)
+def test_storm_with_faulty_oracle_drains(seed):
+    station = MercuryStation(
+        tree=TREE_BUILDERS["IV"](), seed=seed, oracle="faulty", oracle_error_rate=0.5
+    )
+    station.boot()
+    rng = random.Random(seed)
+    storm(station, rng, rounds=10)
+    station.run_until_quiescent(timeout=900.0)
+    assert station.all_station_running()
+    assert not station.injector.active_failures
+
+
+@pytest.mark.parametrize("seed", STORM_SEEDS)
+def test_storm_on_abstract_supervisor_drains(seed):
+    station = MercuryStation(
+        tree=TREE_BUILDERS["V"](), seed=seed, supervisor="abstract"
+    )
+    station.manager.start_all(station.station_components)
+    station.kernel.run(until=60.0)
+    rng = random.Random(seed + 5)
+    storm(station, rng, rounds=15)
+    station.run_until_quiescent(timeout=600.0)
+    assert station.all_station_running()
+    assert not station.injector.active_failures

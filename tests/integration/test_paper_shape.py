@@ -1,0 +1,133 @@
+"""End-to-end shape tests: the paper's claims, at reduced trial counts.
+
+These are the DESIGN.md "shape criteria" — orderings and ratios from the
+paper's evaluation, which must hold regardless of calibration details.  The
+benches re-run them at the paper's full 100 trials.
+"""
+
+import pytest
+
+from repro.experiments.recovery import measure_recovery
+from repro.mercury.trees import tree_i, tree_ii, tree_iii, tree_iv, tree_v
+
+TRIALS = 10
+
+
+def mean_recovery(tree, component, seed, **kw):
+    return measure_recovery(tree, component, trials=TRIALS, seed=seed, **kw).mean
+
+
+# ----------------------------------------------------------------------
+# Shape 1 — depth augmentation (Table 2): tree II beats tree I everywhere,
+# most for cheap components.
+# ----------------------------------------------------------------------
+
+
+def test_tree_ii_beats_tree_i_for_every_component():
+    for component in ("mbus", "ses", "str", "rtu", "fedrcom"):
+        t1 = mean_recovery(tree_i(), component, seed=81)
+        t2 = mean_recovery(tree_ii(), component, seed=81)
+        assert t2 < t1, component
+
+
+def test_depth_augmentation_win_largest_for_cheap_components():
+    win_rtu = mean_recovery(tree_i(), "rtu", 82) / mean_recovery(tree_ii(), "rtu", 82)
+    win_fedrcom = mean_recovery(tree_i(), "fedrcom", 82) / mean_recovery(
+        tree_ii(), "fedrcom", 82
+    )
+    assert win_rtu > 3.5  # paper: 24.75/5.59 ≈ 4.4
+    assert win_fedrcom < 1.5  # paper: 24.75/20.93 ≈ 1.18
+    assert win_rtu > win_fedrcom
+
+
+# ----------------------------------------------------------------------
+# Shape 2 — the fedrcom split (§4.2): common failures get cheap, rare ones
+# stay expensive.
+# ----------------------------------------------------------------------
+
+
+def test_split_makes_common_failure_cheap():
+    fedrcom = mean_recovery(tree_ii(), "fedrcom", 83)
+    fedr = mean_recovery(tree_iii(), "fedr", 83)
+    pbcom = mean_recovery(tree_iii(), "pbcom", 83)
+    assert fedr < fedrcom / 3  # paper: 5.76 vs 20.93
+    assert pbcom == pytest.approx(fedrcom, rel=0.1)  # paper: 21.24 vs 20.93
+
+
+# ----------------------------------------------------------------------
+# Shape 3 — consolidation (§4.3): max() instead of sum() for ses/str.
+# ----------------------------------------------------------------------
+
+
+def test_consolidation_improves_ses_str():
+    ses_iii = mean_recovery(tree_iii(), "ses", 84)
+    ses_iv = mean_recovery(tree_iv(), "ses", 84)
+    str_iii = mean_recovery(tree_iii(), "str", 84)
+    str_iv = mean_recovery(tree_iv(), "str", 84)
+    assert ses_iv < ses_iii  # paper: 6.25 < 9.50
+    assert str_iv < str_iii  # paper: 6.11 < 9.76
+    # Episode + induced-peer episode under III costs roughly
+    # MTTR_ses + MTTR_str; under IV one episode at max(...).
+    assert ses_iv == pytest.approx(6.25, abs=0.7)
+
+
+def test_consolidation_eliminates_induced_failures():
+    from repro.mercury.station import MercuryStation
+
+    def induced_count(tree):
+        station = MercuryStation(tree=tree, seed=85)
+        station.boot()
+        failure = station.injector.inject_simple("ses")
+        station.run_until_recovered(failure)
+        station.run_until_quiescent()
+        return len(station.trace.filter(kind="failure_induced"))
+
+    assert induced_count(tree_iii()) == 1
+    assert induced_count(tree_iv()) == 0
+
+
+# ----------------------------------------------------------------------
+# Shape 4 — node promotion (§4.4): V beats IV only under a faulty oracle.
+# ----------------------------------------------------------------------
+
+
+def test_node_promotion_helps_only_faulty_oracle():
+    kw = dict(cure_set=("fedr", "pbcom"))
+    iv_perfect = mean_recovery(tree_iv(), "pbcom", 86, **kw)
+    v_perfect = mean_recovery(tree_v(), "pbcom", 86, **kw)
+    iv_faulty = mean_recovery(
+        tree_iv(), "pbcom", 86, oracle="faulty", oracle_error_rate=1.0, **kw
+    )
+    v_faulty = mean_recovery(
+        tree_v(), "pbcom", 86, oracle="faulty", oracle_error_rate=1.0, **kw
+    )
+    # Perfect oracle: "there is nothing that a perfect oracle could do in
+    # tree V but not in tree IV".
+    assert v_perfect == pytest.approx(iv_perfect, abs=0.5)
+    # Faulty oracle pays double restarts in IV but not in V.
+    assert v_faulty < iv_faulty - 15.0
+    assert v_faulty == pytest.approx(v_perfect, abs=0.5)
+
+
+# ----------------------------------------------------------------------
+# Shape 5 — §3.2 group inequalities, measured.
+# ----------------------------------------------------------------------
+
+
+def test_group_mttr_at_least_max_of_members():
+    """Tree I (the whole-system group) recovers no faster than its slowest
+    member alone (tree II's fedrcom column)."""
+    group = mean_recovery(tree_i(), "rtu", 87)
+    slowest_alone = mean_recovery(tree_ii(), "fedrcom", 87)
+    assert group >= slowest_alone - 0.2
+
+
+# ----------------------------------------------------------------------
+# Headline — §8: "recovery time improved by a factor of four".
+# ----------------------------------------------------------------------
+
+
+def test_headline_factor_of_four():
+    baseline = mean_recovery(tree_i(), "rtu", 88)
+    evolved = mean_recovery(tree_v(), "rtu", 88)
+    assert baseline / evolved > 3.5

@@ -1,0 +1,64 @@
+"""Full FD/REC stack vs the collapsed fast path: distributions must agree.
+
+The abstract supervisor exists so month-scale availability runs are
+tractable; its validity rests on producing the *same recovery-time
+distribution* as the full stack.  These tests compare the two beyond the
+single-cell check in the recovery-harness tests.
+"""
+
+import pytest
+
+from repro.experiments.recovery import measure_recovery
+from repro.mercury.trees import tree_i, tree_iii, tree_iv, tree_v
+
+TRIALS = 12
+
+
+@pytest.mark.parametrize(
+    ("tree_builder", "component"),
+    [
+        (tree_i, "rtu"),        # whole-system restart path
+        (tree_iii, "ses"),      # lone restart + induced peer episode
+        (tree_iv, "str"),       # consolidated joint restart
+        (tree_v, "pbcom"),      # promoted cell (joint via annotation)
+    ],
+)
+def test_means_agree(tree_builder, component):
+    full = measure_recovery(
+        tree_builder(), component, trials=TRIALS, seed=131, supervisor="full"
+    )
+    fast = measure_recovery(
+        tree_builder(), component, trials=TRIALS, seed=131, supervisor="abstract"
+    )
+    assert fast.mean == pytest.approx(full.mean, rel=0.05)
+
+
+def test_escalation_paths_agree():
+    """A guess-too-low chain must cost the same under both supervisors."""
+    kwargs = dict(
+        cure_set=("fedr", "pbcom"), oracle="faulty", oracle_error_rate=1.0,
+        trials=8, seed=132,
+    )
+    full = measure_recovery(tree_iv(), "pbcom", supervisor="full", **kwargs)
+    fast = measure_recovery(tree_iv(), "pbcom", supervisor="abstract", **kwargs)
+    assert fast.mean == pytest.approx(full.mean, rel=0.06)
+    # Both paid the double restart on every trial.
+    assert full.mean > 40.0
+    assert fast.mean > 40.0
+
+
+def test_induced_failure_counts_agree():
+    from repro.mercury.station import MercuryStation
+
+    def induced(supervisor):
+        station = MercuryStation(tree=tree_iii(), seed=133, supervisor=supervisor)
+        if supervisor == "full":
+            station.boot()
+        else:
+            station.manager.start_all(station.station_components)
+            station.kernel.run(until=60.0)
+        station.injector.inject_simple("ses")
+        station.run_until_quiescent(timeout=120.0)
+        return len(station.trace.filter(kind="failure_induced"))
+
+    assert induced("full") == induced("abstract") == 1

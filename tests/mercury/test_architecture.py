@@ -1,0 +1,49 @@
+"""Tests for the live architecture introspection (Figure 1 machinery)."""
+
+from repro.mercury.architecture import describe_connections, render_architecture
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_ii, tree_v
+
+
+def booted(tree, seed=111):
+    station = MercuryStation(tree=tree, seed=seed)
+    station.boot()
+    station.run_for(5.0)
+    return station
+
+
+def test_split_station_edges():
+    station = booted(tree_v())
+    edges = describe_connections(station)
+    assert "fedr <-TCP-> pbcom (low-level radio commands)" in edges
+    assert "pbcom <-serial-> radio" in edges
+    assert "fd <-TCP-> rec (dedicated control channel)" in edges
+    assert any(e.startswith("ses <-XML-> mbus") for e in edges)
+
+
+def test_unsplit_station_edges():
+    station = booted(tree_ii())
+    edges = describe_connections(station)
+    assert not any("fedr <-TCP-> pbcom" in e for e in edges)
+    assert "fedrcom <-serial-> radio" in edges
+    assert any(e.startswith("fedrcom <-XML-> mbus") for e in edges)
+
+
+def test_edges_reflect_outages():
+    station = booted(tree_v())
+    station.manager.fail("pbcom")
+    station.run_for(0.5)
+    edges = describe_connections(station)
+    assert not any("pbcom <-serial-> radio" in e for e in edges)
+    station.run_until_quiescent()
+    edges = describe_connections(station)
+    assert "pbcom <-serial-> radio" in edges
+
+
+def test_render_contains_all_components():
+    station = booted(tree_v())
+    diagram = render_architecture(station)
+    for name in station.station_components:
+        assert name in diagram
+    assert "mbus" in diagram
+    assert "Live connections:" in diagram

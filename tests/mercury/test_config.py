@@ -1,0 +1,90 @@
+"""Tests for the calibrated station configuration."""
+
+import pytest
+
+from repro.mercury.config import DAY, HOUR, MINUTE, MONTH, PAPER_CONFIG, StationConfig
+
+
+def test_paper_mttfs_match_table1():
+    mttf = PAPER_CONFIG.mttf_seconds
+    assert mttf["mbus"] == 1 * MONTH
+    assert mttf["fedrcom"] == 10 * MINUTE
+    assert mttf["ses"] == mttf["str"] == mttf["rtu"] == 5 * HOUR
+
+
+def test_mean_detection_composition():
+    assert PAPER_CONFIG.mean_detection == pytest.approx(
+        PAPER_CONFIG.ping_period / 2 + PAPER_CONFIG.reply_timeout
+    )
+
+
+def test_station_components_by_generation():
+    assert PAPER_CONFIG.station_components(split_fedrcom=False) == (
+        "mbus", "fedrcom", "ses", "str", "rtu",
+    )
+    assert PAPER_CONFIG.station_components(split_fedrcom=True) == (
+        "mbus", "fedr", "pbcom", "ses", "str", "rtu",
+    )
+
+
+def test_restart_seconds_lone_includes_penalty():
+    lone = PAPER_CONFIG.restart_seconds(lone=True)
+    joint = PAPER_CONFIG.restart_seconds(lone=False)
+    assert lone["ses"] == pytest.approx(joint["ses"] + 3.50)
+    assert lone["str"] == pytest.approx(joint["str"] + 3.89)
+    assert lone["rtu"] == joint["rtu"]  # no resync peer
+
+
+def test_restart_seconds_excludes_supervisors():
+    seconds = PAPER_CONFIG.restart_seconds()
+    assert "fd" not in seconds and "rec" not in seconds
+
+
+def test_calibration_identities():
+    """The derivations documented in the module docstring."""
+    config = PAPER_CONFIG
+    detect = config.mean_detection
+    timings = config.timings
+    # Tree II columns: detect + work == paper value.
+    assert detect + timings["mbus"].work == pytest.approx(5.73, abs=0.01)
+    assert detect + timings["rtu"].work == pytest.approx(5.59, abs=0.01)
+    assert detect + timings["fedrcom"].work == pytest.approx(20.93, abs=0.01)
+    # Tree I: whole-system batch of 5.
+    factor = 1 + config.contention_coefficient * 4
+    assert detect + timings["fedrcom"].work * factor == pytest.approx(24.75, abs=0.3)
+    # Tree IV consolidated pair (batch of 2).
+    pair = 1 + config.contention_coefficient
+    assert detect + timings["ses"].work * pair == pytest.approx(6.25, abs=0.05)
+    assert detect + timings["str"].work * pair == pytest.approx(6.11, abs=0.05)
+    # Tree II lone restarts with resync penalty.
+    assert detect + timings["ses"].work + timings["ses"].lone_penalty == pytest.approx(9.50, abs=0.01)
+    assert detect + timings["str"].work + timings["str"].lone_penalty == pytest.approx(9.76, abs=0.01)
+
+
+def test_with_overrides_is_functional():
+    changed = PAPER_CONFIG.with_overrides(ping_period=2.0)
+    assert changed.ping_period == 2.0
+    assert PAPER_CONFIG.ping_period == 1.0
+    assert changed.timings is PAPER_CONFIG.timings
+
+
+def test_timing_for_unknown_raises():
+    with pytest.raises(KeyError):
+        PAPER_CONFIG.timing_for("ghost")
+
+
+def test_config_is_frozen():
+    with pytest.raises(Exception):
+        PAPER_CONFIG.ping_period = 9.0  # type: ignore[misc]
+
+
+def test_session_chain_covers_radio_and_tracking():
+    chain = set(PAPER_CONFIG.session_chain)
+    assert {"ses", "str", "mbus"} <= chain
+    assert {"fedrcom", "fedr", "pbcom"} <= chain
+
+
+def test_link_break_between_tree_v_and_tree_i_recovery():
+    """The §5.2 threshold sits between the evolved trees' tracking
+    recovery (~6 s) and tree I's full reboot (~25 s)."""
+    assert 7.0 < PAPER_CONFIG.link_break_outage_s < 24.0

@@ -1,0 +1,100 @@
+"""Tests for live pass accounting on a running station."""
+
+import pytest
+
+from repro.mercury.orbit import PassWindow
+from repro.mercury.passes import PassAccountant, tracking_solution_for
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_v
+
+
+def make_station(seed=41, **kw):
+    station = MercuryStation(tree=tree_v(), seed=seed, **kw)
+    station.boot()
+    return station
+
+
+def upcoming_window(station, offset=30.0, duration=300.0):
+    return PassWindow(
+        "opal", start=station.kernel.now + offset, duration=duration,
+        max_elevation_deg=75.0,
+    )
+
+
+def test_clean_pass_full_data(kernel):
+    station = make_station()
+    window = upcoming_window(station)
+    accountant = PassAccountant(station, [window])
+    station.run_for(400.0)
+    assert accountant.summary.passes == 1
+    outcome = accountant.summary.outcomes[0]
+    assert outcome.loss_fraction == pytest.approx(0.0)
+    assert not outcome.link_broken
+
+
+def test_failure_during_pass_loses_data():
+    station = make_station()
+    window = upcoming_window(station, offset=30.0, duration=300.0)
+    accountant = PassAccountant(station, [window])
+    station.run_for(60.0)  # inside the pass
+    failure = station.injector.inject_simple("rtu")
+    station.run_until_recovered(failure)
+    station.run_for(400.0)
+    outcome = accountant.summary.outcomes[0]
+    assert outcome.bytes_lost > 0
+    assert outcome.failures_during_pass == 1
+    assert not outcome.link_broken  # rtu recovery ~5.6s < threshold
+
+
+def test_pbcom_failure_during_pass_breaks_link():
+    station = make_station(seed=43)
+    window = upcoming_window(station, offset=30.0, duration=600.0)
+    accountant = PassAccountant(station, [window])
+    station.run_for(60.0)
+    failure = station.injector.inject_simple("pbcom")  # ~22s joint recovery
+    station.run_until_recovered(failure)
+    station.run_for(700.0)
+    outcome = accountant.summary.outcomes[0]
+    assert outcome.link_broken
+    assert outcome.loss_fraction > 0.5  # rest of the pass forfeited
+
+
+def test_failure_outside_pass_costs_nothing():
+    station = make_station(seed=44)
+    window = upcoming_window(station, offset=120.0, duration=300.0)
+    accountant = PassAccountant(station, [window])
+    failure = station.injector.inject_simple("ses")
+    station.run_until_recovered(failure)
+    station.run_until_quiescent()
+    station.run_for(500.0)
+    outcome = accountant.summary.outcomes[0]
+    assert outcome.loss_fraction == pytest.approx(0.0)
+
+
+def test_multiple_passes_accounted(kernel):
+    station = make_station(seed=45)
+    windows = [
+        upcoming_window(station, offset=30.0, duration=120.0),
+        upcoming_window(station, offset=300.0, duration=120.0),
+    ]
+    accountant = PassAccountant(station, windows)
+    station.run_for(600.0)
+    assert accountant.summary.passes == 2
+
+
+def test_tracking_solution_for_schedule():
+    windows = [PassWindow("opal", start=100.0, duration=600.0, max_elevation_deg=80.0)]
+    solution = tracking_solution_for(windows)
+    assert solution(50.0) is None
+    azimuth, elevation, frequency = solution(400.0)
+    assert elevation == pytest.approx(80.0, abs=1.0)
+    assert frequency == pytest.approx(437.1e6, rel=0.001)
+    assert solution(800.0) is None
+
+
+def test_tracking_solution_doppler_ramp():
+    windows = [PassWindow("opal", start=0.0, duration=600.0, max_elevation_deg=80.0)]
+    solution = tracking_solution_for(windows)
+    _, _, early = solution(1.0)
+    _, _, late = solution(599.0)
+    assert early > 437.1e6 > late  # approaching then receding

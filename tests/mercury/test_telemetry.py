@@ -1,0 +1,115 @@
+"""Tests for the downlink accounting model (§5.2 rules)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.mercury.orbit import PassWindow
+from repro.mercury.telemetry import DownlinkModel, DownlinkSummary, PassOutcome
+
+WINDOW = PassWindow("opal", start=1000.0, duration=900.0, max_elevation_deg=60.0)
+
+
+def model(bps=38400.0, break_s=15.0):
+    return DownlinkModel(downlink_bps=bps, link_break_outage_s=break_s)
+
+
+def test_clean_pass_receives_everything():
+    outcome = model().account(WINDOW, [], [])
+    assert outcome.bytes_expected == pytest.approx(38400 / 8 * 900)
+    assert outcome.bytes_received == outcome.bytes_expected
+    assert not outcome.link_broken
+    assert outcome.loss_fraction == 0.0
+
+
+def test_short_outage_loses_proportional_data():
+    edges = [(1100.0, False), (1110.0, True)]  # 10s outage, below break
+    outcome = model().account(WINDOW, edges, edges)
+    assert outcome.bytes_lost == pytest.approx(38400 / 8 * 10)
+    assert not outcome.link_broken
+    assert outcome.outage_seconds == pytest.approx(10.0)
+
+
+def test_long_tracking_outage_breaks_link():
+    edges = [(1100.0, False), (1130.0, True)]  # 30s outage > 15s threshold
+    outcome = model().account(WINDOW, edges, edges)
+    assert outcome.link_broken
+    assert outcome.link_broken_at == pytest.approx(1115.0)
+    # Received only the first 100s.
+    assert outcome.bytes_received == pytest.approx(38400 / 8 * 100)
+
+
+def test_chain_outage_without_tracking_outage_does_not_break():
+    chain_edges = [(1100.0, False), (1130.0, True)]  # e.g. rtu down 30s
+    outcome = model().account(WINDOW, chain_edges, [])
+    assert not outcome.link_broken
+    assert outcome.bytes_lost == pytest.approx(38400 / 8 * 30)
+
+
+def test_outage_still_open_at_pass_end_breaks_if_long():
+    edges = [(1880.0, False)]  # last 20s of the pass
+    outcome = model().account(WINDOW, edges, edges)
+    assert outcome.link_broken
+    assert outcome.link_broken_at == pytest.approx(1895.0)
+
+
+def test_outage_open_at_end_but_short_does_not_break():
+    edges = [(1890.0, False)]  # last 10s
+    outcome = model().account(WINDOW, edges, edges)
+    assert not outcome.link_broken
+    assert outcome.bytes_lost == pytest.approx(38400 / 8 * 10)
+
+
+def test_initially_down_chain():
+    outcome = model().account(
+        WINDOW, [(1050.0, True)], [], initial_chain_up=False
+    )
+    assert outcome.bytes_lost == pytest.approx(38400 / 8 * 50)
+
+
+def test_initially_down_tracking_breaks_quickly():
+    outcome = model().account(
+        WINDOW, [], [(1100.0, True)], initial_tracking_up=False
+    )
+    assert outcome.link_broken
+    assert outcome.link_broken_at == pytest.approx(1015.0)
+
+
+def test_two_short_outages_do_not_break():
+    edges = [
+        (1100.0, False), (1110.0, True),
+        (1200.0, False), (1212.0, True),
+    ]
+    outcome = model().account(WINDOW, edges, edges)
+    assert not outcome.link_broken
+    assert outcome.bytes_lost == pytest.approx(38400 / 8 * 22)
+
+
+def test_edge_outside_window_rejected():
+    with pytest.raises(ExperimentError):
+        model().account(WINDOW, [], [(10.0, False)])
+
+
+def test_whole_pass_lost_classification():
+    edges = [(1000.5, False)]
+    outcome = model().account(WINDOW, edges, edges)
+    assert outcome.whole_pass_lost
+    assert outcome.link_broken
+
+
+def test_summary_aggregates():
+    summary = DownlinkSummary()
+    clean = model().account(WINDOW, [], [])
+    broken = model().account(WINDOW, [(1000.5, False)], [(1000.5, False)])
+    summary.outcomes.extend([clean, broken])
+    assert summary.passes == 2
+    assert summary.broken_links == 1
+    assert summary.whole_passes_lost == 1
+    assert summary.total_expected_bytes == pytest.approx(2 * clean.bytes_expected)
+    assert 0.0 < summary.loss_fraction < 1.0
+
+
+def test_empty_summary():
+    summary = DownlinkSummary()
+    assert summary.passes == 0
+    assert summary.loss_fraction == 0.0
+    assert summary.total_lost_bytes == 0.0

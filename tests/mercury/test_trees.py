@@ -1,0 +1,85 @@
+"""Tests for the tree I–V factories."""
+
+from repro.mercury.trees import (
+    SPLIT_COMPONENTS,
+    TREE_BUILDERS,
+    UNSPLIT_COMPONENTS,
+    tree_i,
+    tree_ii,
+    tree_ii_prime,
+    tree_iii,
+    tree_iv,
+    tree_v,
+    uses_split_components,
+)
+
+
+def test_tree_i_single_group():
+    tree = tree_i()
+    assert len(tree.groups()) == 1
+    assert tree.components == frozenset(UNSPLIT_COMPONENTS)
+
+
+def test_tree_ii_per_component_cells():
+    tree = tree_ii()
+    assert len(tree.groups()) == 6  # root + 5 leaves
+    for component in UNSPLIT_COMPONENTS:
+        assert tree.components_restarted_by(tree.cell_of_component(component)) == frozenset([component])
+
+
+def test_tree_ii_prime_splits_fedrcom():
+    tree = tree_ii_prime()
+    assert tree.components == frozenset(SPLIT_COMPONENTS)
+    assert tree.parent_of(tree.cell_of_component("fedr")) == "R_mercury"
+
+
+def test_tree_iii_joint_cell():
+    tree = tree_iii()
+    assert tree.components_restarted_by("R_fedr_pbcom") == frozenset(["fedr", "pbcom"])
+    assert tree.minimal_cell_covering(["fedr", "pbcom"]) == "R_fedr_pbcom"
+    # Individual buttons survive.
+    assert tree.components_restarted_by("R_fedr") == frozenset(["fedr"])
+
+
+def test_tree_iv_consolidates_ses_str():
+    tree = tree_iv()
+    assert tree.get_cell("R_ses_str").is_leaf
+    assert tree.minimal_cell_covering(["ses"]) == "R_ses_str"
+    assert not tree.has_cell("R_ses")
+
+
+def test_tree_v_promotes_pbcom():
+    tree = tree_v()
+    assert tree.cell_of_component("pbcom") == "R_fedr_pbcom"
+    assert not tree.has_cell("R_pbcom")
+    assert tree.components_restarted_by("R_fedr_pbcom") == frozenset(["fedr", "pbcom"])
+
+
+def test_builders_registry_complete():
+    assert set(TREE_BUILDERS) == {"I", "II", "II'", "III", "IV", "V"}
+    for label, builder in TREE_BUILDERS.items():
+        tree = builder()
+        assert tree.components in (
+            frozenset(UNSPLIT_COMPONENTS),
+            frozenset(SPLIT_COMPONENTS),
+        )
+
+
+def test_uses_split_components():
+    assert not uses_split_components(tree_i())
+    assert not uses_split_components(tree_ii())
+    assert uses_split_components(tree_iii())
+    assert uses_split_components(tree_v())
+
+
+def test_factories_are_pure():
+    a, b = tree_v(), tree_v()
+    assert a is not b
+    assert a.structurally_equal(b)
+
+
+def test_history_narrates_evolution():
+    history = " ".join(tree_v().history)
+    for marker in ("depth_augment", "replace_component", "insert_joint_node",
+                   "consolidate_groups", "promote_component"):
+        assert marker in history

@@ -1,0 +1,136 @@
+"""Tests for the process manager: registry, batch restarts, notifications."""
+
+import pytest
+
+from repro.errors import DuplicateComponentError, UnknownProcessError
+from repro.procmgr.process import ProcessSpec, constant_work
+from repro.types import ProcessState
+
+from tests.conftest import spawn_simple
+
+
+def test_spawn_and_get(manager):
+    process = spawn_simple(manager, "a")
+    assert manager.get("a") is process
+    assert manager.maybe_get("a") is process
+    assert manager.maybe_get("ghost") is None
+
+
+def test_duplicate_spawn_rejected(manager):
+    spawn_simple(manager, "a")
+    with pytest.raises(DuplicateComponentError):
+        spawn_simple(manager, "a")
+
+
+def test_get_unknown_raises(manager):
+    with pytest.raises(UnknownProcessError):
+        manager.get("ghost")
+
+
+def test_names_in_registration_order(manager):
+    for name in ("c", "a", "b"):
+        spawn_simple(manager, name)
+    assert manager.names == ["c", "a", "b"]
+
+
+def test_start_all_uses_one_batch(kernel, manager):
+    for name in ("a", "b"):
+        spawn_simple(manager, name)
+    manager.start_all()
+    assert manager.get("a").last_batch == frozenset(["a", "b"])
+    assert manager.get("b").last_batch == frozenset(["a", "b"])
+
+
+def test_start_all_subset(kernel, manager):
+    for name in ("a", "b", "c"):
+        spawn_simple(manager, name)
+    manager.start_all(["a", "c"])
+    kernel.run()
+    assert manager.get("a").is_running
+    assert manager.get("c").is_running
+    assert manager.get("b").state is ProcessState.NEW
+
+
+def test_running_and_all_running(kernel, manager):
+    for name in ("a", "b"):
+        spawn_simple(manager, name)
+    manager.start_all()
+    kernel.run()
+    assert sorted(manager.running()) == ["a", "b"]
+    assert manager.all_running()
+    manager.kill("a")
+    assert manager.running() == ["b"]
+    assert not manager.all_running()
+    assert manager.all_running(["b"])
+
+
+def test_restart_kills_running_then_starts(kernel, manager):
+    process = spawn_simple(manager, "a", work=1.0)
+    manager.start_all()
+    kernel.run()
+    first_ready = process.last_ready_at
+    batch = manager.restart(["a"])
+    assert batch == frozenset(["a"])
+    kernel.run()
+    assert process.start_count == 2
+    assert process.last_ready_at > first_ready
+
+
+def test_restart_does_not_rekill_failed(kernel, manager):
+    process = spawn_simple(manager, "a")
+    manager.start_all()
+    kernel.run()
+    manager.fail("a")
+    failures_before = process.failure_count
+    manager.restart(["a"])
+    kernel.run()
+    assert process.failure_count == failures_before
+    assert process.is_running
+
+
+def test_restart_group_shares_batch(kernel, manager):
+    for name in ("a", "b", "c"):
+        spawn_simple(manager, name)
+    manager.start_all()
+    kernel.run()
+    manager.restart(["a", "b"])
+    kernel.run()
+    assert manager.get("a").last_batch == frozenset(["a", "b"])
+    assert manager.get("b").last_batch == frozenset(["a", "b"])
+    assert manager.get("c").last_batch == frozenset(["a", "b", "c"])  # from boot
+
+
+def test_restart_empty_is_noop(kernel, manager):
+    assert manager.restart([]) == frozenset()
+
+
+def test_restart_kills_starting_process(kernel, manager):
+    process = spawn_simple(manager, "a", work=10.0)
+    manager.start("a")
+    kernel.run(until=1.0)
+    assert process.state is ProcessState.STARTING
+    manager.restart(["a"])
+    kernel.run()
+    assert process.is_running
+    assert process.start_count == 1  # first startup was aborted
+
+
+def test_lifecycle_notifications(kernel, manager):
+    events = []
+    manager.subscribe(lambda p, e: events.append((p.name, e)))
+    spawn_simple(manager, "a", work=1.0)
+    manager.start_all()
+    kernel.run()
+    manager.fail("a")
+    assert ("a", "ready") in events
+    assert ("a", "down:SIGKILL") in events
+
+
+def test_notification_for_graceful_stop(kernel, manager):
+    events = []
+    manager.subscribe(lambda p, e: events.append((p.name, e)))
+    spawn_simple(manager, "a", work=0.5)
+    manager.start_all()
+    kernel.run()
+    manager.restart(["a"])
+    assert ("a", "down:SIGTERM") in events

@@ -1,0 +1,44 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero_by_default():
+    assert Clock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert Clock(start=5.5).now == 5.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClockError):
+        Clock(start=-0.1)
+
+
+def test_advance_moves_forward():
+    clock = Clock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_instant_is_allowed():
+    clock = Clock(start=2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_rejected():
+    clock = Clock(start=2.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(1.999)
+
+
+def test_repeated_advances_accumulate():
+    clock = Clock()
+    for step in (0.5, 1.0, 1.5):
+        clock.advance_to(step)
+    assert clock.now == 1.5

@@ -1,0 +1,86 @@
+"""Tests for SimEvent one-shot signalling and combinators."""
+
+import pytest
+
+from repro.sim.event import SimEvent, all_of, first_of
+
+
+def test_event_starts_untriggered():
+    event = SimEvent("e")
+    assert not event.triggered
+    assert event.value is None
+
+
+def test_trigger_delivers_value_to_listener():
+    event = SimEvent("e")
+    seen = []
+    event.add_listener(seen.append)
+    event.trigger(42)
+    assert seen == [42]
+    assert event.triggered
+    assert event.value == 42
+
+
+def test_listener_added_after_trigger_runs_immediately():
+    event = SimEvent("e")
+    event.trigger("x")
+    seen = []
+    event.add_listener(seen.append)
+    assert seen == ["x"]
+
+
+def test_double_trigger_raises():
+    event = SimEvent("e")
+    event.trigger()
+    with pytest.raises(RuntimeError):
+        event.trigger()
+
+
+def test_multiple_listeners_all_fire_in_order():
+    event = SimEvent("e")
+    seen = []
+    event.add_listener(lambda v: seen.append(("a", v)))
+    event.add_listener(lambda v: seen.append(("b", v)))
+    event.trigger(1)
+    assert seen == [("a", 1), ("b", 1)]
+
+
+def test_first_of_fires_on_earliest():
+    events = [SimEvent(str(i)) for i in range(3)]
+    combined = first_of(events)
+    events[1].trigger("mid")
+    assert combined.triggered
+    assert combined.value == (1, "mid")
+
+
+def test_first_of_ignores_later_triggers():
+    events = [SimEvent(str(i)) for i in range(2)]
+    combined = first_of(events)
+    events[0].trigger("first")
+    events[1].trigger("second")
+    assert combined.value == (0, "first")
+
+
+def test_first_of_with_already_triggered_input():
+    event = SimEvent("pre")
+    event.trigger("early")
+    combined = first_of([event, SimEvent("other")])
+    assert combined.triggered
+    assert combined.value == (0, "early")
+
+
+def test_all_of_waits_for_every_input():
+    events = [SimEvent(str(i)) for i in range(3)]
+    combined = all_of(events)
+    events[0].trigger("a")
+    events[2].trigger("c")
+    assert not combined.triggered
+    events[1].trigger("b")
+    assert combined.triggered
+    assert combined.value == ["a", "b", "c"]
+
+
+def test_all_of_empty_triggers_immediately():
+    combined = all_of([])
+    assert combined.triggered
+    assert combined.value == []

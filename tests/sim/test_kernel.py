@@ -1,0 +1,174 @@
+"""Tests for the discrete-event kernel: ordering, cancellation, run control."""
+
+import pytest
+
+from repro.errors import KernelStoppedError, SimulationError
+from repro.sim.kernel import Kernel
+
+
+def test_events_fire_in_time_order(kernel):
+    fired = []
+    kernel.call_after(2.0, fired.append, "b")
+    kernel.call_after(1.0, fired.append, "a")
+    kernel.call_after(3.0, fired.append, "c")
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_instant_events_fire_fifo(kernel):
+    fired = []
+    for tag in range(10):
+        kernel.call_after(1.0, fired.append, tag)
+    kernel.run()
+    assert fired == list(range(10))
+
+
+def test_call_soon_runs_at_current_time(kernel):
+    times = []
+    kernel.call_after(5.0, lambda: kernel.call_soon(lambda: times.append(kernel.now)))
+    kernel.run()
+    assert times == [5.0]
+
+
+def test_clock_advances_to_event_time(kernel):
+    seen = []
+    kernel.call_after(4.25, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [4.25]
+    assert kernel.now == 4.25
+
+
+def test_cancelled_event_does_not_fire(kernel):
+    fired = []
+    handle = kernel.call_after(1.0, fired.append, "x")
+    handle.cancel()
+    kernel.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(kernel):
+    handle = kernel.call_after(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    kernel.run()
+
+
+def test_negative_delay_rejected(kernel):
+    with pytest.raises(SimulationError):
+        kernel.call_after(-1.0, lambda: None)
+
+
+def test_scheduling_in_past_rejected(kernel):
+    kernel.call_after(5.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.call_at(4.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events(kernel):
+    fired = []
+    kernel.call_after(1.0, fired.append, "early")
+    kernel.call_after(10.0, fired.append, "late")
+    kernel.run(until=5.0)
+    assert fired == ["early"]
+    assert kernel.now == 5.0  # clock advanced exactly to the bound
+
+
+def test_run_until_then_resume(kernel):
+    fired = []
+    kernel.call_after(10.0, fired.append, "late")
+    kernel.run(until=5.0)
+    kernel.run()
+    assert fired == ["late"]
+
+
+def test_event_scheduled_during_run_executes(kernel):
+    fired = []
+    kernel.call_after(1.0, lambda: kernel.call_after(1.0, fired.append, "nested"))
+    kernel.run()
+    assert fired == ["nested"]
+    assert kernel.now == 2.0
+
+
+def test_stop_halts_execution(kernel):
+    fired = []
+    kernel.call_after(1.0, kernel.stop)
+    kernel.call_after(2.0, fired.append, "never")
+    kernel.run()
+    assert fired == []
+    assert kernel.stopped
+
+
+def test_schedule_after_stop_rejected(kernel):
+    kernel.stop()
+    with pytest.raises(KernelStoppedError):
+        kernel.call_after(1.0, lambda: None)
+
+
+def test_max_events_bound(kernel):
+    fired = []
+    for index in range(10):
+        kernel.call_after(float(index + 1), fired.append, index)
+    kernel.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_empty(kernel):
+    assert kernel.step() is False
+
+
+def test_step_executes_one_event(kernel):
+    fired = []
+    kernel.call_after(1.0, fired.append, "a")
+    kernel.call_after(2.0, fired.append, "b")
+    assert kernel.step() is True
+    assert fired == ["a"]
+
+
+def test_pending_events_excludes_cancelled(kernel):
+    handle = kernel.call_after(1.0, lambda: None)
+    kernel.call_after(2.0, lambda: None)
+    handle.cancel()
+    assert kernel.pending_events == 1
+
+
+def test_peek_next_time_skips_cancelled(kernel):
+    first = kernel.call_after(1.0, lambda: None)
+    kernel.call_after(2.0, lambda: None)
+    first.cancel()
+    assert kernel.peek_next_time() == pytest.approx(2.0)
+
+
+def test_events_executed_counter(kernel):
+    for index in range(5):
+        kernel.call_after(float(index), lambda: None)
+    kernel.run()
+    assert kernel.events_executed == 5
+
+
+def test_run_is_not_reentrant(kernel):
+    def nested():
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    kernel.call_after(1.0, nested)
+    kernel.run()
+
+
+def test_determinism_same_seed():
+    def run_once(seed):
+        k = Kernel(seed=seed)
+        out = []
+        rng = k.rngs.stream("test")
+
+        def tick(i):
+            out.append((round(k.now, 9), i, rng.random()))
+            if i < 20:
+                k.call_after(rng.uniform(0.1, 1.0), tick, i + 1)
+
+        k.call_after(0.5, tick, 0)
+        k.run()
+        return out
+
+    assert run_once(99) == run_once(99)
+    assert run_once(99) != run_once(100)

@@ -1,0 +1,198 @@
+"""Tests for coroutine-style SimTask processes."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.event import SimEvent
+from repro.sim.process import ProcessExit, Timeout, WaitEvent
+
+
+def test_timeout_resumes_after_delay(kernel):
+    marks = []
+
+    def proc():
+        marks.append(kernel.now)
+        yield Timeout(2.5)
+        marks.append(kernel.now)
+
+    kernel.spawn(proc())
+    kernel.run()
+    assert marks == [0.0, 2.5]
+
+
+def test_task_return_value(kernel):
+    def proc():
+        yield Timeout(1.0)
+        return "result"
+
+    task = kernel.spawn(proc())
+    kernel.run()
+    assert task.finished
+    assert task.result == "result"
+
+
+def test_done_event_carries_result(kernel):
+    def proc():
+        yield Timeout(1.0)
+        return 7
+
+    task = kernel.spawn(proc())
+    seen = []
+    task.done_event.add_listener(seen.append)
+    kernel.run()
+    assert seen == [7]
+
+
+def test_wait_event_receives_trigger_value(kernel):
+    event = SimEvent("e")
+    got = []
+
+    def proc():
+        value = yield WaitEvent(event)
+        got.append((value, kernel.now))
+
+    kernel.spawn(proc())
+    kernel.call_after(3.0, event.trigger, "payload")
+    kernel.run()
+    assert got == [("payload", 3.0)]
+
+
+def test_join_another_task(kernel):
+    def child():
+        yield Timeout(2.0)
+        return "child-result"
+
+    def parent(child_task):
+        value = yield child_task
+        return ("joined", value, kernel.now)
+
+    child_task = kernel.spawn(child(), "child")
+    parent_task = kernel.spawn(parent(child_task), "parent")
+    kernel.run()
+    assert parent_task.result == ("joined", "child-result", 2.0)
+
+
+def test_kill_runs_finally_blocks(kernel):
+    cleaned = []
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+        finally:
+            cleaned.append(kernel.now)
+
+    task = kernel.spawn(proc())
+    kernel.call_after(1.0, task.kill)
+    kernel.run()
+    assert task.killed
+    assert cleaned == [1.0]
+
+
+def test_killed_task_never_resumes(kernel):
+    resumed = []
+
+    def proc():
+        yield Timeout(5.0)
+        resumed.append("resumed")
+
+    task = kernel.spawn(proc())
+    kernel.call_after(1.0, task.kill)
+    kernel.run()
+    assert resumed == []
+    assert kernel.now == pytest.approx(1.0)
+
+
+def test_kill_finished_task_is_noop(kernel):
+    def proc():
+        yield Timeout(1.0)
+        return "done"
+
+    task = kernel.spawn(proc())
+    kernel.run()
+    task.kill()
+    assert task.result == "done"
+    assert not task.killed
+
+
+def test_process_interrupt_catchable_for_cleanup(kernel):
+    log = []
+
+    def proc():
+        try:
+            yield Timeout(10.0)
+        except ProcessInterrupt:
+            log.append("interrupted")
+            raise
+
+    task = kernel.spawn(proc())
+    kernel.call_after(2.0, task.kill)
+    kernel.run()
+    assert log == ["interrupted"]
+
+
+def test_process_exit_short_circuits(kernel):
+    def proc():
+        yield Timeout(1.0)
+        raise ProcessExit("early")
+        yield Timeout(100.0)  # pragma: no cover - unreachable
+
+    task = kernel.spawn(proc())
+    kernel.run()
+    assert task.result == "early"
+    assert kernel.now == pytest.approx(1.0)
+
+
+def test_unsupported_yield_raises(kernel):
+    def proc():
+        yield 42
+
+    kernel.spawn(proc())
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_immediate_task_without_yields(kernel):
+    def proc():
+        return "instant"
+        yield  # pragma: no cover - makes it a generator
+
+    task = kernel.spawn(proc())
+    kernel.run()
+    assert task.result == "instant"
+
+
+def test_two_tasks_interleave_deterministically(kernel):
+    order = []
+
+    def proc(name, delay):
+        for _ in range(3):
+            yield Timeout(delay)
+            order.append((name, round(kernel.now, 6)))
+
+    kernel.spawn(proc("fast", 1.0), "fast")
+    kernel.spawn(proc("slow", 1.5), "slow")
+    kernel.run()
+    # At t=3.0 both tasks wake; "slow" scheduled its timer first (at t=1.5
+    # vs t=2.0), so FIFO tie-breaking runs it first.
+    assert order == [
+        ("fast", 1.0),
+        ("slow", 1.5),
+        ("fast", 2.0),
+        ("slow", 3.0),
+        ("fast", 3.0),
+        ("slow", 4.5),
+    ]
+
+
+def test_wait_on_already_triggered_event(kernel):
+    event = SimEvent("pre")
+    event.trigger("early")
+    got = []
+
+    def proc():
+        value = yield WaitEvent(event)
+        got.append(value)
+
+    kernel.spawn(proc())
+    kernel.run()
+    assert got == ["early"]

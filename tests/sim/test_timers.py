@@ -1,0 +1,76 @@
+"""Tests for PeriodicTimer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.timers import PeriodicTimer
+
+
+def test_fires_every_period(kernel):
+    ticks = []
+    PeriodicTimer(kernel, 1.0, lambda: ticks.append(kernel.now))
+    kernel.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_start_delay_zero_fires_immediately(kernel):
+    ticks = []
+    PeriodicTimer(kernel, 1.0, lambda: ticks.append(kernel.now), start_delay=0.0)
+    kernel.run(until=2.5)
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_cancel_stops_firing(kernel):
+    ticks = []
+    timer = PeriodicTimer(kernel, 1.0, lambda: ticks.append(kernel.now))
+    kernel.call_after(2.5, timer.cancel)
+    kernel.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert not timer.running
+
+
+def test_tick_counter(kernel):
+    timer = PeriodicTimer(kernel, 0.5, lambda: None)
+    kernel.run(until=2.0)
+    assert timer.ticks == 4
+
+
+def test_callback_may_cancel_timer(kernel):
+    timer_box = []
+
+    def callback():
+        timer_box[0].cancel()
+
+    timer_box.append(PeriodicTimer(kernel, 1.0, callback))
+    kernel.run(until=5.0)
+    assert timer_box[0].ticks == 1
+
+
+def test_jitter_varies_intervals_but_keeps_mean(kernel):
+    ticks = []
+    PeriodicTimer(
+        kernel,
+        1.0,
+        lambda: ticks.append(kernel.now),
+        jitter=0.2,
+        rng=kernel.rngs.stream("jitter"),
+    )
+    kernel.run(until=1000.0)
+    intervals = [b - a for a, b in zip(ticks, ticks[1:])]
+    assert len(set(round(i, 9) for i in intervals)) > 10  # actually jittered
+    mean = sum(intervals) / len(intervals)
+    assert mean == pytest.approx(1.0, rel=0.02)
+    assert all(0.8 <= i <= 1.2 for i in intervals)
+
+
+def test_invalid_parameters_rejected(kernel):
+    with pytest.raises(SimulationError):
+        PeriodicTimer(kernel, 0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        PeriodicTimer(kernel, 1.0, lambda: None, jitter=-0.1)
+    with pytest.raises(SimulationError):
+        PeriodicTimer(kernel, 1.0, lambda: None, jitter=0.5)  # jitter needs rng
+    with pytest.raises(SimulationError):
+        PeriodicTimer(
+            kernel, 1.0, lambda: None, jitter=1.0, rng=kernel.rngs.stream("x")
+        )

@@ -1,0 +1,101 @@
+"""Tests for the structured trace."""
+
+import pytest
+
+from repro.sim.trace import Trace, TraceRecord
+from repro.types import Severity
+
+
+def test_emit_uses_clock_time(kernel):
+    kernel.call_after(3.0, kernel.trace.emit, "src", "thing")
+    kernel.run()
+    assert kernel.trace.records[0].time == 3.0
+
+
+def test_emit_without_clock_requires_time():
+    trace = Trace()
+    with pytest.raises(ValueError):
+        trace.emit("src", "kind")
+    record = trace.emit("src", "kind", time=1.0)
+    assert record.time == 1.0
+
+
+def test_filter_by_kind_and_source(kernel):
+    trace = kernel.trace
+    trace.emit("a", "x", value=1)
+    trace.emit("b", "x", value=2)
+    trace.emit("a", "y", value=3)
+    assert [r.data["value"] for r in trace.filter(kind="x")] == [1, 2]
+    assert [r.data["value"] for r in trace.filter(source="a")] == [1, 3]
+    assert [r.data["value"] for r in trace.filter(kind="x", source="b")] == [2]
+
+
+def test_filter_by_payload(kernel):
+    trace = kernel.trace
+    trace.emit("s", "ready", name="fedr")
+    trace.emit("s", "ready", name="pbcom")
+    matches = trace.filter(kind="ready", name="fedr")
+    assert len(matches) == 1
+    assert matches[0].data["name"] == "fedr"
+
+
+def test_filter_by_time_window(kernel):
+    trace = kernel.trace
+    for t in (1.0, 2.0, 3.0):
+        trace.emit("s", "tick", time=t)
+    assert len(trace.filter(since=2.0)) == 2
+    assert len(trace.filter(until=2.0)) == 2
+    assert len(trace.filter(since=1.5, until=2.5)) == 1
+
+
+def test_first_and_last(kernel):
+    trace = kernel.trace
+    trace.emit("s", "evt", n=1)
+    trace.emit("s", "evt", n=2)
+    trace.emit("s", "other")
+    assert trace.first("evt").data["n"] == 1
+    assert trace.last("evt").data["n"] == 2
+    assert trace.first("missing") is None
+    assert trace.last("missing") is None
+
+
+def test_subscriber_sees_records_live(kernel):
+    seen = []
+    kernel.trace.subscribe(seen.append)
+    kernel.trace.emit("s", "evt")
+    assert len(seen) == 1
+    assert isinstance(seen[0], TraceRecord)
+
+
+def test_capacity_ring_buffer(kernel):
+    trace = Trace(clock=kernel.clock, capacity=3)
+    for n in range(10):
+        trace.emit("s", "evt", n=n)
+    assert len(trace) == 3
+    assert [r.data["n"] for r in trace.records] == [7, 8, 9]
+    assert trace.dropped == 7
+
+
+def test_capacity_still_notifies_subscribers(kernel):
+    trace = Trace(clock=kernel.clock, capacity=1)
+    seen = []
+    trace.subscribe(seen.append)
+    for n in range(5):
+        trace.emit("s", "evt", n=n)
+    assert len(seen) == 5  # subscribers see everything, buffer keeps tail
+
+
+def test_format_renders_fields(kernel):
+    record = kernel.trace.emit("comp", "went_bad", severity=Severity.ERROR, code=7)
+    line = record.format()
+    assert "comp" in line
+    assert "went_bad" in line
+    assert "code=7" in line
+    assert "error" in line
+
+
+def test_dump_limits_lines(kernel):
+    for n in range(5):
+        kernel.trace.emit("s", "evt", n=n)
+    dump = kernel.trace.dump(limit=2)
+    assert dump.count("\n") == 1

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_trees_renders_all(capsys):
+    assert main(["trees"]) == 0
+    out = capsys.readouterr().out
+    for label in ("tree-I", "tree-II", "tree-III", "tree-IV", "tree-V"):
+        assert label in out
+    assert "R_fedr_pbcom" in out
+
+
+def test_recovery_command(capsys):
+    assert main(["recovery", "--component", "rtu", "--trials", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "tree V" in out
+    assert "rtu" in out
+    assert "mean" in out
+    assert "n=3" in out
+
+
+def test_recovery_with_tree_and_oracle(capsys):
+    code = main([
+        "recovery", "--tree", "IV", "--component", "pbcom", "--trials", "2",
+        "--oracle", "faulty", "--error-rate", "1.0",
+        "--cure", "fedr", "pbcom",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "faulty" in out
+    assert "['fedr', 'pbcom']" in out
+
+
+def test_recovery_unknown_component_errors(capsys):
+    assert main(["recovery", "--tree", "V", "--component", "fedrcom"]) == 2
+    assert "not in tree" in capsys.readouterr().err
+
+
+def test_table2_command(capsys):
+    assert main(["table2", "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "fedrcom" in out
+
+
+def test_availability_command(capsys):
+    assert main(["availability", "--days", "0.5", "--tree", "V"]) == 0
+    out = capsys.readouterr().out
+    assert "Availability" in out
+    assert "V" in out
+
+
+def test_passes_command(capsys):
+    assert main(["passes", "--days", "1", "--tree", "V"]) == 0
+    out = capsys.readouterr().out
+    assert "Pass campaign" in out
+
+
+def test_seed_changes_results(capsys):
+    main(["--seed", "1", "recovery", "--component", "rtu", "--trials", "2"])
+    first = capsys.readouterr().out
+    main(["--seed", "2", "recovery", "--component", "rtu", "--trials", "2"])
+    second = capsys.readouterr().out
+    assert first != second
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_invalid_tree_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["recovery", "--tree", "VII", "--component", "rtu"])

@@ -1,0 +1,113 @@
+"""Tests for channel delivery semantics: FIFO, latency, close behaviour."""
+
+import pytest
+
+from repro.errors import ChannelClosedError
+from repro.transport.network import Network
+
+
+def connected_pair(network):
+    server_side = []
+    network.listen("srv:1", server_side.append)
+    client = network.connect("client", "srv:1")
+    return client, server_side[0]
+
+
+def test_messages_arrive_after_latency(kernel, network):
+    client, server = connected_pair(network)
+    inbox = []
+    server.on_message(inbox.append)
+    client.send("hello")
+    assert inbox == []  # not synchronous
+    kernel.run()
+    assert inbox == ["hello"]
+
+
+def test_fifo_order_preserved(kernel, network):
+    client, server = connected_pair(network)
+    inbox = []
+    server.on_message(inbox.append)
+    for n in range(50):
+        client.send(n)
+    kernel.run()
+    assert inbox == list(range(50))
+
+
+def test_bidirectional_traffic(kernel, network):
+    client, server = connected_pair(network)
+    client_in, server_in = [], []
+    client.on_message(client_in.append)
+    server.on_message(server_in.append)
+    client.send("to-server")
+    server.send("to-client")
+    kernel.run()
+    assert server_in == ["to-server"]
+    assert client_in == ["to-client"]
+
+
+def test_messages_before_handler_are_buffered(kernel, network):
+    client, server = connected_pair(network)
+    client.send("early")
+    kernel.run()
+    inbox = []
+    server.on_message(inbox.append)
+    assert inbox == ["early"]
+
+
+def test_send_on_closed_channel_raises(kernel, network):
+    client, server = connected_pair(network)
+    client.close()
+    with pytest.raises(ChannelClosedError):
+        client.send("x")
+    with pytest.raises(ChannelClosedError):
+        server.send("y")
+
+
+def test_close_notifies_peer_not_initiator(kernel, network):
+    client, server = connected_pair(network)
+    closes = {"client": 0, "server": 0}
+    client.on_close(lambda: closes.__setitem__("client", closes["client"] + 1))
+    server.on_close(lambda: closes.__setitem__("server", closes["server"] + 1))
+    client.close()
+    kernel.run()
+    assert closes == {"client": 0, "server": 1}
+
+
+def test_close_is_idempotent(kernel, network):
+    client, server = connected_pair(network)
+    notified = []
+    server.on_close(lambda: notified.append(1))
+    client.close()
+    client.close()
+    server.close()
+    kernel.run()
+    assert notified == [1]
+
+
+def test_in_flight_messages_dropped_on_close(kernel, network):
+    """SIGKILL severs the connection; bytes in the pipe never arrive."""
+    client, server = connected_pair(network)
+    inbox = []
+    server.on_message(inbox.append)
+    client.send("doomed")
+    client.close()  # close before the latency-delayed delivery
+    kernel.run()
+    assert inbox == []
+
+
+def test_open_property_tracks_state(kernel, network):
+    client, server = connected_pair(network)
+    assert client.open and server.open
+    server.close()
+    assert not client.open and not server.open
+
+
+def test_message_counters(kernel, network):
+    client, server = connected_pair(network)
+    server.on_message(lambda m: None)
+    for _ in range(3):
+        client.send("m")
+    kernel.run()
+    channel = client._channel
+    assert channel.messages_sent == 3
+    assert channel.messages_delivered == 3
