@@ -1,0 +1,26 @@
+# Developer/CI entry points.  The python toolchain is assumed present
+# (no installs); everything runs from the source tree via PYTHONPATH.
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test bench benchmarks table4-parallel
+
+# Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Perf session: time the simulator hot paths and write BENCH_1.json so
+# future PRs have a perf trajectory to compare against.
+bench:
+	$(PYTHON) tools/bench.py --output BENCH_1.json
+
+# Full paper-reproduction suite (slow).  REPRO_BENCH_TRIALS/JOBS/CACHE
+# control fidelity, fan-out, and result caching.
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# The Table 4 matrix with maximum fan-out, cached for re-runs.
+table4-parallel:
+	REPRO_BENCH_JOBS=0 REPRO_BENCH_CACHE=.repro-cache \
+		$(PYTHON) -m pytest benchmarks/test_table4_mttr_matrix.py --benchmark-only -s

@@ -9,6 +9,12 @@ of each experiment (one trial, one campaign-day, one transformation).
 counts so a full-fidelity run is one environment variable away::
 
     REPRO_BENCH_TRIALS=100 pytest benchmarks/ --benchmark-only
+
+``REPRO_BENCH_JOBS`` (default 1) fans campaign cells across worker
+processes via :mod:`repro.experiments.runner`; per-cell statistics are
+bit-identical for any jobs value, so ``REPRO_BENCH_JOBS=4`` is purely a
+wall-clock knob.  ``REPRO_BENCH_CACHE`` names a cache directory so
+repeated runs replay finished cells from disk.
 """
 
 from __future__ import annotations
@@ -19,6 +25,12 @@ import pytest
 
 #: Trials per (tree, component, oracle) cell.
 TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "40"))
+
+#: Campaign worker processes (0 = one per CPU).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Optional campaign result-cache directory.
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 #: The paper's Table 4 (seconds), keyed by (tree, oracle) then component.
 PAPER_TABLE4 = {

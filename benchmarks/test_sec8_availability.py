@@ -8,10 +8,13 @@ MTTR."
 """
 
 import pytest
-from conftest import print_banner
+from conftest import CACHE_DIR, JOBS, print_banner
 
 from repro.analysis.markov import SeriesSystemModel
-from repro.experiments.availability import measure_availability
+from repro.experiments.availability import (
+    measure_availability,
+    measure_availability_suite,
+)
 from repro.experiments.report import format_table
 from repro.mercury.config import PAPER_CONFIG
 from repro.mercury.trees import TREE_BUILDERS
@@ -44,12 +47,9 @@ def test_sec8(benchmark):
     )
 
     labels = ["I", "II", "III", "IV", "V"]
-    results = {
-        label: measure_availability(
-            TREE_BUILDERS[label](), horizon_s=DAYS * 86400.0, seed=360
-        )
-        for label in labels
-    }
+    results = measure_availability_suite(
+        labels, horizon_s=DAYS * 86400.0, seed=360, jobs=JOBS, cache_dir=CACHE_DIR
+    )
 
     rows = []
     for label in labels:

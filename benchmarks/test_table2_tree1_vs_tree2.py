@@ -5,9 +5,9 @@ component" — MTTR^I is 24.75 s for every column; MTTR^II drops to the
 component's own restart cost (5.59–20.93 s).
 """
 
-from conftest import PAPER_TABLE4, TRIALS, print_banner
+from conftest import CACHE_DIR, JOBS, PAPER_TABLE4, TRIALS, print_banner
 
-from repro.experiments.recovery import measure_recovery
+from repro.experiments.recovery import measure_recovery, measure_recovery_row
 from repro.experiments.report import format_table, relative_errors
 from repro.mercury.trees import tree_i, tree_ii
 
@@ -15,10 +15,10 @@ COMPONENTS = ["mbus", "ses", "str", "rtu", "fedrcom"]
 
 
 def run_row(tree, trials, seed=100):
-    return {
-        component: measure_recovery(tree, component, trials=trials, seed=seed + i)
-        for i, component in enumerate(COMPONENTS)
-    }
+    results = measure_recovery_row(
+        tree, COMPONENTS, trials=trials, seed=seed, jobs=JOBS, cache_dir=CACHE_DIR
+    )
+    return dict(zip(COMPONENTS, results))
 
 
 def test_table2(benchmark):

@@ -5,9 +5,10 @@ setup: pbcom failures there are curable *only* by a joint [fedr, pbcom]
 restart, and the oracle guesses too low 30 % of the time.
 """
 
-from conftest import PAPER_TABLE4, TRIALS, print_banner
+from conftest import CACHE_DIR, JOBS, PAPER_TABLE4, TRIALS, print_banner
 
 from repro.experiments.recovery import measure_recovery
+from repro.experiments.runner import run_recovery_matrix
 from repro.experiments.report import format_table, relative_errors
 from repro.mercury.trees import TREE_BUILDERS
 
@@ -23,15 +24,22 @@ ROWS = [
 ]
 
 
+def cure_set_for(label, oracle, component):
+    # §4.4's experiment: failures curable only by the joint restart.
+    if oracle == "faulty" and component == "pbcom":
+        return ("fedr", "pbcom")
+    return None
+
+
 def run_cell(label, oracle, component, trials, seed):
     tree = TREE_BUILDERS[label]()
     kwargs = {}
     if oracle == "faulty":
         kwargs["oracle"] = "faulty"
         kwargs["oracle_error_rate"] = 0.3
-        if component == "pbcom":
-            # §4.4's experiment: failures curable only by the joint restart.
-            kwargs["cure_set"] = ("fedr", "pbcom")
+        cure = cure_set_for(label, oracle, component)
+        if cure is not None:
+            kwargs["cure_set"] = cure
     return measure_recovery(tree, component, trials=trials, seed=seed, **kwargs)
 
 
@@ -42,17 +50,16 @@ def test_table4(benchmark):
         iterations=1,
     )
 
-    measured = {}
-    for row_index, (label, oracle) in enumerate(ROWS):
-        tree = TREE_BUILDERS[label]()
-        for col_index, component in enumerate(COLUMNS):
-            if component not in tree.components:
-                continue
-            result = run_cell(
-                label, oracle, component, TRIALS,
-                seed=1000 + 37 * row_index + col_index,
-            )
-            measured[(label, oracle, component)] = result.mean
+    matrix = run_recovery_matrix(
+        ROWS,
+        COLUMNS,
+        trials=TRIALS,
+        seed=1000,
+        jobs=JOBS,
+        cache_dir=CACHE_DIR,
+        cure_set_for=cure_set_for,
+    )
+    measured = {key: result.mean for key, result in matrix.items()}
 
     table_rows = []
     for label, oracle in ROWS:

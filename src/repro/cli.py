@@ -3,27 +3,53 @@
 Usage::
 
     python -m repro.cli recovery --tree V --component rtu --trials 20
-    python -m repro.cli table2 --trials 40
+    python -m repro.cli table2 --trials 40 --jobs 4
+    python -m repro.cli table4 --trials 40 --jobs 4 --cache-dir .repro-cache
     python -m repro.cli trees
-    python -m repro.cli availability --days 3
+    python -m repro.cli availability --days 3 --jobs 2
     python -m repro.cli passes --days 7 --tree I --tree V
 
 Every subcommand prints the same paper-layout tables the benches produce;
-the CLI is a thin veneer over :mod:`repro.experiments`.
+the CLI is a thin veneer over :mod:`repro.experiments`.  Campaign-style
+subcommands (``table2``, ``table4``, ``availability``) accept ``--jobs N``
+to fan cells across worker processes and ``--cache-dir`` to reuse the
+content-addressed result cache — results are bit-identical for any jobs
+value.  ``--profile`` wraps any subcommand in :mod:`cProfile` (most useful
+with ``--jobs 1``, since workers run in separate processes).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.core.render import render_tree
-from repro.experiments.availability import measure_availability
+from repro.experiments.availability import measure_availability_suite
 from repro.experiments.passes_experiment import run_pass_campaign
-from repro.experiments.recovery import measure_recovery
+from repro.experiments.recovery import measure_recovery, measure_recovery_row
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_recovery_matrix
 from repro.mercury.trees import TREE_BUILDERS
+
+#: The Table 4 layout: (tree, oracle) rows and the component columns.
+TABLE4_ROWS = [
+    ("I", "perfect"),
+    ("II", "perfect"),
+    ("III", "perfect"),
+    ("IV", "perfect"),
+    ("IV", "faulty"),
+    ("V", "faulty"),
+]
+TABLE4_COLUMNS = ["mbus", "ses", "str", "rtu", "fedr", "pbcom", "fedrcom"]
+
+
+def table4_cure_set(tree_label: str, oracle: str, component: str):
+    """§4.4's rule: faulty-oracle pbcom failures need the joint restart."""
+    if oracle == "faulty" and component == "pbcom":
+        return ("fedr", "pbcom")
+    return None
 
 
 def _tree_argument(parser: argparse.ArgumentParser, multiple: bool = False) -> None:
@@ -42,12 +68,37 @@ def build_parser() -> argparse.ArgumentParser:
         description="Recursive-restartability reproduction experiments",
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for campaign fan-out (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the content-addressed campaign result cache",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the subcommand under cProfile and print the top 20 "
+        "cumulative entries (use with --jobs 1 to see simulation internals)",
+    )
+    # The same flags are accepted after the subcommand (`repro table2
+    # --jobs 4`); SUPPRESS defaults so they only override the root values
+    # when explicitly given.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    common.add_argument("--jobs", type=int, default=argparse.SUPPRESS)
+    common.add_argument("--cache-dir", default=argparse.SUPPRESS)
+    common.add_argument("--profile", action="store_true", default=argparse.SUPPRESS)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    trees = subparsers.add_parser("trees", help="render the restart trees I-V")
+    trees = subparsers.add_parser(
+        "trees", help="render the restart trees I-V", parents=[common]
+    )
 
     recovery = subparsers.add_parser(
-        "recovery", help="kill-and-measure one component (Table 2/4 cell)"
+        "recovery",
+        help="kill-and-measure one component (Table 2/4 cell)",
+        parents=[common],
     )
     _tree_argument(recovery)
     recovery.add_argument("--component", required=True)
@@ -62,17 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimal cure set (defaults to the component alone)",
     )
 
-    table2 = subparsers.add_parser("table2", help="regenerate Table 2")
+    table2 = subparsers.add_parser(
+        "table2", help="regenerate Table 2", parents=[common]
+    )
     table2.add_argument("--trials", type=int, default=20)
 
+    table4 = subparsers.add_parser(
+        "table4",
+        help="regenerate the full Table 4 MTTR matrix",
+        parents=[common],
+    )
+    table4.add_argument("--trials", type=int, default=20)
+
     availability = subparsers.add_parser(
-        "availability", help="steady-state availability per tree"
+        "availability",
+        help="steady-state availability per tree",
+        parents=[common],
     )
     availability.add_argument("--days", type=float, default=3.0)
     _tree_argument(availability, multiple=True)
 
     passes = subparsers.add_parser(
-        "passes", help="satellite-pass data-loss campaign (§5.2)"
+        "passes", help="satellite-pass data-loss campaign (§5.2)", parents=[common]
     )
     passes.add_argument("--days", type=float, default=7.0)
     _tree_argument(passes, multiple=True)
@@ -120,25 +182,57 @@ def cmd_table2(args: argparse.Namespace) -> int:
     components = ["mbus", "ses", "str", "rtu", "fedrcom"]
     rows = []
     for label in ("I", "II"):
-        tree = TREE_BUILDERS[label]()
-        row: List[object] = [label]
-        for index, component in enumerate(components):
-            result = measure_recovery(
-                tree, component, trials=args.trials, seed=args.seed + index
-            )
-            row.append(result.mean)
+        results = measure_recovery_row(
+            TREE_BUILDERS[label](),
+            components,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+        row: List[object] = [label] + [result.mean for result in results]
         rows.append(row)
     print(format_table(["tree"] + components, rows, title="Table 2 (measured)"))
     return 0
 
 
+def cmd_table4(args: argparse.Namespace) -> int:
+    matrix = run_recovery_matrix(
+        TABLE4_ROWS,
+        TABLE4_COLUMNS,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cure_set_for=table4_cure_set,
+    )
+    rows = []
+    for label, oracle in TABLE4_ROWS:
+        row: List[object] = [f"{label}/{oracle}"]
+        for component in TABLE4_COLUMNS:
+            result = matrix.get((label, oracle, component))
+            row.append(result.mean if result is not None else None)
+        rows.append(row)
+    print(
+        format_table(
+            ["tree/oracle"] + TABLE4_COLUMNS, rows, title="Table 4 (measured)"
+        )
+    )
+    return 0
+
+
 def cmd_availability(args: argparse.Namespace) -> int:
     labels = args.tree or ["I", "V"]
+    suite = measure_availability_suite(
+        labels,
+        horizon_s=args.days * 86400.0,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     rows = []
     for label in labels:
-        result = measure_availability(
-            TREE_BUILDERS[label](), horizon_s=args.days * 86400.0, seed=args.seed
-        )
+        result = suite[label]
         rows.append(
             [
                 label,
@@ -188,6 +282,7 @@ COMMANDS = {
     "trees": cmd_trees,
     "recovery": cmd_recovery,
     "table2": cmd_table2,
+    "table4": cmd_table4,
     "availability": cmd_availability,
     "passes": cmd_passes,
 }
@@ -196,7 +291,24 @@ COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir and os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+        print(
+            f"error: --cache-dir {cache_dir!r} exists and is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    command = COMMANDS[args.command]
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        code = profiler.runcall(command, args)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+        return code
+    return command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests

@@ -11,17 +11,39 @@ One module per experiment family, mirroring the paper's evaluation:
   (§5.2, "not all downtime is the same");
 * :mod:`repro.experiments.metrics` — uptime/interval accounting shared by
   the above;
-* :mod:`repro.experiments.report` — paper-style table formatting.
+* :mod:`repro.experiments.report` — paper-style table formatting;
+* :mod:`repro.experiments.runner` — the parallel campaign runner every
+  multi-cell experiment fans out through (deterministic hash-derived
+  seeds, process pool, content-addressed result cache).
 """
 
 from repro.experiments.metrics import RecoveryStats, UptimeTracker
-from repro.experiments.recovery import RecoveryResult, measure_recovery
+from repro.experiments.recovery import (
+    RecoveryResult,
+    measure_recovery,
+    measure_recovery_row,
+)
 from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    CampaignCell,
+    campaign_seed,
+    run_availability_suite,
+    run_campaign,
+    run_recovery_matrix,
+    run_recovery_row,
+)
 
 __all__ = [
+    "CampaignCell",
     "RecoveryResult",
     "RecoveryStats",
     "UptimeTracker",
+    "campaign_seed",
     "format_table",
     "measure_recovery",
+    "measure_recovery_row",
+    "run_availability_suite",
+    "run_campaign",
+    "run_recovery_matrix",
+    "run_recovery_row",
 ]

@@ -17,7 +17,7 @@ long horizon and reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.core.tree import RestartTree
 from repro.experiments.metrics import UptimeTracker
@@ -63,6 +63,9 @@ def measure_availability(
         solution_period=600.0,
         trace_capacity=10_000,
     )
+    # Availability is accounted from process-manager lifecycle callbacks,
+    # never from the trace; skip record retention on the month-scale loop.
+    station.kernel.trace.enabled = False
     station.manager.start_all(station.station_components)
     station.kernel.run(until=station.kernel.now + 120.0)
     tracker = UptimeTracker(station.manager, station.station_components)
@@ -81,4 +84,31 @@ def measure_availability(
             name: tracker.observed_mttr(name)
             for name in station.station_components
         },
+    )
+
+
+def measure_availability_suite(
+    tree_labels: Sequence[str],
+    horizon_s: float,
+    seed: int = 0,
+    config: StationConfig = PAPER_CONFIG,
+    oracle: str = "perfect",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, AvailabilityResult]:
+    """Availability for several trees via the parallel campaign runner.
+
+    One worker per tree; per-tree seeds are hash-derived from ``seed`` so
+    the tree list's composition never perturbs another tree's fault stream.
+    """
+    from repro.experiments.runner import run_availability_suite
+
+    return run_availability_suite(
+        tree_labels,
+        horizon_s,
+        seed=seed,
+        config=config,
+        oracle=oracle,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )

@@ -12,7 +12,7 @@ the configured values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.core.tree import RestartTree
 from repro.experiments.metrics import UptimeTracker
@@ -72,6 +72,8 @@ def measure_lifetimes(
         station.resync_coupling.enabled = False
         if station.aging is not None:
             station.aging.enabled = False
+    # MTTFs come from lifecycle accounting, not the trace; skip retention.
+    station.kernel.trace.enabled = False
     station.manager.start_all(station.station_components)
     station.kernel.run(until=station.kernel.now + 120.0)  # boot settle
     tracker = UptimeTracker(station.manager, station.station_components)
@@ -92,4 +94,27 @@ def measure_lifetimes(
         observed_mttf=observed,
         failures=failures,
         system_availability=tracker.system_availability(),
+    )
+
+
+def measure_lifetimes_suite(
+    tree_labels: Sequence[str],
+    horizon_s: float,
+    seed: int = 0,
+    config: StationConfig = PAPER_CONFIG,
+    correlations: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, LifetimeResult]:
+    """Table 1 closure for several trees via the parallel campaign runner."""
+    from repro.experiments.runner import run_lifetime_suite
+
+    return run_lifetime_suite(
+        tree_labels,
+        horizon_s,
+        seed=seed,
+        config=config,
+        correlations=correlations,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )

@@ -131,18 +131,34 @@ def measure_recovery_row(
     oracle_error_rate: float = 0.3,
     config: StationConfig = PAPER_CONFIG,
     supervisor: str = "full",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    shard_size: Optional[int] = None,
 ) -> List[RecoveryResult]:
-    """One Table 2/4 row: recovery stats for each listed component."""
-    return [
-        measure_recovery(
-            tree,
-            component,
-            trials=trials,
-            seed=seed + index,
-            oracle=oracle,
-            oracle_error_rate=oracle_error_rate,
-            config=config,
-            supervisor=supervisor,
-        )
-        for index, component in enumerate(components)
-    ]
+    """One Table 2/4 row: recovery stats for each listed component.
+
+    Each cell's seed is hash-derived from ``(seed, tree, oracle,
+    component)`` — never from the component's position — so adding or
+    reordering columns cannot perturb any other cell's random stream.
+    ``jobs`` fans cells across worker processes and ``cache_dir`` enables
+    the content-addressed result cache (see
+    :mod:`repro.experiments.runner`); results are bit-identical for any
+    ``jobs`` value.
+    """
+    from repro.experiments.runner import run_recovery_row
+
+    label = tree.name[5:] if tree.name.startswith("tree-") else tree.name
+    return run_recovery_row(
+        label,
+        components,
+        trials=trials,
+        seed=seed,
+        oracle=oracle,
+        oracle_error_rate=oracle_error_rate,
+        config=config,
+        supervisor=supervisor,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        shard_size=shard_size,
+        trees={label: tree},
+    )

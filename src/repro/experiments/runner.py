@@ -1,0 +1,511 @@
+"""Parallel campaign execution: fan independent cells across processes.
+
+Every headline number in the paper (Tables 2/4, the §8 availability ratios)
+is a campaign of kill-and-measure trials over (tree × component × oracle)
+cells, and each cell is a pure function of its spec — tree label, component,
+trial count, and a seed.  That purity is what makes fan-out safe (the
+*Microreboot* argument for isolated per-trial state) and it is what this
+module exploits:
+
+* **Deterministic seeding** — every cell derives its seed by hashing the
+  campaign root seed with the cell's identity
+  (:func:`campaign_seed`), never by position in a list.  Adding a component
+  to a row, reordering columns, or changing the number of worker processes
+  cannot perturb any other cell's random stream, so ``jobs=4`` results are
+  bit-identical to ``jobs=1``.
+* **Process fan-out** — cells run on a ``ProcessPoolExecutor``
+  (simulations are CPU-bound Python; threads would serialize on the GIL).
+  Results are reassembled in planning order, so output never depends on
+  completion order.
+* **Content-addressed result cache** — each cell's result can be stored as
+  JSON under a key hashing the cell spec, the station config, and a cache
+  version.  Re-running a benchmark with unchanged inputs replays from disk;
+  changing *any* input (trials, seed, oracle, a config constant) changes
+  the key and forces recomputation.
+
+Cells large enough to dominate wall-clock can additionally be split into
+**seed shards** (``shard_size``): each shard is an independent station with
+its own derived seed, and the merged sample list is the concatenation in
+shard order.  The shard decomposition is part of the campaign spec — serial
+and parallel runs of the same spec agree exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.tree import RestartTree
+from repro.experiments.availability import AvailabilityResult, measure_availability
+from repro.experiments.lifetimes import LifetimeResult, measure_lifetimes
+from repro.experiments.recovery import RecoveryResult, measure_recovery
+from repro.mercury.config import PAPER_CONFIG, StationConfig
+from repro.sim.rng import derive_seed
+
+#: Bump when the result payload layout or experiment semantics change in a
+#: way that silently invalidates cached campaign results.
+CACHE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# seeds and fingerprints
+# ----------------------------------------------------------------------
+
+
+def campaign_seed(root_seed: int, *parts: object) -> int:
+    """Derive a cell seed from the campaign root seed and the cell identity.
+
+    Pure function of ``(root_seed, parts)`` — stable across interpreter
+    runs, independent of planning order and of every other cell.
+    """
+    return derive_seed(root_seed, "campaign:" + ":".join(str(p) for p in parts))
+
+
+def config_fingerprint(config: StationConfig) -> str:
+    """Short stable hash of every field of a station config."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def tree_fingerprint(tree: RestartTree) -> str:
+    """Structural hash of a restart tree (label alone is not enough for
+    ad hoc trees built by the transformation benches)."""
+    from repro.core.render import render_tree
+
+    payload = f"{tree.name}\n{render_tree(tree)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# cell specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent unit of campaign work (picklable, hashable).
+
+    ``kind`` selects the experiment family: ``"recovery"`` runs
+    :func:`~repro.experiments.recovery.measure_recovery` shards;
+    ``"availability"`` and ``"lifetimes"`` run one long-horizon station
+    each.  ``seed`` is the fully derived per-cell seed — planners call
+    :func:`campaign_seed`; nothing downstream adds offsets.
+    """
+
+    kind: str
+    tree: str
+    seed: int
+    component: str = ""
+    trials: int = 0
+    shard: int = 0
+    oracle: str = "perfect"
+    oracle_error_rate: float = 0.3
+    oracle_too_high_rate: float = 0.0
+    cure_set: Optional[Tuple[str, ...]] = None
+    supervisor: str = "full"
+    trial_timeout: float = 300.0
+    aging: bool = False
+    horizon_s: float = 0.0
+    correlations: bool = False
+
+
+def _resolve_tree(label: str, trees: Optional[Mapping[str, RestartTree]]) -> RestartTree:
+    if trees is not None and label in trees:
+        return trees[label]
+    from repro.mercury.trees import TREE_BUILDERS
+
+    return TREE_BUILDERS[label]()
+
+
+def execute_cell(
+    cell: CampaignCell,
+    config: StationConfig = PAPER_CONFIG,
+    trees: Optional[Mapping[str, RestartTree]] = None,
+) -> Dict[str, Any]:
+    """Run one cell to completion and return a JSON-serializable payload.
+
+    This is the worker entry point — it must stay a module-level function
+    so ``ProcessPoolExecutor`` can pickle it by reference.
+    """
+    tree = _resolve_tree(cell.tree, trees)
+    if cell.kind == "recovery":
+        result = measure_recovery(
+            tree,
+            cell.component,
+            trials=cell.trials,
+            seed=cell.seed,
+            oracle=cell.oracle,
+            oracle_error_rate=cell.oracle_error_rate,
+            oracle_too_high_rate=cell.oracle_too_high_rate,
+            cure_set=cell.cure_set,
+            config=config,
+            supervisor=cell.supervisor,
+            trial_timeout=cell.trial_timeout,
+            aging=cell.aging,
+        )
+        return {
+            "tree_name": result.tree_name,
+            "oracle": result.oracle,
+            "component": result.component,
+            "cure_set": sorted(result.cure_set),
+            "samples": result.samples,
+        }
+    if cell.kind == "availability":
+        availability = measure_availability(
+            tree,
+            horizon_s=cell.horizon_s,
+            seed=cell.seed,
+            config=config,
+            oracle=cell.oracle,
+        )
+        return dataclasses.asdict(availability)
+    if cell.kind == "lifetimes":
+        lifetime = measure_lifetimes(
+            tree,
+            horizon_s=cell.horizon_s,
+            seed=cell.seed,
+            config=config,
+            correlations=cell.correlations,
+        )
+        return dataclasses.asdict(lifetime)
+    raise ValueError(f"unknown campaign cell kind {cell.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+
+
+def cache_key(
+    cell: CampaignCell,
+    config: StationConfig,
+    tree: Optional[RestartTree] = None,
+) -> str:
+    """Content address of one cell's result.
+
+    Hashes the full cell spec, the station-config fingerprint, the tree
+    structure (when an ad hoc tree object is supplied), and the cache
+    version; any change to any input yields a different key.
+    """
+    identity = {
+        "version": CACHE_VERSION,
+        "cell": dataclasses.asdict(cell),
+        "config": config_fingerprint(config),
+        "tree": tree_fingerprint(tree) if tree is not None else cell.tree,
+    }
+    payload = json.dumps(identity, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _cache_read(cache_dir: str, key: str) -> Optional[Dict[str, Any]]:
+    path = os.path.join(cache_dir, f"{key}.json")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)["result"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def _cache_write(
+    cache_dir: str, key: str, cell: CampaignCell, result: Dict[str, Any]
+) -> None:
+    os.makedirs(cache_dir, exist_ok=True)
+    payload = {"cell": dataclasses.asdict(cell), "result": result}
+    # Atomic publish so a crashed/parallel writer can never leave a torn file.
+    fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, os.path.join(cache_dir, f"{key}.json"))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    config: StationConfig = PAPER_CONFIG,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    trees: Optional[Mapping[str, RestartTree]] = None,
+) -> List[Dict[str, Any]]:
+    """Execute every cell, returning payloads in planning order.
+
+    ``jobs <= 1`` runs inline (no pool, no pickling); ``jobs > 1`` fans
+    across processes.  Either way the result list is ordered like
+    ``cells``, and each payload is a pure function of its cell spec, so
+    the two modes are bit-identical.  With ``cache_dir``, cells whose key
+    is already on disk are not recomputed.
+    """
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    keys: List[Optional[str]] = [None] * len(cells)
+    todo: List[int] = []
+    for index, cell in enumerate(cells):
+        if cache_dir is not None:
+            tree = trees.get(cell.tree) if trees else None
+            keys[index] = cache_key(cell, config, tree)
+            cached = _cache_read(cache_dir, keys[index])
+            if cached is not None:
+                results[index] = cached
+                continue
+        todo.append(index)
+
+    if jobs <= 1 or len(todo) <= 1:
+        for index in todo:
+            results[index] = execute_cell(cells[index], config, trees)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            futures = {
+                index: pool.submit(execute_cell, cells[index], config, trees)
+                for index in todo
+            }
+            for index, future in futures.items():
+                results[index] = future.result()
+
+    if cache_dir is not None:
+        for index in todo:
+            _cache_write(cache_dir, keys[index], cells[index], results[index])
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# planners and mergers
+# ----------------------------------------------------------------------
+
+
+def plan_recovery_cell(
+    tree_label: str,
+    component: str,
+    trials: int,
+    seed: int,
+    shard_size: Optional[int] = None,
+    **options: Any,
+) -> List[CampaignCell]:
+    """Shard one (tree, component) cell into independent seed shards.
+
+    ``shard_size=None`` keeps the cell whole (one station reused across
+    all trials, exactly like a direct :func:`measure_recovery` call with
+    the derived seed).  Smaller shards trade a little per-station boot
+    overhead for intra-cell parallelism.
+    """
+    cure = options.get("cure_set")
+    oracle = options.get("oracle", "perfect")
+    identity = (
+        tree_label,
+        oracle,
+        component,
+        ",".join(sorted(cure)) if cure else "-",
+    )
+    if shard_size is None or shard_size >= trials:
+        shards = [trials]
+    else:
+        shards = [
+            min(shard_size, trials - start) for start in range(0, trials, shard_size)
+        ]
+    return [
+        CampaignCell(
+            kind="recovery",
+            tree=tree_label,
+            component=component,
+            trials=shard_trials,
+            shard=shard_index,
+            seed=campaign_seed(seed, *identity, shard_index),
+            **options,
+        )
+        for shard_index, shard_trials in enumerate(shards)
+    ]
+
+
+def merge_recovery_cells(
+    cells: Sequence[CampaignCell], payloads: Sequence[Dict[str, Any]]
+) -> RecoveryResult:
+    """Reassemble one cell's shards into a :class:`RecoveryResult`."""
+    if not payloads:
+        raise ValueError("no payloads to merge")
+    ordered = sorted(zip(cells, payloads), key=lambda pair: pair[0].shard)
+    first = ordered[0][1]
+    samples: List[float] = []
+    for _, payload in ordered:
+        samples.extend(payload["samples"])
+    return RecoveryResult(
+        tree_name=first["tree_name"],
+        oracle=first["oracle"],
+        component=first["component"],
+        cure_set=frozenset(first["cure_set"]),
+        samples=samples,
+    )
+
+
+def run_recovery_row(
+    tree_label: str,
+    components: Sequence[str],
+    trials: int = 100,
+    seed: int = 0,
+    oracle: str = "perfect",
+    oracle_error_rate: float = 0.3,
+    config: StationConfig = PAPER_CONFIG,
+    supervisor: str = "full",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    shard_size: Optional[int] = None,
+    trees: Optional[Mapping[str, RestartTree]] = None,
+    cure_set_for: Optional[Callable[[str], Optional[Tuple[str, ...]]]] = None,
+) -> List[RecoveryResult]:
+    """One Table 2/4 row, fanned across ``jobs`` workers.
+
+    ``cure_set_for(component)`` may supply a per-component minimal cure
+    set (§4.4's joint [fedr, pbcom] failures); by default each failure is
+    curable by the component alone.
+    """
+    plan: List[List[CampaignCell]] = []
+    for component in components:
+        cure = cure_set_for(component) if cure_set_for is not None else None
+        plan.append(
+            plan_recovery_cell(
+                tree_label,
+                component,
+                trials,
+                seed,
+                shard_size=shard_size,
+                oracle=oracle,
+                oracle_error_rate=oracle_error_rate,
+                cure_set=tuple(cure) if cure else None,
+                supervisor=supervisor,
+            )
+        )
+    flat = [cell for group in plan for cell in group]
+    payloads = run_campaign(flat, config=config, jobs=jobs, cache_dir=cache_dir, trees=trees)
+    results: List[RecoveryResult] = []
+    cursor = 0
+    for group in plan:
+        results.append(
+            merge_recovery_cells(group, payloads[cursor : cursor + len(group)])
+        )
+        cursor += len(group)
+    return results
+
+
+def run_recovery_matrix(
+    rows: Sequence[Tuple[str, str]],
+    columns: Sequence[str],
+    trials: int = 100,
+    seed: int = 0,
+    oracle_error_rate: float = 0.3,
+    config: StationConfig = PAPER_CONFIG,
+    supervisor: str = "full",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    shard_size: Optional[int] = None,
+    cure_set_for: Optional[
+        Callable[[str, str, str], Optional[Tuple[str, ...]]]
+    ] = None,
+) -> Dict[Tuple[str, str, str], RecoveryResult]:
+    """The full Table 4 matrix: (tree, oracle) rows × component columns.
+
+    Components absent from a row's tree are skipped.  ``cure_set_for``
+    receives ``(tree_label, oracle, component)`` so callers can express
+    the §4.4 rule (faulty-oracle pbcom failures need the joint restart).
+    """
+    from repro.mercury.trees import TREE_BUILDERS
+
+    plan: List[Tuple[Tuple[str, str, str], List[CampaignCell]]] = []
+    for tree_label, oracle in rows:
+        tree_components = TREE_BUILDERS[tree_label]().components
+        for component in columns:
+            if component not in tree_components:
+                continue
+            cure = (
+                cure_set_for(tree_label, oracle, component)
+                if cure_set_for is not None
+                else None
+            )
+            cells = plan_recovery_cell(
+                tree_label,
+                component,
+                trials,
+                seed,
+                shard_size=shard_size,
+                oracle=oracle,
+                oracle_error_rate=oracle_error_rate,
+                cure_set=tuple(cure) if cure else None,
+                supervisor=supervisor,
+            )
+            plan.append(((tree_label, oracle, component), cells))
+    flat = [cell for _, group in plan for cell in group]
+    payloads = run_campaign(flat, config=config, jobs=jobs, cache_dir=cache_dir)
+    matrix: Dict[Tuple[str, str, str], RecoveryResult] = {}
+    cursor = 0
+    for key, group in plan:
+        matrix[key] = merge_recovery_cells(group, payloads[cursor : cursor + len(group)])
+        cursor += len(group)
+    return matrix
+
+
+def run_availability_suite(
+    tree_labels: Sequence[str],
+    horizon_s: float,
+    seed: int = 0,
+    config: StationConfig = PAPER_CONFIG,
+    oracle: str = "perfect",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, AvailabilityResult]:
+    """Steady-state availability for several trees, one worker per tree."""
+    cells = [
+        CampaignCell(
+            kind="availability",
+            tree=label,
+            seed=campaign_seed(seed, "availability", label, horizon_s),
+            oracle=oracle,
+            horizon_s=horizon_s,
+        )
+        for label in tree_labels
+    ]
+    payloads = run_campaign(cells, config=config, jobs=jobs, cache_dir=cache_dir)
+    return {
+        label: AvailabilityResult(**payload)
+        for label, payload in zip(tree_labels, payloads)
+    }
+
+
+def run_lifetime_suite(
+    tree_labels: Sequence[str],
+    horizon_s: float,
+    seed: int = 0,
+    config: StationConfig = PAPER_CONFIG,
+    correlations: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, LifetimeResult]:
+    """Long-horizon observed-MTTF runs (Table 1 closure) per tree."""
+    cells = [
+        CampaignCell(
+            kind="lifetimes",
+            tree=label,
+            seed=campaign_seed(seed, "lifetimes", label, horizon_s),
+            horizon_s=horizon_s,
+            correlations=correlations,
+        )
+        for label in tree_labels
+    ]
+    payloads = run_campaign(cells, config=config, jobs=jobs, cache_dir=cache_dir)
+    return {
+        label: LifetimeResult(**payload)
+        for label, payload in zip(tree_labels, payloads)
+    }

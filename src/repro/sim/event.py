@@ -21,7 +21,7 @@ from repro.types import SimTime
 class EventHandle:
     """Cancellable handle to a callback scheduled on the kernel."""
 
-    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "_owner")
 
     def __init__(
         self,
@@ -29,12 +29,16 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple,
+        owner: Optional[Any] = None,
     ) -> None:
         self.when = when
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # The kernel that queued this handle; cleared when the event fires
+        # so a late cancel cannot disturb the kernel's live-event counter.
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the callback from firing.
@@ -42,7 +46,13 @@ class EventHandle:
         Cancelling an already-fired or already-cancelled handle is a no-op,
         so callers may cancel defensively without tracking state.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self._owner
+        if owner is not None:
+            self._owner = None
+            owner._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         # heapq ordering: by time, then FIFO by scheduling sequence number.

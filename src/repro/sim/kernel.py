@@ -10,7 +10,7 @@ from these four primitives.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import KernelStoppedError, SimulationError
 from repro.sim.clock import Clock
@@ -45,10 +45,22 @@ class Kernel:
         self.clock = Clock(start_time)
         self.rngs = RngRegistry(seed)
         self.trace = Trace(clock=self.clock, capacity=trace_capacity)
-        self._queue: List[EventHandle] = []
+        # Heap entries are (when, seq, handle) tuples rather than bare
+        # handles: tuple comparison happens in C, so every heap sift avoids
+        # a Python-level __lt__ call — the single biggest cost in the
+        # schedule/dispatch cycle.  seq is unique, so the handle itself is
+        # never compared.
+        self._queue: List[Tuple[SimTime, int, EventHandle]] = []
         self._seq = 0
         self._stopped = False
         self._running = False
+        #: Live (non-cancelled) events still queued; kept exact by
+        #: :meth:`call_at`, the run loop, and :meth:`EventHandle.cancel` so
+        #: :attr:`pending_events` is O(1) instead of an O(n) sweep.
+        self._live = 0
+        #: Cancelled handles still sitting in the heap, awaiting either a
+        #: lazy pop or a bulk compaction.
+        self._cancelled_in_queue = 0
         #: Number of callbacks executed so far (diagnostics / benchmarks).
         self.events_executed = 0
 
@@ -69,24 +81,26 @@ class Kernel:
         """Schedule ``callback(*args)`` to run at absolute time ``when``."""
         if self._stopped:
             raise KernelStoppedError("kernel has been stopped; cannot schedule")
-        if when < self.now:
+        if when < self.clock._now:
             raise SimulationError(
                 f"cannot schedule event at {when!r}, now is {self.now!r}"
             )
-        handle = EventHandle(when, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(when, seq, callback, args, self)
+        heapq.heappush(self._queue, (when, seq, handle))
+        self._live += 1
         return handle
 
     def call_after(self, delay: SimTime, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.call_at(self.now + delay, callback, *args)
+        return self.call_at(self.clock._now + delay, callback, *args)
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current instant (FIFO order)."""
-        return self.call_at(self.now, callback, *args)
+        return self.call_at(self.clock._now, callback, *args)
 
     # ------------------------------------------------------------------
     # coroutine processes
@@ -109,13 +123,33 @@ class Kernel:
     # run loop
     # ------------------------------------------------------------------
 
+    def _note_cancel(self) -> None:
+        """Bookkeeping for :meth:`EventHandle.cancel` (kernel-internal).
+
+        Adjusts the live/cancelled counters and, when cancelled handles
+        dominate the heap, compacts it in one O(n) pass instead of paying a
+        lazy pop per stale entry on every subsequent peek.
+        """
+        self._live -= 1
+        self._cancelled_in_queue += 1
+        if self._cancelled_in_queue > 64 and self._cancelled_in_queue * 2 > len(self._queue):
+            # In-place slice assignment keeps the list identity stable: the
+            # run loop may hold a reference to the same list object.
+            self._queue[:] = [e for e in self._queue if not e[2].cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+
     def step(self) -> bool:
         """Execute the next pending event; return False if queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            when, _, handle = heapq.heappop(queue)
             if handle.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
-            self.clock.advance_to(handle.when)
+            handle._owner = None
+            self._live -= 1
+            self.clock.advance_to(when)
             self.events_executed += 1
             handle.callback(*handle.args)
             return True
@@ -127,26 +161,40 @@ class Kernel:
         When ``until`` is given and the queue still holds later events, the
         clock is advanced exactly to ``until`` so successive ``run(until=...)``
         calls observe contiguous time.
+
+        This is the simulator's innermost loop: the heap, pop function, and
+        clock are bound to locals, and the clock is advanced by direct slot
+        assignment — safe because :meth:`call_at` already rejects past times,
+        so heap order guarantees monotonicity.
         """
         if self._running:
             raise SimulationError("kernel.run() is not reentrant")
         self._running = True
+        queue = self._queue  # identity is stable (compaction mutates in place)
+        pop = heapq.heappop
+        clock = self.clock
         executed = 0
         try:
-            while not self._stopped and self._queue:
-                head = self._queue[0]
+            while queue and not self._stopped:
+                when, _, head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
+                    self._cancelled_in_queue -= 1
                     continue
-                if until is not None and head.when > until:
+                if until is not None and when > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
+                pop(queue)
+                head._owner = None
+                self._live -= 1
+                clock._now = when
                 executed += 1
-            if until is not None and not self._stopped and self.now < until:
-                self.clock.advance_to(until)
+                head.callback(*head.args)
+            if until is not None and not self._stopped and clock._now < until:
+                clock.advance_to(until)
         finally:
+            self.events_executed += executed
             self._running = False
 
     def stop(self) -> None:
@@ -160,14 +208,15 @@ class Kernel:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        """Number of live (non-cancelled) events still queued; O(1)."""
+        return self._live
 
     def peek_next_time(self) -> Optional[SimTime]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].when if self._queue else None
+            self._cancelled_in_queue -= 1
+        return self._queue[0][0] if self._queue else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -10,6 +10,7 @@ it logs a timestamped message.*" (section 4.1).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -71,9 +72,16 @@ class Trace:
         """
         self._clock = clock
         self._capacity = capacity
-        self._records: List[TraceRecord] = []
+        # A deque(maxlen=...) evicts in O(1); the old list-based ring paid an
+        # O(capacity) front-delete per emit once full, which dominated long
+        # availability runs.
+        self._records: "deque[TraceRecord]" = deque(maxlen=capacity)
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self._dropped = 0
+        #: When False, emitted records are delivered to subscribers (if any)
+        #: but not retained — the fast path for campaign workers that only
+        #: consume aggregate metrics, never the trace itself.
+        self.enabled = True
 
     @property
     def records(self) -> List[TraceRecord]:
@@ -102,18 +110,24 @@ class Trace:
         severity: Severity = Severity.INFO,
         time: Optional[SimTime] = None,
         **data: Any,
-    ) -> TraceRecord:
-        """Append a record; timestamp defaults to the attached clock's now."""
+    ) -> Optional[TraceRecord]:
+        """Append a record; timestamp defaults to the attached clock's now.
+
+        Returns ``None`` without building a record when the trace is disabled
+        and nothing subscribes — the zero-cost path for hot loops.
+        """
+        if not self.enabled and not self._subscribers:
+            return None
         if time is None:
             if self._clock is None:
                 raise ValueError("no clock attached; pass time= explicitly")
             time = self._clock.now
-        record = TraceRecord(time=time, source=source, kind=kind, severity=severity, data=dict(data))
-        self._records.append(record)
-        if self._capacity is not None and len(self._records) > self._capacity:
-            overflow = len(self._records) - self._capacity
-            del self._records[:overflow]
-            self._dropped += overflow
+        record = TraceRecord(time=time, source=source, kind=kind, severity=severity, data=data)
+        if self.enabled:
+            records = self._records
+            if records.maxlen is not None and len(records) == records.maxlen:
+                self._dropped += 1
+            records.append(record)
         for callback in self._subscribers:
             callback(record)
         return record
@@ -168,5 +182,7 @@ class Trace:
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable multi-line rendering of (the tail of) the trace."""
-        records = self._records if limit is None else self._records[-limit:]
+        records = list(self._records)
+        if limit is not None:
+            records = records[-limit:]
         return "\n".join(record.format() for record in records)

@@ -155,6 +155,75 @@ def test_run_is_not_reentrant(kernel):
     kernel.run()
 
 
+def test_pending_events_is_live_across_fire_and_cancel(kernel):
+    handles = [kernel.call_after(float(i + 1), lambda: None) for i in range(6)]
+    assert kernel.pending_events == 6
+    handles[0].cancel()
+    handles[1].cancel()
+    assert kernel.pending_events == 4
+    kernel.run(max_events=1)  # fires the first live event (t=3.0)
+    assert kernel.pending_events == 3
+    kernel.run()
+    assert kernel.pending_events == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_count(kernel):
+    handle = kernel.call_after(1.0, lambda: None)
+    kernel.call_after(2.0, lambda: None)
+    kernel.run(max_events=1)
+    handle.cancel()  # already fired: must be a no-op for the live count
+    handle.cancel()
+    assert kernel.pending_events == 1
+
+
+def test_cancel_from_inside_run_loop(kernel):
+    fired = []
+    sibling = kernel.call_after(1.0, fired.append, "sibling")
+    kernel.call_at(1.0, sibling.cancel)
+    # call_at scheduled after call_after, so the canceller has a later seq;
+    # same-instant FIFO means the sibling fires first.
+    kernel.run()
+    assert fired == ["sibling"]
+
+    late = kernel.call_after(1.0, fired.append, "late")
+    kernel.call_soon(late.cancel)
+    kernel.run()
+    assert fired == ["sibling"]
+
+
+def test_mass_cancellation_compacts_queue(kernel):
+    keeper_fired = []
+    handles = [kernel.call_after(1.0 + i * 0.001, lambda: None) for i in range(500)]
+    keeper = kernel.call_after(2.0, keeper_fired.append, "kept")
+    for handle in handles:
+        handle.cancel()
+    # Compaction is an internal policy; the observable contract is that the
+    # live count and execution order survive it.
+    assert kernel.pending_events == 1
+    assert len(kernel._queue) < 500
+    assert kernel.peek_next_time() == pytest.approx(2.0)
+    kernel.run()
+    assert keeper_fired == ["kept"]
+    assert kernel.pending_events == 0
+
+
+def test_interleaved_cancel_and_schedule_stays_consistent(kernel):
+    import random
+
+    rng = random.Random(42)
+    live = []
+    fired = []
+    for i in range(300):
+        handle = kernel.call_after(rng.uniform(0.1, 10.0), fired.append, i)
+        live.append((i, handle))
+        if rng.random() < 0.5 and live:
+            victim, victim_handle = live.pop(rng.randrange(len(live)))
+            victim_handle.cancel()
+    assert kernel.pending_events == len(live)
+    kernel.run()
+    assert sorted(fired) == sorted(i for i, _ in live)
+
+
 def test_determinism_same_seed():
     def run_once(seed):
         k = Kernel(seed=seed)

@@ -85,6 +85,29 @@ def test_capacity_still_notifies_subscribers(kernel):
     assert len(seen) == 5  # subscribers see everything, buffer keeps tail
 
 
+def test_disabled_trace_retains_nothing(kernel):
+    trace = kernel.trace
+    trace.emit("s", "kept")
+    trace.enabled = False
+    assert trace.emit("s", "skipped") is None
+    assert [r.kind for r in trace.records] == ["kept"]
+    assert trace.dropped == 0  # skipped-while-disabled is not "dropped"
+    trace.enabled = True
+    trace.emit("s", "kept-again")
+    assert [r.kind for r in trace.records] == ["kept", "kept-again"]
+
+
+def test_disabled_trace_still_notifies_subscribers(kernel):
+    trace = kernel.trace
+    trace.enabled = False
+    seen = []
+    trace.subscribe(seen.append)
+    record = trace.emit("s", "evt", n=1)
+    assert record is not None  # subscriber delivery builds the record
+    assert [r.data["n"] for r in seen] == [1]
+    assert len(trace.records) == 0  # buffer still skipped
+
+
 def test_format_renders_fields(kernel):
     record = kernel.trace.emit("comp", "went_bad", severity=Severity.ERROR, code=7)
     line = record.format()

@@ -67,6 +67,49 @@ def test_seed_changes_results(capsys):
     assert first != second
 
 
+def test_table4_command(capsys):
+    assert main(["table4", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert "IV/faulty" in out
+    assert "V/faulty" in out
+
+
+def test_jobs_flag_accepted_before_and_after_subcommand(capsys):
+    assert main(["--jobs", "2", "table2", "--trials", "2"]) == 0
+    before = capsys.readouterr().out
+    assert main(["table2", "--trials", "2", "--jobs", "2"]) == 0
+    after = capsys.readouterr().out
+    assert before == after
+
+
+def test_parallel_cli_output_matches_serial(capsys):
+    assert main(["table2", "--trials", "2", "--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["table2", "--trials", "2", "--jobs", "4"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_cache_dir_round_trip(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["table2", "--trials", "2", "--cache-dir", cache]) == 0
+    first = capsys.readouterr().out
+    entries = len(list(tmp_path.joinpath("cache").iterdir()))
+    assert entries > 0
+    assert main(["table2", "--trials", "2", "--cache-dir", cache]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert len(list(tmp_path.joinpath("cache").iterdir())) == entries
+
+
+def test_profile_flag_prints_stats(capsys):
+    assert main(["--profile", "recovery", "--component", "rtu", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out
+    assert "function calls" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

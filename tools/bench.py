@@ -1,0 +1,148 @@
+"""Standalone perf session: time the simulator's three hot paths.
+
+Mirrors ``benchmarks/test_perf_simulator.py`` without the pytest harness so
+CI can produce a machine-readable perf trajectory::
+
+    PYTHONPATH=src python tools/bench.py --output BENCH_1.json
+    PYTHONPATH=src python tools/bench.py --baseline seed.json --output BENCH_1.json
+
+Metrics:
+
+* ``kernel_events_per_sec`` — schedule+dispatch cycles through
+  :meth:`Kernel.run` (10k self-rescheduling timers);
+* ``bus_roundtrips_per_sec`` — full parse→route→serialize ping round
+  trips through the XML command bus;
+* ``station_boot_seconds`` — wall-clock to boot the full-fidelity tree-V
+  station to all-RUNNING plus settle.
+
+``--baseline`` embeds a previous run (e.g. from the seed commit) so a
+single artifact records the before/after pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+
+def bench_kernel_events(n: int = 10_000, reps: int = 7) -> float:
+    from repro.sim.kernel import Kernel
+
+    best = float("inf")
+    for _ in range(reps):
+        kernel = Kernel(seed=1)
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < n:
+                kernel.call_after(0.001, tick)
+
+        kernel.call_after(0.001, tick)
+        start = time.perf_counter()
+        kernel.run()
+        best = min(best, time.perf_counter() - start)
+        assert count[0] == n
+    return n / best
+
+
+def bench_bus_roundtrips(n: int = 1_000, reps: int = 5) -> float:
+    from repro.bus.broker import BusBroker
+    from repro.bus.client import BusClient
+    from repro.procmgr.manager import ProcessManager
+    from repro.procmgr.process import ProcessSpec, constant_work
+    from repro.sim.kernel import Kernel
+    from repro.transport.network import Network
+    from repro.xmlcmd.commands import PingRequest
+
+    kernel = Kernel(seed=2)
+    network = Network(kernel)
+    manager = ProcessManager(kernel)
+    manager.spawn(
+        ProcessSpec("mbus", constant_work(0.1), lambda p: BusBroker(p, network))
+    )
+    manager.start("mbus")
+    kernel.run()
+    client = BusClient(kernel, network, "perf")
+    client.connect()
+    kernel.run(until=kernel.now + 1.0)
+
+    seq = [0]
+    best = float("inf")
+    for _ in range(reps):
+        received = len(client.received)
+        start = time.perf_counter()
+        for _ in range(n):
+            seq[0] += 1
+            client.send(PingRequest("perf", "mbus", seq[0]))
+        kernel.run(until=kernel.now + 5.0)
+        best = min(best, time.perf_counter() - start)
+        assert len(client.received) - received == n
+    return n / best
+
+
+def bench_station_boot(reps: int = 5) -> float:
+    from repro.mercury.station import MercuryStation
+    from repro.mercury.trees import tree_v
+
+    best = float("inf")
+    for _ in range(reps):
+        station = MercuryStation(tree=tree_v(), seed=3)
+        start = time.perf_counter()
+        station.boot()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, help="write JSON here (default stdout)")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="embed a previous run's JSON as the 'baseline' key",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        # Read up front: fail before a minute of measurement, not after.
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read baseline {args.baseline!r}: {exc}")
+
+    # Warmup pass first: interpreter caches and CPU frequency boost settle,
+    # otherwise the first metric measured is penalized.
+    bench_kernel_events(reps=3)
+    metrics = {
+        "kernel_events_per_sec": round(bench_kernel_events(reps=10), 1),
+        "bus_roundtrips_per_sec": round(bench_bus_roundtrips(), 1),
+        "station_boot_seconds": round(bench_station_boot(), 6),
+    }
+    payload = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+        "metrics": metrics,
+    }
+    if baseline is not None:
+        payload["baseline"] = baseline
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
