@@ -4,11 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench benchmarks table4-parallel
+.PHONY: test lint verify bench benchmarks table4-parallel
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static checks.  tools/lint.py prefers ruff, then pyflakes, and falls
+# back to its own AST-based checks when neither is installed.
+lint:
+	$(PYTHON) tools/lint.py src tests tools
+
+# The pre-merge gate: tier-1 tests plus lint.
+verify: test lint
 
 # Perf session: time the simulator hot paths and write BENCH_1.json so
 # future PRs have a perf trajectory to compare against.

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.components.base import Behavior
 from repro.errors import ChannelClosedError, XmlError
+from repro.obs import events as ev
 from repro.types import Severity
 from repro.xmlcmd.commands import (
     CommandMessage,
@@ -57,7 +58,7 @@ class BusBroker(Behavior):
         self._clients = {}
         self._endpoints = []
         self._listener = self.network.listen(self.address, self._on_accept)
-        self.trace("bus_listening", address=self.address)
+        self.trace(ev.BUS_LISTENING, address=self.address)
 
     def on_kill(self) -> None:
         if self._listener is not None:
@@ -85,7 +86,7 @@ class BusBroker(Behavior):
         for name, registered in list(self._clients.items()):
             if registered is endpoint:
                 del self._clients[name]
-                self.trace("bus_detached", client=name)
+                self.trace(ev.BUS_DETACHED, client=name)
 
     def _on_raw(self, endpoint: "Endpoint", raw: str) -> None:
         try:
@@ -93,7 +94,7 @@ class BusBroker(Behavior):
         except XmlError as error:
             self.dropped += 1
             self.trace(
-                "bus_bad_message", severity=Severity.WARNING, error=str(error)
+                ev.BUS_BAD_MESSAGE, severity=Severity.WARNING, error=str(error)
             )
             return
         if isinstance(message, CommandMessage) and message.verb == "attach":
@@ -108,7 +109,7 @@ class BusBroker(Behavior):
         # Last attach wins: a restarted client re-attaches over a new channel
         # while the broker may not yet have seen the old channel's close.
         self._clients[client_name] = endpoint
-        self.trace("bus_attached", client=client_name)
+        self.trace(ev.BUS_ATTACHED, client=client_name)
 
     def _handle_own(self, message: object) -> None:
         if isinstance(message, PingRequest):
@@ -120,7 +121,7 @@ class BusBroker(Behavior):
         endpoint = self._clients.get(target) if target else None
         if endpoint is None or not endpoint.open:
             self.dropped += 1
-            self.trace("bus_unroutable", target=target)
+            self.trace(ev.BUS_UNROUTABLE, target=target)
             return
         try:
             endpoint.send(raw)

@@ -29,7 +29,7 @@ from repro.core.render import render_tree
 from repro.experiments.availability import measure_availability_suite
 from repro.experiments.passes_experiment import run_pass_campaign
 from repro.experiments.recovery import measure_recovery, measure_recovery_row
-from repro.experiments.report import format_table
+from repro.experiments.report import format_phase_breakdown, format_table
 from repro.experiments.runner import run_recovery_matrix
 from repro.mercury.trees import TREE_BUILDERS
 
@@ -112,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cure", nargs="*", default=None,
         help="minimal cure set (defaults to the component alone)",
     )
+    recovery.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="stream every trace event of the run to a JSONL file "
+        "(inspect with `repro trace FILE`)",
+    )
 
     table2 = subparsers.add_parser(
         "table2", help="regenerate Table 2", parents=[common]
@@ -131,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
     )
     availability.add_argument("--days", type=float, default=3.0)
+    availability.add_argument(
+        "--phases", action="store_true",
+        help="also print the per-component recovery-phase breakdown "
+        "(detection / decision / restart latency) for each tree",
+    )
     _tree_argument(availability, multiple=True)
 
     passes = subparsers.add_parser(
@@ -138,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     passes.add_argument("--days", type=float, default=7.0)
     _tree_argument(passes, multiple=True)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="dump/filter a JSONL event trace (see `recovery --trace-out`)",
+        parents=[common],
+    )
+    trace.add_argument("path", help="JSONL trace file written by a JsonlSink")
+    trace.add_argument(
+        "--kind", action="append", default=None,
+        help="keep only this event kind (repeatable)",
+    )
+    trace.add_argument(
+        "--source", action="append", default=None,
+        help="keep only this emitting source (repeatable)",
+    )
+    trace.add_argument(
+        "--since", type=float, default=None,
+        help="keep only events at or after this simulated time (s)",
+    )
+    trace.add_argument(
+        "--until", type=float, default=None,
+        help="keep only events at or before this simulated time (s)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None,
+        help="print at most the first N matching events",
+    )
 
     return parser
 
@@ -159,6 +196,11 @@ def cmd_recovery(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    sinks = []
+    if args.trace_out:
+        from repro.obs.sinks import JsonlSink
+
+        sinks.append(JsonlSink(args.trace_out))
     result = measure_recovery(
         tree,
         args.component,
@@ -167,6 +209,7 @@ def cmd_recovery(args: argparse.Namespace) -> int:
         oracle=args.oracle,
         oracle_error_rate=args.error_rate,
         cure_set=args.cure,
+        sinks=sinks,
     )
     stats = result.stats
     print(
@@ -175,6 +218,12 @@ def cmd_recovery(args: argparse.Namespace) -> int:
         f"mean {stats.mean:.2f}s  std {stats.std:.2f}s  "
         f"min {stats.minimum:.2f}s  max {stats.maximum:.2f}s  n={stats.n}"
     )
+    if result.phases:
+        print()
+        print(format_phase_breakdown(result.phases))
+    for sink in sinks:
+        sink.close()
+        print(f"trace: {sink.written} events -> {args.trace_out}")
     return 0
 
 
@@ -248,6 +297,55 @@ def cmd_availability(args: argparse.Namespace) -> int:
             title=f"Availability over {args.days:g} days",
         )
     )
+    if getattr(args, "phases", False):
+        for label in labels:
+            result = suite[label]
+            if not result.phase_breakdown:
+                continue
+            print()
+            print(
+                format_phase_breakdown(
+                    result.phase_breakdown,
+                    title=f"Tree {label}: per-phase recovery breakdown",
+                )
+            )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.sinks import read_jsonl
+
+    try:
+        records = read_jsonl(args.path)
+        shown = 0
+        for record in records:
+            if args.kind and record.get("kind") not in args.kind:
+                continue
+            if args.source and record.get("source") not in args.source:
+                continue
+            time = float(record.get("t", 0.0))
+            if args.since is not None and time < args.since:
+                continue
+            if args.until is not None and time > args.until:
+                continue
+            payload = " ".join(
+                f"{k}={v!r}" for k, v in sorted(record.get("data", {}).items())
+            )
+            severity = record.get("severity", "info")
+            line = (
+                f"[{time:12.6f}] {severity:7} {record.get('source', ''):18} "
+                f"{record.get('kind', '')} {payload}"
+            )
+            print(line.rstrip())
+            shown += 1
+            if args.limit is not None and shown >= args.limit:
+                break
+    except OSError as error:
+        print(f"error: cannot read trace {args.path!r}: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: malformed trace {args.path!r}: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -285,6 +383,7 @@ COMMANDS = {
     "table4": cmd_table4,
     "availability": cmd_availability,
     "passes": cmd_passes,
+    "trace": cmd_trace,
 }
 
 

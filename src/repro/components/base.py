@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.errors import ChannelClosedError, ConnectionRefusedError_, XmlError
+from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import (
     CommandMessage,
@@ -114,13 +115,13 @@ class BusAttachedBehavior(Behavior):
         endpoint.on_close(self._on_bus_close)
         attach = CommandMessage(sender=self.name, target="mbus", verb="attach")
         endpoint.send(encode_message(attach))
-        self.trace("bus_connected")
+        self.trace(ev.BUS_CONNECTED)
         self.on_bus_connected()
 
     def _on_bus_close(self) -> None:
         self._endpoint = None
         if self._alive:
-            self.trace("bus_connection_lost", severity=Severity.WARNING)
+            self.trace(ev.BUS_CONNECTION_LOST, severity=Severity.WARNING)
             self._schedule_reconnect()
 
     def _schedule_reconnect(self) -> None:
@@ -150,7 +151,7 @@ class BusAttachedBehavior(Behavior):
         try:
             message = parse_message(raw)
         except XmlError as error:
-            self.trace("bad_message", severity=Severity.WARNING, error=str(error))
+            self.trace(ev.BAD_MESSAGE, severity=Severity.WARNING, error=str(error))
             return
         if isinstance(message, PingRequest):
             self.send(PingReply(sender=self.name, target=message.sender, seq=message.seq))

@@ -14,7 +14,7 @@ can be cross-checked against theory:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 from repro.core.tree import RestartTree
 from repro.errors import TreeError

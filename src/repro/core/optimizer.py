@@ -37,7 +37,7 @@ Aging (§4.2) and proactive rejuvenation are outside this model; see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.transformations import (
     consolidate_groups,

@@ -27,6 +27,7 @@ from repro.components.base import Behavior
 from repro.core.policy import RestartDecision, RestartPolicy
 from repro.core.procedures import ProcedureMap
 from repro.errors import ChannelClosedError
+from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import (
     FailureReport,
@@ -115,7 +116,7 @@ class RecoveryModule(Behavior):
         self._fd_misses = 0
         self._fd_restart_inflight = False
         self._listener = self.network.listen(self.ctl_address, self._on_accept)
-        self.trace("rec_listening", address=self.ctl_address)
+        self.trace(ev.REC_LISTENING, address=self.ctl_address)
         self._schedule_fd_ping()
 
     def on_kill(self) -> None:
@@ -173,7 +174,7 @@ class RecoveryModule(Behavior):
     # ------------------------------------------------------------------
 
     def _handle_failure(self, component: str) -> None:
-        self.trace("failure_reported", component=component)
+        self.trace(ev.FAILURE_REPORTED, component=component)
         if self._inflight_batch is not None:
             if component in self._inflight_batch:
                 return  # fallout of our own restart; FD races are harmless
@@ -185,11 +186,11 @@ class RecoveryModule(Behavior):
         decision = self.policy.report_failure(component, self.kernel.now)
         self.restart_log.append(decision)
         if decision.action == "ignore":
-            self.trace("decision_ignore", component=component, reason=decision.reason)
+            self.trace(ev.DECISION_IGNORE, component=component, reason=decision.reason)
             return
         if decision.action == "give_up":
             self.trace(
-                "operator_escalation",
+                ev.OPERATOR_ESCALATION,
                 severity=Severity.ERROR,
                 component=component,
                 reason=decision.reason,
@@ -206,7 +207,7 @@ class RecoveryModule(Behavior):
         self._inflight_ready = set()
         procedure = self.procedures.for_cell(cell_id)
         self.trace(
-            "restart_ordered",
+            ev.RESTART_ORDERED,
             cell=cell_id,
             components=tuple(sorted(components)),
             trigger=trigger,
@@ -242,7 +243,7 @@ class RecoveryModule(Behavior):
         ]
         if stragglers:
             self.trace(
-                "restart_rekick",
+                ev.RESTART_REKICK,
                 severity=Severity.WARNING,
                 components=tuple(stragglers),
             )
@@ -294,7 +295,7 @@ class RecoveryModule(Behavior):
         self._action_seq += 1  # invalidate the progress watchdog
         now = self.kernel.now
         self.policy.restart_completed(batch, now)
-        self.trace("restart_complete", cell=cell_id, components=tuple(sorted(batch)))
+        self.trace(ev.RESTART_COMPLETE, cell=cell_id, components=tuple(sorted(batch)))
         self._ctl_send(
             RestartOrder(
                 sender=self.name,
@@ -325,7 +326,7 @@ class RecoveryModule(Behavior):
         if not self._alive:
             return
         if self.policy.observation_expired(component, self.kernel.now):
-            self.trace("episode_closed", component=component)
+            self.trace(ev.EPISODE_CLOSED, component=component)
 
     # ------------------------------------------------------------------
     # FD watchdog (the REC half of §2.2's mutual special case)
@@ -369,5 +370,5 @@ class RecoveryModule(Behavior):
             return
         self._fd_restart_inflight = True
         self._fd_misses = 0
-        self.trace("fd_restart", severity=Severity.WARNING)
+        self.trace(ev.FD_RESTART, severity=Severity.WARNING)
         self.manager.restart([self.fd_name])

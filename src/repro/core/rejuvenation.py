@@ -23,10 +23,11 @@ between passes resets its age during planned, free downtime.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol, Sequence, TYPE_CHECKING
+from typing import Callable, Optional, Protocol, Sequence, TYPE_CHECKING
 
 from repro.core.tree import RestartTree
 from repro.errors import TreeError
+from repro.obs import events as ev
 from repro.types import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -103,7 +104,7 @@ class RejuvenationScheduler:
             if accepted:
                 self.rounds_executed += 1
                 self.kernel.trace.emit(
-                    "rejuvenation", "proactive_restart", cell=cell_id
+                    "rejuvenation", ev.PROACTIVE_RESTART, cell=cell_id
                 )
             else:
                 self.rounds_skipped_busy += 1

@@ -25,6 +25,7 @@ from typing import Deque, FrozenSet, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.policy import RestartDecision, RestartPolicy
 from repro.core.procedures import ProcedureMap
+from repro.obs import events as ev
 from repro.types import Severity, SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -96,7 +97,7 @@ class AbstractSupervisor:
         self._inflight_ready = set()
         self.kernel.trace.emit(
             "supervisor",
-            "restart_ordered",
+            ev.RESTART_ORDERED,
             cell=cell_id,
             components=tuple(sorted(components)),
             trigger=reason or "proactive",
@@ -143,7 +144,7 @@ class AbstractSupervisor:
         ):
             return  # still restarting as part of the in-flight batch
         self.detections += 1
-        self.kernel.trace.emit("supervisor", "detection", component=component)
+        self.kernel.trace.emit("supervisor", ev.DETECTION, component=component)
         if self._inflight_batch is not None:
             self._pending.append(component)
             return
@@ -161,7 +162,7 @@ class AbstractSupervisor:
         if decision.action == "give_up":
             self.kernel.trace.emit(
                 "supervisor",
-                "operator_escalation",
+                ev.OPERATOR_ESCALATION,
                 severity=Severity.ERROR,
                 component=component,
                 reason=decision.reason,
@@ -173,7 +174,7 @@ class AbstractSupervisor:
         self._inflight_ready = set()
         self.kernel.trace.emit(
             "supervisor",
-            "restart_ordered",
+            ev.RESTART_ORDERED,
             cell=decision.cell_id,
             components=tuple(sorted(decision.components)),
             trigger=component,
@@ -201,7 +202,7 @@ class AbstractSupervisor:
             self.manager.start(name, batch=batch)
         if stragglers:
             self.kernel.trace.emit(
-                "supervisor", "restart_rekick", components=tuple(stragglers)
+                "supervisor", ev.RESTART_REKICK, components=tuple(stragglers)
             )
         self.kernel.call_after(
             self.restart_timeout, self._check_restart_progress, action_seq
@@ -217,7 +218,7 @@ class AbstractSupervisor:
         self._action_seq += 1  # invalidate the progress watchdog
         self.policy.restart_completed(batch, self.kernel.now)
         self.kernel.trace.emit(
-            "supervisor", "restart_complete", cell=cell_id,
+            "supervisor", ev.RESTART_COMPLETE, cell=cell_id,
             components=tuple(sorted(batch)),
         )
         for component in sorted(batch):

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Sequence, Set, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ChannelClosedError, ConnectionRefusedError_
+from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import (
     FailureReport,
@@ -138,7 +139,7 @@ class FailureDetector(BusAttachedBehavior):
             return
         self._ctl.on_message(self._on_ctl_raw)
         self._ctl.on_close(self._on_ctl_close)
-        self.trace("ctl_connected")
+        self.trace(ev.CTL_CONNECTED)
 
     def _on_ctl_close(self) -> None:
         self._ctl = None
@@ -175,14 +176,14 @@ class FailureDetector(BusAttachedBehavior):
         if isinstance(message, RestartOrder):
             if message.reason == "begin":
                 self._suppressed.update(message.components)
-                self.trace("suppression_begin", components=message.components)
+                self.trace(ev.SUPPRESSION_BEGIN, components=message.components)
             elif message.reason == "complete":
                 for component in message.components:
                     self._suppressed.discard(component)
                     self._misses[component] = 0
                     self._outstanding.pop(component, None)
                     self._suspected.discard(component)
-                self.trace("suppression_end", components=message.components)
+                self.trace(ev.SUPPRESSION_END, components=message.components)
 
     # ------------------------------------------------------------------
     # ping loop
@@ -226,7 +227,7 @@ class FailureDetector(BusAttachedBehavior):
                 self._misses[component] = 0
                 if component in self._suspected:
                     self._suspected.discard(component)
-                    self.trace("component_recovered_observed", component=component)
+                    self.trace(ev.COMPONENT_RECOVERED_OBSERVED, component=component)
 
     def _judge(self, component: str, seq: int) -> None:
         if not self._alive:
@@ -256,12 +257,12 @@ class FailureDetector(BusAttachedBehavior):
         if component not in self._suspected:
             self._suspected.add(component)
             self.trace(
-                "failure_detected",
+                ev.FAILURE_DETECTED,
                 severity=Severity.WARNING,
                 component=component,
             )
             self.kernel.trace.emit(
-                self.name, "detection", component=component
+                self.name, ev.DETECTION, component=component
             )
         self._report(component)
 
@@ -316,5 +317,5 @@ class FailureDetector(BusAttachedBehavior):
             return
         self._rec_restart_inflight = True
         self._rec_misses = 0
-        self.trace("rec_restart", severity=Severity.WARNING)
+        self.trace(ev.REC_RESTART, severity=Severity.WARNING)
         self.manager.restart([self.rec_name])

@@ -16,13 +16,14 @@ long horizon and reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.core.tree import RestartTree
 from repro.experiments.metrics import UptimeTracker
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.mercury.station import MercuryStation
+from repro.obs.sinks import MetricsSink, PhaseSnapshot, SummaryStat
 
 YEAR_MINUTES = 365.0 * 24.0 * 60.0
 
@@ -38,6 +39,16 @@ class AvailabilityResult:
     total_downtime_s: float
     mean_outage_s: Optional[float]
     component_mttr: Dict[str, Optional[float]]
+    #: Per-(component, phase) recovery-latency aggregates from the live
+    #: episode spans: ``{component: {phase: SummaryStat.to_dict()}}``.
+    phase_breakdown: PhaseSnapshot = field(default_factory=dict)
+
+    def phase_summary(self, component: str) -> Dict[str, SummaryStat]:
+        """Per-phase duration accumulators for one component."""
+        return {
+            phase: SummaryStat.from_dict(payload)
+            for phase, payload in self.phase_breakdown.get(component, {}).items()
+        }
 
     @property
     def annual_downtime_minutes(self) -> float:
@@ -65,12 +76,18 @@ def measure_availability(
     )
     # Availability is accounted from process-manager lifecycle callbacks,
     # never from the trace; skip record retention on the month-scale loop.
+    # Sinks still receive every emit while the trace is disabled, which is
+    # how the per-phase breakdown is computed without retaining records.
     station.kernel.trace.enabled = False
+    metrics = MetricsSink()
+    station.kernel.trace.add_sink(metrics)
     station.manager.start_all(station.station_components)
     station.kernel.run(until=station.kernel.now + 120.0)
     tracker = UptimeTracker(station.manager, station.station_components)
     station.run_for(horizon_s)
     tracker.finalize()
+    if metrics.tracker is not None:
+        metrics.tracker.flush()
     outages = tracker.system_outages
     mean_outage = tracker.system_downtime / outages if outages else None
     return AvailabilityResult(
@@ -84,6 +101,7 @@ def measure_availability(
             name: tracker.observed_mttr(name)
             for name in station.station_components
         },
+        phase_breakdown=metrics.phase_snapshot(),
     )
 
 

@@ -23,12 +23,13 @@ so detection latency is sampled fairly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.core.tree import RestartTree
 from repro.experiments.metrics import RecoveryStats
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.mercury.station import MercuryStation
+from repro.obs.sinks import MetricsSink, PhaseSnapshot, Sink, SummaryStat
 
 
 @dataclass
@@ -40,6 +41,11 @@ class RecoveryResult:
     component: str
     cure_set: FrozenSet[str]
     samples: List[float] = field(default_factory=list)
+    #: Per-(component, phase) duration aggregates from the live episode
+    #: spans: ``{component: {phase: SummaryStat.to_dict()}}``.  Includes
+    #: every component that had episodes during the cell, not only the
+    #: injected one (escalated restarts touch neighbours).
+    phases: PhaseSnapshot = field(default_factory=dict)
 
     @property
     def stats(self) -> RecoveryStats:
@@ -50,6 +56,12 @@ class RecoveryResult:
     def mean(self) -> float:
         """Mean recovery time in seconds."""
         return self.stats.mean
+
+    def phase_summary(self, component: Optional[str] = None) -> Dict[str, SummaryStat]:
+        """Per-phase duration accumulators for ``component`` (default: the
+        injected one): detection / decision / restart / total."""
+        slot = self.phases.get(component or self.component, {})
+        return {phase: SummaryStat.from_dict(payload) for phase, payload in slot.items()}
 
 
 def measure_recovery(
@@ -65,6 +77,7 @@ def measure_recovery(
     supervisor: str = "full",
     trial_timeout: float = 300.0,
     aging: bool = False,
+    sinks: Optional[Sequence[Sink]] = None,
 ) -> RecoveryResult:
     """Run ``trials`` kill-and-measure experiments for one component.
 
@@ -81,6 +94,14 @@ def measure_recovery(
     tables measure each restart path in isolation (aging-induced pbcom
     failures appear as the pbcom column, not as fedr noise); availability
     and pass-campaign experiments keep aging on.
+
+    Per-phase latencies (detection / decision / restart) are accumulated by
+    a :class:`~repro.obs.sinks.MetricsSink` fed live from the trace — spans
+    are built as events arrive, never re-scanned from the ring buffer —
+    and land in :attr:`RecoveryResult.phases`.  Extra ``sinks`` (e.g. a
+    :class:`~repro.obs.sinks.JsonlSink`) can be attached for the run's
+    duration; sinks only observe emits, so attaching them cannot perturb
+    the measured samples.
     """
     cure = frozenset(cure_set) if cure_set is not None else frozenset([component])
     station = MercuryStation(
@@ -95,6 +116,10 @@ def measure_recovery(
     )
     if not aging and station.aging is not None:
         station.aging.enabled = False
+    metrics = MetricsSink()
+    station.kernel.trace.add_sink(metrics)
+    for sink in sinks or ():
+        station.kernel.trace.add_sink(sink)
     station.boot()
     phase_rng = station.kernel.rngs.stream("experiment.injection_phase")
     result = RecoveryResult(
@@ -119,6 +144,9 @@ def measure_recovery(
         # a fresh failure inside the window would read as "the restart did
         # not cure" and trigger a spurious escalation.
         station.run_for(config.observation_window + 1.0)
+    if metrics.tracker is not None:
+        metrics.tracker.flush()
+    result.phases = metrics.phase_snapshot()
     return result
 
 

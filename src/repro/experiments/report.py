@@ -52,6 +52,40 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def format_phase_breakdown(
+    phases: Mapping[str, Mapping[str, Mapping[str, object]]],
+    title: str = "Per-phase recovery breakdown",
+    components: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a per-component recovery-phase table from a phase snapshot.
+
+    ``phases`` is the ``{component: {phase: SummaryStat.to_dict()}}`` shape
+    produced by :meth:`repro.obs.sinks.MetricsSink.phase_snapshot` and
+    carried on recovery/availability results.  One row per component:
+    mean detection, decision, and restart latency plus the mean total and
+    episode count.
+    """
+    from repro.obs.sinks import MetricsSink, SummaryStat
+
+    names = list(components) if components is not None else sorted(phases)
+    rows: List[List[object]] = []
+    for name in names:
+        slot = phases.get(name, {})
+        stats = {
+            phase: SummaryStat.from_dict(payload)
+            for phase, payload in slot.items()
+        }
+        row: List[object] = [name]
+        for phase in MetricsSink.PHASES:
+            stat = stats.get(phase)
+            row.append(stat.mean if stat is not None and stat.n else None)
+        total = stats.get("total") or stats.get("restart")
+        row.append(total.n if total is not None else 0)
+        rows.append(row)
+    headers = ["component"] + [f"{p} (s)" for p in MetricsSink.PHASES] + ["episodes"]
+    return format_table(headers, rows, title=title)
+
+
 def comparison_row(
     label: str,
     paper: Mapping[str, Optional[float]],

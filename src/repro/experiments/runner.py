@@ -46,11 +46,14 @@ from repro.experiments.availability import AvailabilityResult, measure_availabil
 from repro.experiments.lifetimes import LifetimeResult, measure_lifetimes
 from repro.experiments.recovery import RecoveryResult, measure_recovery
 from repro.mercury.config import PAPER_CONFIG, StationConfig
+from repro.obs.sinks import merge_phase_snapshots
 from repro.sim.rng import derive_seed
 
 #: Bump when the result payload layout or experiment semantics change in a
 #: way that silently invalidates cached campaign results.
-CACHE_VERSION = 1
+#: v2: recovery payloads gained "phases"; availability gained
+#: "phase_breakdown" (per-component recovery-phase aggregates).
+CACHE_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +158,7 @@ def execute_cell(
             "component": result.component,
             "cure_set": sorted(result.cure_set),
             "samples": result.samples,
+            "phases": result.phases,
         }
     if cell.kind == "availability":
         availability = measure_availability(
@@ -343,12 +347,16 @@ def merge_recovery_cells(
     samples: List[float] = []
     for _, payload in ordered:
         samples.extend(payload["samples"])
+    phases = merge_phase_snapshots(
+        *(payload.get("phases", {}) for _, payload in ordered)
+    )
     return RecoveryResult(
         tree_name=first["tree_name"],
         oracle=first["oracle"],
         component=first["component"],
         cure_set=frozenset(first["cure_set"]),
         samples=samples,
+        phases=phases,
     )
 
 

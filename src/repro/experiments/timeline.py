@@ -10,6 +10,12 @@ t=+0.000s  failure injected in pbcom (cure set: fedr+pbcom)
 t=+0.523s  FD detected pbcom
 t=+0.523s  REC ordered restart of R_pbcom (components: pbcom)
 ...
+
+This module is a thin consumer of the :mod:`repro.obs` layer: which kinds
+belong to a narrative, and how each is phrased, is declared once on the
+kind's :class:`~repro.obs.events.EventSpec` in the registry.  For span
+-structured (rather than line-by-line) views of the same episodes, see
+:func:`repro.obs.spans.episodes_from_trace`.
 """
 
 from __future__ import annotations
@@ -17,67 +23,15 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.faults.failure import FailureDescriptor
-from repro.sim.trace import Trace, TraceRecord
-
-#: Trace kinds that belong to a recovery narrative, with phrasing.
-_NARRATIVE_KINDS = (
-    "failure_injected",
-    "failure_induced",
-    "failure_remanifested",
-    "detection",
-    "failure_reported",
-    "restart_ordered",
-    "restart_rekick",
-    "process_start",
-    "process_ready",
-    "restart_complete",
-    "failure_cured",
-    "episode_closed",
-    "operator_escalation",
-    "proactive_restart",
-)
+from repro.obs import events as ev
+from repro.sim.trace import Trace
 
 
-def _phrase(record: TraceRecord) -> Optional[str]:
-    data = record.data
-    kind = record.kind
-    if kind == "failure_injected":
-        cure = "+".join(data.get("cure_set", ()))
-        return f"failure injected in {data['component']} (cure set: {cure})"
-    if kind == "failure_induced":
-        return (
-            f"induced failure in {data['component']} "
-            f"(mechanism: {data.get('mechanism')}, provoker: {data.get('provoker')})"
-        )
-    if kind == "failure_remanifested":
-        return f"failure re-manifested in {data['component']} (restart did not cure)"
-    if kind == "detection":
-        return f"FD detected {data['component']}"
-    if kind == "failure_reported":
-        return f"FD reported {data['component']} to REC"
-    if kind == "restart_ordered":
-        components = ", ".join(data.get("components", ()))
-        return (
-            f"restart ordered: {data['cell']} (components: {components}; "
-            f"trigger: {data.get('trigger')})"
-        )
-    if kind == "restart_rekick":
-        return f"restart watchdog re-kicked {', '.join(data.get('components', ()))}"
-    if kind == "process_start":
-        return f"{data['name']} starting (work {data.get('work')}s)"
-    if kind == "process_ready":
-        return f"{data['name']} functionally ready"
-    if kind == "restart_complete":
-        return f"restart complete: {data.get('cell')}"
-    if kind == "failure_cured":
-        return f"failure in {data['component']} cured"
-    if kind == "episode_closed":
-        return f"episode closed for {data['component']} (cure held)"
-    if kind == "operator_escalation":
-        return f"OPERATOR ESCALATION for {data['component']}: {data.get('reason')}"
-    if kind == "proactive_restart":
-        return f"proactive (rejuvenation) restart of {data.get('cell')}"
-    return None
+def _narrative_kinds() -> frozenset:
+    """Kinds that belong to a recovery narrative (declared in the registry)."""
+    return frozenset(
+        spec.kind for spec in ev.REGISTRY.specs() if spec.narrative is not None
+    )
 
 
 def episode_timeline(
@@ -99,25 +53,26 @@ def episode_timeline(
     if since is None:
         raise ValueError("need a failure or an explicit `since`")
     origin = since
+    narrative_kinds = _narrative_kinds()
     lines: List[str] = []
     for record in trace.records:
         if record.time < since - 1e-9:
             continue
         if until is not None and record.time > until:
             break
-        if record.kind not in _NARRATIVE_KINDS:
+        if record.kind not in narrative_kinds:
             continue
         if components is not None:
             subject = record.data.get("component") or record.data.get("name")
             if subject is not None and subject not in components:
                 continue
-        phrase = _phrase(record)
+        phrase = ev.REGISTRY.narrative_for(record.kind, record.data)
         if phrase is None:
             continue
         lines.append(f"t=+{record.time - origin:8.3f}s  {phrase}")
         if (
             failure is not None
-            and record.kind == "episode_closed"
+            and record.kind == ev.EPISODE_CLOSED
             and record.data.get("component") == failure.manifest_component
         ):
             break

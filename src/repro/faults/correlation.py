@@ -21,10 +21,11 @@ mechanisms (Mercury wires them to specific components):
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Optional
+from typing import Optional
 
 from repro.faults.failure import FailureDescriptor
 from repro.faults.injector import FaultInjector
+from repro.obs import events as ev
 from repro.procmgr.process import SimProcess
 from repro.types import SimTime
 
@@ -126,7 +127,7 @@ class ResyncCoupling:
         )
         self.kernel.trace.emit(
             "faults",
-            "failure_induced",
+            ev.FAILURE_INDUCED,
             component=victim,
             provoker=provoker,
             mechanism="resync",
@@ -206,7 +207,7 @@ class DisconnectAging:
         self.age += 1
         self.kernel.trace.emit(
             "faults",
-            "victim_aged",
+            ev.VICTIM_AGED,
             component=self.victim,
             provoker=self.provoker,
             age=self.age,
@@ -232,7 +233,7 @@ class DisconnectAging:
         )
         self.kernel.trace.emit(
             "faults",
-            "failure_induced",
+            ev.FAILURE_INDUCED,
             component=self.victim,
             provoker=self.provoker,
             mechanism="aging",

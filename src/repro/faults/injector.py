@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 from repro.faults.curability import CurabilityProfile
 from repro.faults.distributions import LifetimeDistribution
 from repro.faults.failure import FailureDescriptor
+from repro.obs import events as ev
 from repro.procmgr.manager import ProcessManager
 from repro.procmgr.process import SimProcess
 from repro.types import Severity, SimTime
@@ -61,7 +62,7 @@ class FaultInjector:
         self.history.append(descriptor)
         self.kernel.trace.emit(
             "faults",
-            "failure_injected",
+            ev.FAILURE_INJECTED,
             severity=Severity.WARNING,
             component=descriptor.manifest_component,
             failure_id=descriptor.failure_id,
@@ -129,7 +130,7 @@ class FaultInjector:
         del self._active[descriptor.failure_id]
         self.kernel.trace.emit(
             "faults",
-            "failure_cured",
+            ev.FAILURE_CURED,
             component=descriptor.manifest_component,
             failure_id=descriptor.failure_id,
             failure_kind=descriptor.kind,
@@ -146,7 +147,7 @@ class FaultInjector:
             return  # already down again (e.g. killed by an escalated restart)
         self.kernel.trace.emit(
             "faults",
-            "failure_remanifested",
+            ev.FAILURE_REMANIFESTED,
             severity=Severity.WARNING,
             component=descriptor.manifest_component,
             failure_id=descriptor.failure_id,

@@ -13,6 +13,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ChannelClosedError, ConnectionRefusedError_
+from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import CommandMessage, Message
 
@@ -77,14 +78,14 @@ class FedrBehavior(BusAttachedBehavior):
             self._schedule_pbcom_retry()
             return
         self._pbcom.on_close(self._on_pbcom_close)
-        self.trace("pbcom_connected")
+        self.trace(ev.PBCOM_CONNECTED)
         if self._last_frequency is not None:
             self._send_frequency(self._last_frequency)
 
     def _on_pbcom_close(self) -> None:
         self._pbcom = None
         if self._alive:
-            self.trace("pbcom_connection_lost", severity=Severity.WARNING)
+            self.trace(ev.PBCOM_CONNECTION_LOST, severity=Severity.WARNING)
             self._schedule_pbcom_retry()
 
     def _schedule_pbcom_retry(self) -> None:
@@ -102,7 +103,7 @@ class FedrBehavior(BusAttachedBehavior):
             return
         frequency = message.params.get("frequency_hz")
         if frequency is None:
-            self.trace("bad_radio_set_freq", severity=Severity.WARNING)
+            self.trace(ev.BAD_RADIO_SET_FREQ, severity=Severity.WARNING)
             return
         self._last_frequency = frequency
         if not self.pbcom_connected:

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ComponentError
+from repro.obs import events as ev
 from repro.types import Severity
 from repro.xmlcmd.commands import CommandMessage, Message
 
@@ -62,6 +63,6 @@ class FedrcomBehavior(BusAttachedBehavior):
             frequency = float(message.params["frequency_hz"])
             self.radio.tune(frequency, by=self.name)
         except (KeyError, ValueError, ComponentError) as error:
-            self.trace("bad_radio_command", severity=Severity.WARNING, error=str(error))
+            self.trace(ev.BAD_RADIO_COMMAND, severity=Severity.WARNING, error=str(error))
             return
         self.commands_applied += 1

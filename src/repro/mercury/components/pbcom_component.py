@@ -18,10 +18,11 @@ Its aging under fedr disconnects is modelled by
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ComponentError
+from repro.obs import events as ev
 from repro.types import Severity
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,7 +62,7 @@ class PbcomBehavior(BusAttachedBehavior):
         self.serial.acquire(self.name)
         self.radio.negotiate(self.name)
         self._listener = self.network.listen(self.listen_address, self._on_accept)
-        self.trace("pbcom_listening", address=self.listen_address)
+        self.trace(ev.PBCOM_LISTENING, address=self.listen_address)
         super().on_start()
 
     def on_kill(self) -> None:
@@ -79,13 +80,13 @@ class PbcomBehavior(BusAttachedBehavior):
         self._peer = endpoint
         endpoint.on_message(self._on_command)
         endpoint.on_close(lambda: self._on_peer_close(endpoint))
-        self.trace("fedr_connected")
+        self.trace(ev.FEDR_CONNECTED)
 
     def _on_peer_close(self, endpoint: "Endpoint") -> None:
         if self._peer is endpoint:
             self._peer = None
             self.disconnects_seen += 1
-            self.trace("fedr_disconnected", severity=Severity.WARNING)
+            self.trace(ev.FEDR_DISCONNECTED, severity=Severity.WARNING)
 
     def _on_command(self, raw: str) -> None:
         """Apply one low-level radio command line (``FREQ <hz>``)."""
@@ -96,9 +97,9 @@ class PbcomBehavior(BusAttachedBehavior):
                 self.radio.tune(frequency, by=self.name)
             except (ValueError, ComponentError) as error:
                 self.trace(
-                    "bad_radio_command", severity=Severity.WARNING, error=str(error)
+                    ev.BAD_RADIO_COMMAND, severity=Severity.WARNING, error=str(error)
                 )
                 return
             self.commands_applied += 1
         else:
-            self.trace("bad_radio_command", severity=Severity.WARNING, raw=str(raw))
+            self.trace(ev.BAD_RADIO_COMMAND, severity=Severity.WARNING, raw=str(raw))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
+from repro.obs import events as ev
 from repro.types import Severity
 from repro.xmlcmd.commands import CommandMessage, Message
 
@@ -47,7 +48,7 @@ class RtuBehavior(BusAttachedBehavior):
         try:
             frequency = float(message.params["frequency_hz"])
         except (KeyError, ValueError):
-            self.trace("bad_tune_command", severity=Severity.WARNING)
+            self.trace(ev.BAD_TUNE_COMMAND, severity=Severity.WARNING)
             return
         self.tune_commands += 1
         # Retuning to the same frequency wastes the radio's settle time;

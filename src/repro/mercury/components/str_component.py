@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ComponentError
+from repro.obs import events as ev
 from repro.types import Severity
 from repro.xmlcmd.commands import CommandMessage, Message
 
@@ -57,13 +58,13 @@ class StrBehavior(BusAttachedBehavior):
                 azimuth = float(message.params["azimuth"])
                 elevation = float(message.params["elevation"])
             except (KeyError, ValueError):
-                self.trace("bad_track_command", severity=Severity.WARNING)
+                self.trace(ev.BAD_TRACK_COMMAND, severity=Severity.WARNING)
                 return
             try:
                 self.antenna.point(azimuth, elevation, by=self.name)
             except ComponentError as error:
                 self.trace(
-                    "pointing_rejected", severity=Severity.WARNING, error=str(error)
+                    ev.POINTING_REJECTED, severity=Severity.WARNING, error=str(error)
                 )
                 return
             self.track_commands += 1

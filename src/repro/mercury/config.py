@@ -41,7 +41,7 @@ Table 1 MTTFs are inputs, converted to seconds (1 month ≈ 30 days).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 MINUTE = 60.0
 HOUR = 3600.0

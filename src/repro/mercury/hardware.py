@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ComponentError
+from repro.obs import events as ev
 from repro.types import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,13 +48,13 @@ class SerialPort:
             )
         self._holder = component
         self.opens += 1
-        self.kernel.trace.emit("hw.serial", "port_acquired", holder=component)
+        self.kernel.trace.emit("hw.serial", ev.PORT_ACQUIRED, holder=component)
 
     def release(self, component: str) -> None:
         """Release the port (idempotent; the OS does this on process death)."""
         if self._holder == component:
             self._holder = None
-            self.kernel.trace.emit("hw.serial", "port_released", holder=component)
+            self.kernel.trace.emit("hw.serial", ev.PORT_RELEASED, holder=component)
 
 
 class Radio:
@@ -72,7 +73,7 @@ class Radio:
     def negotiate(self, component: str) -> None:
         """Record a completed parameter negotiation."""
         self.negotiated_by = component
-        self.kernel.trace.emit("hw.radio", "negotiated", by=component)
+        self.kernel.trace.emit("hw.radio", ev.RADIO_NEGOTIATED, by=component)
 
     def drop_negotiation(self, component: str) -> None:
         """Forget the negotiation when its owner dies."""
@@ -86,7 +87,7 @@ class Radio:
         self.frequency_hz = frequency_hz
         self.tuned_at = self.kernel.now
         self.tune_count += 1
-        self.kernel.trace.emit("hw.radio", "tuned", hz=frequency_hz, by=by)
+        self.kernel.trace.emit("hw.radio", ev.RADIO_TUNED, hz=frequency_hz, by=by)
 
     @property
     def ready(self) -> bool:

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.mercury.orbit import PassWindow
-from repro.mercury.telemetry import DownlinkModel, DownlinkSummary, PassOutcome
+from repro.obs import events as ev
+from repro.mercury.telemetry import DownlinkModel, DownlinkSummary
 from repro.types import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,7 +65,7 @@ class PassAccountant:
         self._failures_in_pass = 0
         self.kernel.trace.emit(
             "passes",
-            "pass_begin",
+            ev.PASS_BEGIN,
             satellite=window.satellite,
             duration=round(window.duration, 1),
             max_elevation=round(window.max_elevation_deg, 1),
@@ -86,7 +87,7 @@ class PassAccountant:
         self._active_window = None
         self.kernel.trace.emit(
             "passes",
-            "pass_end",
+            ev.PASS_END,
             satellite=window.satellite,
             received_kb=round(outcome.bytes_received / 1000.0, 1),
             lost_kb=round(outcome.bytes_lost / 1000.0, 1),

@@ -1,0 +1,473 @@
+"""The event schema registry: every trace event kind, declared once.
+
+Before this module existed, ~45 free-string ``kind`` values were scattered
+through the detector, recoverer, process manager, fault injectors, bus, and
+Mercury components, and every consumer (timeline rendering, metrics,
+reports) re-derived meaning from raw strings.  Here each kind is declared
+exactly once as an :class:`EventSpec` — with its layer, expected payload
+keys, the recovery-episode *phase* it marks (if any), and an optional
+narrative formatter — and emit sites reference the registered constant:
+
+>>> from repro.obs import events as ev
+>>> ev.FAILURE_DETECTED
+'failure_detected'
+>>> ev.REGISTRY.get(ev.FAILURE_DETECTED).layer
+'detection'
+
+Validation is opt-in (``REPRO_OBS_VALIDATE=1`` or
+:func:`set_validation`): when enabled, :class:`~repro.sim.trace.Trace`
+checks every emitted record against the registry — unknown kinds and
+missing required payload keys raise :class:`ObsValidationError`.  When
+disabled (the default) there is zero per-emit overhead beyond one
+attribute check, preserving the hot-loop fast path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional
+
+from repro.errors import SimulationError
+
+
+class ObsValidationError(SimulationError):
+    """An emitted event violated its registered schema."""
+
+
+#: Formats a record's payload into a human narrative line (or None to skip).
+NarrativeFn = Callable[[Mapping[str, Any]], Optional[str]]
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Schema for one event kind.
+
+    Attributes
+    ----------
+    kind:
+        The machine-readable kind string carried by trace records.
+    layer:
+        Owning subsystem (``"proc"``, ``"detection"``, ``"recovery"``,
+        ``"faults"``, ``"bus"``, ``"mercury"``, ``"hw"``, ``"passes"``).
+    description:
+        One-line human description, used by the catalogue docs and CLI.
+    required:
+        Payload keys that must be present (validation mode enforces).
+    optional:
+        Payload keys that may be present.  Extra keys beyond
+        ``required | optional`` are rejected only when ``strict`` is set.
+    phase:
+        The recovery-episode phase this event marks, if any: one of
+        ``"inject"``, ``"detect"``, ``"decide"``, ``"restart"``,
+        ``"ready"``, ``"cure"``, ``"close"``.
+    narrative:
+        Optional formatter turning a record payload into a timeline line.
+    strict:
+        When True, validation also rejects payload keys outside the
+        declared schema (kinds with open-ended payloads leave this off).
+    """
+
+    kind: str
+    layer: str
+    description: str = ""
+    required: FrozenSet[str] = frozenset()
+    optional: FrozenSet[str] = frozenset()
+    phase: Optional[str] = None
+    narrative: Optional[NarrativeFn] = field(default=None, compare=False)
+    strict: bool = True
+
+
+class EventRegistry:
+    """All declared event kinds, with schema validation."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, EventSpec] = {}
+
+    def register(
+        self,
+        kind: str,
+        layer: str,
+        description: str = "",
+        required: tuple = (),
+        optional: tuple = (),
+        phase: Optional[str] = None,
+        narrative: Optional[NarrativeFn] = None,
+        strict: bool = True,
+    ) -> str:
+        """Declare a kind; returns the kind string (used as the constant)."""
+        if kind in self._specs:
+            raise ObsValidationError(f"event kind {kind!r} declared twice")
+        self._specs[kind] = EventSpec(
+            kind=kind,
+            layer=layer,
+            description=description,
+            required=frozenset(required),
+            optional=frozenset(optional),
+            phase=phase,
+            narrative=narrative,
+            strict=strict,
+        )
+        return kind
+
+    def get(self, kind: str) -> EventSpec:
+        """The spec for ``kind``; raises for unregistered kinds."""
+        try:
+            return self._specs[kind]
+        except KeyError:
+            raise ObsValidationError(f"unregistered event kind {kind!r}") from None
+
+    def is_registered(self, kind: str) -> bool:
+        """Whether ``kind`` has been declared."""
+        return kind in self._specs
+
+    def kinds(self) -> List[str]:
+        """All declared kinds, in declaration order."""
+        return list(self._specs)
+
+    def specs(self) -> List[EventSpec]:
+        """All declared specs, in declaration order."""
+        return list(self._specs.values())
+
+    def by_layer(self, layer: str) -> List[EventSpec]:
+        """Specs owned by one layer, in declaration order."""
+        return [spec for spec in self._specs.values() if spec.layer == layer]
+
+    def validate(self, kind: str, data: Mapping[str, Any]) -> None:
+        """Check one emitted event against its declared schema."""
+        spec = self.get(kind)
+        missing = spec.required - data.keys()
+        if missing:
+            raise ObsValidationError(
+                f"event {kind!r} missing required payload keys {sorted(missing)} "
+                f"(got {sorted(data)})"
+            )
+        if spec.strict:
+            extra = data.keys() - spec.required - spec.optional
+            if extra:
+                raise ObsValidationError(
+                    f"event {kind!r} carries undeclared payload keys {sorted(extra)}"
+                )
+
+    def narrative_for(self, kind: str, data: Mapping[str, Any]) -> Optional[str]:
+        """Human phrasing for a record, or None when the kind has none."""
+        spec = self._specs.get(kind)
+        if spec is None or spec.narrative is None:
+            return None
+        return spec.narrative(data)
+
+
+#: The process-wide registry all repro subsystems declare into.
+REGISTRY = EventRegistry()
+
+
+# ----------------------------------------------------------------------
+# validation mode (debug switch)
+# ----------------------------------------------------------------------
+
+_validation_enabled = os.environ.get("REPRO_OBS_VALIDATE", "") not in ("", "0")
+
+
+def validation_enabled() -> bool:
+    """Whether newly created traces validate events against the registry."""
+    return _validation_enabled
+
+
+def set_validation(enabled: bool) -> None:
+    """Globally enable/disable schema validation for new traces."""
+    global _validation_enabled
+    _validation_enabled = bool(enabled)
+
+
+# ----------------------------------------------------------------------
+# narrative helpers (kept tiny; the phrasing is part of the declaration)
+# ----------------------------------------------------------------------
+
+
+def _components_list(data: Mapping[str, Any]) -> str:
+    return ", ".join(data.get("components", ()))
+
+
+# ----------------------------------------------------------------------
+# declarations — process lifecycle (repro.procmgr)
+# ----------------------------------------------------------------------
+
+PROCESS_START = REGISTRY.register(
+    "process_start", "proc",
+    "A process began its startup work.",
+    required=("name", "work"),
+    phase="restart",
+    narrative=lambda d: f"{d['name']} starting (work {d.get('work')}s)",
+)
+PROCESS_READY = REGISTRY.register(
+    "process_ready", "proc",
+    "A process finished starting and is functionally ready.",
+    required=("name",),
+    phase="ready",
+    narrative=lambda d: f"{d['name']} functionally ready",
+)
+PROCESS_FAILED = REGISTRY.register(
+    "process_failed", "proc",
+    "A process died from a failure (SIGKILL-style).",
+    required=("name", "signal", "was_starting"),
+)
+PROCESS_STOPPED = REGISTRY.register(
+    "process_stopped", "proc",
+    "A process was stopped deliberately (supervised restart).",
+    required=("name", "signal", "was_starting"),
+)
+
+# ----------------------------------------------------------------------
+# declarations — bus broker and bus-attached components
+# ----------------------------------------------------------------------
+
+BUS_LISTENING = REGISTRY.register(
+    "bus_listening", "bus", "The broker opened its listen address.",
+    required=("address",),
+)
+BUS_ATTACHED = REGISTRY.register(
+    "bus_attached", "bus", "A component attached to the bus.",
+    required=("client",),
+)
+BUS_DETACHED = REGISTRY.register(
+    "bus_detached", "bus", "A component's bus connection closed.",
+    required=("client",),
+)
+BUS_BAD_MESSAGE = REGISTRY.register(
+    "bus_bad_message", "bus", "The broker received an unparsable message.",
+    required=("error",),
+)
+BUS_UNROUTABLE = REGISTRY.register(
+    "bus_unroutable", "bus", "A message targeted an unattached component.",
+    required=("target",),
+)
+BUS_CONNECTED = REGISTRY.register(
+    "bus_connected", "bus", "A component (re)connected to the bus.",
+)
+BUS_CONNECTION_LOST = REGISTRY.register(
+    "bus_connection_lost", "bus", "A component lost its bus connection.",
+)
+BAD_MESSAGE = REGISTRY.register(
+    "bad_message", "bus", "A component received an unparsable bus message.",
+    required=("error",),
+)
+
+# ----------------------------------------------------------------------
+# declarations — failure detection (FD and the abstract supervisor)
+# ----------------------------------------------------------------------
+
+CTL_CONNECTED = REGISTRY.register(
+    "ctl_connected", "detection", "FD connected to REC's control address.",
+)
+SUPPRESSION_BEGIN = REGISTRY.register(
+    "suppression_begin", "detection",
+    "FD stopped judging components named in a restart order.",
+    required=("components",),
+)
+SUPPRESSION_END = REGISTRY.register(
+    "suppression_end", "detection",
+    "FD resumed judging components after a restart completed.",
+    required=("components",),
+)
+COMPONENT_RECOVERED_OBSERVED = REGISTRY.register(
+    "component_recovered_observed", "detection",
+    "A suspected component answered a ping again.",
+    required=("component",),
+)
+FAILURE_DETECTED = REGISTRY.register(
+    "failure_detected", "detection",
+    "FD's miss counter crossed the declaration threshold.",
+    required=("component",),
+)
+DETECTION = REGISTRY.register(
+    "detection", "detection",
+    "The supervisor declared a component failed (canonical detect mark).",
+    required=("component",),
+    phase="detect",
+    narrative=lambda d: f"FD detected {d['component']}",
+)
+REC_RESTART = REGISTRY.register(
+    "rec_restart", "detection",
+    "FD restarted an unresponsive REC (mutual-recovery special case).",
+    narrative=lambda d: "FD restarted unresponsive REC",
+)
+FD_RESTART = REGISTRY.register(
+    "fd_restart", "recovery",
+    "REC restarted an unresponsive FD (mutual-recovery special case).",
+    narrative=lambda d: "REC restarted unresponsive FD",
+)
+
+# ----------------------------------------------------------------------
+# declarations — recovery (REC / policy execution)
+# ----------------------------------------------------------------------
+
+REC_LISTENING = REGISTRY.register(
+    "rec_listening", "recovery", "REC opened its control listen address.",
+    required=("address",),
+)
+FAILURE_REPORTED = REGISTRY.register(
+    "failure_reported", "recovery",
+    "A failure report for a component reached REC.",
+    required=("component",),
+    narrative=lambda d: f"FD reported {d['component']} to REC",
+)
+DECISION_IGNORE = REGISTRY.register(
+    "decision_ignore", "recovery",
+    "The policy chose to ignore a report (duplicate/within observation).",
+    required=("component",), optional=("reason",),
+)
+OPERATOR_ESCALATION = REGISTRY.register(
+    "operator_escalation", "recovery",
+    "Automated recovery gave up; a human operator is required.",
+    required=("component",), optional=("reason",),
+    narrative=lambda d: (
+        f"OPERATOR ESCALATION for {d['component']}: {d.get('reason')}"
+    ),
+)
+RESTART_ORDERED = REGISTRY.register(
+    "restart_ordered", "recovery",
+    "The supervisor ordered a restart of one cell's component group.",
+    required=("cell", "components"), optional=("trigger", "procedure"),
+    phase="decide",
+    narrative=lambda d: (
+        f"restart ordered: {d['cell']} (components: {_components_list(d)}; "
+        f"trigger: {d.get('trigger')})"
+    ),
+)
+RESTART_REKICK = REGISTRY.register(
+    "restart_rekick", "recovery",
+    "The restart watchdog re-kicked batch members killed mid-restart.",
+    required=("components",),
+    narrative=lambda d: f"restart watchdog re-kicked {_components_list(d)}",
+)
+RESTART_COMPLETE = REGISTRY.register(
+    "restart_complete", "recovery",
+    "Every member of a restart batch has been functionally ready.",
+    required=("components",), optional=("cell",),
+    phase="restart",
+    narrative=lambda d: f"restart complete: {d.get('cell')}",
+)
+EPISODE_CLOSED = REGISTRY.register(
+    "episode_closed", "recovery",
+    "The post-restart observation window expired with the cure holding.",
+    required=("component",),
+    phase="close",
+    narrative=lambda d: f"episode closed for {d['component']} (cure held)",
+)
+PROACTIVE_RESTART = REGISTRY.register(
+    "proactive_restart", "recovery",
+    "A rejuvenation round restarted a cell prophylactically.",
+    required=("cell",),
+    narrative=lambda d: f"proactive (rejuvenation) restart of {d.get('cell')}",
+)
+
+# ----------------------------------------------------------------------
+# declarations — fault injection and correlated-failure mechanisms
+# ----------------------------------------------------------------------
+
+FAILURE_INJECTED = REGISTRY.register(
+    "failure_injected", "faults",
+    "A failure was injected into its manifest component.",
+    required=("component", "failure_id", "cure_set", "failure_kind"),
+    phase="inject",
+    narrative=lambda d: (
+        f"failure injected in {d['component']} "
+        f"(cure set: {'+'.join(d.get('cure_set', ()))})"
+    ),
+)
+FAILURE_CURED = REGISTRY.register(
+    "failure_cured", "faults",
+    "A restart covering the minimal cure set completed; the failure is gone.",
+    required=("component", "failure_id"), optional=("failure_kind",),
+    phase="cure",
+    narrative=lambda d: f"failure in {d['component']} cured",
+)
+FAILURE_REMANIFESTED = REGISTRY.register(
+    "failure_remanifested", "faults",
+    "An insufficient restart completed and the failure manifested again.",
+    required=("component", "failure_id"),
+    narrative=lambda d: (
+        f"failure re-manifested in {d['component']} (restart did not cure)"
+    ),
+)
+FAILURE_INDUCED = REGISTRY.register(
+    "failure_induced", "faults",
+    "A correlated mechanism (resync coupling, aging) induced a failure.",
+    required=("component", "provoker", "mechanism"),
+    narrative=lambda d: (
+        f"induced failure in {d['component']} "
+        f"(mechanism: {d.get('mechanism')}, provoker: {d.get('provoker')})"
+    ),
+)
+VICTIM_AGED = REGISTRY.register(
+    "victim_aged", "faults",
+    "A provoker disconnect aged its victim by one unit.",
+    required=("component", "provoker", "age", "threshold"),
+)
+
+# ----------------------------------------------------------------------
+# declarations — Mercury components
+# ----------------------------------------------------------------------
+
+PBCOM_LISTENING = REGISTRY.register(
+    "pbcom_listening", "mercury", "pbcom opened its fedr-facing address.",
+    required=("address",),
+)
+FEDR_CONNECTED = REGISTRY.register(
+    "fedr_connected", "mercury", "fedr's connection reached pbcom.",
+)
+FEDR_DISCONNECTED = REGISTRY.register(
+    "fedr_disconnected", "mercury", "fedr's connection to pbcom dropped.",
+)
+PBCOM_CONNECTED = REGISTRY.register(
+    "pbcom_connected", "mercury", "fedr connected to pbcom.",
+)
+PBCOM_CONNECTION_LOST = REGISTRY.register(
+    "pbcom_connection_lost", "mercury", "fedr lost its pbcom connection.",
+)
+BAD_RADIO_COMMAND = REGISTRY.register(
+    "bad_radio_command", "mercury", "A malformed radio command arrived.",
+    optional=("error", "raw"),
+)
+BAD_RADIO_SET_FREQ = REGISTRY.register(
+    "bad_radio_set_freq", "mercury", "A malformed set-frequency command.",
+)
+BAD_TRACK_COMMAND = REGISTRY.register(
+    "bad_track_command", "mercury", "A malformed tracking command.",
+)
+BAD_TUNE_COMMAND = REGISTRY.register(
+    "bad_tune_command", "mercury", "A malformed tune command.",
+)
+POINTING_REJECTED = REGISTRY.register(
+    "pointing_rejected", "mercury", "The antenna rejected a pointing order.",
+    required=("error",),
+)
+
+# ----------------------------------------------------------------------
+# declarations — simulated hardware and satellite passes
+# ----------------------------------------------------------------------
+
+PORT_ACQUIRED = REGISTRY.register(
+    "port_acquired", "hw", "A component acquired the serial port.",
+    required=("holder",),
+)
+PORT_RELEASED = REGISTRY.register(
+    "port_released", "hw", "A component released the serial port.",
+    required=("holder",),
+)
+RADIO_NEGOTIATED = REGISTRY.register(
+    "negotiated", "hw", "The radio finished its negotiation phase.",
+    required=("by",),
+)
+RADIO_TUNED = REGISTRY.register(
+    "tuned", "hw", "The radio was tuned to a frequency.",
+    required=("hz", "by"),
+)
+PASS_BEGIN = REGISTRY.register(
+    "pass_begin", "passes", "A satellite pass window opened.",
+    required=("satellite", "duration", "max_elevation"),
+)
+PASS_END = REGISTRY.register(
+    "pass_end", "passes", "A satellite pass window closed (with accounting).",
+    required=("satellite", "received_kb", "lost_kb", "link_broken"),
+)

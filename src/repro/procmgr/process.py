@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Optional, TYPE_CHECKING
 
 from repro.errors import InvalidTransitionError
+from repro.obs import events as ev
 from repro.types import ProcessState, Severity, Signal, SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -178,7 +179,7 @@ class SimProcess:
         )
         work = self.spec.startup_work(context)
         self.kernel.trace.emit(
-            f"proc.{self.name}", "process_start", name=self.name, work=round(work, 6)
+            f"proc.{self.name}", ev.PROCESS_START, name=self.name, work=round(work, 6)
         )
         self.manager.contention.begin(
             self.name, work, self._on_start_complete, batch_size=len(batch)
@@ -191,7 +192,7 @@ class SimProcess:
         self.failure = None
         self.start_count += 1
         self.last_ready_at = self.kernel.now
-        self.kernel.trace.emit(f"proc.{self.name}", "process_ready", name=self.name)
+        self.kernel.trace.emit(f"proc.{self.name}", ev.PROCESS_READY, name=self.name)
         if self.behavior is not None:
             self.behavior.on_start()
         self.manager._notify_ready(self)
@@ -211,7 +212,7 @@ class SimProcess:
             self.last_failure = failure
         self.failure_count += 1 if signal is Signal.KILL else 0
         self.last_down_at = self.kernel.now
-        kind = "process_failed" if signal is Signal.KILL else "process_stopped"
+        kind = ev.PROCESS_FAILED if signal is Signal.KILL else ev.PROCESS_STOPPED
         self.kernel.trace.emit(
             f"proc.{self.name}",
             kind,

@@ -6,14 +6,24 @@ harness reconstructs recovery timelines from the trace rather than from ad
 hoc instrumentation, mirroring the paper's methodology: "*We log the time when
 the signal is sent; once the component determines it is functionally ready,
 it logs a timestamped message.*" (section 4.1).
+
+The trace is the emit front-end of the :mod:`repro.obs` observability
+layer: event kinds are declared once in :data:`repro.obs.events.REGISTRY`
+(with opt-in schema validation), retention lives in a pluggable
+:class:`~repro.obs.sinks.RingSink`, and additional sinks — streaming JSONL,
+aggregated metrics, live recovery-episode spans — attach via
+:meth:`Trace.add_sink`.  Sinks receive every record even when the trace is
+``enabled = False``, which is how month-long availability runs compute
+per-phase recovery breakdowns without retaining a single record.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.obs import events as _events
+from repro.obs.sinks import RingSink, Sink
 from repro.types import Severity, SimTime
 
 
@@ -30,11 +40,14 @@ class TraceRecord:
         ``"proc.fedr"``, ...).
     kind:
         Machine-readable event kind (``"failure_injected"``,
-        ``"process_ready"``, ...).  The experiment harness matches on this.
+        ``"process_ready"``, ...), declared in the
+        :data:`repro.obs.events.REGISTRY`.  The experiment harness matches
+        on this.
     severity:
         Coarse severity, used only for human-readable dumps.
     data:
-        Free-form payload; keys are event-kind specific.
+        Payload; keys are event-kind specific, declared by the kind's
+        :class:`~repro.obs.events.EventSpec`.
     """
 
     time: SimTime
@@ -50,11 +63,20 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only in-memory trace with query helpers.
+    """Append-only trace front-end with pluggable sinks and query helpers.
 
     The trace deliberately stores plain records, not object references, so a
     completed simulation can be analysed after its kernel and components have
     been discarded.
+
+    Delivery rules (the ``enabled`` flag):
+
+    * ``enabled`` (default) — records are retained in the ring, delivered
+      to legacy :meth:`subscribe` callbacks, and fanned out to sinks;
+    * disabled — nothing is retained and subscribers are **skipped**;
+      sinks still receive every record.  With no sinks attached, ``emit``
+      returns ``None`` without even building the record — the zero-cost
+      path for hot loops.
     """
 
     def __init__(self, clock: Any = None, capacity: Optional[int] = None) -> None:
@@ -68,40 +90,60 @@ class Trace:
         capacity:
             If given, keep only the most recent ``capacity`` records (a ring
             buffer for long availability runs where only aggregate metrics
-            are extracted incrementally via subscribers).
+            are extracted incrementally via sinks).
         """
         self._clock = clock
-        self._capacity = capacity
-        # A deque(maxlen=...) evicts in O(1); the old list-based ring paid an
-        # O(capacity) front-delete per emit once full, which dominated long
-        # availability runs.
-        self._records: "deque[TraceRecord]" = deque(maxlen=capacity)
+        self._ring = RingSink(capacity)
         self._subscribers: List[Callable[[TraceRecord], None]] = []
-        self._dropped = 0
-        #: When False, emitted records are delivered to subscribers (if any)
-        #: but not retained — the fast path for campaign workers that only
-        #: consume aggregate metrics, never the trace itself.
+        self._sinks: List[Sink] = []
+        #: When False, emitted records are neither retained nor delivered to
+        #: subscribers; attached sinks still see them — the fast path for
+        #: campaign workers that only consume aggregate metrics.
         self.enabled = True
 
     @property
     def records(self) -> List[TraceRecord]:
         """All retained records, oldest first."""
-        return list(self._records)
+        return self._ring.records
 
     @property
     def dropped(self) -> int:
         """Number of records discarded due to the capacity limit."""
-        return self._dropped
+        return self._ring.dropped
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The ring's retention limit (None = unbounded)."""
+        return self._ring.capacity
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._ring)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(list(self._records))
+        return iter(self._ring)
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``callback`` for every future record (streaming analysis)."""
+        """Invoke ``callback`` for every future record while enabled.
+
+        Compatibility shim predating sinks: subscribers follow the
+        ``enabled`` flag.  New code that must observe records regardless of
+        retention should attach a sink instead.
+        """
         self._subscribers.append(callback)
+
+    def add_sink(self, sink: Sink) -> Sink:
+        """Attach a sink; it receives every record, even while disabled."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        """Detach a previously attached sink."""
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> List[Sink]:
+        """The attached sinks (a copy; mutate via add/remove)."""
+        return list(self._sinks)
 
     def emit(
         self,
@@ -113,23 +155,27 @@ class Trace:
     ) -> Optional[TraceRecord]:
         """Append a record; timestamp defaults to the attached clock's now.
 
-        Returns ``None`` without building a record when the trace is disabled
-        and nothing subscribes — the zero-cost path for hot loops.
+        Returns ``None`` without building a record when the trace is
+        disabled and no sinks are attached — the zero-cost path for hot
+        loops.  With validation on (:func:`repro.obs.events.set_validation`
+        or ``REPRO_OBS_VALIDATE=1``), the kind and payload are checked
+        against the event registry first.
         """
-        if not self.enabled and not self._subscribers:
+        if not self.enabled and not self._sinks:
             return None
+        if _events._validation_enabled:
+            _events.REGISTRY.validate(kind, data)
         if time is None:
             if self._clock is None:
                 raise ValueError("no clock attached; pass time= explicitly")
             time = self._clock.now
         record = TraceRecord(time=time, source=source, kind=kind, severity=severity, data=data)
         if self.enabled:
-            records = self._records
-            if records.maxlen is not None and len(records) == records.maxlen:
-                self._dropped += 1
-            records.append(record)
-        for callback in self._subscribers:
-            callback(record)
+            self._ring.accept(record)
+            for callback in self._subscribers:
+                callback(record)
+        for sink in self._sinks:
+            sink.accept(record)
         return record
 
     def filter(
@@ -140,13 +186,13 @@ class Trace:
         until: Optional[SimTime] = None,
         **data_match: Any,
     ) -> List[TraceRecord]:
-        """Return records matching all given criteria.
+        """Return retained records matching all given criteria.
 
         ``data_match`` keys must be present in the record payload with equal
         values; e.g. ``trace.filter(kind="process_ready", name="fedr")``.
         """
         out: List[TraceRecord] = []
-        for record in self._records:
+        for record in self._ring:
             if kind is not None and record.kind != kind:
                 continue
             if source is not None and record.source != source:
@@ -161,8 +207,8 @@ class Trace:
         return out
 
     def first(self, kind: str, **data_match: Any) -> Optional[TraceRecord]:
-        """First record of the given kind matching the payload criteria."""
-        for record in self._records:
+        """First retained record of the given kind matching the criteria."""
+        for record in self._ring:
             if record.kind != kind:
                 continue
             if any(record.data.get(k) != v for k, v in data_match.items()):
@@ -171,8 +217,8 @@ class Trace:
         return None
 
     def last(self, kind: str, **data_match: Any) -> Optional[TraceRecord]:
-        """Most recent record of the given kind matching the criteria."""
-        for record in reversed(self._records):
+        """Most recent retained record of the kind matching the criteria."""
+        for record in reversed(self._ring.records):
             if record.kind != kind:
                 continue
             if any(record.data.get(k) != v for k, v in data_match.items()):
@@ -182,7 +228,7 @@ class Trace:
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable multi-line rendering of (the tail of) the trace."""
-        records = list(self._records)
+        records = self._ring.records
         if limit is not None:
             records = records[-limit:]
         return "\n".join(record.format() for record in records)

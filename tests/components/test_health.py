@@ -1,7 +1,5 @@
 """Tests for health-summary beacons (§7 future-work extension)."""
 
-import pytest
-
 from repro.bus.broker import BusBroker
 from repro.bus.client import BusClient
 from repro.components.base import BusAttachedBehavior

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mercury.station import MercuryStation
-from repro.mercury.trees import tree_ii, tree_v
+from repro.mercury.trees import tree_v
 
 
 @pytest.fixture

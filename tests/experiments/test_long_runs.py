@@ -61,3 +61,20 @@ def test_pass_campaign_bytes_conserved():
     assert summary.total_received_bytes <= summary.total_expected_bytes
     for outcome in summary.outcomes:
         assert 0.0 <= outcome.loss_fraction <= 1.0
+
+
+def test_availability_phase_breakdown():
+    import pytest
+
+    result = measure_availability(tree_v(), horizon_s=2 * DAY, seed=74)
+    summary = result.phase_summary("rtu")
+    if summary:  # rtu failed at least once in the horizon
+        assert summary["total"].n >= 1
+        assert summary["total"].mean == pytest.approx(
+            summary["detection"].mean
+            + summary["decision"].mean
+            + summary["restart"].mean,
+        )
+    # The breakdown exists even though the trace ring was disabled.
+    assert isinstance(result.phase_breakdown, dict)
+    assert result.phase_breakdown  # something failed in two days

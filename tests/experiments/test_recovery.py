@@ -65,3 +65,25 @@ def test_determinism():
     a = measure_recovery(tree_v(), "ses", trials=4, seed=68)
     b = measure_recovery(tree_v(), "ses", trials=4, seed=68)
     assert a.samples == b.samples
+
+
+def test_result_carries_phase_breakdown():
+    result = measure_recovery(tree_ii(), "rtu", trials=4, seed=70)
+    phases = result.phase_summary("rtu")
+    assert phases["total"].n == 4
+    # The span-derived totals are the same quantity as the sampled ones.
+    assert phases["total"].mean == pytest.approx(result.mean, abs=1e-9)
+    assert (
+        phases["detection"].mean
+        + phases["decision"].mean
+        + phases["restart"].mean
+    ) == pytest.approx(phases["total"].mean)
+
+
+def test_extra_sinks_receive_the_run():
+    from repro.obs.sinks import MetricsSink
+
+    extra = MetricsSink(track_episodes=False)
+    measure_recovery(tree_ii(), "rtu", trials=2, seed=71, sinks=[extra])
+    assert extra.count("failure_injected") == 2
+    assert extra.count("process_ready") >= 2

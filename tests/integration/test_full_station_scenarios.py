@@ -1,7 +1,5 @@
 """Long multi-fault scenarios on the full-fidelity station."""
 
-import pytest
-
 from repro.experiments.metrics import UptimeTracker
 from repro.mercury.station import MercuryStation
 from repro.mercury.trees import tree_iii, tree_v

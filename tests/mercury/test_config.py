@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mercury.config import DAY, HOUR, MINUTE, MONTH, PAPER_CONFIG, StationConfig
+from repro.mercury.config import HOUR, MINUTE, MONTH, PAPER_CONFIG
 
 
 def test_paper_mttfs_match_table1():

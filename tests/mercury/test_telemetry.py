@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.mercury.orbit import PassWindow
-from repro.mercury.telemetry import DownlinkModel, DownlinkSummary, PassOutcome
+from repro.mercury.telemetry import DownlinkModel, DownlinkSummary
 
 WINDOW = PassWindow("opal", start=1000.0, duration=900.0, max_elevation_deg=60.0)
 

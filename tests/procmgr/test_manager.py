@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import DuplicateComponentError, UnknownProcessError
-from repro.procmgr.process import ProcessSpec, constant_work
 from repro.types import ProcessState
 
 from tests.conftest import spawn_simple

@@ -97,15 +97,48 @@ def test_disabled_trace_retains_nothing(kernel):
     assert [r.kind for r in trace.records] == ["kept", "kept-again"]
 
 
-def test_disabled_trace_still_notifies_subscribers(kernel):
+def test_subscriber_delivery_follows_enabled_flag(kernel):
+    """Disabling the trace skips subscribers too, not just the ring."""
     trace = kernel.trace
-    trace.enabled = False
     seen = []
     trace.subscribe(seen.append)
-    record = trace.emit("s", "evt", n=1)
-    assert record is not None  # subscriber delivery builds the record
+    trace.emit("s", "evt", n=1)  # enabled: delivered
     assert [r.data["n"] for r in seen] == [1]
-    assert len(trace.records) == 0  # buffer still skipped
+    trace.enabled = False
+    assert trace.emit("s", "evt", n=2) is None  # disabled: skipped entirely
+    assert [r.data["n"] for r in seen] == [1]
+    assert len(trace.records) == 1  # ring skipped as well
+    trace.enabled = True
+    trace.emit("s", "evt", n=3)  # re-enabled: delivered again
+    assert [r.data["n"] for r in seen] == [1, 3]
+
+
+def test_sinks_receive_records_even_while_disabled(kernel):
+    """Sinks observe the full stream regardless of retention state."""
+    from repro.obs.sinks import CallbackSink
+
+    trace = kernel.trace
+    seen = []
+    trace.add_sink(CallbackSink(seen.append))
+    trace.emit("s", "evt", n=1)
+    trace.enabled = False
+    record = trace.emit("s", "evt", n=2)
+    assert record is not None  # sink delivery builds the record
+    assert [r.data["n"] for r in seen] == [1, 2]
+    assert len(trace.records) == 1  # ring still skipped while disabled
+
+
+def test_remove_sink_stops_delivery(kernel):
+    from repro.obs.sinks import CallbackSink
+
+    trace = kernel.trace
+    seen = []
+    sink = trace.add_sink(CallbackSink(seen.append))
+    trace.emit("s", "evt", n=1)
+    trace.remove_sink(sink)
+    trace.emit("s", "evt", n=2)
+    assert [r.data["n"] for r in seen] == [1]
+    assert trace.sinks == []
 
 
 def test_format_renders_fields(kernel):

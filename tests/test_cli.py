@@ -118,3 +118,52 @@ def test_parser_requires_command():
 def test_invalid_tree_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["recovery", "--tree", "VII", "--component", "rtu"])
+
+
+def test_recovery_trace_out_and_phase_table(tmp_path, capsys):
+    out_path = str(tmp_path / "run.jsonl")
+    code = main([
+        "recovery", "--component", "rtu", "--trials", "2",
+        "--trace-out", out_path,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Per-phase recovery breakdown" in out
+    assert "detection (s)" in out
+    assert f"-> {out_path}" in out
+    from repro.obs.sinks import read_jsonl
+    kinds = {row["kind"] for row in read_jsonl(out_path)}
+    assert {"failure_injected", "detection", "restart_ordered"} <= kinds
+
+
+def test_trace_subcommand_filters(tmp_path, capsys):
+    out_path = str(tmp_path / "run.jsonl")
+    main(["recovery", "--component", "rtu", "--trials", "2",
+          "--trace-out", out_path])
+    capsys.readouterr()
+
+    assert main(["trace", out_path, "--kind", "restart_ordered"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert lines
+    assert all("restart_ordered" in line for line in lines)
+
+    assert main(["trace", out_path, "--source", "faults", "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert len([line for line in out.splitlines() if line.strip()]) == 1
+
+    assert main(["trace", out_path, "--since", "1e12"]) == 0
+    assert capsys.readouterr().out.strip() == ""
+
+
+def test_trace_subcommand_missing_file(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+    assert "nope.jsonl" in capsys.readouterr().err
+
+
+def test_availability_phases_flag(capsys):
+    code = main(["availability", "--days", "0.5", "--tree", "V", "--phases"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Tree V: per-phase recovery breakdown" in out
+    assert "detection (s)" in out

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ChannelClosedError
-from repro.transport.network import Network
 
 
 def connected_pair(network):

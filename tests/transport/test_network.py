@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AddressInUseError, ConnectionRefusedError_
-from repro.transport.network import LatencyModel, Network
+from repro.transport.network import LatencyModel
 
 
 def test_connect_requires_listener(kernel, network):

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Static lint for the repro codebase (``make lint``).
+
+Prefers real linters when the environment has them — ``ruff`` first, then
+``pyflakes`` — and otherwise falls back to a small AST-based checker, so
+the verify gate works in hermetic containers where neither is installed.
+
+Fallback checks:
+
+* unused imports (a conservative token-presence test, so names used only
+  in string annotations or docstrings are not false positives);
+* duplicate top-level ``def``/``class`` names in one module;
+* comparisons to ``None`` with ``==``/``!=`` instead of ``is``/``is not``;
+* bare ``except:`` clauses.
+
+``__init__.py`` files are exempt from the unused-import check (re-export
+modules import names precisely so others can use them).
+
+Usage: ``python tools/lint.py [PATH ...]`` (defaults to src/ and tests/).
+Exits non-zero when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import subprocess
+import sys
+from typing import Iterable, List, Tuple
+
+DEFAULT_PATHS = ("src", "tests")
+
+Finding = Tuple[str, int, str]
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in ("__pycache__", ".git"))
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return out
+
+
+# ----------------------------------------------------------------------
+# external linters (preferred when available)
+# ----------------------------------------------------------------------
+
+
+def try_external(paths: List[str]) -> int:
+    """Run ruff or pyflakes if importable; return exit code, or -1 if absent."""
+    for module, argv in (
+        ("ruff", [sys.executable, "-m", "ruff", "check", *paths]),
+        ("pyflakes", [sys.executable, "-m", "pyflakes", *paths]),
+    ):
+        try:
+            __import__(module)
+        except ImportError:
+            continue
+        print(f"lint: using {module}")
+        return subprocess.call(argv)
+    return -1
+
+
+# ----------------------------------------------------------------------
+# AST fallback
+# ----------------------------------------------------------------------
+
+
+def _imported_names(tree: ast.AST) -> List[Tuple[str, int]]:
+    """(bound name, line) for every import in the module."""
+    names: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                names.append((bound, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.append((alias.asname or alias.name, node.lineno))
+    return names
+
+
+def check_file(path: str, source: str) -> List[Finding]:
+    findings: List[Finding] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [(path, error.lineno or 0, f"syntax error: {error.msg}")]
+
+    # Unused imports: flag names whose identifier never appears in the file
+    # outside the import line itself.  Token-level presence (rather than
+    # resolved usage) keeps names referenced from string annotations,
+    # docstrings, or __all__ from being false positives.
+    if os.path.basename(path) != "__init__.py":
+        identifiers = re.findall(r"[A-Za-z_][A-Za-z0-9_]*", source)
+        counts: dict = {}
+        for ident in identifiers:
+            counts[ident] = counts.get(ident, 0) + 1
+        for name, lineno in _imported_names(tree):
+            if counts.get(name, 0) <= 1:
+                findings.append((path, lineno, f"unused import: {name}"))
+
+    seen_defs: dict = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name in seen_defs:
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        f"duplicate top-level definition: {node.name} "
+                        f"(first at line {seen_defs[node.name]})",
+                    )
+                )
+            else:
+                seen_defs[node.name] = node.lineno
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    isinstance(comparator, ast.Constant) and comparator.value is None
+                ):
+                    word = "==" if isinstance(op, ast.Eq) else "!="
+                    fix = "is" if isinstance(op, ast.Eq) else "is not"
+                    findings.append(
+                        (path, node.lineno, f"comparison `{word} None` (use `{fix}`)")
+                    )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append((path, node.lineno, "bare `except:` clause"))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or list(DEFAULT_PATHS)
+    files = iter_python_files(paths)
+    if not files:
+        print(f"lint: no python files under {paths}", file=sys.stderr)
+        return 2
+
+    external = try_external(files)
+    if external >= 0:
+        return external
+
+    print("lint: ruff/pyflakes unavailable, using builtin AST checks")
+    findings: List[Finding] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            findings.extend(check_file(path, fh.read()))
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message}")
+    print(f"lint: {len(files)} files, {len(findings)} findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
