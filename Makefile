@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test lint verify bench benchmarks table4-parallel
+.PHONY: test lint verify bench bench-smoke benchmarks table4-parallel
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -18,10 +18,17 @@ lint:
 # The pre-merge gate: tier-1 tests plus lint.
 verify: test lint
 
-# Perf session: time the simulator hot paths and write BENCH_1.json so
+# Perf session: time the simulator hot paths and write BENCH_2.json,
+# carrying the previous artifact forward as the embedded baseline so
 # future PRs have a perf trajectory to compare against.
 bench:
-	$(PYTHON) tools/bench.py --output BENCH_1.json
+	$(PYTHON) tools/bench.py --baseline BENCH_1.json --output BENCH_2.json
+
+# Fast regression gate: reduced-rep bus benchmark vs the checked-in
+# BENCH_2.json; fails on a >20% bus_roundtrips_per_sec regression.
+# Set REPRO_BENCH_SMOKE_SKIP=1 to report without failing (slow machines).
+bench-smoke:
+	$(PYTHON) tools/bench.py --smoke --baseline BENCH_2.json
 
 # Full paper-reproduction suite (slow).  REPRO_BENCH_TRIALS/JOBS/CACHE
 # control fidelity, fan-out, and result caching.

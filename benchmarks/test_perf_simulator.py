@@ -1,7 +1,8 @@
 """Simulator performance — not a paper table, but the budget every other
-bench spends.  Tracks the throughput of the three hot paths: raw kernel
-event dispatch, bus message round-trips (parse + route + serialize per
-hop), and a full-fidelity station boot.
+bench spends.  Tracks the throughput of the four hot paths: raw kernel
+event dispatch, bus ping round-trips (envelope-routed, template-encoded),
+a mixed-traffic bus profile that also exercises the full-parse fallback,
+and a full-fidelity station boot.
 """
 
 from repro.bus.broker import BusBroker
@@ -12,7 +13,7 @@ from repro.procmgr.manager import ProcessManager
 from repro.procmgr.process import ProcessSpec, constant_work
 from repro.sim.kernel import Kernel
 from repro.transport.network import Network
-from repro.xmlcmd.commands import PingRequest
+from repro.xmlcmd.commands import CommandMessage, PingRequest, TelemetryFrame
 
 
 def test_kernel_event_throughput(benchmark):
@@ -57,6 +58,49 @@ def test_bus_roundtrip_throughput(benchmark):
 
     replies = benchmark.pedantic(thousand_pings, rounds=3, iterations=1)
     assert replies == 1000
+
+
+def test_bus_mixed_traffic_throughput(benchmark):
+    """The availability-run shape: 70% broker pings, 10% peer pings,
+    10% commands with params, 10% telemetry (mirrors
+    ``tools/bench.py bench_bus_mixed``)."""
+    kernel = Kernel(seed=4)
+    network = Network(kernel)
+    manager = ProcessManager(kernel)
+    manager.spawn(
+        ProcessSpec("mbus", constant_work(0.1), lambda p: BusBroker(p, network))
+    )
+    manager.start("mbus")
+    kernel.run()
+    sender = BusClient(kernel, network, "mix-a")
+    receiver = BusClient(kernel, network, "mix-b")
+    sender.connect()
+    receiver.connect()
+    kernel.run(until=kernel.now + 1.0)
+    command = CommandMessage(
+        "mix-a", "mix-b", "track", {"azimuth": "143.2", "elevation": "67.9"}
+    )
+    frame = TelemetryFrame("mix-a", "mix-b", "opal", "p42", 4800)
+    seq = [0]
+
+    def thousand_mixed():
+        before = len(sender.received) + len(receiver.received)
+        for i in range(1000):
+            seq[0] += 1
+            slot = i % 10
+            if slot < 7:
+                sender.send(PingRequest("mix-a", "mbus", seq[0]))
+            elif slot < 8:
+                sender.send(PingRequest("mix-a", "mix-b", seq[0]))
+            elif slot < 9:
+                sender.send(command)
+            else:
+                sender.send(frame)
+        kernel.run(until=kernel.now + 5.0)
+        return len(sender.received) + len(receiver.received) - before
+
+    delivered = benchmark.pedantic(thousand_mixed, rounds=3, iterations=1)
+    assert delivered == 1000
 
 
 def test_station_boot_time(benchmark):

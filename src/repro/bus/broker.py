@@ -6,14 +6,24 @@ every message to the channel registered for the message's ``to`` attribute.
 Messages addressed to ``mbus`` itself are handled by the broker (it answers
 liveness pings — that is how FD monitors the bus, §2.2).
 
-All traffic is serialized XML on the wire: the broker *parses* every message
-(and re-serializes on forward), so a broker whose dispatcher is wedged would
-stop routing — fidelity to the paper's argument that application-level pings
+All traffic is serialized XML on the wire, and the broker's dispatcher
+touches every message — a broker whose dispatcher is wedged stops routing,
+preserving fidelity to the paper's argument that application-level pings
 indicate liveness "with higher confidence than a network-level ICMP ping".
+Routing, however, needs only the start tag's ``to``/``from``/verb fields,
+so the hot path uses :func:`repro.xmlcmd.fastpath.scan_envelope` — a
+single-pass scan that never builds an element tree — and forwards the
+original raw string untouched.  Any message the scan cannot *guarantee* to
+judge identically to the full parser (children, entities, malformed input)
+falls back to full parsing, so observable behavior — routing decisions,
+counters, trace records and their error text — is identical.  Setting
+``REPRO_BUS_FULLPARSE=1`` forces the legacy full-parse path for every
+message; the differential tests assert both modes are trace-identical.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.components.base import Behavior
@@ -22,16 +32,30 @@ from repro.obs import events as ev
 from repro.types import Severity
 from repro.xmlcmd.commands import (
     CommandMessage,
+    FailureReport,
     PingReply,
     PingRequest,
-    encode_message,
+    RestartOrder,
+    TelemetryFrame,
     parse_message,
 )
+from repro.xmlcmd.fastpath import encode_ping_wire, scan_envelope, split_ping_wire
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.procmgr.process import SimProcess
     from repro.transport.channel import Endpoint
     from repro.transport.network import Network
+
+#: Wire ``type`` attribute for each schema class (for trace payloads that
+#: must be identical whether a message came off the fast or legacy path).
+_WIRE_KINDS = {
+    PingRequest: "ping",
+    PingReply: "ping-reply",
+    CommandMessage: "command",
+    TelemetryFrame: "telemetry",
+    FailureReport: "failure-report",
+    RestartOrder: "restart-order",
+}
 
 
 class BusBroker(Behavior):
@@ -43,10 +67,16 @@ class BusBroker(Behavior):
         self.address = address
         self._listener = None
         self._clients: Dict[str, "Endpoint"] = {}
-        #: Every accepted endpoint, attached or not — the OS closes all of a
-        #: dead process's sockets, including connections the application
-        #: never finished registering.
-        self._endpoints: List["Endpoint"] = []
+        #: Every accepted endpoint, attached or not, keyed by ``id()`` — the
+        #: OS closes all of a dead process's sockets, including connections
+        #: the application never finished registering.  Keyed storage keeps
+        #: close handling O(1) under kill storms.
+        self._endpoints: Dict[int, "Endpoint"] = {}
+        #: Names each endpoint attached under (normally one), so a close
+        #: never scans the client table.
+        self._names_by_endpoint: Dict[int, List[str]] = {}
+        #: Legacy mode: full-parse every message instead of envelope routing.
+        self._fullparse = os.environ.get("REPRO_BUS_FULLPARSE", "") not in ("", "0")
         self.routed = 0
         self.dropped = 0
 
@@ -56,7 +86,8 @@ class BusBroker(Behavior):
 
     def on_start(self) -> None:
         self._clients = {}
-        self._endpoints = []
+        self._endpoints = {}
+        self._names_by_endpoint = {}
         self._listener = self.network.listen(self.address, self._on_accept)
         self.trace(ev.BUS_LISTENING, address=self.address)
 
@@ -64,31 +95,75 @@ class BusBroker(Behavior):
         if self._listener is not None:
             self._listener.close()
             self._listener = None
-        for endpoint in list(self._endpoints):
+        for endpoint in list(self._endpoints.values()):
             endpoint.close()
-        self._endpoints = []
+        self._endpoints = {}
+        self._names_by_endpoint = {}
         self._clients = {}
 
     # ------------------------------------------------------------------
-    # routing
+    # connection bookkeeping
     # ------------------------------------------------------------------
 
     def _on_accept(self, endpoint: "Endpoint") -> None:
         # The client's identity arrives in its attach message; until then the
         # endpoint is anonymous and can only attach.
-        self._endpoints.append(endpoint)
+        self._endpoints[id(endpoint)] = endpoint
         endpoint.on_message(lambda raw: self._on_raw(endpoint, raw))
         endpoint.on_close(lambda: self._on_client_close(endpoint))
 
     def _on_client_close(self, endpoint: "Endpoint") -> None:
-        if endpoint in self._endpoints:
-            self._endpoints.remove(endpoint)
-        for name, registered in list(self._clients.items()):
-            if registered is endpoint:
+        key = id(endpoint)
+        self._endpoints.pop(key, None)
+        for name in self._names_by_endpoint.pop(key, ()):
+            if self._clients.get(name) is endpoint:
                 del self._clients[name]
                 self.trace(ev.BUS_DETACHED, client=name)
 
+    def _attach(self, client_name: str, endpoint: "Endpoint") -> None:
+        # Last attach wins: a restarted client re-attaches over a new channel
+        # while the broker may not yet have seen the old channel's close.
+        old = self._clients.get(client_name)
+        if old is not None and old is not endpoint:
+            names = self._names_by_endpoint.get(id(old))
+            if names is not None and client_name in names:
+                names.remove(client_name)
+        self._clients[client_name] = endpoint
+        names = self._names_by_endpoint.setdefault(id(endpoint), [])
+        if client_name not in names:
+            names.append(client_name)
+        self.trace(ev.BUS_ATTACHED, client=client_name)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
     def _on_raw(self, endpoint: "Endpoint", raw: str) -> None:
+        if not self._fullparse:
+            # Canonical pings (>90% of availability-run traffic) are decided
+            # by the memoized prefix split alone — no attribute scan at all.
+            ping = split_ping_wire(raw)
+            if ping is not None:
+                kind, sender, target, seq = ping
+                if target == self.name:
+                    if kind == "ping":
+                        self._reply_ping(sender, seq)
+                    else:
+                        self._drop_misaddressed(kind)
+                else:
+                    self._forward(target, raw)
+                return
+            envelope = scan_envelope(raw)
+            if envelope is not None:
+                if envelope.verb == "attach" and envelope.kind == "command":
+                    self._attach(envelope.sender, endpoint)
+                elif envelope.target == self.name:
+                    self._handle_own_envelope(envelope)
+                else:
+                    self._forward(envelope.target, raw)
+                return
+            # Unscannable: fall through to the full parser so malformed
+            # input produces the exact legacy error traces.
         try:
             message = parse_message(raw)
         except XmlError as error:
@@ -103,21 +178,39 @@ class BusBroker(Behavior):
         if message.target == self.name:
             self._handle_own(message)
             return
-        self._route(message, raw)
-
-    def _attach(self, client_name: str, endpoint: "Endpoint") -> None:
-        # Last attach wins: a restarted client re-attaches over a new channel
-        # while the broker may not yet have seen the old channel's close.
-        self._clients[client_name] = endpoint
-        self.trace(ev.BUS_ATTACHED, client=client_name)
+        self._forward(message.target, raw)
 
     def _handle_own(self, message: object) -> None:
+        """A fully parsed message addressed to the broker itself."""
         if isinstance(message, PingRequest):
-            reply = PingReply(sender=self.name, target=message.sender, seq=message.seq)
-            self._route(reply, encode_message(reply))
+            self._reply_ping(message.sender, message.seq)
+            return
+        self._drop_misaddressed(_WIRE_KINDS.get(type(message), "unknown"))
 
-    def _route(self, message: object, raw: str) -> None:
-        target: Optional[str] = getattr(message, "target", None)
+    def _handle_own_envelope(self, envelope) -> None:
+        """An envelope-scanned message addressed to the broker itself."""
+        if envelope.kind == "ping":
+            self._reply_ping(envelope.sender, envelope.seq)
+            return
+        self._drop_misaddressed(envelope.kind)
+
+    def _reply_ping(self, requester: str, seq: int) -> None:
+        # Template-serialized reply: only ``seq`` varies between pings from
+        # the same requester (byte-identical to the generic serializer).
+        self._forward(requester, encode_ping_wire("ping-reply", self.name, requester, seq))
+
+    def _drop_misaddressed(self, kind: str) -> None:
+        # The broker only answers pings; anything else addressed to ``mbus``
+        # is misrouted control traffic and must be visible, not silent.
+        self.dropped += 1
+        self.trace(
+            ev.BUS_BAD_MESSAGE,
+            severity=Severity.WARNING,
+            error=f"unhandled {kind} message addressed to the broker",
+        )
+
+    def _forward(self, target: Optional[str], raw: str) -> None:
+        """Send the original wire string to the endpoint attached as ``target``."""
         endpoint = self._clients.get(target) if target else None
         if endpoint is None or not endpoint.open:
             self.dropped += 1

@@ -92,6 +92,10 @@ class Endpoint:
             self._on_message(message)
 
     def _notify_close(self) -> None:
+        # In-flight messages are dropped on close; that includes messages
+        # already delivered into the pre-handler buffer but never consumed —
+        # a handler installed after the close must not see stale traffic.
+        self._inbox_while_unset.clear()
         if self._on_close is not None:
             self._on_close()
 
@@ -147,6 +151,9 @@ class Channel:
             return
         self.open = False
         for endpoint in (self.client_endpoint, self.server_endpoint):
+            # Undelivered pre-handler buffers die with the connection (the
+            # initiator's too — _notify_close only runs on the other side).
+            endpoint._inbox_while_unset.clear()
             if endpoint is not initiator:
                 # Close notification crosses the network like data does.
                 self._kernel.call_after(

@@ -14,7 +14,10 @@ This package provides:
   comments, declarations; no namespaces/DTDs/CDATA);
 * :mod:`repro.xmlcmd.serializer` — canonical serialization with escaping;
 * :mod:`repro.xmlcmd.commands` — the typed message schema (ping, ping reply,
-  commands, telemetry, failure reports) used on the bus.
+  commands, telemetry, failure reports) used on the bus;
+* :mod:`repro.xmlcmd.fastpath` — wire-level fast paths (envelope scanning
+  for broker routing, templated ping encode, memoized ping decode) that are
+  bit-compatible with the full parse/serialize pipeline (DESIGN.md §8).
 
 The point of carrying real (parsed, validated) XML through the simulated
 station — rather than passing Python objects — is fidelity to the paper's
@@ -33,14 +36,17 @@ from repro.xmlcmd.commands import (
     RestartOrder,
     TelemetryFrame,
     parse_message,
+    parse_message_full,
 )
 from repro.xmlcmd.document import Element
+from repro.xmlcmd.fastpath import Envelope, scan_envelope
 from repro.xmlcmd.parser import parse_xml
 from repro.xmlcmd.serializer import serialize_xml
 
 __all__ = [
     "CommandMessage",
     "Element",
+    "Envelope",
     "FailureReport",
     "Message",
     "PingReply",
@@ -48,6 +54,8 @@ __all__ = [
     "RestartOrder",
     "TelemetryFrame",
     "parse_message",
+    "parse_message_full",
     "parse_xml",
+    "scan_envelope",
     "serialize_xml",
 ]

@@ -23,6 +23,7 @@ from typing import Dict, Union
 
 from repro.errors import CommandSchemaError
 from repro.xmlcmd.document import Element
+from repro.xmlcmd.fastpath import encode_ping_wire, split_ping_wire
 from repro.xmlcmd.parser import parse_xml
 from repro.xmlcmd.serializer import serialize_xml
 
@@ -173,7 +174,18 @@ Message = Union[
 
 
 def encode_message(message: Message) -> str:
-    """Serialize any schema message to its wire string."""
+    """Serialize any schema message to its wire string.
+
+    Ping requests/replies — the bulk of bus traffic in availability runs —
+    take a templated fast path (:func:`repro.xmlcmd.fastpath.encode_ping_wire`)
+    that substitutes only ``seq`` into a cached prefix; its output is
+    byte-identical to the generic element serialization below.
+    """
+    cls = message.__class__
+    if cls is PingRequest:
+        return encode_ping_wire("ping", message.sender, message.target, message.seq)
+    if cls is PingReply:
+        return encode_ping_wire("ping-reply", message.sender, message.target, message.seq)
     return serialize_xml(message.to_element())
 
 
@@ -199,7 +211,24 @@ def parse_message(text: str) -> Message:
 
     Raises :class:`~repro.errors.XmlParseError` for malformed XML and
     :class:`~repro.errors.CommandSchemaError` for schema violations.
+
+    Canonical ping requests/replies are decoded by a memoized wire-level
+    scan (:func:`repro.xmlcmd.fastpath.split_ping_wire`); everything else —
+    including schema-valid pings in a non-canonical spelling — goes through
+    :func:`parse_message_full` with identical results (equality is enforced
+    by the shared round-trip property tests).
     """
+    ping = split_ping_wire(text)
+    if ping is not None:
+        kind, sender, target, seq = ping
+        if kind == "ping":
+            return PingRequest(sender, target, seq)
+        return PingReply(sender, target, seq)
+    return parse_message_full(text)
+
+
+def parse_message_full(text: str) -> Message:
+    """Decode a wire string via the full parse pipeline (no fast paths)."""
     element = parse_xml(text)
     return message_from_element(element)
 

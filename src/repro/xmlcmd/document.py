@@ -30,6 +30,27 @@ class Element:
         self.text = text
         self.children: List["Element"] = list(children or [])
 
+    @classmethod
+    def _make(
+        cls,
+        tag: str,
+        attrs: Dict[str, str],
+        text: str = "",
+        children: Optional[List["Element"]] = None,
+    ) -> "Element":
+        """Adopting constructor for the parser hot path.
+
+        Takes ownership of ``attrs``/``children`` without the defensive
+        copies ``__init__`` makes; the caller must hand over freshly built,
+        never-shared containers and a non-empty tag.
+        """
+        self = cls.__new__(cls)
+        self.tag = tag
+        self.attrs = attrs
+        self.text = text
+        self.children = children if children is not None else []
+        return self
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -1,0 +1,196 @@
+"""Wire-level fast paths for the XML command language.
+
+Three accelerations, all bit-compatible with the full parse/serialize pipe:
+
+* :func:`scan_envelope` — a single-pass scan of a message's *start tag* that
+  extracts only the fields the bus broker routes on (``type``/``from``/
+  ``to``/``verb``/``seq``) without building an element tree.  It is
+  deliberately conservative: it returns an :class:`Envelope` **only** when it
+  can guarantee that the full parser would accept the message and produce
+  the same routing fields; anything unusual (children, entity references,
+  whitespace oddities, schema violations) returns ``None`` so the caller
+  falls back to the full parser and gets identical behavior — including
+  identical error text in traces.
+
+* :func:`encode_ping_wire` — ping request/reply serialization as a cached
+  template keyed by ``(kind, sender, target)`` with only ``seq``
+  substituted.  Pings are >90% of bus traffic in availability runs (FD's 1 s
+  liveness loop, §2.2), and their wire form differs only in the sequence
+  number.  Output is byte-identical to the canonical serializer.
+
+* :func:`split_ping_wire` — the decode inverse: a memoized prefix cache
+  maps the constant ``<msg type="ping..." from="..." to="..." seq="`` head
+  of a canonical ping straight to its ``(kind, sender, target)`` triple, so
+  steady-state ping parsing is one ``find``, one dict hit, and one ``int()``.
+
+The guarantee relied on throughout: these functions either produce exactly
+what the full pipeline (:func:`repro.xmlcmd.parser.parse_xml` +
+:func:`repro.xmlcmd.serializer.serialize_xml`) would, or signal the caller
+to take the full pipeline.  The differential tests in
+``tests/bus/test_fastpath_differential.py`` and
+``tests/xmlcmd/test_fastpath.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import re
+from sys import intern as _intern
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.xmlcmd.serializer import escape_attr
+
+#: Message kinds whose routing decision is derivable from the start tag
+#: alone.  ``failure-report`` and ``restart-order`` are excluded: their
+#: schema validity depends on child elements, which an envelope scan cannot
+#: see, so they always take the full-parse fallback (they are rare on the
+#: bus — failure reports travel on the dedicated FD↔REC control channel).
+_ENVELOPE_KINDS = frozenset({"ping", "ping-reply", "command", "telemetry"})
+
+# XML whitespace only (not Python's \s, which also matches \f\v and
+# Unicode spaces the parser rejects).
+_MSG_OPEN_RE = re.compile(r"<msg(?=[ \t\r\n/>])")
+# One attribute with a quoted value.  Values containing ``&`` (entities),
+# ``<`` (ill-formed) or the closing quote cannot match, which forces the
+# full-parse fallback for exactly the inputs where decoding matters.
+_ATTR_RE = re.compile(
+    r"[ \t\r\n]+([A-Za-z_][A-Za-z0-9._-]*)=(?:\"([^\"&<]*)\"|'([^'&<]*)')"
+)
+
+
+class Envelope(NamedTuple):
+    """Routing fields of a bus message, extracted without a parse tree."""
+
+    kind: str
+    sender: str
+    target: str
+    verb: Optional[str]
+    seq: Optional[int]
+
+
+def scan_envelope(raw: str) -> Optional[Envelope]:
+    """Extract routing fields from a self-closing ``<msg .../>`` start tag.
+
+    Returns ``None`` whenever full parsing could behave differently —
+    the caller must then run the full parser (and surface its errors).
+    """
+    m = _MSG_OPEN_RE.match(raw)
+    if m is None:
+        return None
+    pos = m.end()
+    attrs: Dict[str, str] = {}
+    while True:
+        am = _ATTR_RE.match(raw, pos)
+        if am is None:
+            break
+        name = am.group(1)
+        if name in attrs:
+            return None  # duplicate attribute: the full parser rejects it
+        value = am.group(2)
+        if value is None:
+            value = am.group(3)
+        attrs[name] = value
+        pos = am.end()
+    while pos < len(raw) and raw[pos] in " \t\r\n":
+        pos += 1
+    # Only a complete, self-closing document is guaranteed schema-checkable
+    # from the start tag; anything with children (or trailing junk, which
+    # the full parser rejects) falls back.
+    if not raw.startswith("/>", pos) or pos + 2 != len(raw):
+        return None
+    kind = attrs.get("type")
+    sender = attrs.get("from")
+    target = attrs.get("to")
+    if kind is None or sender is None or target is None or kind not in _ENVELOPE_KINDS:
+        return None
+    if kind == "ping" or kind == "ping-reply":
+        seq_raw = attrs.get("seq")
+        if seq_raw is None:
+            return None
+        try:
+            seq = int(seq_raw)
+        except ValueError:
+            return None
+        return Envelope(kind, _intern(sender), _intern(target), None, seq)
+    if kind == "command":
+        verb = attrs.get("verb")
+        if verb is None:
+            return None
+        return Envelope(kind, _intern(sender), _intern(target), verb, None)
+    # telemetry: the remaining schema requirements are attribute-only.
+    if "satellite" not in attrs or "pass" not in attrs:
+        return None
+    try:
+        int(attrs["bytes"])
+    except (KeyError, ValueError):
+        return None
+    return Envelope(kind, _intern(sender), _intern(target), None, None)
+
+
+# ----------------------------------------------------------------------
+# ping templating
+# ----------------------------------------------------------------------
+
+#: Bound on both caches.  Station component names are a small fixed set;
+#: the bound only guards pathological workloads (e.g. fuzzing) from
+#: unbounded growth — on overflow the cache is simply rebuilt.
+_CACHE_LIMIT = 4096
+
+_encode_prefixes: Dict[Tuple[str, str, str], str] = {}
+
+
+def encode_ping_wire(kind: str, sender: str, target: str, seq: int) -> str:
+    """Serialize a ping/ping-reply, byte-identical to the canonical form."""
+    key = (kind, sender, target)
+    prefix = _encode_prefixes.get(key)
+    if prefix is None:
+        if len(_encode_prefixes) >= _CACHE_LIMIT:
+            _encode_prefixes.clear()
+        prefix = (
+            f'<msg type="{kind}" from="{escape_attr(sender)}"'
+            f' to="{escape_attr(target)}" seq="'
+        )
+        _encode_prefixes[key] = prefix
+    return f'{prefix}{seq}"/>'
+
+
+# ----------------------------------------------------------------------
+# memoized ping decode
+# ----------------------------------------------------------------------
+
+# Canonical head of a serializer-produced ping, up to and including the
+# ``seq="`` opener.  The value classes exclude quote/&/< so a matching
+# prefix needs no entity decoding and cannot hide a fake ``seq=``.
+_PING_PREFIX_RE = re.compile(
+    r'<msg type="(ping|ping-reply)" from="([^"&<]*)" to="([^"&<]*)" seq="\Z'
+)
+
+_decode_prefixes: Dict[str, Tuple[str, str, str]] = {}
+
+
+def split_ping_wire(raw: str) -> Optional[Tuple[str, str, str, int]]:
+    """Decode a canonical ping wire string to ``(kind, sender, target, seq)``.
+
+    Returns ``None`` for anything that is not *exactly* a canonical ping —
+    including schema-valid pings written with different spacing, quoting or
+    attribute order, which the full parser handles identically (just slower).
+    """
+    if not raw.endswith('"/>'):
+        return None
+    cut = raw.find(' seq="')
+    if cut < 0:
+        return None
+    prefix = raw[: cut + 6]
+    hit = _decode_prefixes.get(prefix)
+    if hit is None:
+        m = _PING_PREFIX_RE.match(prefix)
+        if m is None:
+            return None
+        hit = (_intern(m.group(1)), _intern(m.group(2)), _intern(m.group(3)))
+        if len(_decode_prefixes) >= _CACHE_LIMIT:
+            _decode_prefixes.clear()
+        _decode_prefixes[prefix] = hit
+    try:
+        seq = int(raw[cut + 6 : -3])
+    except ValueError:
+        return None
+    return hit[0], hit[1], hit[2], seq

@@ -1,4 +1,4 @@
-"""Recursive-descent parser for the XML subset used by the command language.
+"""Single-pass parser for the XML subset used by the command language.
 
 Supported: elements, attributes (single- or double-quoted), text content,
 the five predefined entities, comments, XML declarations, self-closing tags,
@@ -6,11 +6,21 @@ and arbitrary nesting.  Not supported (not used by the command language):
 namespaces, DTDs, processing instructions other than the declaration, and
 CDATA sections.  Unsupported constructs raise
 :class:`~repro.errors.XmlParseError` rather than being silently skipped.
+
+Implementation notes (this is the bus hot path, see BENCH_2.json): the
+tokenizer is a single forward scan over ``(text, pos)`` locals — no cursor
+object, no per-character method calls.  Names and ``name="value"`` pairs are
+sliced out by precompiled regexes (one C-level match per token), attribute
+dicts are built once and handed to :meth:`Element._make` without a defensive
+copy, and tag/attribute names are ``sys.intern``-ed so the schema layer's
+dict lookups hit pointer-equal keys.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import re
+from sys import intern as _intern
+from typing import Dict, List, Tuple
 
 from repro.errors import XmlParseError
 from repro.xmlcmd.document import Element
@@ -23,44 +33,17 @@ _ENTITIES = {
     "apos": "'",
 }
 
-_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
-_NAME_CHARS = _NAME_START | set("0123456789.-")
+# XML whitespace only — str.strip()/\s would also eat U+00A0 etc.
+_WS = " \t\r\n"
 
-
-class _Cursor:
-    """Position tracker over the input text."""
-
-    __slots__ = ("text", "pos")
-
-    def __init__(self, text: str) -> None:
-        self.text = text
-        self.pos = 0
-
-    @property
-    def eof(self) -> bool:
-        return self.pos >= len(self.text)
-
-    def peek(self, length: int = 1) -> str:
-        return self.text[self.pos : self.pos + length]
-
-    def advance(self, count: int = 1) -> None:
-        self.pos += count
-
-    def skip_whitespace(self) -> None:
-        text, pos = self.text, self.pos
-        while pos < len(text) and text[pos] in " \t\r\n":
-            pos += 1
-        self.pos = pos
-
-    def expect(self, literal: str) -> None:
-        if not self.text.startswith(literal, self.pos):
-            raise XmlParseError(
-                f"expected {literal!r} at offset {self.pos}", self.pos
-            )
-        self.pos += len(literal)
-
-    def fail(self, message: str) -> "XmlParseError":
-        return XmlParseError(f"{message} at offset {self.pos}", self.pos)
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9._-]*")
+#: One attribute: optional whitespace, name, ``=`` (with optional
+#: whitespace), then a quoted value.  Entity decoding happens afterwards,
+#: only when the sliced value contains ``&``.
+_ATTR_RE = re.compile(
+    r"[ \t\r\n]*([A-Za-z_][A-Za-z0-9._-]*)[ \t\r\n]*=[ \t\r\n]*"
+    r"(?:\"([^\"]*)\"|'([^']*)')"
+)
 
 
 def _decode_entities(raw: str, at: int) -> str:
@@ -91,104 +74,120 @@ def _decode_entities(raw: str, at: int) -> str:
     return "".join(out)
 
 
-def _parse_name(cursor: _Cursor) -> str:
-    start = cursor.pos
-    text = cursor.text
-    if cursor.eof or text[start] not in _NAME_START:
-        raise cursor.fail("expected a name")
-    pos = start + 1
-    while pos < len(text) and text[pos] in _NAME_CHARS:
+def _skip_misc(text: str, pos: int) -> int:
+    """Skip whitespace, comments and the XML declaration between elements."""
+    n = len(text)
+    while True:
+        while pos < n and text[pos] in _WS:
+            pos += 1
+        if text.startswith("<!--", pos):
+            end = text.find("-->", pos + 4)
+            if end == -1:
+                raise XmlParseError(f"unterminated comment at offset {pos}", pos)
+            pos = end + 3
+        elif text.startswith("<?xml", pos):
+            end = text.find("?>", pos + 5)
+            if end == -1:
+                raise XmlParseError(f"unterminated XML declaration at offset {pos}", pos)
+            pos = end + 2
+        else:
+            return pos
+
+
+def _fail_start_tag(text: str, pos: int) -> XmlParseError:
+    """Diagnose why the attribute scan stopped inside a start tag."""
+    n = len(text)
+    if pos >= n:
+        return XmlParseError(f"unterminated start tag at offset {pos}", pos)
+    m = _NAME_RE.match(text, pos)
+    if m is None:
+        return XmlParseError(f"expected a name at offset {pos}", pos)
+    pos = m.end()
+    while pos < n and text[pos] in _WS:
         pos += 1
-    cursor.pos = pos
-    return text[start:pos]
+    if pos >= n or text[pos] != "=":
+        return XmlParseError(f"expected '=' at offset {pos}", pos)
+    pos += 1
+    while pos < n and text[pos] in _WS:
+        pos += 1
+    if pos >= n or text[pos] not in "'\"":
+        return XmlParseError(f"attribute value must be quoted at offset {pos}", pos)
+    return XmlParseError(f"unterminated attribute value at offset {pos}", pos)
 
 
-def _parse_attributes(cursor: _Cursor) -> Dict[str, str]:
+def _parse_element(text: str, pos: int) -> Tuple[Element, int]:
+    """Parse one element starting at ``text[pos] == '<'``; returns (element, pos)."""
+    n = len(text)
+    m = _NAME_RE.match(text, pos + 1)
+    if m is None:
+        raise XmlParseError(f"expected a name at offset {pos + 1}", pos + 1)
+    tag = _intern(m.group())
+    pos = m.end()
+
+    # -- start-tag attributes ------------------------------------------
     attrs: Dict[str, str] = {}
     while True:
-        cursor.skip_whitespace()
-        if cursor.eof:
-            raise cursor.fail("unterminated start tag")
-        if cursor.peek() in (">", "/"):
-            return attrs
-        name = _parse_name(cursor)
-        cursor.skip_whitespace()
-        cursor.expect("=")
-        cursor.skip_whitespace()
-        quote = cursor.peek()
-        if quote not in ("'", '"'):
-            raise cursor.fail("attribute value must be quoted")
-        cursor.advance()
-        end = cursor.text.find(quote, cursor.pos)
-        if end == -1:
-            raise cursor.fail("unterminated attribute value")
-        raw = cursor.text[cursor.pos : end]
-        attrs_value = _decode_entities(raw, cursor.pos)
-        cursor.pos = end + 1
+        am = _ATTR_RE.match(text, pos)
+        if am is None:
+            break
+        name = _intern(am.group(1))
         if name in attrs:
-            raise cursor.fail(f"duplicate attribute {name!r}")
-        attrs[name] = attrs_value
+            raise XmlParseError(
+                f"duplicate attribute {name!r} at offset {am.start(1)}", am.start(1)
+            )
+        value = am.group(2)
+        if value is None:
+            value = am.group(3)
+            if "&" in value:
+                value = _decode_entities(value, am.start(3))
+        elif "&" in value:
+            value = _decode_entities(value, am.start(2))
+        attrs[name] = value
+        pos = am.end()
+    while pos < n and text[pos] in _WS:
+        pos += 1
+    if text.startswith("/>", pos):
+        return Element._make(tag, attrs), pos + 2
+    if pos >= n or text[pos] != ">":
+        raise _fail_start_tag(text, pos)
+    pos += 1
 
-
-def _skip_misc(cursor: _Cursor) -> None:
-    """Skip whitespace, comments and the XML declaration between elements."""
+    # -- content: interleaved text, children, comments ------------------
+    text_parts: List[str] = []
+    children: List[Element] = []
     while True:
-        cursor.skip_whitespace()
-        if cursor.peek(4) == "<!--":
-            end = cursor.text.find("-->", cursor.pos + 4)
-            if end == -1:
-                raise cursor.fail("unterminated comment")
-            cursor.pos = end + 3
-        elif cursor.peek(5) == "<?xml":
-            end = cursor.text.find("?>", cursor.pos + 5)
-            if end == -1:
-                raise cursor.fail("unterminated XML declaration")
-            cursor.pos = end + 2
-        else:
-            return
-
-
-def _parse_element(cursor: _Cursor) -> Element:
-    cursor.expect("<")
-    tag = _parse_name(cursor)
-    attrs = _parse_attributes(cursor)
-    if cursor.peek(2) == "/>":
-        cursor.advance(2)
-        return Element(tag, attrs)
-    cursor.expect(">")
-
-    text_parts = []
-    children = []
-    while True:
-        if cursor.eof:
-            raise cursor.fail(f"unterminated element <{tag}>")
-        next_lt = cursor.text.find("<", cursor.pos)
+        next_lt = text.find("<", pos)
         if next_lt == -1:
-            raise cursor.fail(f"unterminated element <{tag}>")
-        if next_lt > cursor.pos:
-            raw = cursor.text[cursor.pos : next_lt]
-            text_parts.append(_decode_entities(raw, cursor.pos))
-            cursor.pos = next_lt
-        if cursor.peek(2) == "</":
-            cursor.advance(2)
-            closing = _parse_name(cursor)
-            if closing != tag:
-                raise cursor.fail(
-                    f"mismatched closing tag </{closing}> for <{tag}>"
+            raise XmlParseError(f"unterminated element <{tag}> at offset {pos}", pos)
+        if next_lt > pos:
+            raw = text[pos:next_lt]
+            text_parts.append(_decode_entities(raw, pos) if "&" in raw else raw)
+            pos = next_lt
+        if text.startswith("</", pos):
+            m = _NAME_RE.match(text, pos + 2)
+            if m is None:
+                raise XmlParseError(f"expected a name at offset {pos + 2}", pos + 2)
+            if m.group() != tag:
+                raise XmlParseError(
+                    f"mismatched closing tag </{m.group()}> for <{tag}>"
+                    f" at offset {pos}",
+                    pos,
                 )
-            cursor.skip_whitespace()
-            cursor.expect(">")
-            # Strip XML whitespace only — str.strip() would also eat
-            # Unicode whitespace like U+00A0, corrupting text content.
-            text = "".join(text_parts).strip(" \t\r\n")
-            return Element(tag, attrs, text, children)
-        if cursor.peek(4) == "<!--":
-            end = cursor.text.find("-->", cursor.pos + 4)
+            pos = m.end()
+            while pos < n and text[pos] in _WS:
+                pos += 1
+            if pos >= n or text[pos] != ">":
+                raise XmlParseError(f"expected '>' at offset {pos}", pos)
+            content = "".join(text_parts).strip(_WS) if text_parts else ""
+            return Element._make(tag, attrs, content, children), pos + 1
+        if text.startswith("<!--", pos):
+            end = text.find("-->", pos + 4)
             if end == -1:
-                raise cursor.fail("unterminated comment")
-            cursor.pos = end + 3
+                raise XmlParseError(f"unterminated comment at offset {pos}", pos)
+            pos = end + 3
             continue
-        children.append(_parse_element(cursor))
+        child, pos = _parse_element(text, pos)
+        children.append(child)
 
 
 def parse_xml(text: str) -> Element:
@@ -201,14 +200,15 @@ def parse_xml(text: str) -> Element:
     >>> doc.tag, doc.get('type'), doc.child_text('from')
     ('msg', 'ping', 'fd')
     """
-    cursor = _Cursor(text)
-    _skip_misc(cursor)
-    if cursor.eof or cursor.peek() != "<":
-        raise cursor.fail("expected document element")
-    root = _parse_element(cursor)
-    _skip_misc(cursor)
-    if not cursor.eof:
-        raise cursor.fail("unexpected content after document element")
+    pos = _skip_misc(text, 0)
+    if pos >= len(text) or text[pos] != "<":
+        raise XmlParseError(f"expected document element at offset {pos}", pos)
+    root, pos = _parse_element(text, pos)
+    pos = _skip_misc(text, pos)
+    if pos != len(text):
+        raise XmlParseError(
+            f"unexpected content after document element at offset {pos}", pos
+        )
     return root
 
 

@@ -133,6 +133,59 @@ def test_last_attach_wins(kernel, network, manager):
     assert old_in == []
 
 
+def test_non_ping_to_broker_dropped_and_traced(kernel, network, manager):
+    """Misrouted control traffic addressed to mbus must be observable, not
+    silently swallowed."""
+    broker = make_bus(kernel, network, manager)
+    a, a_in = raw_client(kernel, network, "a")
+    kernel.run()
+    a.send(encode_message(CommandMessage(sender="a", target="mbus", verb="reboot")))
+    a.send(encode_message(PingReply(sender="a", target="mbus", seq=9)))
+    kernel.run()
+    assert broker.dropped == 2
+    assert a_in == []
+    bad = [r for r in kernel.trace.records if r.kind == "bus_bad_message"]
+    assert len(bad) == 2
+    assert "command" in bad[0].data["error"]
+    assert "ping-reply" in bad[1].data["error"]
+
+
+def test_close_bookkeeping_is_keyed_not_scanned(kernel, network, manager):
+    """Kill-storm hygiene: every close removes exactly its own endpoint and
+    registration, leaving the other clients untouched."""
+    broker = make_bus(kernel, network, manager)
+    endpoints = [raw_client(kernel, network, f"c{i}")[0] for i in range(8)]
+    kernel.run()
+    assert len(broker._clients) == 8 and len(broker._endpoints) == 8
+    for endpoint in endpoints[:4]:
+        endpoint.close()
+    kernel.run()
+    assert sorted(broker._clients) == [f"c{i}" for i in range(4, 8)]
+    assert len(broker._endpoints) == 4
+    remaining = sorted(n for names in broker._names_by_endpoint.values() for n in names)
+    assert remaining == [f"c{i}" for i in range(4, 8)]
+
+
+def test_stale_close_after_reattach_keeps_new_registration(kernel, network, manager):
+    """The old channel of a re-attached client closes late; the new
+    registration must survive and no spurious detach may be traced."""
+    broker = make_bus(kernel, network, manager)
+    old, _ = raw_client(kernel, network, "dup")
+    kernel.run()
+    new, new_in = raw_client(kernel, network, "dup")
+    kernel.run()
+    old.close()
+    kernel.run()
+    detached = [r for r in kernel.trace.records if r.kind == "bus_detached"]
+    assert detached == []
+    assert broker._clients["dup"] is not None
+    b, _ = raw_client(kernel, network, "b")
+    kernel.run()
+    b.send(encode_message(CommandMessage(sender="b", target="dup", verb="x")))
+    kernel.run()
+    assert len(new_in) == 1
+
+
 def test_routed_counter(kernel, network, manager):
     broker = make_bus(kernel, network, manager)
     a, _ = raw_client(kernel, network, "a")

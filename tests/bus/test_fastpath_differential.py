@@ -1,0 +1,151 @@
+"""Differential tests: envelope fast-path routing vs REPRO_BUS_FULLPARSE=1.
+
+The broker's fast path must be *observationally identical* to legacy
+full-parse routing: same routing decisions, same counters, same trace
+records (kinds, payloads, and — critically for the paper's timing results —
+timestamps).  These tests run the same scenario under both modes and
+compare everything.
+"""
+
+import pytest
+
+from repro.bus.broker import BusBroker
+from repro.experiments.availability import measure_availability
+from repro.experiments.recovery import measure_recovery
+from repro.mercury.trees import tree_ii, tree_v
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, constant_work
+from repro.sim.kernel import Kernel
+from repro.transport.network import Network
+from repro.xmlcmd.commands import (
+    CommandMessage,
+    FailureReport,
+    PingReply,
+    PingRequest,
+    RestartOrder,
+    TelemetryFrame,
+    encode_message,
+)
+
+#: Every registered message shape plus the adversarial cases the broker has
+#: to judge: unroutable targets, broker-addressed non-pings, malformed XML,
+#: schema violations, and non-canonical spellings.
+SCENARIO_WIRES = [
+    encode_message(PingRequest("a", "mbus", 1)),
+    encode_message(PingRequest("a", "b", 2)),
+    encode_message(PingReply("b", "a", 2)),
+    encode_message(CommandMessage("a", "b", "track", {"az": "1.5"})),
+    encode_message(CommandMessage("a", "b", "noop")),
+    encode_message(TelemetryFrame("a", "b", "opal", "p7", 512)),
+    encode_message(FailureReport("a", "b", ("ses",), 4.5)),
+    encode_message(RestartOrder("a", "b", "R_ses", ("ses",), "begin")),
+    encode_message(PingRequest("a", "ghost", 3)),  # unroutable
+    encode_message(PingReply("a", "mbus", 4)),  # non-ping to the broker
+    encode_message(CommandMessage("a", "mbus", "reboot")),  # ditto
+    encode_message(TelemetryFrame("a", "mbus", "opal", "p7", 9)),  # ditto
+    encode_message(RestartOrder("a", "mbus", "R_x", ("x",), "begin")),  # ditto
+    "<not-xml",  # malformed
+    '<msg type="ping" from="a" to="mbus" seq="NaN"/>',  # schema violation
+    '<msg type="mystery" from="a" to="b"/>',  # unknown kind
+    "<msg type='ping' from='a' to='mbus' seq='5'/>",  # non-canonical ping
+    '<msg type="ping" from="a" to="mbus" seq="6"><!-- c --></msg>',  # children path
+]
+
+
+def run_scenario(fullparse: bool, monkeypatch):
+    if fullparse:
+        monkeypatch.setenv("REPRO_BUS_FULLPARSE", "1")
+    else:
+        monkeypatch.delenv("REPRO_BUS_FULLPARSE", raising=False)
+    kernel = Kernel(seed=99)
+    network = Network(kernel)
+    manager = ProcessManager(kernel)
+    process = manager.spawn(
+        ProcessSpec("mbus", constant_work(0.5), lambda p: BusBroker(p, network, "mbus:7000"))
+    )
+    manager.start("mbus")
+    kernel.run()
+    broker = process.behavior
+    assert broker._fullparse is fullparse
+
+    inboxes = {}
+    for name in ("a", "b"):
+        endpoint = network.connect(name, "mbus:7000")
+        inboxes[name] = []
+        endpoint.on_message(inboxes[name].append)
+        endpoint.send(
+            encode_message(CommandMessage(sender=name, target="mbus", verb="attach"))
+        )
+    kernel.run()
+
+    sender = network.connect("tap", "mbus:7000")
+    sender.on_message(lambda raw: inboxes.setdefault("tap", []).append(raw))
+    for wire in SCENARIO_WIRES:
+        sender.send(wire)
+    kernel.run()
+
+    traces = [
+        (r.time, r.source, r.kind, r.severity, tuple(sorted(r.data.items())))
+        for r in kernel.trace.records
+    ]
+    return {
+        "routed": broker.routed,
+        "dropped": broker.dropped,
+        "clients": sorted(broker._clients),
+        "inboxes": inboxes,
+        "traces": traces,
+    }
+
+
+def test_envelope_routing_is_decision_identical(monkeypatch):
+    fast = run_scenario(False, monkeypatch)
+    legacy = run_scenario(True, monkeypatch)
+    assert fast == legacy
+
+
+def test_fast_path_forwards_raw_bytes_untouched(monkeypatch):
+    """The broker must forward the exact wire string, not a re-serialization."""
+    result = run_scenario(False, monkeypatch)
+    forwarded = [
+        w
+        for w in SCENARIO_WIRES
+        if ' to="b"' in w and "mystery" not in w  # mystery is schema-rejected
+    ]
+    assert forwarded and all(w in result["inboxes"]["b"] for w in forwarded)
+
+
+def test_recovery_outputs_bit_identical(monkeypatch):
+    """A Table 2/4-style recovery cell at equal seeds: per-trial recovery
+    times (the numbers the tables are built from) must not move."""
+
+    def run(fullparse):
+        if fullparse:
+            monkeypatch.setenv("REPRO_BUS_FULLPARSE", "1")
+        else:
+            monkeypatch.delenv("REPRO_BUS_FULLPARSE", raising=False)
+        return measure_recovery(tree_ii(), "rtu", trials=3, seed=17)
+
+    fast = run(False)
+    legacy = run(True)
+    assert fast.samples == legacy.samples
+    assert fast.phases == legacy.phases
+
+
+@pytest.mark.parametrize("horizon_s", [6 * 3600.0])
+def test_availability_outputs_bit_identical(monkeypatch, horizon_s):
+    """The §8 availability pipeline at equal seeds: enabling the fast path
+    must not move a single event timestamp."""
+
+    def run(fullparse):
+        if fullparse:
+            monkeypatch.setenv("REPRO_BUS_FULLPARSE", "1")
+        else:
+            monkeypatch.delenv("REPRO_BUS_FULLPARSE", raising=False)
+        return measure_availability(tree_v(), horizon_s=horizon_s, seed=424)
+
+    fast = run(False)
+    legacy = run(True)
+    assert fast.availability == legacy.availability
+    assert fast.total_downtime_s == legacy.total_downtime_s
+    assert fast.outages == legacy.outages
+    assert fast.phase_breakdown == legacy.phase_breakdown

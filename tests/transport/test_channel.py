@@ -94,6 +94,31 @@ def test_in_flight_messages_dropped_on_close(kernel, network):
     assert inbox == []
 
 
+def test_buffered_messages_dropped_on_close(kernel, network):
+    """A handler installed after the close must not receive traffic that was
+    buffered while no handler was set — closing drops in-flight messages,
+    and the pre-handler buffer is in flight from the application's view."""
+    client, server = connected_pair(network)
+    client.send("early")
+    kernel.run()  # delivered into the pre-handler buffer
+    client.close()
+    kernel.run()
+    inbox = []
+    server.on_message(inbox.append)
+    assert inbox == []
+
+
+def test_buffered_messages_dropped_on_own_close(kernel, network):
+    """Same contract when the buffering side itself initiates the close."""
+    client, server = connected_pair(network)
+    client.send("early")
+    kernel.run()
+    server.close()
+    inbox = []
+    server.on_message(inbox.append)
+    assert inbox == []
+
+
 def test_open_property_tracks_state(kernel, network):
     client, server = connected_pair(network)
     assert client.open and server.open

@@ -1,0 +1,235 @@
+"""Fast-path equivalence tests: envelope scan, ping templating, memoized
+ping decode, and property-style round trips shared between the legacy
+(full-parse) and fast decode paths.
+
+Every test here enforces the same invariant: a fast path either produces a
+result byte/field-identical to the full pipeline, or refuses (returns
+``None``) so callers fall back to the full pipeline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XmlError
+from repro.xmlcmd.commands import (
+    CommandMessage,
+    FailureReport,
+    PingReply,
+    PingRequest,
+    RestartOrder,
+    TelemetryFrame,
+    encode_message,
+    parse_message,
+    parse_message_full,
+)
+from repro.xmlcmd.fastpath import encode_ping_wire, scan_envelope, split_ping_wire
+from repro.xmlcmd.serializer import serialize_xml
+
+#: Both decode paths; every round-trip test runs under each.
+DECODERS = [
+    pytest.param(parse_message, id="fast"),
+    pytest.param(parse_message_full, id="legacy"),
+]
+
+REGISTRY_MESSAGES = [
+    PingRequest("fd", "ses", 17),
+    PingReply("ses", "fd", 17),
+    CommandMessage("a", "mbus", "attach"),
+    CommandMessage("ses", "str", "track", {"azimuth": "143.2", "elevation": "67.9"}),
+    TelemetryFrame("fedr", "ops", "opal", "p42", 4800),
+    FailureReport("fd", "rec", ("ses", "str"), 12.125),
+    RestartOrder("rec", "fd", "R_ses_str", ("ses", "str"), "begin"),
+]
+
+
+@pytest.mark.parametrize("decode", DECODERS)
+@pytest.mark.parametrize("message", REGISTRY_MESSAGES, ids=lambda m: type(m).__name__)
+def test_roundtrip_identical_on_both_paths(decode, message):
+    assert decode(encode_message(message)) == message
+
+
+@pytest.mark.parametrize("message", REGISTRY_MESSAGES, ids=lambda m: type(m).__name__)
+def test_fast_encode_matches_generic_serializer(message):
+    assert encode_message(message) == serialize_xml(message.to_element())
+
+
+@pytest.mark.parametrize("decode", DECODERS)
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "<not-xml",
+        "",
+        '<msg type="ping" from="a" to="b" seq="NaN"/>',
+        '<msg type="ping" from="a" seq="1"/>',
+        '<msg type="mystery" from="a" to="b"/>',
+        '<note type="ping" from="a" to="b" seq="1"/>',
+        '<msg type="ping" from="a" to="b" seq="1"/>junk',
+        '<msg type="ping" from="a" to="b" seq="1" seq="2"/>',
+        '<msg type="failure-report" from="fd" to="rec" detected-at="1.0"/>',
+    ],
+)
+def test_malformed_rejected_on_both_paths(decode, bad):
+    with pytest.raises(XmlError):
+        decode(bad)
+
+
+# ----------------------------------------------------------------------
+# ping templating and memoized decode
+# ----------------------------------------------------------------------
+
+def test_encode_ping_wire_escapes_like_serializer():
+    ping = PingRequest('we&"ird', "<x>", 3)
+    assert encode_ping_wire("ping", ping.sender, ping.target, ping.seq) == serialize_xml(
+        ping.to_element()
+    )
+
+
+def test_split_ping_wire_roundtrip():
+    raw = encode_ping_wire("ping-reply", "ses", "fd", 99)
+    assert split_ping_wire(raw) == ("ping-reply", "ses", "fd", 99)
+
+
+def test_split_ping_wire_memo_hits_same_pair():
+    first = split_ping_wire(encode_ping_wire("ping", "fd", "ses", 1))
+    second = split_ping_wire(encode_ping_wire("ping", "fd", "ses", 2))
+    assert first == ("ping", "fd", "ses", 1)
+    assert second == ("ping", "fd", "ses", 2)
+    # interned identity: the memo returns the same sender/target objects
+    assert first[1] is second[1] and first[2] is second[2]
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        "<other/>",
+        '<msg type="ping" from="a" to="b"/>',  # no seq
+        "<msg type='ping' from='a' to='b' seq='1'/>",  # non-canonical quoting
+        '<msg  type="ping" from="a" to="b" seq="1"/>',  # non-canonical spacing
+        '<msg type="ping" from="a" to="b" seq="1" extra="x"/>',
+        '<msg type="ping" from="a&amp;b" to="c" seq="1"/>',  # needs decoding
+        '<msg type="command" from="a" to="b" verb="v" seq="1"/>',
+    ],
+)
+def test_split_ping_wire_refuses_non_canonical(raw):
+    assert split_ping_wire(raw) is None
+
+
+def test_split_ping_refusals_still_parse_identically():
+    # a schema-valid ping in a non-canonical spelling: the fast decoder
+    # refuses, the fallback accepts — parse_message output is unchanged.
+    raw = "<msg type='ping' from='a' to='b' seq='1'/>"
+    assert split_ping_wire(raw) is None
+    assert parse_message(raw) == parse_message_full(raw) == PingRequest("a", "b", 1)
+
+
+def test_split_ping_wire_embedded_seq_decoy():
+    # an attribute value containing ' seq="' must not fool the prefix split
+    raw = '<msg type="ping" from="a" to="b" seq="5"/>'.replace(
+        'from="a"', 'from="a seq="'
+    )
+    decoy = split_ping_wire(raw)
+    assert decoy is None
+    assert parse_message(raw) == parse_message_full(raw)
+
+
+# ----------------------------------------------------------------------
+# envelope scan
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("message", REGISTRY_MESSAGES, ids=lambda m: type(m).__name__)
+def test_envelope_agrees_with_full_parse(message):
+    raw = encode_message(message)
+    envelope = scan_envelope(raw)
+    if envelope is None:
+        # refusal is always allowed — the caller full-parses instead
+        return
+    parsed = parse_message_full(raw)
+    assert envelope.sender == parsed.sender
+    assert envelope.target == parsed.target
+    if envelope.verb is not None:
+        assert envelope.verb == parsed.verb
+    if envelope.seq is not None:
+        assert envelope.seq == parsed.seq
+
+
+def test_envelope_covers_the_hot_shapes():
+    # the shapes that dominate bus traffic must NOT fall back
+    assert scan_envelope(encode_message(PingRequest("fd", "mbus", 1))) is not None
+    assert scan_envelope(encode_message(PingReply("mbus", "fd", 1))) is not None
+    assert scan_envelope(encode_message(CommandMessage("a", "mbus", "attach"))) is not None
+    assert scan_envelope(encode_message(TelemetryFrame("a", "b", "s", "p", 10))) is not None
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        "<not-xml",
+        "<other from='a' to='b'/>",
+        '<msg type="ping" from="a" to="b" seq="NaN"/>',
+        '<msg type="ping" from="a" to="b" seq="1" seq="2"/>',  # duplicate
+        '<msg type="ping" from="a" to="b" seq="1"/>junk',  # trailing junk
+        '<msg type="mystery" from="a" to="b"/>',  # unknown kind
+        '<msg type="command" from="a" to="b"/>',  # command without verb
+        '<msg type="telemetry" from="a" to="b" satellite="s" pass="p" bytes="x"/>',
+        '<msg type="failure-report" from="fd" to="rec" detected-at="1.0"/>',
+        '<msg type="command" from="a" to="b" verb="v"><param name="x">1</param></msg>',
+    ],
+)
+def test_envelope_refuses_anything_it_cannot_guarantee(raw):
+    """Inputs the full parser rejects, or whose judgement needs children,
+    must never be envelope-routed."""
+    assert scan_envelope(raw) is None
+
+
+# ----------------------------------------------------------------------
+# property-style round trips, shared across both decode paths
+# ----------------------------------------------------------------------
+
+_names = st.from_regex(r"[a-z][a-z0-9_-]{0,10}", fullmatch=True)
+_attr_text = st.text(max_size=15).map(str.strip)
+
+
+@pytest.mark.parametrize("decode", DECODERS)
+@given(sender=_names, target=_names, seq=st.integers(min_value=0, max_value=10**9))
+@settings(max_examples=50, deadline=None)
+def test_ping_roundtrip_property_both_paths(decode, sender, target, seq):
+    for cls in (PingRequest, PingReply):
+        message = cls(sender, target, seq)
+        assert decode(encode_message(message)) == message
+
+
+@pytest.mark.parametrize("decode", DECODERS)
+@given(
+    sender=_names,
+    target=_names,
+    verb=_names,
+    params=st.dictionaries(_names, _attr_text, max_size=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_command_roundtrip_property_both_paths(decode, sender, target, verb, params):
+    message = CommandMessage(sender, target, verb, params)
+    assert decode(encode_message(message)) == message
+
+
+@given(sender=_attr_text, target=_attr_text, seq=st.integers())
+@settings(max_examples=60, deadline=None)
+def test_ping_template_matches_serializer_property(sender, target, seq):
+    """Escaping-heavy names: the cached template must stay byte-identical."""
+    message = PingRequest(sender, target, seq)
+    wire = encode_message(message)
+    assert wire == serialize_xml(message.to_element())
+    assert parse_message_full(wire) == message
+
+
+@given(raw=st.text(max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_text_never_diverges(raw):
+    """Fuzz: both decode paths agree on accept/reject and on the result."""
+    try:
+        fast = parse_message(raw)
+    except XmlError:
+        with pytest.raises(XmlError):
+            parse_message_full(raw)
+        return
+    assert fast == parse_message_full(raw)

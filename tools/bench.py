@@ -1,22 +1,32 @@
-"""Standalone perf session: time the simulator's three hot paths.
+"""Standalone perf session: time the simulator's four hot paths.
 
 Mirrors ``benchmarks/test_perf_simulator.py`` without the pytest harness so
 CI can produce a machine-readable perf trajectory::
 
-    PYTHONPATH=src python tools/bench.py --output BENCH_1.json
-    PYTHONPATH=src python tools/bench.py --baseline seed.json --output BENCH_1.json
+    PYTHONPATH=src python tools/bench.py --output BENCH_2.json
+    PYTHONPATH=src python tools/bench.py --baseline BENCH_1.json --output BENCH_2.json
 
 Metrics:
 
 * ``kernel_events_per_sec`` — schedule+dispatch cycles through
   :meth:`Kernel.run` (10k self-rescheduling timers);
-* ``bus_roundtrips_per_sec`` — full parse→route→serialize ping round
-  trips through the XML command bus;
+* ``bus_roundtrips_per_sec`` — ping round trips through the XML command
+  bus (encode → broker envelope-route → templated reply → decode);
+* ``bus_mixed_msgs_per_sec`` — a mixed-traffic bus profile shaped like an
+  availability run: mostly broker pings, plus client-to-client pings,
+  commands with parameters, and telemetry frames (the latter two exercise
+  the full-parse fallback, so this metric tracks *both* bus paths);
 * ``station_boot_seconds`` — wall-clock to boot the full-fidelity tree-V
   station to all-RUNNING plus settle.
 
 ``--baseline`` embeds a previous run (e.g. from the seed commit) so a
 single artifact records the before/after pair.
+
+``--smoke`` runs a reduced-rep bus benchmark and compares it against the
+checked-in baseline artifact (``--baseline``, default ``BENCH_2.json``):
+a ``bus_roundtrips_per_sec`` regression of more than 20% fails loudly
+(exit 1).  Set ``REPRO_BENCH_SMOKE_SKIP=1`` to report without failing on
+slow or heavily loaded machines.
 """
 
 from __future__ import annotations
@@ -85,6 +95,62 @@ def bench_bus_roundtrips(n: int = 1_000, reps: int = 5) -> float:
     return n / best
 
 
+def bench_bus_mixed(n: int = 1_000, reps: int = 5) -> float:
+    """Messages/s through the broker under an availability-shaped mix.
+
+    Per 10 messages: 7 broker pings (fast path), 1 client-to-client ping
+    (fast route, raw forwarded untouched), 1 command with params and 1
+    telemetry frame (full-parse fallback at the receiving client; the
+    command's children also force the broker's envelope-scan fallback).
+    """
+    from repro.bus.broker import BusBroker
+    from repro.bus.client import BusClient
+    from repro.procmgr.manager import ProcessManager
+    from repro.procmgr.process import ProcessSpec, constant_work
+    from repro.sim.kernel import Kernel
+    from repro.transport.network import Network
+    from repro.xmlcmd.commands import CommandMessage, PingRequest, TelemetryFrame
+
+    kernel = Kernel(seed=4)
+    network = Network(kernel)
+    manager = ProcessManager(kernel)
+    manager.spawn(
+        ProcessSpec("mbus", constant_work(0.1), lambda p: BusBroker(p, network))
+    )
+    manager.start("mbus")
+    kernel.run()
+    sender = BusClient(kernel, network, "mix-a")
+    receiver = BusClient(kernel, network, "mix-b")
+    sender.connect()
+    receiver.connect()
+    kernel.run(until=kernel.now + 1.0)
+
+    command = CommandMessage(
+        "mix-a", "mix-b", "track", {"azimuth": "143.2", "elevation": "67.9"}
+    )
+    frame = TelemetryFrame("mix-a", "mix-b", "opal", "p42", 4800)
+    seq = [0]
+    best = float("inf")
+    for _ in range(reps):
+        before = len(sender.received) + len(receiver.received)
+        start = time.perf_counter()
+        for i in range(n):
+            seq[0] += 1
+            slot = i % 10
+            if slot < 7:
+                sender.send(PingRequest("mix-a", "mbus", seq[0]))
+            elif slot < 8:
+                sender.send(PingRequest("mix-a", "mix-b", seq[0]))
+            elif slot < 9:
+                sender.send(command)
+            else:
+                sender.send(frame)
+        kernel.run(until=kernel.now + 5.0)
+        best = min(best, time.perf_counter() - start)
+        assert len(sender.received) + len(receiver.received) - before == n
+    return n / best
+
+
 def bench_station_boot(reps: int = 5) -> float:
     from repro.mercury.station import MercuryStation
     from repro.mercury.trees import tree_v
@@ -98,14 +164,52 @@ def bench_station_boot(reps: int = 5) -> float:
     return best
 
 
+def _run_smoke(parser, baseline_path: str) -> int:
+    """Reduced-rep regression gate for ``make bench-smoke``."""
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        reference = float(baseline["metrics"]["bus_roundtrips_per_sec"])
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(f"cannot read smoke baseline {baseline_path!r}: {exc}")
+
+    bench_bus_roundtrips(n=200, reps=1)  # warmup
+    current = bench_bus_roundtrips(n=500, reps=3)
+    ratio = current / reference
+    print(
+        f"bench-smoke: bus_roundtrips_per_sec {current:.1f}"
+        f" vs baseline {reference:.1f} ({ratio:.2f}x, {baseline_path})"
+    )
+    if ratio >= 0.8:
+        print("bench-smoke: OK (within the 20% regression budget)")
+        return 0
+    if os.environ.get("REPRO_BENCH_SMOKE_SKIP", "") not in ("", "0"):
+        print("bench-smoke: REGRESSION ignored (REPRO_BENCH_SMOKE_SKIP set)")
+        return 0
+    print(
+        "bench-smoke: FAIL — bus_roundtrips_per_sec regressed more than 20%"
+        " (set REPRO_BENCH_SMOKE_SKIP=1 to ignore on slow machines)"
+    )
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default=None, help="write JSON here (default stdout)")
     parser.add_argument(
         "--baseline", default=None,
-        help="embed a previous run's JSON as the 'baseline' key",
+        help="embed a previous run's JSON as the 'baseline' key"
+        " (with --smoke: the artifact to regress against, default BENCH_2.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced-rep bus benchmark; fail on a >20%% regression of"
+        " bus_roundtrips_per_sec vs the baseline artifact",
     )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _run_smoke(parser, args.baseline or "BENCH_2.json")
 
     baseline = None
     if args.baseline:
@@ -122,6 +226,7 @@ def main(argv=None) -> int:
     metrics = {
         "kernel_events_per_sec": round(bench_kernel_events(reps=10), 1),
         "bus_roundtrips_per_sec": round(bench_bus_roundtrips(), 1),
+        "bus_mixed_msgs_per_sec": round(bench_bus_mixed(), 1),
         "station_boot_seconds": round(bench_station_boot(), 6),
     }
     payload = {
