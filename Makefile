@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test lint verify bench bench-smoke benchmarks table4-parallel
+.PHONY: test lint verify chaos-smoke check-determinism bench bench-smoke \
+	benchmarks table4-parallel
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -15,8 +16,18 @@ test:
 lint:
 	$(PYTHON) tools/lint.py src tests tools
 
-# The pre-merge gate: tier-1 tests plus lint.
-verify: test lint
+# One fast chaos campaign with live invariant checking; nonzero exit on
+# any invariant violation.
+chaos-smoke:
+	$(PYTHON) -m repro.cli chaos --scenario cascade --tree V --trials 1 --seed 7
+
+# Same-seed double runs of a chaos campaign and an availability run,
+# byte-comparing the JSONL traces and result payloads.
+check-determinism:
+	$(PYTHON) tools/check_determinism.py
+
+# The pre-merge gate: tier-1 tests, lint, and a chaos smoke run.
+verify: test lint chaos-smoke
 
 # Perf session: time the simulator hot paths and write BENCH_2.json,
 # carrying the previous artifact forward as the embedded baseline so

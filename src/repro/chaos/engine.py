@@ -1,0 +1,248 @@
+"""The chaos trial loop: glue a scenario to a station, check, and account.
+
+:func:`run_chaos` is the per-(scenario, tree) work unit.  It builds one
+station, arms the scenario's correlation groups, then per trial: waits for
+quiescence, replays the scenario plan's timed injections, runs out the
+plan's horizon, and drains the wreckage.  An
+:class:`~repro.chaos.invariants.InvariantChecker` rides the event stream
+for the whole run; its episode tracker doubles as the MTTR sample source.
+
+Everything that feeds the returned :class:`ChaosResult` is derived from the
+simulation clock and kernel-seeded RNG streams, so a (tree, scenario, seed)
+triple reproduces bit-identically — which is what lets the parallel
+campaign runner cache chaos cells content-addressed and lets
+``make check-determinism`` byte-compare two runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.core.tree import RestartTree
+from repro.errors import ExperimentError
+from repro.experiments.metrics import RecoveryStats
+from repro.faults.correlation import CorrelationGroup
+from repro.mercury.config import PAPER_CONFIG, StationConfig
+from repro.mercury.station import MercuryStation, OracleSpec
+from repro.obs import events as ev
+from repro.obs.sinks import MetricsSink, PhaseSnapshot, Sink
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.scenarios import Injection, Scenario, get_scenario
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos campaign cell (one scenario on one tree)."""
+
+    tree_name: str
+    scenario: str
+    trials: int
+    #: Injections actually fired vs. dropped because the target component
+    #: (or a cure-set member) does not exist in this tree generation.
+    injected: int
+    skipped: int
+    #: Completed failure-recovery episodes (MTTR sample count).
+    episodes: int
+    mttr_samples: List[float] = field(default_factory=list)
+    cured: int = 0
+    escalations: int = 0
+    #: Times the drain phase had to fall back to an operator whole-station
+    #: restart because the supervisor could not reach quiescence alone.
+    operator_interventions: int = 0
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    phases: PhaseSnapshot = field(default_factory=dict)
+
+    @property
+    def stats(self) -> RecoveryStats:
+        """Aggregate MTTR statistics over the completed episodes."""
+        return RecoveryStats.from_samples(self.mttr_samples)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run finished with zero invariant violations."""
+        return not self.violations
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe form for campaign caching and reports."""
+        return {
+            "tree": self.tree_name,
+            "scenario": self.scenario,
+            "trials": self.trials,
+            "injected": self.injected,
+            "skipped": self.skipped,
+            "episodes": self.episodes,
+            "mttr_samples": list(self.mttr_samples),
+            "cured": self.cured,
+            "escalations": self.escalations,
+            "operator_interventions": self.operator_interventions,
+            "violations": list(self.violations),
+            "phases": self.phases,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "ChaosResult":
+        return ChaosResult(
+            tree_name=payload["tree"],
+            scenario=payload["scenario"],
+            trials=payload["trials"],
+            injected=payload["injected"],
+            skipped=payload["skipped"],
+            episodes=payload["episodes"],
+            mttr_samples=list(payload["mttr_samples"]),
+            cured=payload["cured"],
+            escalations=payload["escalations"],
+            operator_interventions=payload["operator_interventions"],
+            violations=list(payload["violations"]),
+            phases=payload["phases"],
+        )
+
+
+def _fire(
+    station: MercuryStation, injection: Injection, components: frozenset
+) -> bool:
+    """Inject one planned fault; False when the station cannot host it.
+
+    Targets are looked up in the process manager, not the tree: the
+    flapping scenario shoots the FD/REC supervisor pair, which exists only
+    under the full supervisor and is never a tree component.  Joint cure
+    sets, by contrast, are satisfied by tree restart batches, so all their
+    members must be station components.
+    """
+    if station.manager.maybe_get(injection.component) is None:
+        return False
+    if injection.cure_set is not None:
+        cure_set = frozenset(injection.cure_set)
+        if not cure_set <= components:
+            return False
+        station.injector.inject_joint(
+            injection.component, cure_set, kind=injection.kind
+        )
+    else:
+        station.injector.inject_simple(injection.component, kind=injection.kind)
+    return True
+
+
+def run_chaos(
+    tree: RestartTree,
+    scenario: Union[str, Scenario],
+    trials: int = 1,
+    seed: int = 0,
+    oracle: OracleSpec = "perfect",
+    oracle_error_rate: float = 0.3,
+    config: StationConfig = PAPER_CONFIG,
+    supervisor: str = "full",
+    sinks: Sequence[Sink] = (),
+    max_restart_duration: float = 180.0,
+    quiesce_timeout: float = 600.0,
+) -> ChaosResult:
+    """Run ``trials`` episodes of ``scenario`` against one tree.
+
+    Each trial rebuilds the plan from the scenario's dedicated RNG stream,
+    so trials vary their timings while the whole run stays a pure function
+    of ``seed``.  The station keeps its aging/resync couplings armed —
+    chaos wants the correlated machinery live, unlike the isolated Table 2
+    recovery measurements.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    station = MercuryStation(
+        tree=tree,
+        config=config,
+        seed=seed,
+        oracle=oracle,
+        oracle_error_rate=oracle_error_rate,
+        supervisor=supervisor,
+        trace_capacity=50_000,
+    )
+    checker = InvariantChecker(tree, max_restart_duration=max_restart_duration)
+    metrics = MetricsSink()
+    station.kernel.trace.add_sink(checker)
+    station.kernel.trace.add_sink(metrics)
+    for sink in sinks:
+        station.kernel.trace.add_sink(sink)
+
+    station.boot()
+    components = frozenset(station.station_components)
+    plan_rng = station.kernel.rngs.stream(f"chaos.{scenario.name}")
+    groups: Dict[Tuple[str, ...], CorrelationGroup] = {}
+    injected = 0
+    skipped = 0
+    operator_interventions = 0
+
+    for _ in range(trials):
+        station.run_until_quiescent(timeout=quiesce_timeout)
+        plan = scenario.build(plan_rng, station.station_components)
+
+        for spec in plan.groups:
+            members = tuple(m for m in spec.members if m in components)
+            if len(members) < 2:
+                continue  # group does not exist in this tree generation
+            group = groups.get(members)
+            if group is None:
+                groups[members] = CorrelationGroup(
+                    station.injector,
+                    members,
+                    induce_probability=spec.induce_probability,
+                    induced_delay=spec.induced_delay,
+                )
+            else:
+                group.induce_probability = spec.induce_probability
+                group.induced_delay = spec.induced_delay
+
+        base = station.kernel.now
+        for injection in plan.injections:
+            target = base + injection.at
+            if target > station.kernel.now:
+                station.run_for(target - station.kernel.now)
+            if _fire(station, injection, components):
+                injected += 1
+            else:
+                skipped += 1
+        horizon_end = base + plan.horizon
+        if horizon_end > station.kernel.now:
+            station.run_for(horizon_end - station.kernel.now)
+
+        # Drain: the supervisor gets a full quiescence window on its own;
+        # if it cannot converge (budget exhausted, escalated failure), an
+        # "operator" bounces the whole station — the paper's last resort.
+        for group in groups.values():
+            group.enabled = False
+        try:
+            station.run_until_quiescent(timeout=quiesce_timeout)
+        except ExperimentError:
+            operator_interventions += 1
+            station.manager.restart(station.station_components)
+            station.run_until_quiescent(timeout=quiesce_timeout)
+        finally:
+            for group in groups.values():
+                group.enabled = True
+                group.rearm()
+
+    for group in groups.values():
+        group.enabled = False
+    checker.finalize(station.kernel.now)
+    for sink in sinks:
+        sink.close()
+
+    mttr_samples = [
+        episode.total_recovery
+        for episode in checker.tracker.episodes
+        if episode.kind == "failure"
+        and episode.is_complete
+        and episode.total_recovery is not None
+    ]
+    return ChaosResult(
+        tree_name=tree.name,
+        scenario=scenario.name,
+        trials=trials,
+        injected=injected,
+        skipped=skipped,
+        episodes=len(mttr_samples),
+        mttr_samples=mttr_samples,
+        cured=metrics.count(ev.FAILURE_CURED),
+        escalations=metrics.count(ev.OPERATOR_ESCALATION),
+        operator_interventions=operator_interventions,
+        violations=checker.violation_payloads(),
+        phases=metrics.phase_snapshot(),
+    )

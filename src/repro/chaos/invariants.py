@@ -1,0 +1,341 @@
+"""Live invariant checking over the observability event stream.
+
+:class:`InvariantChecker` is a trace :class:`~repro.obs.sinks.Sink`: it
+receives every emitted record as the simulation runs and asserts the
+recovery machinery's safety/liveness contract *per episode*, not just in
+aggregate.  The checks (each named, so reports and regression tests can
+pin them):
+
+``stuck-restart``
+    No restart action runs forever: every ``restart_ordered`` must reach
+    its ``restart_complete`` within ``max_restart_duration`` (generous
+    enough for one watchdog re-kick of the slowest component), and none may
+    still be open when the run finalises.
+
+``trigger-containment``
+    A restart ordered for a failure in component *c* must actually bounce
+    *c* — the ordered cell's batch contains the trigger.  This is the check
+    that catches a rogue/faulty oracle restarting outside the failed
+    subtree (the seeded-bug regression).
+
+``oracle-subtree``
+    The recoverer never wanders off the oracle's recommendation: every
+    ordered cell lies on the path from the oracle's original cell to the
+    root (escalation climbs; it never hops sideways).
+
+``batch-mismatch``
+    The ordered component batch is exactly what the tree says the cell
+    restarts — the recoverer executes the tree, it does not freelance.
+
+``span-accounting``
+    Per-episode availability accounting is additive: detection + decision +
+    restart phases equal total recovery, and no phase is negative.
+
+``injection-no-downtime``
+    An injected failure on a running component takes it down at the
+    injection instant (the fault model is not cosmetic).
+
+``unterminated-failure`` / ``component-down-at-end``
+    Liveness at finalise: every injected failure was cured or its component
+    operator-escalated, and every component is back up (escalated ones
+    exempt — they are the operator's problem by contract).
+
+The checker embeds an :class:`~repro.obs.spans.EpisodeTracker` for the
+span-level checks, so its episode list doubles as the chaos engine's MTTR
+sample source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.tree import RestartTree
+from repro.obs import events as ev
+from repro.obs.sinks import Sink
+from repro.obs.spans import EpisodeTracker, RecoveryEpisode
+from repro.types import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to reproduce it."""
+
+    invariant: str
+    time: SimTime
+    subject: str
+    detail: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe form (campaign payloads, reports)."""
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class _OpenRestart:
+    ordered_at: SimTime
+    cell: str
+    components: frozenset
+
+
+class InvariantChecker(Sink):
+    """Folds the live event stream into invariant verdicts."""
+
+    #: Tolerance for span additivity (float summation of exact anchors).
+    SPAN_EPS = 1e-6
+
+    def __init__(
+        self,
+        tree: RestartTree,
+        max_restart_duration: float = 180.0,
+    ) -> None:
+        self.tree = tree
+        self.max_restart_duration = max_restart_duration
+        self.violations: List[Violation] = []
+        #: Episode spans, also consumed by the engine for MTTR samples.
+        self.tracker = EpisodeTracker(on_complete=self._check_episode)
+        #: One restart action in flight per supervisor source.
+        self._open_restarts: Dict[str, _OpenRestart] = {}
+        #: Active (injected, uncured) failures: id -> (component, time).
+        self._active_failures: Dict[int, tuple] = {}
+        #: Components handed to the operator (liveness checks exempt them).
+        self._escalated: set = set()
+        #: component -> down-since time (None/absent = up).
+        self._down_since: Dict[str, Optional[SimTime]] = {}
+        #: Injections onto an up component that still owe a down transition:
+        #: component -> (injected_at, failure_id).
+        self._pending_injections: Dict[str, tuple] = {}
+        self._finalized = False
+        self._dispatch = {
+            ev.PROCESS_FAILED: self._on_down,
+            ev.PROCESS_STOPPED: self._on_down,
+            ev.PROCESS_READY: self._on_up,
+            ev.FAILURE_INJECTED: self._on_injected,
+            ev.FAILURE_CURED: self._on_cured,
+            ev.OPERATOR_ESCALATION: self._on_escalation,
+            ev.RESTART_ORDERED: self._on_restart_ordered,
+            ev.RESTART_COMPLETE: self._on_restart_complete,
+        }
+
+    # -- sink interface ---------------------------------------------------
+
+    def accept(self, record: "TraceRecord") -> None:
+        self.tracker.accept(record)
+        handler = self._dispatch.get(record.kind)
+        if handler is not None:
+            handler(record.time, record.source, record.data)
+
+    def close(self) -> None:
+        self.tracker.flush()
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """Whether no invariant has been violated so far."""
+        return not self.violations
+
+    def violation_payloads(self) -> List[Dict[str, Any]]:
+        """All violations as JSON-safe dicts, in detection order."""
+        return [violation.to_payload() for violation in self.violations]
+
+    def _flag(self, invariant: str, time: SimTime, subject: str, detail: str) -> None:
+        self.violations.append(Violation(invariant, time, subject, detail))
+
+    # -- event handlers ---------------------------------------------------
+
+    def _on_down(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
+        name = data["name"]
+        self._down_since[name] = time
+        pending = self._pending_injections.pop(name, None)
+        if pending is not None and time - pending[0] > self.SPAN_EPS:
+            self._flag(
+                "injection-no-downtime",
+                time,
+                f"{name}#{pending[1]}",
+                f"component only went down at {time:.3f}, "
+                f"{time - pending[0]:.3f}s after the injection",
+            )
+
+    def _on_up(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
+        self._down_since[data["name"]] = None
+
+    def _on_injected(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
+        component = data["component"]
+        failure_id = data["failure_id"]
+        self._active_failures[failure_id] = (component, time)
+        # The kill lands synchronously with the injection: the component's
+        # down record follows at this same instant.  A component already
+        # down (or mid-restart) legally absorbs the injection without a new
+        # transition, so only arm the check when it was up.
+        if self._down_since.get(component) is None:
+            self._pending_injections[component] = (time, failure_id)
+
+    def _on_cured(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
+        self._active_failures.pop(data["failure_id"], None)
+
+    def _on_escalation(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
+        self._escalated.add(data["component"])
+
+    def _on_restart_ordered(
+        self, time: SimTime, source: str, data: Dict[str, Any]
+    ) -> None:
+        cell = data["cell"]
+        components = frozenset(data.get("components", ()))
+        trigger = data.get("trigger")
+        oracle_cell = data.get("oracle_cell")
+
+        previous = self._open_restarts.get(source)
+        if previous is not None:
+            self._flag(
+                "stuck-restart",
+                time,
+                previous.cell,
+                f"{source} ordered {cell} while restart of {previous.cell} "
+                f"(ordered at {previous.ordered_at:.3f}) never completed",
+            )
+        self._open_restarts[source] = _OpenRestart(time, cell, components)
+
+        if not self.tree.has_cell(cell):
+            self._flag(
+                "batch-mismatch", time, cell,
+                f"ordered cell {cell!r} does not exist in tree {self.tree.name!r}",
+            )
+            return
+        expected = self.tree.components_restarted_by(cell)
+        if components != expected:
+            self._flag(
+                "batch-mismatch",
+                time,
+                cell,
+                f"ordered batch {sorted(components)} != tree batch "
+                f"{sorted(expected)} for cell {cell!r}",
+            )
+        if trigger in self.tree.components and trigger not in expected:
+            self._flag(
+                "trigger-containment",
+                time,
+                trigger,
+                f"restart of cell {cell!r} (batch {sorted(expected)}) does "
+                f"not cover the failed component {trigger!r}",
+            )
+        if (
+            oracle_cell is not None
+            and self.tree.has_cell(oracle_cell)
+            and not self.tree.is_ancestor(cell, oracle_cell)
+        ):
+            self._flag(
+                "oracle-subtree",
+                time,
+                cell,
+                f"ordered cell {cell!r} is not on the escalation path of the "
+                f"oracle's recommendation {oracle_cell!r}",
+            )
+
+    def _on_restart_complete(
+        self, time: SimTime, source: str, data: Dict[str, Any]
+    ) -> None:
+        open_restart = self._open_restarts.pop(source, None)
+        if open_restart is None:
+            return
+        duration = time - open_restart.ordered_at
+        if duration > self.max_restart_duration:
+            self._flag(
+                "stuck-restart",
+                time,
+                open_restart.cell,
+                f"restart of {open_restart.cell} took {duration:.1f}s "
+                f"(> {self.max_restart_duration:.0f}s)",
+            )
+
+    # -- per-episode span checks -----------------------------------------
+
+    def _check_episode(self, episode: RecoveryEpisode) -> None:
+        if episode.kind != "failure" or not episode.is_complete:
+            return
+        subject = f"{episode.component}#{episode.failure_id}"
+        phases = (
+            ("detection", episode.detection_latency),
+            ("decision", episode.decision_latency),
+            ("restart", episode.restart_duration),
+            ("total", episode.total_recovery),
+        )
+        for name, duration in phases:
+            if duration is not None and duration < -self.SPAN_EPS:
+                self._flag(
+                    "span-accounting",
+                    episode.recovery_end or 0.0,
+                    subject,
+                    f"negative {name} phase: {duration:.6f}s",
+                )
+        parts = [d for _, d in phases[:3] if d is not None]
+        total = episode.total_recovery
+        if len(parts) == 3 and total is not None:
+            if abs(sum(parts) - total) > self.SPAN_EPS:
+                self._flag(
+                    "span-accounting",
+                    episode.recovery_end or 0.0,
+                    subject,
+                    f"phases sum to {sum(parts):.6f}s but total recovery is "
+                    f"{total:.6f}s",
+                )
+
+    # -- finalisation ------------------------------------------------------
+
+    def finalize(self, now: SimTime) -> List[Violation]:
+        """End-of-run sweep: liveness checks that only make sense at the end.
+
+        Idempotent; returns the full violation list for convenience.
+        """
+        if self._finalized:
+            return self.violations
+        self._finalized = True
+        self.tracker.flush()
+
+        for source, open_restart in sorted(self._open_restarts.items()):
+            if now - open_restart.ordered_at > self.max_restart_duration:
+                self._flag(
+                    "stuck-restart",
+                    now,
+                    open_restart.cell,
+                    f"restart of {open_restart.cell} (ordered by {source} at "
+                    f"{open_restart.ordered_at:.3f}) still open at end of run",
+                )
+        for component in sorted(self._pending_injections):
+            injected_at, failure_id = self._pending_injections[component]
+            self._flag(
+                "injection-no-downtime",
+                now,
+                f"{component}#{failure_id}",
+                f"injection at {injected_at:.3f} never took the component down",
+            )
+        for failure_id in sorted(self._active_failures):
+            component, injected_at = self._active_failures[failure_id]
+            if component in self._escalated:
+                continue
+            self._flag(
+                "unterminated-failure",
+                now,
+                f"{component}#{failure_id}",
+                f"failure injected at {injected_at:.3f} neither cured nor "
+                f"operator-escalated by end of run",
+            )
+        for component in sorted(self._down_since):
+            down_since = self._down_since[component]
+            if down_since is None or component in self._escalated:
+                continue
+            self._flag(
+                "component-down-at-end",
+                now,
+                component,
+                f"still down at end of run (since {down_since:.3f})",
+            )
+        return self.violations

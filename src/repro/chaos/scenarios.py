@@ -1,0 +1,263 @@
+"""Adversarial fault schedules as composable, seed-reproducible objects.
+
+A :class:`Scenario` is a *recipe*; calling :meth:`Scenario.build` with a
+named RNG stream and the station's component list produces a concrete
+:class:`ScenarioPlan` — a sorted tuple of timed injections plus the
+correlated-failure groups to arm.  Build is the only place randomness
+enters, and the RNG is a kernel-derived named stream, so the same (seed,
+scenario, tree) triple always yields the same plan, byte for byte.
+
+The catalogue covers the four adversarial shapes the chaos engine ships:
+
+``cascade``
+    A shared-fate :class:`~repro.faults.correlation.CorrelationGroup` over
+    ses/str/rtu — one injected crash fells the whole domain, forcing the
+    supervisor to unwind a multi-component pile-up.
+``storm``
+    Faults arriving *during* recovery: the slow radio proxy is killed
+    first, then other components are shot while its ~20 s restart is still
+    in flight (including a second hit on a component mid-own-restart).
+``flapping``
+    A flaky supervisor: FD and REC are killed around an active station
+    fault, exercising the mutual-recovery special case while real recovery
+    work is pending.
+``mixed``
+    Transient crashes interleaved with a persistent joint-cure failure
+    (§4.4's [fedr, pbcom] shape), so singleton restarts re-manifest and
+    escalation has to climb the tree.
+
+Scenarios targeting components a given tree generation does not run (fd/rec
+under the abstract supervisor, fedrcom after the split) degrade gracefully:
+the engine counts those injections as *skipped* rather than failing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One timed fault: fail ``component`` at plan-relative time ``at``.
+
+    ``cure_set`` of None means a plain crash (cured by restarting the
+    component alone); otherwise the failure re-manifests until a restart
+    batch covers the whole set.
+    """
+
+    at: float
+    component: str
+    cure_set: Optional[Tuple[str, ...]] = None
+    kind: str = "chaos"
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A shared-fate correlation group to arm for the scenario's duration."""
+
+    members: Tuple[str, ...]
+    induce_probability: float = 1.0
+    induced_delay: float = 0.3
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """A concrete schedule: injections sorted by time, groups, horizon.
+
+    ``horizon`` is how long past the trial's start the engine keeps the
+    simulation running before draining to quiescence — late injections and
+    their recovery tails must fit inside it.
+    """
+
+    injections: Tuple[Injection, ...]
+    groups: Tuple[GroupSpec, ...] = ()
+    horizon: float = 60.0
+
+
+#: Builds a plan from a dedicated RNG and the station's component tuple.
+PlanBuilder = Callable[[random.Random, Tuple[str, ...]], ScenarioPlan]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, composable chaos recipe."""
+
+    name: str
+    description: str
+    builder: PlanBuilder = field(compare=False)
+
+    def build(self, rng: random.Random, components: Sequence[str]) -> ScenarioPlan:
+        """Materialise the plan for one station (deterministic in ``rng``)."""
+        plan = self.builder(rng, tuple(components))
+        injections = tuple(sorted(plan.injections, key=lambda i: (i.at, i.component)))
+        for injection in injections:
+            if injection.at < 0.0:
+                raise ValueError(f"injection before trial start: {injection!r}")
+        return ScenarioPlan(
+            injections=injections, groups=plan.groups, horizon=plan.horizon
+        )
+
+
+def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scenario:
+    """Sequence several scenarios into one (each offset past the previous).
+
+    Child plans are built from child-derived RNGs in order, so composition
+    is itself seed-reproducible; groups are the union (first occurrence
+    wins on duplicates).
+    """
+    if not scenarios:
+        raise ValueError("compose needs at least one scenario")
+
+    def build(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+        injections = []
+        groups = []
+        seen_groups = set()
+        offset = 0.0
+        for scenario in scenarios:
+            child_rng = random.Random(rng.random())
+            plan = scenario.build(child_rng, components)
+            for injection in plan.injections:
+                injections.append(
+                    Injection(
+                        at=offset + injection.at,
+                        component=injection.component,
+                        cure_set=injection.cure_set,
+                        kind=injection.kind,
+                    )
+                )
+            for group in plan.groups:
+                if group.members not in seen_groups:
+                    seen_groups.add(group.members)
+                    groups.append(group)
+            offset += plan.horizon + gap
+        return ScenarioPlan(
+            injections=tuple(injections), groups=tuple(groups), horizon=offset
+        )
+
+    description = " then ".join(s.name for s in scenarios)
+    return Scenario(name=name, description=f"composition: {description}", builder=build)
+
+
+# ----------------------------------------------------------------------
+# the catalogue
+# ----------------------------------------------------------------------
+
+
+def _radio_proxy(components: Tuple[str, ...]) -> str:
+    return "fedrcom" if "fedrcom" in components else "pbcom"
+
+
+def _build_cascade(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    first = rng.uniform(5.0, 10.0)
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first, component="rtu"),
+            Injection(at=first + rng.uniform(30.0, 40.0), component="ses"),
+        ),
+        groups=(
+            GroupSpec(
+                members=("ses", "str", "rtu"),
+                induce_probability=1.0,
+                induced_delay=rng.uniform(0.2, 0.4),
+            ),
+        ),
+        horizon=120.0,
+    )
+
+
+def _build_storm(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    proxy = _radio_proxy(components)
+    first = rng.uniform(5.0, 10.0)
+    # The proxy restart runs ~20 s; everything below lands inside it (and
+    # the second rtu hit typically lands inside rtu's *own* recovery).
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first, component=proxy),
+            Injection(at=first + rng.uniform(3.0, 6.0), component="rtu"),
+            Injection(at=first + rng.uniform(8.0, 12.0), component="ses"),
+            Injection(at=first + rng.uniform(14.0, 18.0), component="rtu"),
+        ),
+        horizon=180.0,
+    )
+
+
+def _build_flapping(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    first = rng.uniform(5.0, 10.0)
+    # FD dies before it can report the rtu fault; REC dies a little later,
+    # mid-recovery.  The watchdog pair must rebuild itself around the
+    # pending station failure, then handle a second fault cleanly.
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first, component="rtu"),
+            Injection(at=first + rng.uniform(0.2, 0.6), component="fd", kind="flap"),
+            Injection(at=first + rng.uniform(6.0, 10.0), component="rec", kind="flap"),
+            Injection(at=first + rng.uniform(25.0, 30.0), component="str"),
+        ),
+        horizon=120.0,
+    )
+
+
+def _build_mixed(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    if "pbcom" in components:
+        persistent = Injection(
+            at=rng.uniform(20.0, 25.0),
+            component="pbcom",
+            cure_set=("fedr", "pbcom"),
+            kind="persistent",
+        )
+    else:
+        persistent = Injection(
+            at=rng.uniform(20.0, 25.0),
+            component="ses",
+            cure_set=("ses", "str"),
+            kind="persistent",
+        )
+    first = rng.uniform(3.0, 6.0)
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first, component="rtu", kind="transient"),
+            persistent,
+            Injection(at=persistent.at + rng.uniform(35.0, 45.0), component="str",
+                      kind="transient"),
+        ),
+        horizon=150.0,
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "cascade",
+            "correlated multi-component cascade (shared-fate ses/str/rtu group)",
+            _build_cascade,
+        ),
+        Scenario(
+            "storm",
+            "fault-during-restart storm around the slow radio proxy",
+            _build_storm,
+        ),
+        Scenario(
+            "flapping",
+            "FD/REC flapping while station recovery work is pending",
+            _build_flapping,
+        ),
+        Scenario(
+            "mixed",
+            "transient crashes interleaved with a persistent joint-cure failure",
+            _build_mixed,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a catalogue scenario; raises ``KeyError`` with the choices."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r} (have: {', '.join(sorted(SCENARIOS))})"
+        ) from None

@@ -31,6 +31,7 @@ from repro.experiments.passes_experiment import run_pass_campaign
 from repro.experiments.recovery import measure_recovery, measure_recovery_row
 from repro.experiments.report import format_phase_breakdown, format_table
 from repro.experiments.runner import run_recovery_matrix
+from repro.chaos.scenarios import SCENARIOS
 from repro.mercury.trees import TREE_BUILDERS
 
 #: The Table 4 layout: (tree, oracle) rows and the component columns.
@@ -148,6 +149,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     passes.add_argument("--days", type=float, default=7.0)
     _tree_argument(passes, multiple=True)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="adversarial chaos campaigns with live invariant checking",
+        parents=[common],
+    )
+    chaos.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS), default=None,
+        help="scenario name (repeatable; default: the full catalogue)",
+    )
+    _tree_argument(chaos, multiple=True)
+    chaos.add_argument("--trials", type=int, default=1)
+    chaos.add_argument(
+        "--oracle", choices=["perfect", "naive", "faulty", "learning"],
+        default="perfect",
+    )
+    chaos.add_argument("--error-rate", type=float, default=0.3)
+    chaos.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="stream every trace event to a JSONL file; requires exactly "
+        "one scenario and one tree (inspect with `repro trace FILE`)",
+    )
+    chaos.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the full per-cell results as sorted JSON",
+    )
 
     trace = subparsers.add_parser(
         "trace",
@@ -312,6 +339,132 @@ def cmd_availability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import campaign_seed, run_chaos_suite
+
+    scenarios = args.scenario or sorted(SCENARIOS)
+    labels = args.tree or ["I", "II", "III", "IV", "V"]
+    if args.trace_out:
+        if len(scenarios) != 1 or len(labels) != 1:
+            print(
+                "error: --trace-out needs exactly one --scenario and one "
+                "--tree (the trace is a single station's event stream)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.chaos.engine import run_chaos
+        from repro.obs.sinks import JsonlSink
+
+        scenario, label = scenarios[0], labels[0]
+        sink = JsonlSink(args.trace_out)
+        # Same per-cell seed derivation as the campaign path, so a traced
+        # rerun reproduces a cached campaign cell bit for bit.
+        result = run_chaos(
+            TREE_BUILDERS[label](),
+            scenario,
+            trials=args.trials,
+            seed=campaign_seed(args.seed, "chaos", scenario, label),
+            oracle=args.oracle,
+            oracle_error_rate=args.error_rate,
+            sinks=[sink],
+        )
+        print(f"trace: {sink.written} events -> {args.trace_out}")
+        suite = {(scenario, label): result}
+    else:
+        suite = run_chaos_suite(
+            scenarios,
+            labels,
+            trials=args.trials,
+            seed=args.seed,
+            oracle=args.oracle,
+            oracle_error_rate=args.error_rate,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+
+    def mean_mttr(scenario: str, label: str) -> Optional[float]:
+        result = suite[(scenario, label)]
+        return result.stats.mean if result.mttr_samples else None
+
+    rows: List[List[object]] = []
+    for scenario in scenarios:
+        rows.append([scenario] + [mean_mttr(scenario, label) for label in labels])
+    print(
+        format_table(
+            ["scenario"] + [f"tree {label}" for label in labels],
+            rows,
+            title=f"Chaos campaigns: mean MTTR (s), {args.trials} trial(s)/cell",
+        )
+    )
+    if "I" in labels and len(labels) > 1:
+        ratio_rows: List[List[object]] = []
+        for scenario in scenarios:
+            base = mean_mttr(scenario, "I")
+            row: List[object] = [scenario]
+            for label in labels:
+                value = mean_mttr(scenario, label)
+                row.append(
+                    f"{base / value:.2f}x" if base and value else None
+                )
+            ratio_rows.append(row)
+        print()
+        print(
+            format_table(
+                ["scenario"] + [f"tree {label}" for label in labels],
+                ratio_rows,
+                title="Recovery speed-up vs tree I (higher is better)",
+            )
+        )
+    print()
+    for scenario in scenarios:
+        injected = sum(suite[(scenario, label)].injected for label in labels)
+        skipped = sum(suite[(scenario, label)].skipped for label in labels)
+        episodes = sum(suite[(scenario, label)].episodes for label in labels)
+        escalations = sum(suite[(scenario, label)].escalations for label in labels)
+        interventions = sum(
+            suite[(scenario, label)].operator_interventions for label in labels
+        )
+        print(
+            f"{scenario}: {injected} injected ({skipped} skipped), "
+            f"{episodes} episodes, {escalations} escalations, "
+            f"{interventions} operator interventions"
+        )
+
+    violations = [
+        (scenario, label, violation)
+        for (scenario, label), result in sorted(suite.items())
+        for violation in result.violations
+    ]
+    if violations:
+        print()
+        print(f"INVARIANT VIOLATIONS: {len(violations)}")
+        for scenario, label, violation in violations[:20]:
+            print(
+                f"  [{scenario}/tree {label}] {violation['invariant']} "
+                f"@{violation['time']:.3f}s {violation['subject']}: "
+                f"{violation['detail']}"
+            )
+        if len(violations) > 20:
+            print(f"  ... and {len(violations) - 20} more")
+    else:
+        print()
+        print("invariants: all OK")
+
+    if args.report:
+        import json
+
+        payload = {
+            f"{scenario}/{label}": suite[(scenario, label)].to_payload()
+            for scenario in scenarios
+            for label in labels
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"report -> {args.report}")
+    return 1 if violations else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.sinks import read_jsonl
 
@@ -383,6 +536,7 @@ COMMANDS = {
     "table4": cmd_table4,
     "availability": cmd_availability,
     "passes": cmd_passes,
+    "chaos": cmd_chaos,
     "trace": cmd_trace,
 }
 

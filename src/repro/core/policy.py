@@ -40,6 +40,11 @@ class RestartDecision:
     cell_id: Optional[str] = None
     components: FrozenSet[str] = frozenset()
     reason: str = ""
+    #: The oracle's *original* recommendation for this episode.  Escalated
+    #: decisions keep it, so observers (the chaos invariant checker) can
+    #: assert that every ordered cell stays on the recommendation's
+    #: path-to-root — the recoverer must never wander outside that subtree.
+    oracle_cell: Optional[str] = None
 
 
 @dataclass
@@ -55,6 +60,9 @@ class Episode:
     #: re-detection), "closed", "abandoned".
     state: str = "deciding"
     last_completed_at: Optional[SimTime] = None
+    #: The oracle's first recommendation (attempts[0] for non-budget-blocked
+    #: episodes); escalations march up the tree from here.
+    oracle_cell: Optional[str] = None
 
     @property
     def last_cell(self) -> Optional[str]:
@@ -121,6 +129,7 @@ class RestartPolicy:
             episode = Episode(component=component, opened_at=now)
             self._episodes[component] = episode
             cell_id = self.oracle.recommend(self.tree, component)
+            episode.oracle_cell = cell_id
         elif episode.state == "restarting":
             # A restart covering this component is already in flight; the
             # report is expected fallout of the restart itself.
@@ -156,7 +165,12 @@ class RestartPolicy:
         episode.attempts.append(cell_id)
         components = self.tree.components_restarted_by(cell_id)
         self.restarts_ordered += 1
-        return RestartDecision("restart", cell_id=cell_id, components=components)
+        return RestartDecision(
+            "restart",
+            cell_id=cell_id,
+            components=components,
+            oracle_cell=episode.oracle_cell,
+        )
 
     def restart_began(self, batch: FrozenSet[str], now: SimTime) -> None:
         """Notify that a restart of ``batch`` has begun executing.

@@ -197,21 +197,30 @@ class RecoveryModule(Behavior):
             )
             return
         assert decision.cell_id is not None
-        self._execute_restart(decision.cell_id, decision.components, component)
+        self._execute_restart(
+            decision.cell_id, decision.components, component,
+            oracle_cell=decision.oracle_cell,
+        )
 
     def _execute_restart(
-        self, cell_id: str, components: FrozenSet[str], trigger: str
+        self,
+        cell_id: str,
+        components: FrozenSet[str],
+        trigger: str,
+        oracle_cell: Optional[str] = None,
     ) -> None:
         self._inflight_cell = cell_id
         self._inflight_batch = components
         self._inflight_ready = set()
         procedure = self.procedures.for_cell(cell_id)
+        extra = {"oracle_cell": oracle_cell} if oracle_cell is not None else {}
         self.trace(
             ev.RESTART_ORDERED,
             cell=cell_id,
             components=tuple(sorted(components)),
             trigger=trigger,
             procedure=procedure.describe(),
+            **extra,
         )
         self._ctl_send(
             RestartOrder(

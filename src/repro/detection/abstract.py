@@ -172,12 +172,18 @@ class AbstractSupervisor:
         self._inflight_cell = decision.cell_id
         self._inflight_batch = decision.components
         self._inflight_ready = set()
+        extra = (
+            {"oracle_cell": decision.oracle_cell}
+            if decision.oracle_cell is not None
+            else {}
+        )
         self.kernel.trace.emit(
             "supervisor",
             ev.RESTART_ORDERED,
             cell=decision.cell_id,
             components=tuple(sorted(decision.components)),
             trigger=component,
+            **extra,
         )
         self.policy.restart_began(decision.components, self.kernel.now)
         self._action_seq += 1

@@ -62,8 +62,13 @@ def measure_availability(
     seed: int = 0,
     config: StationConfig = PAPER_CONFIG,
     oracle: str = "perfect",
+    sinks: Sequence = (),
 ) -> AvailabilityResult:
-    """Run steady-state faults for ``horizon_s`` and account availability."""
+    """Run steady-state faults for ``horizon_s`` and account availability.
+
+    ``sinks`` receive every trace emit even though record retention stays
+    off (the determinism gate streams the run to JSONL this way).
+    """
     station = MercuryStation(
         tree=tree,
         config=config,
@@ -81,6 +86,8 @@ def measure_availability(
     station.kernel.trace.enabled = False
     metrics = MetricsSink()
     station.kernel.trace.add_sink(metrics)
+    for sink in sinks:
+        station.kernel.trace.add_sink(sink)
     station.manager.start_all(station.station_components)
     station.kernel.run(until=station.kernel.now + 120.0)
     tracker = UptimeTracker(station.manager, station.station_components)
@@ -88,6 +95,8 @@ def measure_availability(
     tracker.finalize()
     if metrics.tracker is not None:
         metrics.tracker.flush()
+    for sink in sinks:
+        sink.close()
     outages = tracker.system_outages
     mean_outage = tracker.system_downtime / outages if outages else None
     return AvailabilityResult(

@@ -53,7 +53,8 @@ from repro.sim.rng import derive_seed
 #: way that silently invalidates cached campaign results.
 #: v2: recovery payloads gained "phases"; availability gained
 #: "phase_breakdown" (per-component recovery-phase aggregates).
-CACHE_VERSION = 2
+#: v3: chaos cells (new "chaos" kind and the ``scenario`` spec field).
+CACHE_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +117,7 @@ class CampaignCell:
     aging: bool = False
     horizon_s: float = 0.0
     correlations: bool = False
+    scenario: str = ""
 
 
 def _resolve_tree(label: str, trees: Optional[Mapping[str, RestartTree]]) -> RestartTree:
@@ -169,6 +171,22 @@ def execute_cell(
             oracle=cell.oracle,
         )
         return dataclasses.asdict(availability)
+    if cell.kind == "chaos":
+        # Local import: the chaos package pulls in the full station stack,
+        # and workers executing other cell kinds never need it.
+        from repro.chaos.engine import run_chaos
+
+        chaos = run_chaos(
+            tree,
+            cell.scenario,
+            trials=cell.trials,
+            seed=cell.seed,
+            oracle=cell.oracle,
+            oracle_error_rate=cell.oracle_error_rate,
+            config=config,
+            supervisor=cell.supervisor,
+        )
+        return chaos.to_payload()
     if cell.kind == "lifetimes":
         lifetime = measure_lifetimes(
             tree,
@@ -489,6 +507,47 @@ def run_availability_suite(
     return {
         label: AvailabilityResult(**payload)
         for label, payload in zip(tree_labels, payloads)
+    }
+
+
+def run_chaos_suite(
+    scenarios: Sequence[str],
+    tree_labels: Sequence[str],
+    trials: int = 1,
+    seed: int = 0,
+    oracle: str = "perfect",
+    oracle_error_rate: float = 0.3,
+    config: StationConfig = PAPER_CONFIG,
+    supervisor: str = "full",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[Tuple[str, str], "ChaosResult"]:
+    """Chaos campaign: every (scenario, tree) cell, one worker per cell.
+
+    Cell seeds hash in both the scenario and the tree label, so adding a
+    scenario to the list cannot perturb any other cell's fault schedule —
+    the same isolation argument as the recovery matrix.
+    """
+    from repro.chaos.engine import ChaosResult
+
+    pairs = [(scenario, label) for scenario in scenarios for label in tree_labels]
+    cells = [
+        CampaignCell(
+            kind="chaos",
+            tree=label,
+            seed=campaign_seed(seed, "chaos", scenario, label),
+            trials=trials,
+            oracle=oracle,
+            oracle_error_rate=oracle_error_rate,
+            supervisor=supervisor,
+            scenario=scenario,
+        )
+        for scenario, label in pairs
+    ]
+    payloads = run_campaign(cells, config=config, jobs=jobs, cache_dir=cache_dir)
+    return {
+        pair: ChaosResult.from_payload(payload)
+        for pair, payload in zip(pairs, payloads)
     }
 
 

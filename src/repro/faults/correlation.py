@@ -16,6 +16,13 @@ mechanisms (Mercury wires them to specific components):
   at some point, the aging leads to its total failure" (§4.2).  Each
   provoking-component down event while the victim is running adds one unit
   of age; when age crosses a randomly drawn threshold, the victim fails.
+
+* :class:`CorrelationGroup` — the N-member generalisation used by the
+  chaos-campaign scenarios (`repro.chaos`): any member's down event fells
+  the other running members shortly afterwards, modelling shared-fate
+  failure domains (a common library, shared memory segment, power rail).
+  The group fires once and then stays disarmed until *every* member is
+  running again, which bounds the cascade.
 """
 
 from __future__ import annotations
@@ -131,6 +138,119 @@ class ResyncCoupling:
             component=victim,
             provoker=provoker,
             mechanism="resync",
+        )
+        self.injector.inject(descriptor)
+
+
+class CorrelationGroup:
+    """Shared-fate failure group: one member's crash fells the others.
+
+    Where :class:`ResyncCoupling` models the paper's specific pairwise
+    ses/str handshake, this mechanism models an arbitrary failure domain:
+    when any member goes down (crash *or* supervised kill — a restart that
+    bounces one member can take the others with it, which is exactly the
+    fault-during-restart storm the chaos campaigns provoke), every other
+    member that is still running is induced to fail ``induced_delay`` later
+    with probability ``induce_probability`` each.
+
+    Cascade bound: the group fires once per episode.  After firing it stays
+    disarmed until **all** members are running simultaneously, so recovery
+    restarts of the felled members cannot re-trigger the group against
+    themselves, and two overlapping groups sharing a member chain at most
+    once per group before both must observe a fully-healthy domain again.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        members,
+        induce_probability: float = 1.0,
+        induced_delay: SimTime = 0.3,
+        kind: str = "induced-group",
+    ) -> None:
+        members = tuple(members)
+        if len(set(members)) != len(members):
+            raise ValueError(f"correlation group members must be distinct: {members!r}")
+        if len(members) < 2:
+            raise ValueError(
+                f"correlation group needs at least two components, got {members!r}"
+            )
+        if not 0.0 <= induce_probability <= 1.0:
+            raise ValueError(f"induce_probability out of range: {induce_probability!r}")
+        self.injector = injector
+        self.manager = injector.manager
+        self.kernel = injector.kernel
+        self.members = members
+        self._member_set = frozenset(members)
+        self.induce_probability = induce_probability
+        self.induced_delay = induced_delay
+        self.kind = kind
+        #: Master switch; experiments may disable the mechanism to isolate
+        #: a specific recovery path.
+        self.enabled = True
+        self.induced_count = 0
+        self._armed = True
+        self._rng = self.kernel.rngs.stream("group." + ".".join(members))
+        self.manager.subscribe(self._on_lifecycle)
+
+    def _all_members_running(self) -> bool:
+        for name in self.members:
+            process = self.manager.maybe_get(name)
+            if process is None or not process.is_running:
+                return False
+        return True
+
+    def rearm(self) -> None:
+        """Re-arm after a disabled stretch, if the domain is healthy.
+
+        While disabled the group ignores lifecycle events, so the "ready"
+        that would normally re-arm it can slip by; callers toggling
+        ``enabled`` around a drain phase call this to resynchronise.
+        """
+        if self._all_members_running():
+            self._armed = True
+
+    def _on_lifecycle(self, process: SimProcess, event: str) -> None:
+        if not self.enabled or process.name not in self._member_set:
+            return
+        if event == "ready":
+            if not self._armed and self._all_members_running():
+                self._armed = True
+            return
+        if not event.startswith("down:") or not self._armed:
+            return
+        self._armed = False
+        provoking = process.last_failure
+        induced_by = provoking.failure_id if provoking is not None else None
+        for peer in self.members:
+            if peer == process.name:
+                continue
+            if self._rng.random() >= self.induce_probability:
+                continue
+            self.kernel.call_after(
+                self.induced_delay, self._induce, peer, process.name, induced_by
+            )
+
+    def _induce(self, victim: str, provoker: str, induced_by: Optional[int]) -> None:
+        if not self.enabled:
+            return
+        process = self.manager.maybe_get(victim)
+        if process is None or not process.is_running:
+            return  # already down (perhaps felled by an overlapping group)
+        self.induced_count += 1
+        descriptor = FailureDescriptor(
+            manifest_component=victim,
+            cure_set=frozenset([victim]),
+            injected_at=self.kernel.now,
+            kind=self.kind,
+            induced_by=induced_by,
+        )
+        self.kernel.trace.emit(
+            "faults",
+            ev.FAILURE_INDUCED,
+            component=victim,
+            provoker=provoker,
+            mechanism="group",
         )
         self.injector.inject(descriptor)
 

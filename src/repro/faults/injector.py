@@ -17,6 +17,8 @@ lifetime distribution (Table 1 MTTFs) and its cure set from a
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.faults.curability import CurabilityProfile
@@ -50,6 +52,12 @@ class FaultInjector:
         #: All failures ever injected, for post-hoc analysis.
         self.history: List[FailureDescriptor] = []
         self._cure_listeners: List[Callable[[FailureDescriptor, SimTime], None]] = []
+        #: Per-station id sequence.  Descriptors default to a process-global
+        #: counter, which would make traced failure ids depend on how many
+        #: stations ran earlier in the same interpreter; renumbering at
+        #: injection keeps every run's ids (and its JSONL trace) a pure
+        #: function of the seed.
+        self._ids = itertools.count(1)
         manager.subscribe(self._on_lifecycle)
 
     # ------------------------------------------------------------------
@@ -57,7 +65,12 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def inject(self, descriptor: FailureDescriptor) -> FailureDescriptor:
-        """Fail the descriptor's manifest component now, with cure tracking."""
+        """Fail the descriptor's manifest component now, with cure tracking.
+
+        Returns the (renumbered) descriptor actually injected — callers
+        tracking the failure must use the return value, not their argument.
+        """
+        descriptor = dataclasses.replace(descriptor, failure_id=next(self._ids))
         self._active[descriptor.failure_id] = descriptor
         self.history.append(descriptor)
         self.kernel.trace.emit(

@@ -327,7 +327,8 @@ OPERATOR_ESCALATION = REGISTRY.register(
 RESTART_ORDERED = REGISTRY.register(
     "restart_ordered", "recovery",
     "The supervisor ordered a restart of one cell's component group.",
-    required=("cell", "components"), optional=("trigger", "procedure"),
+    required=("cell", "components"),
+    optional=("trigger", "procedure", "oracle_cell"),
     phase="decide",
     narrative=lambda d: (
         f"restart ordered: {d['cell']} (components: {_components_list(d)}; "

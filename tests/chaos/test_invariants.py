@@ -1,0 +1,253 @@
+"""Tests for the live invariant checker (synthetic streams + seeded bug)."""
+
+import pytest
+
+from repro.chaos.invariants import InvariantChecker
+from repro.core.oracle import Oracle
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import TREE_BUILDERS
+from repro.obs import events as ev
+from repro.sim.trace import TraceRecord
+
+
+def record(time, kind, source="rec", **data):
+    return TraceRecord(time=time, source=source, kind=kind, data=data)
+
+
+@pytest.fixture
+def tree():
+    return TREE_BUILDERS["V"]()
+
+
+@pytest.fixture
+def checker(tree):
+    return InvariantChecker(tree, max_restart_duration=100.0)
+
+
+def feed(checker, *records):
+    for item in records:
+        checker.accept(item)
+
+
+def order(tree, cell, t=10.0, **extra):
+    return record(
+        t,
+        ev.RESTART_ORDERED,
+        cell=cell,
+        components=tuple(sorted(tree.components_restarted_by(cell))),
+        **extra,
+    )
+
+
+def invariants_of(checker):
+    return [violation.invariant for violation in checker.violations]
+
+
+def test_clean_restart_cycle_has_no_violations(tree, checker):
+    cell = tree.cell_of_component("rtu")
+    feed(
+        checker,
+        record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
+               failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
+        record(5.0, ev.PROCESS_FAILED, source="proc.rtu", name="rtu"),
+        order(tree, cell, t=6.0, trigger="rtu", oracle_cell=cell),
+        record(9.0, ev.PROCESS_READY, source="proc.rtu", name="rtu"),
+        record(9.0, ev.FAILURE_CURED, source="faults", component="rtu",
+               failure_id=1),
+        record(9.1, ev.RESTART_COMPLETE, source="rec", cell=cell,
+               components=("rtu",)),
+    )
+    checker.finalize(20.0)
+    assert checker.ok
+    assert checker.violations == []
+
+
+def test_batch_mismatch_flagged(tree, checker):
+    cell = tree.cell_of_component("rtu")
+    feed(
+        checker,
+        record(6.0, ev.RESTART_ORDERED, cell=cell, components=("rtu", "ses")),
+    )
+    assert "batch-mismatch" in invariants_of(checker)
+
+
+def test_unknown_cell_flagged(checker):
+    feed(checker, record(6.0, ev.RESTART_ORDERED, cell="no-such-cell",
+                         components=("rtu",)))
+    assert "batch-mismatch" in invariants_of(checker)
+
+
+def test_trigger_outside_batch_flagged(tree, checker):
+    wrong = tree.cell_of_component("ses")
+    assert "rtu" not in tree.components_restarted_by(wrong)  # precondition
+    feed(checker, order(tree, wrong, trigger="rtu"))
+    assert "trigger-containment" in invariants_of(checker)
+
+
+def test_ordered_cell_off_oracle_path_flagged(tree, checker):
+    recommended = tree.cell_of_component("rtu")
+    sideways = tree.cell_of_component("ses")
+    assert not tree.is_ancestor(sideways, recommended)  # precondition
+    feed(checker, order(tree, sideways, trigger="ses", oracle_cell=recommended))
+    assert "oracle-subtree" in invariants_of(checker)
+
+
+def test_escalation_along_oracle_path_is_legal(tree, checker):
+    recommended = tree.cell_of_component("rtu")
+    feed(
+        checker,
+        order(tree, recommended, t=6.0, trigger="rtu", oracle_cell=recommended),
+        record(7.0, ev.RESTART_COMPLETE, cell=recommended,
+               components=tuple(sorted(tree.components_restarted_by(recommended)))),
+        order(tree, tree.root.cell_id, t=12.0, trigger="rtu",
+              oracle_cell=recommended),
+    )
+    assert "oracle-subtree" not in invariants_of(checker)
+
+
+def test_overlapping_orders_from_one_source_flagged(tree, checker):
+    cell = tree.cell_of_component("rtu")
+    feed(
+        checker,
+        order(tree, cell, t=6.0),
+        order(tree, cell, t=8.0),  # previous restart never completed
+    )
+    assert "stuck-restart" in invariants_of(checker)
+
+
+def test_slow_restart_flagged(tree, checker):
+    cell = tree.cell_of_component("rtu")
+    feed(
+        checker,
+        order(tree, cell, t=6.0),
+        record(200.0, ev.RESTART_COMPLETE, cell=cell,
+               components=tuple(sorted(tree.components_restarted_by(cell)))),
+    )
+    assert "stuck-restart" in invariants_of(checker)
+
+
+def test_open_restart_at_finalize_flagged(tree, checker):
+    feed(checker, order(tree, tree.cell_of_component("rtu"), t=6.0))
+    checker.finalize(500.0)
+    assert "stuck-restart" in invariants_of(checker)
+
+
+def test_delayed_downtime_flagged(checker):
+    feed(
+        checker,
+        record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
+               failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
+        record(7.5, ev.PROCESS_FAILED, source="proc.rtu", name="rtu"),
+    )
+    assert "injection-no-downtime" in invariants_of(checker)
+
+
+def test_injection_without_downtime_flagged_at_finalize(checker):
+    feed(
+        checker,
+        record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
+               failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
+    )
+    checker.finalize(50.0)
+    assert "injection-no-downtime" in invariants_of(checker)
+
+
+def test_injection_onto_down_component_is_legal(checker):
+    feed(
+        checker,
+        record(4.0, ev.PROCESS_FAILED, source="proc.rtu", name="rtu"),
+        record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
+               failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
+        record(9.0, ev.PROCESS_READY, source="proc.rtu", name="rtu"),
+        record(9.0, ev.FAILURE_CURED, source="faults", component="rtu",
+               failure_id=1),
+    )
+    checker.finalize(20.0)
+    assert "injection-no-downtime" not in invariants_of(checker)
+
+
+def test_unterminated_failure_flagged(checker):
+    feed(
+        checker,
+        record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
+               failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
+        record(5.0, ev.PROCESS_FAILED, source="proc.rtu", name="rtu"),
+    )
+    checker.finalize(100.0)
+    found = invariants_of(checker)
+    assert "unterminated-failure" in found
+    assert "component-down-at-end" in found
+
+
+def test_escalated_component_exempt_from_liveness(checker):
+    feed(
+        checker,
+        record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
+               failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
+        record(5.0, ev.PROCESS_FAILED, source="proc.rtu", name="rtu"),
+        record(60.0, ev.OPERATOR_ESCALATION, component="rtu",
+               reason="budget exhausted"),
+    )
+    checker.finalize(100.0)
+    found = invariants_of(checker)
+    assert "unterminated-failure" not in found
+    assert "component-down-at-end" not in found
+
+
+def test_finalize_is_idempotent(checker):
+    feed(
+        checker,
+        record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
+               failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
+        record(5.0, ev.PROCESS_FAILED, source="proc.rtu", name="rtu"),
+    )
+    checker.finalize(100.0)
+    count = len(checker.violations)
+    checker.finalize(100.0)
+    assert len(checker.violations) == count
+
+
+def test_violation_payloads_are_json_safe(tree, checker):
+    feed(checker, order(tree, tree.cell_of_component("ses"), trigger="rtu"))
+    payloads = checker.violation_payloads()
+    assert payloads
+    assert set(payloads[0]) == {"invariant", "time", "subject", "detail"}
+
+
+# ----------------------------------------------------------------------
+# the seeded-bug regression: a rogue oracle restarting outside the
+# failed component's subtree must be flagged by trigger-containment
+# ----------------------------------------------------------------------
+
+
+class RogueOracle(Oracle):
+    """Always recommends a fixed cell, regardless of where the failure is."""
+
+    def __init__(self, cell_id: str) -> None:
+        self.cell_id = cell_id
+
+    def recommend(self, tree, failed_component: str) -> str:
+        return self.cell_id
+
+    def describe(self) -> str:
+        return "rogue"
+
+
+def test_rogue_oracle_detected_end_to_end():
+    tree = TREE_BUILDERS["V"]()
+    wrong = tree.cell_of_component("ses")
+    assert "rtu" not in tree.components_restarted_by(wrong)  # precondition
+    station = MercuryStation(
+        tree=tree, seed=11, oracle=RogueOracle(wrong), supervisor="full"
+    )
+    checker = InvariantChecker(tree)
+    station.kernel.trace.add_sink(checker)
+    station.boot()
+    station.injector.inject_simple("rtu")
+    # The wrong restart cannot cure rtu; escalation eventually covers it.
+    station.run_for(120.0)
+    checker.finalize(station.kernel.now)
+    flagged = [v for v in checker.violations if v.invariant == "trigger-containment"]
+    assert flagged
+    assert flagged[0].subject == "rtu"
+    assert wrong in flagged[0].detail

@@ -1,0 +1,110 @@
+"""Tests for the chaos scenario catalogue and plan building."""
+
+import random
+
+import pytest
+
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    Injection,
+    Scenario,
+    ScenarioPlan,
+    compose,
+    get_scenario,
+)
+
+NON_SPLIT = ("mbus", "fedrcom", "ses", "str", "rtu")
+SPLIT = ("mbus", "fedr", "pbcom", "ses", "str", "rtu")
+
+
+def test_catalogue_names():
+    assert set(SCENARIOS) == {"cascade", "storm", "flapping", "mixed"}
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.description
+
+
+def test_get_scenario_unknown_lists_choices():
+    with pytest.raises(KeyError, match="cascade"):
+        get_scenario("nope")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("components", [NON_SPLIT, SPLIT])
+def test_plans_are_valid_for_both_generations(name, components):
+    plan = SCENARIOS[name].build(random.Random(9), components)
+    assert plan.injections
+    assert plan.horizon > 0
+    times = [injection.at for injection in plan.injections]
+    assert times == sorted(times)  # build() sorts
+    assert all(at >= 0.0 for at in times)
+    assert max(times) < plan.horizon  # recovery tail fits inside the horizon
+    for group in plan.groups:
+        assert len(group.members) >= 2
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_same_rng_same_plan(name):
+    scenario = SCENARIOS[name]
+    assert scenario.build(random.Random(7), SPLIT) == scenario.build(
+        random.Random(7), SPLIT
+    )
+    assert scenario.build(random.Random(7), SPLIT) != scenario.build(
+        random.Random(8), SPLIT
+    )
+
+
+def test_storm_targets_the_radio_proxy():
+    split_targets = {
+        i.component for i in SCENARIOS["storm"].build(random.Random(1), SPLIT).injections
+    }
+    non_split_targets = {
+        i.component
+        for i in SCENARIOS["storm"].build(random.Random(1), NON_SPLIT).injections
+    }
+    assert "pbcom" in split_targets and "fedrcom" not in split_targets
+    assert "fedrcom" in non_split_targets and "pbcom" not in non_split_targets
+
+
+def test_mixed_uses_tree_appropriate_cure_set():
+    split_plan = SCENARIOS["mixed"].build(random.Random(1), SPLIT)
+    joint = [i for i in split_plan.injections if i.cure_set is not None]
+    assert joint and joint[0].cure_set == ("fedr", "pbcom")
+    non_split_plan = SCENARIOS["mixed"].build(random.Random(1), NON_SPLIT)
+    joint = [i for i in non_split_plan.injections if i.cure_set is not None]
+    assert joint and joint[0].cure_set == ("ses", "str")
+
+
+def test_build_rejects_negative_times():
+    bad = Scenario(
+        "bad",
+        "injects before the trial starts",
+        lambda rng, components: ScenarioPlan(
+            injections=(Injection(at=-1.0, component="rtu"),)
+        ),
+    )
+    with pytest.raises(ValueError, match="before trial start"):
+        bad.build(random.Random(1), SPLIT)
+
+
+def test_compose_offsets_and_dedupes():
+    combo = compose("combo", [SCENARIOS["cascade"], SCENARIOS["cascade"]], gap=20.0)
+    plan = combo.build(random.Random(3), SPLIT)
+    single = SCENARIOS["cascade"].build(random.Random(3), SPLIT)
+    assert len(plan.injections) == 2 * len(single.injections)
+    # Second copy's injections all land after the first copy's horizon.
+    second_half = plan.injections[len(single.injections) :]
+    assert all(i.at >= single.horizon + 20.0 for i in second_half)
+    # The shared-fate group appears once, not twice.
+    assert len(plan.groups) == 1
+    assert plan.horizon == 2 * (single.horizon + 20.0)
+
+
+def test_compose_is_deterministic():
+    combo = compose("combo", [SCENARIOS["storm"], SCENARIOS["mixed"]])
+    assert combo.build(random.Random(5), SPLIT) == combo.build(random.Random(5), SPLIT)
+
+
+def test_compose_rejects_empty():
+    with pytest.raises(ValueError):
+        compose("empty", [])

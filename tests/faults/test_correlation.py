@@ -1,8 +1,8 @@
-"""Tests for correlated-failure mechanisms: resync coupling and aging."""
+"""Tests for correlated-failure mechanisms: resync, groups, and aging."""
 
 import pytest
 
-from repro.faults.correlation import DisconnectAging, ResyncCoupling
+from repro.faults.correlation import CorrelationGroup, DisconnectAging, ResyncCoupling
 from repro.faults.injector import FaultInjector
 
 from tests.conftest import spawn_simple
@@ -108,6 +108,117 @@ def test_induced_failure_links_provoker(kernel, manager, pair):
     settle(kernel, 5.0)
     induced = [d for d in injector.history if d.kind == "induced-resync"][0]
     assert induced.induced_by == provoking.failure_id
+
+
+# ----------------------------------------------------------------------
+# correlation groups
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def grouped(kernel, manager):
+    for name in ("a", "b", "c"):
+        spawn_simple(manager, name, work=1.0)
+    manager.start_all()
+    kernel.run()
+    return FaultInjector(kernel, manager)
+
+
+def test_group_rejects_empty_and_singleton(grouped):
+    with pytest.raises(ValueError):
+        CorrelationGroup(grouped, ())
+    with pytest.raises(ValueError):
+        CorrelationGroup(grouped, ("a",))
+
+
+def test_group_rejects_duplicates_and_bad_probability(grouped):
+    with pytest.raises(ValueError):
+        CorrelationGroup(grouped, ("a", "b", "a"))
+    with pytest.raises(ValueError):
+        CorrelationGroup(grouped, ("a", "b"), induce_probability=-0.1)
+    with pytest.raises(ValueError):
+        CorrelationGroup(grouped, ("a", "b"), induce_probability=1.5)
+
+
+def test_group_fells_other_members_once(kernel, manager, grouped):
+    group = CorrelationGroup(grouped, ("a", "b", "c"), induced_delay=0.2)
+    grouped.inject_simple("a")
+    settle(kernel, 2.0)
+    assert group.induced_count == 2
+    assert not manager.get("b").is_running
+    assert not manager.get("c").is_running
+    # Recovery restarts of the felled members must not re-trigger the
+    # (disarmed) group against themselves.
+    manager.restart(["a", "b", "c"])
+    settle(kernel, 10.0)
+    assert manager.all_running()
+    assert group.induced_count == 2
+
+
+def test_group_rearms_after_full_recovery(kernel, manager, grouped):
+    group = CorrelationGroup(grouped, ("a", "b"), induced_delay=0.2)
+    grouped.inject_simple("a")
+    settle(kernel, 2.0)
+    manager.restart(["a", "b"])
+    settle(kernel, 10.0)
+    assert group.induced_count == 1
+    grouped.inject_simple("b")  # fresh episode after a healthy interval
+    settle(kernel, 2.0)
+    assert group.induced_count == 2
+
+
+def test_member_in_two_overlapping_groups(kernel, manager, grouped):
+    """A shared member chains both groups, each firing at most once."""
+    first = CorrelationGroup(grouped, ("a", "b"), induced_delay=0.2)
+    second = CorrelationGroup(grouped, ("b", "c"), induced_delay=0.2)
+    grouped.inject_simple("a")
+    settle(kernel, 3.0)
+    # a fells b (group 1); b's fall fells c (group 2); nothing re-fires.
+    assert first.induced_count == 1
+    assert second.induced_count == 1
+    assert not manager.get("b").is_running
+    assert not manager.get("c").is_running
+    manager.restart(["a", "b", "c"])
+    settle(kernel, 10.0)
+    assert manager.all_running()
+    assert first.induced_count == 1
+    assert second.induced_count == 1
+
+
+def test_group_enabled_flag_and_rearm(kernel, manager, grouped):
+    group = CorrelationGroup(grouped, ("a", "b"), induced_delay=0.2)
+    group.enabled = False
+    grouped.inject_simple("a")
+    settle(kernel, 2.0)
+    assert group.induced_count == 0
+    assert manager.get("b").is_running
+    manager.restart(["a"])
+    settle(kernel, 10.0)
+    # The re-arming "ready" passed while disabled; rearm() resynchronises.
+    group.enabled = True
+    group.rearm()
+    grouped.inject_simple("b")
+    settle(kernel, 2.0)
+    assert group.induced_count == 1
+
+
+def test_group_probability_zero_never_fires(kernel, manager, grouped):
+    group = CorrelationGroup(grouped, ("a", "b", "c"), induce_probability=0.0)
+    grouped.inject_simple("b")
+    settle(kernel, 3.0)
+    assert group.induced_count == 0
+    assert manager.get("a").is_running
+    assert manager.get("c").is_running
+
+
+def test_group_induced_failures_link_provoker(kernel, manager, grouped):
+    CorrelationGroup(grouped, ("a", "b"), induced_delay=0.2)
+    provoking = grouped.inject_simple("a")
+    settle(kernel, 2.0)
+    induced = [d for d in grouped.history if d.kind == "induced-group"]
+    assert len(induced) == 1
+    assert induced[0].manifest_component == "b"
+    assert induced[0].induced_by == provoking.failure_id
 
 
 # ----------------------------------------------------------------------

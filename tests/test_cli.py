@@ -167,3 +167,53 @@ def test_availability_phases_flag(capsys):
     out = capsys.readouterr().out
     assert "Tree V: per-phase recovery breakdown" in out
     assert "detection (s)" in out
+
+
+def test_chaos_command(capsys):
+    code = main(["chaos", "--scenario", "cascade", "--tree", "V",
+                 "--trials", "1", "--seed", "7"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Chaos campaigns" in out
+    assert "cascade" in out
+    assert "invariants: all OK" in out
+
+
+def test_chaos_speedup_table_and_report(tmp_path, capsys):
+    report = str(tmp_path / "chaos.json")
+    code = main(["chaos", "--scenario", "mixed", "--tree", "I", "--tree", "V",
+                 "--seed", "7", "--report", report])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Recovery speed-up vs tree I" in out
+    import json
+    with open(report, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert set(payload) == {"mixed/I", "mixed/V"}
+    assert payload["mixed/V"]["violations"] == []
+
+
+def test_chaos_trace_out_is_deterministic(tmp_path, capsys):
+    paths = [str(tmp_path / f"run{i}.jsonl") for i in (1, 2)]
+    for path in paths:
+        code = main(["chaos", "--scenario", "cascade", "--tree", "V",
+                     "--seed", "42", "--trace-out", path])
+        assert code == 0
+    capsys.readouterr()
+    with open(paths[0], "rb") as fh:
+        first = fh.read()
+    with open(paths[1], "rb") as fh:
+        second = fh.read()
+    assert first and first == second
+
+
+def test_chaos_trace_out_requires_single_cell(capsys):
+    code = main(["chaos", "--scenario", "cascade", "--tree", "I", "--tree", "V",
+                 "--trace-out", "/tmp/unused.jsonl"])
+    assert code == 2
+    assert "exactly one" in capsys.readouterr().err
+
+
+def test_chaos_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--scenario", "nope"])

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fast determinism gate (``make check-determinism``).
+
+Every result in this repo is supposed to be a pure function of its seed:
+same seed, same bytes.  That property underwrites the campaign result
+cache, serial/parallel bit-identity, and "reproduce this failing chaos
+seed" debugging — and it silently dies the moment someone reads the wall
+clock, iterates an unordered set into an RNG, or keys a schedule off
+``id()``.  This gate catches that class of regression in seconds:
+
+* one short chaos campaign (cascade on tree V), run twice with the same
+  seed, byte-comparing the full JSONL event traces and the JSON result
+  payloads;
+* one short steady-state availability run (tree V), twice, byte-comparing
+  the streamed JSONL traces and the result dataclasses.
+
+Exits 0 when both legs are bit-identical, 1 otherwise (with the first
+differing line for the trace legs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.chaos.engine import run_chaos
+from repro.experiments.availability import measure_availability
+from repro.mercury.trees import TREE_BUILDERS
+from repro.obs.sinks import JsonlSink
+
+CHAOS_SEED = 42
+AVAILABILITY_SEED = 7
+AVAILABILITY_HORIZON_S = 4.0 * 3600.0
+
+
+def _first_diff(path_a: str, path_b: str) -> str:
+    with open(path_a, "r", encoding="utf-8") as fh_a, open(
+        path_b, "r", encoding="utf-8"
+    ) as fh_b:
+        for lineno, (line_a, line_b) in enumerate(zip(fh_a, fh_b), start=1):
+            if line_a != line_b:
+                return f"line {lineno}:\n  run1: {line_a.rstrip()}\n  run2: {line_b.rstrip()}"
+    return "traces differ in length"
+
+
+def _compare_traces(name: str, path_a: str, path_b: str) -> bool:
+    with open(path_a, "rb") as fh:
+        bytes_a = fh.read()
+    with open(path_b, "rb") as fh:
+        bytes_b = fh.read()
+    if bytes_a == bytes_b:
+        print(f"  {name}: traces identical ({len(bytes_a)} bytes)")
+        return True
+    print(f"FAIL {name}: traces differ; first divergence at {_first_diff(path_a, path_b)}")
+    return False
+
+
+def check_chaos(workdir: str) -> bool:
+    print("determinism: chaos (cascade on tree V, seed %d) ..." % CHAOS_SEED)
+    payloads = []
+    paths = []
+    for run in (1, 2):
+        path = os.path.join(workdir, f"chaos-{run}.jsonl")
+        sink = JsonlSink(path)
+        result = run_chaos(
+            TREE_BUILDERS["V"](), "cascade", trials=1, seed=CHAOS_SEED, sinks=[sink]
+        )
+        paths.append(path)
+        payloads.append(json.dumps(result.to_payload(), sort_keys=True))
+    ok = _compare_traces("chaos", paths[0], paths[1])
+    if payloads[0] != payloads[1]:
+        print("FAIL chaos: result payloads differ")
+        ok = False
+    elif ok:
+        print("  chaos: result payloads identical")
+    return ok
+
+
+def check_availability(workdir: str) -> bool:
+    print(
+        "determinism: availability (tree V, %.0f h, seed %d) ..."
+        % (AVAILABILITY_HORIZON_S / 3600.0, AVAILABILITY_SEED)
+    )
+    payloads = []
+    paths = []
+    for run in (1, 2):
+        path = os.path.join(workdir, f"availability-{run}.jsonl")
+        sink = JsonlSink(path)
+        result = measure_availability(
+            TREE_BUILDERS["V"](),
+            horizon_s=AVAILABILITY_HORIZON_S,
+            seed=AVAILABILITY_SEED,
+            sinks=[sink],
+        )
+        paths.append(path)
+        payloads.append(json.dumps(dataclasses.asdict(result), sort_keys=True))
+    ok = _compare_traces("availability", paths[0], paths[1])
+    if payloads[0] != payloads[1]:
+        print("FAIL availability: result payloads differ")
+        ok = False
+    elif ok:
+        print("  availability: result payloads identical")
+    return ok
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-determinism-") as workdir:
+        ok = check_chaos(workdir)
+        ok = check_availability(workdir) and ok
+    if ok:
+        print("determinism: PASS")
+        return 0
+    print("determinism: FAIL", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,14 @@ def check_file(path: str, source: str) -> List[Finding]:
 
 def main(argv: List[str]) -> int:
     paths = argv or list(DEFAULT_PATHS)
+    # A nonexistent path must be a hard error: os.walk on a missing
+    # directory silently yields nothing, which used to let a typo'd path
+    # "pass" lint without checking anything.
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"lint: no such path: {path}", file=sys.stderr)
+        return 2
     files = iter_python_files(paths)
     if not files:
         print(f"lint: no python files under {paths}", file=sys.stderr)
