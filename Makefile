@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test lint verify chaos-smoke check-determinism bench bench-smoke \
-	benchmarks table4-parallel
+.PHONY: test lint verify chaos-smoke chaos-lossy-smoke check-determinism \
+	bench bench-smoke benchmarks table4-parallel
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -21,13 +21,18 @@ lint:
 chaos-smoke:
 	$(PYTHON) -m repro.cli chaos --scenario cascade --tree V --trials 1 --seed 7
 
+# The lossy-network campaign: the fault fabric, the adaptive detector,
+# and the detection-accuracy invariants, end to end.
+chaos-lossy-smoke:
+	$(PYTHON) -m repro.cli chaos --scenario lossy --tree V --trials 1 --seed 7
+
 # Same-seed double runs of a chaos campaign and an availability run,
 # byte-comparing the JSONL traces and result payloads.
 check-determinism:
 	$(PYTHON) tools/check_determinism.py
 
-# The pre-merge gate: tier-1 tests, lint, and a chaos smoke run.
-verify: test lint chaos-smoke
+# The pre-merge gate: tier-1 tests, lint, and the chaos smoke runs.
+verify: test lint chaos-smoke chaos-lossy-smoke
 
 # Perf session: time the simulator hot paths and write BENCH_2.json,
 # carrying the previous artifact forward as the embedded baseline so

@@ -139,6 +139,19 @@ class BusBroker(Behavior):
     # ------------------------------------------------------------------
 
     def _on_raw(self, endpoint: "Endpoint", raw: str) -> None:
+        mode = self.process.degraded_mode
+        if mode is not None:
+            # Fail-slow broker: a hung mbus consumes nothing; a zombie mbus
+            # answers its own liveness pings but routes nothing, so every
+            # *other* component looks dead through it.  (Same path in both
+            # parser modes — degraded runs are outside the differential
+            # trace contract.)
+            if mode == "hang":
+                return
+            ping = split_ping_wire(raw)
+            if ping is not None and ping[0] == "ping" and ping[2] == self.name:
+                self._reply_ping(ping[1], ping[3])
+            return
         if not self._fullparse:
             # Canonical pings (>90% of availability-run traffic) are decided
             # by the memoized prefix split alone — no attribute scan at all.

@@ -28,7 +28,7 @@ from repro.mercury.station import MercuryStation, OracleSpec
 from repro.obs import events as ev
 from repro.obs.sinks import MetricsSink, PhaseSnapshot, Sink
 from repro.chaos.invariants import InvariantChecker
-from repro.chaos.scenarios import Injection, Scenario, get_scenario
+from repro.chaos.scenarios import Injection, NetOp, Scenario, get_scenario
 
 
 @dataclass
@@ -50,6 +50,13 @@ class ChaosResult:
     #: Times the drain phase had to fall back to an operator whole-station
     #: restart because the supervisor could not reach quiescence alone.
     operator_interventions: int = 0
+    #: Detector accuracy accounting: declarations whose component was in
+    #: fact healthy, and reports the detector itself retracted.
+    false_positives: int = 0
+    retractions: int = 0
+    #: Network-fabric accounting (zero for scenarios without net ops).
+    net_dropped: int = 0
+    net_duplicated: int = 0
     violations: List[Dict[str, Any]] = field(default_factory=list)
     phases: PhaseSnapshot = field(default_factory=dict)
 
@@ -76,6 +83,10 @@ class ChaosResult:
             "cured": self.cured,
             "escalations": self.escalations,
             "operator_interventions": self.operator_interventions,
+            "false_positives": self.false_positives,
+            "retractions": self.retractions,
+            "net_dropped": self.net_dropped,
+            "net_duplicated": self.net_duplicated,
             "violations": list(self.violations),
             "phases": self.phases,
         }
@@ -93,6 +104,10 @@ class ChaosResult:
             cured=payload["cured"],
             escalations=payload["escalations"],
             operator_interventions=payload["operator_interventions"],
+            false_positives=payload.get("false_positives", 0),
+            retractions=payload.get("retractions", 0),
+            net_dropped=payload.get("net_dropped", 0),
+            net_duplicated=payload.get("net_duplicated", 0),
             violations=list(payload["violations"]),
             phases=payload["phases"],
         )
@@ -123,6 +138,27 @@ def _fire(
     return True
 
 
+def _apply_net(station: MercuryStation, op: NetOp) -> None:
+    """Script one fabric operation (the station was built with net faults)."""
+    faults = station.network.faults
+    if faults is None:  # pragma: no cover - Scenario.build validates this
+        raise ExperimentError(
+            "scenario plans net ops but the station has no fault model"
+        )
+    if op.kind == "partition":
+        faults.partition(op.a, op.b, op.duration)
+    else:
+        faults.degrade(
+            op.a,
+            op.b,
+            duration=op.duration,
+            drop=op.drop,
+            spike_probability=op.spike_probability,
+            spike_seconds=op.spike_seconds,
+            duplicate_probability=op.duplicate_probability,
+        )
+
+
 def run_chaos(
     tree: RestartTree,
     scenario: Union[str, Scenario],
@@ -146,6 +182,8 @@ def run_chaos(
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if scenario.station_overrides:
+        config = config.with_overrides(**dict(scenario.station_overrides))
     station = MercuryStation(
         tree=tree,
         config=config,
@@ -154,6 +192,7 @@ def run_chaos(
         oracle_error_rate=oracle_error_rate,
         supervisor=supervisor,
         trace_capacity=50_000,
+        net_faults=scenario.uses_network,
     )
     checker = InvariantChecker(tree, max_restart_duration=max_restart_duration)
     metrics = MetricsSink()
@@ -191,11 +230,21 @@ def run_chaos(
                 group.induced_delay = spec.induced_delay
 
         base = station.kernel.now
-        for injection in plan.injections:
-            target = base + injection.at
+        # One merged timeline: fabric operations and injections interleave
+        # in plan order (net ops first at equal instants, so a same-time
+        # crash already experiences the degraded link).
+        timeline = sorted(
+            [(op.at, 0, op) for op in plan.net_ops]
+            + [(injection.at, 1, injection) for injection in plan.injections],
+            key=lambda item: (item[0], item[1]),
+        )
+        for at, _, item in timeline:
+            target = base + at
             if target > station.kernel.now:
                 station.run_for(target - station.kernel.now)
-            if _fire(station, injection, components):
+            if isinstance(item, NetOp):
+                _apply_net(station, item)
+            elif _fire(station, item, components):
                 injected += 1
             else:
                 skipped += 1
@@ -206,6 +255,10 @@ def run_chaos(
         # Drain: the supervisor gets a full quiescence window on its own;
         # if it cannot converge (budget exhausted, escalated failure), an
         # "operator" bounces the whole station — the paper's last resort.
+        # The fabric is cleared first: chaos ends at the horizon, and
+        # quiescence is judged on a healthy network.
+        if station.network.faults is not None:
+            station.network.faults.clear()
         for group in groups.values():
             group.enabled = False
         try:
@@ -232,6 +285,7 @@ def run_chaos(
         and episode.is_complete
         and episode.total_recovery is not None
     ]
+    faults = station.network.faults
     return ChaosResult(
         tree_name=tree.name,
         scenario=scenario.name,
@@ -243,6 +297,10 @@ def run_chaos(
         cured=metrics.count(ev.FAILURE_CURED),
         escalations=metrics.count(ev.OPERATOR_ESCALATION),
         operator_interventions=operator_interventions,
+        false_positives=metrics.count(ev.DETECTION_FALSE_POSITIVE),
+        retractions=metrics.count(ev.DETECTION_RETRACTED),
+        net_dropped=faults.messages_dropped if faults is not None else 0,
+        net_duplicated=faults.messages_duplicated if faults is not None else 0,
         violations=checker.violation_payloads(),
         phases=metrics.phase_snapshot(),
     )

@@ -32,8 +32,20 @@ pin them):
     restart phases equal total recovery, and no phase is negative.
 
 ``injection-no-downtime``
-    An injected failure on a running component takes it down at the
-    injection instant (the fault model is not cosmetic).
+    An injected *crash* failure on a running component takes it down at the
+    injection instant (the fault model is not cosmetic).  Fail-slow kinds
+    (``hang``/``zombie``) are exempt by definition: the process stays up,
+    degraded, until the supervisor restarts it.
+
+``undeclared-restart``
+    Every failure-triggered restart order for a station component follows a
+    detector declaration of that component — the supervisor never restarts
+    a component nobody declared failed.  (Proactive restarts and the FD/REC
+    watchdog pair, whose triggers are not tree components, are exempt.)
+
+``unmatched-retraction``
+    Every detector retraction matches a prior declaration of the same
+    component: retractions can never outnumber declarations.
 
 ``unterminated-failure`` / ``component-down-at-end``
     Liveness at finalise: every injected failure was cured or its component
@@ -51,6 +63,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.tree import RestartTree
+from repro.faults.failure import FAIL_SLOW_KINDS
 from repro.obs import events as ev
 from repro.obs.sinks import Sink
 from repro.obs.spans import EpisodeTracker, RecoveryEpisode
@@ -113,6 +126,11 @@ class InvariantChecker(Sink):
         #: Injections onto an up component that still owe a down transition:
         #: component -> (injected_at, failure_id).
         self._pending_injections: Dict[str, tuple] = {}
+        #: Per-component declaration counts (never decremented — a restart
+        #: for a component declared long ago is still a declared restart).
+        self._declarations: Dict[str, int] = {}
+        #: Per-component retraction counts, matched against declarations.
+        self._retractions: Dict[str, int] = {}
         self._finalized = False
         self._dispatch = {
             ev.PROCESS_FAILED: self._on_down,
@@ -123,6 +141,8 @@ class InvariantChecker(Sink):
             ev.OPERATOR_ESCALATION: self._on_escalation,
             ev.RESTART_ORDERED: self._on_restart_ordered,
             ev.RESTART_COMPLETE: self._on_restart_complete,
+            ev.DETECTION: self._on_detection,
+            ev.DETECTION_RETRACTED: self._on_retraction,
         }
 
     # -- sink interface ---------------------------------------------------
@@ -175,7 +195,10 @@ class InvariantChecker(Sink):
         # The kill lands synchronously with the injection: the component's
         # down record follows at this same instant.  A component already
         # down (or mid-restart) legally absorbs the injection without a new
-        # transition, so only arm the check when it was up.
+        # transition, so only arm the check when it was up.  Fail-slow
+        # kinds degrade the process in place — no down transition is owed.
+        if data.get("failure_kind") in FAIL_SLOW_KINDS:
+            return
         if self._down_since.get(component) is None:
             self._pending_injections[component] = (time, failure_id)
 
@@ -184,6 +207,23 @@ class InvariantChecker(Sink):
 
     def _on_escalation(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
         self._escalated.add(data["component"])
+
+    def _on_detection(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
+        component = data["component"]
+        self._declarations[component] = self._declarations.get(component, 0) + 1
+
+    def _on_retraction(self, time: SimTime, source: str, data: Dict[str, Any]) -> None:
+        component = data["component"]
+        count = self._retractions.get(component, 0) + 1
+        self._retractions[component] = count
+        if count > self._declarations.get(component, 0):
+            self._flag(
+                "unmatched-retraction",
+                time,
+                component,
+                f"retraction #{count} exceeds the "
+                f"{self._declarations.get(component, 0)} declaration(s) seen",
+            )
 
     def _on_restart_ordered(
         self, time: SimTime, source: str, data: Dict[str, Any]
@@ -226,6 +266,17 @@ class InvariantChecker(Sink):
                 trigger,
                 f"restart of cell {cell!r} (batch {sorted(expected)}) does "
                 f"not cover the failed component {trigger!r}",
+            )
+        if (
+            trigger in self.tree.components
+            and not self._declarations.get(trigger)
+        ):
+            self._flag(
+                "undeclared-restart",
+                time,
+                trigger,
+                f"restart of cell {cell!r} triggered by {trigger!r}, which "
+                f"no detector ever declared failed",
             )
         if (
             oracle_cell is not None

@@ -25,6 +25,19 @@ The catalogue covers the four adversarial shapes the chaos engine ships:
     Transient crashes interleaved with a persistent joint-cure failure
     (§4.4's [fedr, pbcom] shape), so singleton restarts re-manifest and
     escalation has to climb the tree.
+``lossy``
+    Real crashes under a lossy, spiky network: the fault fabric drops and
+    delays bus traffic while components die, stressing the adaptive
+    detector's false-positive discipline (timed :class:`NetOp` operations,
+    ``station_overrides`` switching the detector to the adaptive policy).
+``partition``
+    Timed bidirectional partitions (fd↔mbus, then ses↔mbus) around real
+    crashes: every component looks dead through a cut link, so the
+    detector's partition suspicion must hold declarations until the fabric
+    heals.
+``zombie-fleet``
+    Fail-slow failures only: two zombies (answer pings, drop work) and a
+    hang, unmasked by end-to-end health probes rather than liveness pings.
 
 Scenarios targeting components a given tree generation does not run (fd/rec
 under the abstract supervisor, fedrcom after the split) degrade gracefully:
@@ -33,6 +46,7 @@ the engine counts those injections as *skipped* rather than failing.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
@@ -51,6 +65,38 @@ class Injection:
     component: str
     cure_set: Optional[Tuple[str, ...]] = None
     kind: str = "chaos"
+
+
+@dataclass(frozen=True)
+class NetOp:
+    """One timed network-fabric operation at plan-relative time ``at``.
+
+    ``kind`` is ``"degrade"`` (lossy link: drops, delay spikes, duplicates)
+    or ``"partition"`` (bidirectional silence).  ``a``/``b`` name the link's
+    component endpoints; ``"*"`` degrades the default profile applied to
+    every link (partitions must name both ends).  A ``duration`` makes the
+    operation self-healing; ``None`` leaves it in force until the engine
+    clears the fabric at drain time.
+    """
+
+    at: float
+    kind: str = "degrade"
+    a: str = "*"
+    b: str = "*"
+    duration: Optional[float] = None
+    drop: float = 0.0
+    spike_probability: float = 0.0
+    spike_seconds: Tuple[float, float] = (0.05, 0.25)
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("degrade", "partition"):
+            raise ValueError(f"unknown net op kind {self.kind!r}")
+        if self.kind == "partition":
+            if "*" in (self.a, self.b):
+                raise ValueError("partitions must name both link endpoints")
+            if self.duration is None or self.duration <= 0:
+                raise ValueError("partitions need a positive duration")
 
 
 @dataclass(frozen=True)
@@ -74,6 +120,8 @@ class ScenarioPlan:
     injections: Tuple[Injection, ...]
     groups: Tuple[GroupSpec, ...] = ()
     horizon: float = 60.0
+    #: Timed network-fabric operations, interleaved with the injections.
+    net_ops: Tuple[NetOp, ...] = ()
 
 
 #: Builds a plan from a dedicated RNG and the station's component tuple.
@@ -82,11 +130,22 @@ PlanBuilder = Callable[[random.Random, Tuple[str, ...]], ScenarioPlan]
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named, composable chaos recipe."""
+    """A named, composable chaos recipe.
+
+    ``station_overrides`` are :class:`~repro.mercury.config.StationConfig`
+    field overrides the engine applies before building the station (e.g.
+    switching the detector to the adaptive timeout policy, enabling
+    end-to-end probes); a tuple of pairs so the recipe stays hashable.
+    ``uses_network`` declares that the recipe scripts the fault fabric, so
+    the engine must build the station with a
+    :class:`~repro.transport.network.NetworkFaultModel` attached.
+    """
 
     name: str
     description: str
     builder: PlanBuilder = field(compare=False)
+    station_overrides: Tuple[Tuple[str, object], ...] = ()
+    uses_network: bool = False
 
     def build(self, rng: random.Random, components: Sequence[str]) -> ScenarioPlan:
         """Materialise the plan for one station (deterministic in ``rng``)."""
@@ -95,8 +154,20 @@ class Scenario:
         for injection in injections:
             if injection.at < 0.0:
                 raise ValueError(f"injection before trial start: {injection!r}")
+        net_ops = tuple(sorted(plan.net_ops, key=lambda op: (op.at, op.a, op.b)))
+        for op in net_ops:
+            if op.at < 0.0:
+                raise ValueError(f"net op before trial start: {op!r}")
+        if net_ops and not self.uses_network:
+            raise ValueError(
+                f"scenario {self.name!r} plans net ops but does not declare "
+                f"uses_network=True"
+            )
         return ScenarioPlan(
-            injections=injections, groups=plan.groups, horizon=plan.horizon
+            injections=injections,
+            groups=plan.groups,
+            horizon=plan.horizon,
+            net_ops=net_ops,
         )
 
 
@@ -113,6 +184,7 @@ def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scen
     def build(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
         injections = []
         groups = []
+        net_ops = []
         seen_groups = set()
         offset = 0.0
         for scenario in scenarios:
@@ -127,17 +199,37 @@ def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scen
                         kind=injection.kind,
                     )
                 )
+            for op in plan.net_ops:
+                net_ops.append(dataclasses.replace(op, at=offset + op.at))
             for group in plan.groups:
                 if group.members not in seen_groups:
                     seen_groups.add(group.members)
                     groups.append(group)
             offset += plan.horizon + gap
         return ScenarioPlan(
-            injections=tuple(injections), groups=tuple(groups), horizon=offset
+            injections=tuple(injections),
+            groups=tuple(groups),
+            horizon=offset,
+            net_ops=tuple(net_ops),
         )
 
+    # Overrides union with first occurrence winning (like groups) — children
+    # are sequenced, and the station is built once for the whole composition.
+    overrides = []
+    seen_keys = set()
+    for scenario in scenarios:
+        for key, value in scenario.station_overrides:
+            if key not in seen_keys:
+                seen_keys.add(key)
+                overrides.append((key, value))
     description = " then ".join(s.name for s in scenarios)
-    return Scenario(name=name, description=f"composition: {description}", builder=build)
+    return Scenario(
+        name=name,
+        description=f"composition: {description}",
+        builder=build,
+        station_overrides=tuple(overrides),
+        uses_network=any(s.uses_network for s in scenarios),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +318,70 @@ def _build_mixed(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPla
     )
 
 
+def _build_lossy(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    start = rng.uniform(2.0, 4.0)
+    window = rng.uniform(45.0, 60.0)
+    # Real crashes land *inside* the lossy window, so the detector must
+    # find them through the noise without declaring healthy components.
+    return ScenarioPlan(
+        injections=(
+            Injection(at=start + rng.uniform(6.0, 10.0), component="rtu"),
+            Injection(at=start + rng.uniform(25.0, 32.0), component="ses"),
+        ),
+        net_ops=(
+            NetOp(
+                at=start,
+                kind="degrade",
+                duration=window,
+                drop=0.12,
+                spike_probability=0.15,
+                spike_seconds=(0.05, 0.3),
+                duplicate_probability=0.03,
+            ),
+        ),
+        horizon=start + window + 60.0,
+    )
+
+
+def _build_partition(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    first = rng.uniform(6.0, 9.0)
+    second = first + rng.uniform(30.0, 35.0)
+    # Cutting fd off the bus blinds it to *every* component at once — the
+    # signature partition suspicion must recognise and sit out.  The rtu
+    # crash during the cut is detected only after the heal; the late str
+    # crash checks the detector recovered its normal reflexes.
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first + rng.uniform(3.0, 6.0), component="rtu"),
+            Injection(at=first + rng.uniform(55.0, 60.0), component="str"),
+        ),
+        net_ops=(
+            NetOp(at=first, kind="partition", a="fd", b="mbus",
+                  duration=rng.uniform(8.0, 12.0)),
+            NetOp(at=second, kind="partition", a="ses", b="mbus",
+                  duration=rng.uniform(4.0, 6.0)),
+        ),
+        horizon=150.0,
+    )
+
+
+def _build_zombie_fleet(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    first = rng.uniform(4.0, 7.0)
+    second = first + rng.uniform(4.0, 8.0)
+    third = second + rng.uniform(12.0, 16.0)
+    # Zombies keep answering liveness pings, so only the end-to-end probes
+    # (enabled via station_overrides) unmask them; the hang is visible to
+    # plain pings and checks the two paths do not double-report.
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first, component="ses", kind="zombie"),
+            Injection(at=second, component="rtu", kind="zombie"),
+            Injection(at=third, component="str", kind="hang"),
+        ),
+        horizon=120.0,
+    )
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -248,6 +404,35 @@ SCENARIOS: Dict[str, Scenario] = {
             "mixed",
             "transient crashes interleaved with a persistent joint-cure failure",
             _build_mixed,
+        ),
+        Scenario(
+            "lossy",
+            "real crashes under a dropping, spiky, duplicating network",
+            _build_lossy,
+            # The scenario stresses the detector; a residual false positive
+            # must not dribble into budget give-ups (that is the ablation
+            # bench's subject, measured, not a chaos invariant).
+            station_overrides=(
+                ("timeout_policy", "adaptive"),
+                ("restart_budget", 50),
+            ),
+            uses_network=True,
+        ),
+        Scenario(
+            "partition",
+            "timed bus partitions around real crashes (suspicion must hold fire)",
+            _build_partition,
+            station_overrides=(("timeout_policy", "adaptive"),),
+            uses_network=True,
+        ),
+        Scenario(
+            "zombie-fleet",
+            "fail-slow zombies and a hang, unmasked by end-to-end probes",
+            _build_zombie_fleet,
+            station_overrides=(
+                ("timeout_policy", "adaptive"),
+                ("probe_period", 2.0),
+            ),
         ),
     )
 }

@@ -176,6 +176,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full per-cell results as sorted JSON",
     )
 
+    ablation = subparsers.add_parser(
+        "detection-ablation",
+        help="detection accuracy vs MTTR: drop rate x timeout policy sweep",
+        parents=[common],
+    )
+    _tree_argument(ablation)
+    ablation.add_argument(
+        "--drop", action="append", type=float, default=None, metavar="RATE",
+        help="message drop rate (repeatable; default: 0.0 0.05 0.15)",
+    )
+    ablation.add_argument(
+        "--policy", action="append", choices=["fixed", "adaptive"],
+        default=None,
+        help="reply-timeout policy (repeatable; default: both)",
+    )
+    ablation.add_argument(
+        "--failures", type=int, default=3,
+        help="crashes injected per cell under loss (default: 3)",
+    )
+
     trace = subparsers.add_parser(
         "trace",
         help="dump/filter a JSONL event trace (see `recovery --trace-out`)",
@@ -465,6 +485,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_detection_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.detection_ablation import run_detection_ablation
+
+    label = args.tree or "V"
+    drop_rates = tuple(args.drop) if args.drop else (0.0, 0.05, 0.15)
+    policies = tuple(args.policy) if args.policy else ("fixed", "adaptive")
+    results = run_detection_ablation(
+        TREE_BUILDERS[label](),
+        drop_rates=drop_rates,
+        policies=policies,
+        failures=args.failures,
+        seed=args.seed,
+    )
+    rows: List[List[object]] = []
+    for drop in drop_rates:
+        for policy in policies:
+            cell = results[(drop, policy)]
+            rows.append(
+                [
+                    f"{drop:.2f}",
+                    policy,
+                    cell.false_positives,
+                    cell.retractions,
+                    cell.detections,
+                    f"{cell.mean_detection_latency:.3f}"
+                    if cell.detections else "—",
+                    cell.late_detections,
+                    f"{cell.mttr.mean:.3f}" if cell.mttr_samples else "—",
+                    cell.escalations,
+                    cell.operator_interventions,
+                ]
+            )
+    print(
+        format_table(
+            [
+                "drop", "policy", "FP", "retracted", "detected",
+                "mean det (s)", "late", "mean MTTR (s)", "escal", "operator",
+            ],
+            rows,
+            title=(
+                f"Detection accuracy vs MTTR, tree {label}, "
+                f"{args.failures} failure(s)/cell"
+            ),
+        )
+    )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.sinks import read_jsonl
 
@@ -537,6 +605,7 @@ COMMANDS = {
     "availability": cmd_availability,
     "passes": cmd_passes,
     "chaos": cmd_chaos,
+    "detection-ablation": cmd_detection_ablation,
     "trace": cmd_trace,
 }
 

@@ -35,6 +35,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.transport.network import Network
 
 
+#: End-to-end probe verbs.  Unlike liveness pings (answered by a dedicated
+#: thread even in a zombie), probes round-trip through the component's
+#: *worker* path — see :class:`repro.components.health.EndToEndProber`.
+E2E_PROBE_VERB = "e2e-probe"
+E2E_PROBE_REPLY_VERB = "e2e-probe-reply"
+
+
 class Behavior:
     """Base class for process-hosted component logic."""
 
@@ -135,7 +142,17 @@ class BusAttachedBehavior(Behavior):
     # ------------------------------------------------------------------
 
     def send(self, message: Message) -> bool:
-        """Serialize and send; returns False when not connected."""
+        """Serialize and send; returns False when not connected.
+
+        Fail-slow gating: a hung process emits nothing; a zombie's liveness
+        thread still answers pings, but every other outbound message is
+        swallowed by the wedged worker.
+        """
+        mode = self.process.degraded_mode
+        if mode == "hang":
+            return False
+        if mode == "zombie" and not isinstance(message, PingReply):
+            return False
         if not self.connected:
             return False
         assert self._endpoint is not None
@@ -148,6 +165,8 @@ class BusAttachedBehavior(Behavior):
     def _on_raw(self, raw: str) -> None:
         if not self._alive:
             return
+        if self.process.degraded_mode == "hang":
+            return  # event loop wedged: nothing is consumed, nothing answered
         try:
             message = parse_message(raw)
         except XmlError as error:
@@ -155,6 +174,24 @@ class BusAttachedBehavior(Behavior):
             return
         if isinstance(message, PingRequest):
             self.send(PingReply(sender=self.name, target=message.sender, seq=message.seq))
+            return
+        if self.process.degraded_mode == "zombie":
+            return  # real work silently dropped — only e2e probes see this
+        if (
+            isinstance(message, CommandMessage)
+            and message.verb == E2E_PROBE_VERB
+        ):
+            # End-to-end probes exercise the worker path, not the liveness
+            # thread, so they sit *behind* the zombie gate: a zombie answers
+            # pings above but never reaches this reply.
+            self.send(
+                CommandMessage(
+                    sender=self.name,
+                    target=message.sender,
+                    verb=E2E_PROBE_REPLY_VERB,
+                    params={"seq": message.params.get("seq", "0")},
+                )
+            )
             return
         self.on_message(message)
 

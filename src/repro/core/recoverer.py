@@ -30,6 +30,7 @@ from repro.errors import ChannelClosedError
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import (
+    CommandMessage,
     FailureReport,
     Message,
     PingReply,
@@ -168,6 +169,17 @@ class RecoveryModule(Behavior):
         if isinstance(message, FailureReport):
             for component in message.failed_components:
                 self._handle_failure(component)
+            return
+        if isinstance(message, CommandMessage) and message.verb == "retract-report":
+            # FD's spurious-restart guard: the declared component answered
+            # again before we acted.  Drop any still-queued report; a
+            # restart already in flight is past retracting.
+            component = message.params.get("component", "")
+            if component and component in self._pending_reports:
+                self._pending_reports = deque(
+                    name for name in self._pending_reports if name != component
+                )
+                self.trace(ev.REPORT_RETRACTED, component=component)
 
     # ------------------------------------------------------------------
     # recovery flow

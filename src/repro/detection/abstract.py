@@ -16,6 +16,18 @@ Because the policy object and the restart semantics are shared with the
 full stack, recovery-time distributions agree between the two supervisors
 (validated by a dedicated test), so availability numbers from this fast
 path are faithful.
+
+**Precondition: no network faults.**  The abstract supervisor never routes
+a ping, so it cannot observe message loss, delay spikes, partitions, or a
+fail-slow (hung/zombie) component — it sees only process-manager lifecycle
+transitions.  Its sampled detection latency is calibrated against the full
+detector *on a healthy network*; under an active
+:class:`~repro.transport.network.NetworkFaultModel` the two supervisors
+diverge (the full detector takes misses, suspects partitions, and may
+retract), so the parity guarantee is void.
+:class:`~repro.mercury.station.MercuryStation` enforces this by refusing
+``net_faults=True`` with ``supervisor="abstract"``; a dedicated test pins
+both the refusal and the healthy-network parity.
 """
 
 from __future__ import annotations

@@ -18,17 +18,44 @@ Detection mechanics:
   period, FD restarts the REC process — the FD half of the mutual-recovery
   special case ("the generalized procedural knowledge for how to choose the
   modules to restart ... is only in REC"; FD knows just this one move).
+
+Hardening against lossy networks and fail-slow components
+---------------------------------------------------------
+
+The paper's FD assumes a quiet LAN and crash-only failures.  With
+``timeout_policy="adaptive"`` the detector instead:
+
+* derives its reply timeout from observed ping RTTs (Jacobson/Karels
+  ``srtt + 4·rttvar`` plus a margin, clamped below the ping period so every
+  round is judged before the next), in the spirit of accrual detectors;
+* tracks a loss EWMA and requires extra consecutive misses to declare when
+  the network is visibly lossy — trading a bounded amount of detection
+  latency for a large false-positive reduction;
+* attributes an *all-components-silent* round to the network (partition
+  suspicion), extending the mbus-down suppression: declarations are held
+  until any reply proves the fabric alive again;
+* retracts a declaration (and tells REC to drop the queued report) when the
+  declared component answers before the restart order lands — the
+  spurious-restart guard.
+
+Independently of the timeout policy, FD can drive an
+:class:`~repro.components.health.EndToEndProber` (``probe_period > 0``) to
+unmask *zombies* — processes that answer liveness pings while dropping real
+work — and it counts ground-truth false positives per component (the
+process was running and undegraded when declared).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set, TYPE_CHECKING
+from typing import Dict, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
+from repro.components.health import EndToEndProber, probe_reply_info
 from repro.errors import ChannelClosedError, ConnectionRefusedError_
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import (
+    CommandMessage,
     FailureReport,
     Message,
     PingReply,
@@ -37,6 +64,10 @@ from repro.xmlcmd.commands import (
     encode_message,
     parse_message,
 )
+
+#: Control-channel verb asking REC to drop a queued report (see
+#: :meth:`FailureDetector._maybe_retract`).
+RETRACT_REPORT_VERB = "retract-report"
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.procmgr.manager import ProcessManager
@@ -64,8 +95,15 @@ class FailureDetector(BusAttachedBehavior):
         rec_grace: SimTime = 2.0,
         bus_component: str = "mbus",
         warmup_grace: SimTime = 60.0,
+        timeout_policy: str = "fixed",
+        adaptive_margin: SimTime = 0.05,
+        probe_period: SimTime = 0.0,
+        probe_timeout: SimTime = 0.5,
+        probe_misses_to_declare: int = 2,
     ) -> None:
         super().__init__(process, network, bus_address)
+        if timeout_policy not in ("fixed", "adaptive"):
+            raise ValueError(f"unknown timeout policy {timeout_policy!r}")
         self.manager = manager
         self.monitored = list(monitored)
         self.rec_name = rec_name
@@ -76,6 +114,15 @@ class FailureDetector(BusAttachedBehavior):
         self.report_interval = report_interval
         self.rec_grace = rec_grace
         self.bus_component = bus_component
+        #: "fixed" is the paper's constant reply timeout; "adaptive" enables
+        #: the RTT-derived timeout, loss-aware miss threshold, partition
+        #: suspicion, and the spurious-restart (retraction) guard.
+        self.timeout_policy = timeout_policy
+        self.adaptive_margin = adaptive_margin
+        #: End-to-end probing cadence; 0 disables the prober entirely.
+        self.probe_period = probe_period
+        self.probe_timeout = probe_timeout
+        self.probe_misses_to_declare = probe_misses_to_declare
         #: After this long since FD's own start, judge even components this
         #: incarnation has never seen alive.  Bounds the blind spot where a
         #: component fails, FD itself is then restarted, and the fresh FD —
@@ -87,17 +134,40 @@ class FailureDetector(BusAttachedBehavior):
         self._ctl: Optional["Endpoint"] = None
         self._ctl_pending = False
         self._seq = 0
-        self._outstanding: Dict[str, int] = {}
+        #: component -> (seq, sent_at) of the unanswered ping, if any.
+        self._outstanding: Dict[str, Tuple[int, SimTime]] = {}
         self._misses: Dict[str, int] = {}
         self._warmed: Set[str] = set()
         self._suspected: Set[str] = set()
+        #: What declared each suspect: "ping" or "probe".  Ping replies
+        #: never clear a probe-based suspicion (zombies answer pings).
+        self._suspected_via: Dict[str, str] = {}
         self._suppressed: Set[str] = set()
         self._last_report_at: Dict[str, SimTime] = {}
+        #: Components whose report reached REC and has not been consumed by
+        #: a restart order or a retraction yet.
+        self._reported: Set[str] = set()
+        # Adaptive-timeout state (Jacobson/Karels RTT estimator + loss EWMA).
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._loss_ewma = 0.0
+        # Partition suspicion: per-round accounting of who was pinged over
+        # the bus and who answered.  Evaluated by the round's *first* judge
+        # — by then every reply that beat the timeout has arrived, so the
+        # verdict lands before any declaration from the same round.
+        self._round_pinged: Set[str] = set()
+        self._round_replied: Set[str] = set()
+        self._round_judged = True
+        self._partition_suspected = False
+        self._prober: Optional[EndToEndProber] = None
         self._rec_seq = 0
         self._rec_outstanding: Optional[int] = None
         self._rec_misses = 0
         self._rec_restart_inflight = False
         self.reports_sent = 0
+        #: Ground-truth accounting (cumulative across FD restarts).
+        self.false_positives: Dict[str, int] = {}
+        self.retractions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -108,18 +178,44 @@ class FailureDetector(BusAttachedBehavior):
         self._misses = {name: 0 for name in self.monitored}
         self._warmed = set()
         self._suspected = set()
+        self._suspected_via = {}
         self._suppressed = set()
         self._last_report_at = {}
+        self._reported = set()
+        self._srtt = None
+        self._rttvar = 0.0
+        self._loss_ewma = 0.0
+        self._round_pinged = set()
+        self._round_replied = set()
+        self._round_judged = True
+        self._partition_suspected = False
         self._rec_outstanding = None
         self._rec_misses = 0
         self._rec_restart_inflight = False
         self._started_at = self.kernel.now
         super().on_start()
         self._connect_ctl()
+        if self.probe_period > 0:
+            self._prober = EndToEndProber(
+                self.kernel,
+                [c for c in self.monitored if c != self.bus_component],
+                self.send,
+                sender=self.name,
+                period=self.probe_period,
+                timeout=self.probe_timeout,
+                misses_to_suspect=self.probe_misses_to_declare,
+                on_suspect=self._on_probe_suspect,
+                on_recovered=self._on_probe_recovered,
+                skip=self._probe_skip,
+            )
+            self._prober.start()
         self.kernel.call_after(self.ping_period, self._tick)
 
     def on_kill(self) -> None:
         super().on_kill()
+        if self._prober is not None:
+            self._prober.stop()
+            self._prober = None
         if self._ctl is not None:
             self._ctl.close()
             self._ctl = None
@@ -176,6 +272,10 @@ class FailureDetector(BusAttachedBehavior):
         if isinstance(message, RestartOrder):
             if message.reason == "begin":
                 self._suppressed.update(message.components)
+                for component in message.components:
+                    # The order landed: the report was consumed, so it is
+                    # no longer retractable.
+                    self._reported.discard(component)
                 self.trace(ev.SUPPRESSION_BEGIN, components=message.components)
             elif message.reason == "complete":
                 for component in message.components:
@@ -183,6 +283,9 @@ class FailureDetector(BusAttachedBehavior):
                     self._misses[component] = 0
                     self._outstanding.pop(component, None)
                     self._suspected.discard(component)
+                    self._suspected_via.pop(component, None)
+                    if self._prober is not None:
+                        self._prober.reset(component)
                 self.trace(ev.SUPPRESSION_END, components=message.components)
 
     # ------------------------------------------------------------------
@@ -198,41 +301,72 @@ class FailureDetector(BusAttachedBehavior):
             # a successful TCP connect is itself evidence the bus is back,
             # and avoids falsely judging mbus in the reconnect gap.
             self._try_connect()
+        adaptive = self.timeout_policy == "adaptive"
+        if adaptive:
+            if not self.connected and self._partition_suspected:
+                # No bus connection: the mbus-down attribution owns this
+                # case; partition suspicion only reasons about silence on a
+                # connection that looks healthy.
+                self._partition_suspected = False
+                self.trace(ev.PARTITION_CLEARED)
+            self._round_pinged = set()
+            self._round_replied = set()
+            self._round_judged = False
         self._ping_rec()
+        timeout = self._current_timeout()
+        now = self.kernel.now
         for component in self.monitored:
             if component in self._suppressed:
                 continue
             self._seq += 1
-            self._outstanding[component] = self._seq
+            self._outstanding[component] = (self._seq, now)
             sent = self.send(PingRequest(sender=self.name, target=component, seq=self._seq))
             if not sent:
                 # Cannot even reach the bus: only the bus's own ping can be
                 # meaningfully judged.  Treat as an immediate miss for mbus,
                 # and leave others unjudged.
                 if component == self.bus_component:
-                    self.kernel.call_after(
-                        self.reply_timeout, self._judge, component, self._seq
-                    )
+                    self.kernel.call_after(timeout, self._judge, component, self._seq)
                 else:
                     self._outstanding.pop(component, None)
                 continue
-            self.kernel.call_after(self.reply_timeout, self._judge, component, self._seq)
+            if adaptive:
+                self._round_pinged.add(component)
+            self.kernel.call_after(timeout, self._judge, component, self._seq)
 
     def on_message(self, message: Message) -> None:
         if isinstance(message, PingReply):
             component = message.sender
             self._warmed.add(component)
-            if self._outstanding.get(component) == message.seq:
+            entry = self._outstanding.get(component)
+            if entry is not None and entry[0] == message.seq:
                 del self._outstanding[component]
+                if self.timeout_policy == "adaptive":
+                    self._round_replied.add(component)
+                    self._observe_rtt(self.kernel.now - entry[1])
+                    self._observe_loss(0.0)
+                    if self._partition_suspected:
+                        self._partition_suspected = False
+                        self.trace(ev.PARTITION_CLEARED, component=component)
                 self._misses[component] = 0
-                if component in self._suspected:
+                if (
+                    component in self._suspected
+                    and self._suspected_via.get(component) != "probe"
+                ):
                     self._suspected.discard(component)
+                    self._suspected_via.pop(component, None)
                     self.trace(ev.COMPONENT_RECOVERED_OBSERVED, component=component)
+                    self._maybe_retract(component, "ping")
+            return
+        info = probe_reply_info(message)
+        if info is not None and self._prober is not None:
+            self._prober.on_reply(*info)
 
     def _judge(self, component: str, seq: int) -> None:
         if not self._alive:
             return
-        if self._outstanding.get(component) != seq:
+        entry = self._outstanding.get(component)
+        if entry is None or entry[0] != seq:
             return  # answered (or superseded by a later ping)
         del self._outstanding[component]
         if component in self._suppressed:
@@ -248,23 +382,57 @@ class FailureDetector(BusAttachedBehavior):
             # anything still silent long after FD's start is genuinely down.
             return
         self._misses[component] = self._misses.get(component, 0) + 1
-        if self._misses[component] < self.misses_to_declare:
+        if self.timeout_policy == "adaptive":
+            if not self._round_judged:
+                # First judge of the round: every reply that beat the
+                # timeout is in, so the all-silent verdict is decidable now
+                # — before this round produces any declaration.
+                self._round_judged = True
+                self._evaluate_round()
+            if self._misses[component] == 1 and component not in self._suspected:
+                # Only the first miss of a run samples the loss estimator: a
+                # dead component misses every round and would otherwise
+                # saturate it.
+                self._observe_loss(1.0)
+        if self._misses[component] < self._required_misses():
             return
         # Attribution: while the bus is suspected, other components' silence
         # proves nothing.
         if component != self.bus_component and self.bus_component in self._suspected:
             return
+        if self._partition_suspected and self.connected:
+            # All-monitored silence with a live bus connection points at the
+            # fabric, not the components; hold declarations until a reply
+            # proves the network again.
+            return
         if component not in self._suspected:
-            self._suspected.add(component)
+            self._declare(component, "ping")
+        self._report(component)
+
+    def _declare(self, component: str, via: str) -> None:
+        self._suspected.add(component)
+        self._suspected_via[component] = via
+        self.trace(
+            ev.FAILURE_DETECTED,
+            severity=Severity.WARNING,
+            component=component,
+        )
+        self.kernel.trace.emit(self.name, ev.DETECTION, component=component, via=via)
+        # Ground-truth accounting (the detector cannot act on this — it is
+        # the experiment's measure of detection accuracy, not FD state).
+        process = self.manager.maybe_get(component)
+        if (
+            process is not None
+            and process.is_running
+            and process.degraded_mode is None
+        ):
+            self.false_positives[component] = self.false_positives.get(component, 0) + 1
             self.trace(
-                ev.FAILURE_DETECTED,
+                ev.DETECTION_FALSE_POSITIVE,
                 severity=Severity.WARNING,
                 component=component,
+                via=via,
             )
-            self.kernel.trace.emit(
-                self.name, ev.DETECTION, component=component
-            )
-        self._report(component)
 
     def _report(self, component: str) -> None:
         now = self.kernel.now
@@ -279,7 +447,117 @@ class FailureDetector(BusAttachedBehavior):
         )
         if self._ctl_send(report):
             self._last_report_at[component] = now
+            self._reported.add(component)
             self.reports_sent += 1
+
+    def _maybe_retract(self, component: str, via: str) -> None:
+        """Spurious-restart guard: withdraw a report the order hasn't consumed.
+
+        Only the hardened (adaptive) detector retracts; the fixed-timeout
+        detector keeps the paper's fire-and-forget reporting, which is what
+        the ablation contrasts.
+        """
+        if self.timeout_policy != "adaptive":
+            return
+        if component in self._suppressed or component not in self._reported:
+            return
+        self._reported.discard(component)
+        self.retractions[component] = self.retractions.get(component, 0) + 1
+        self.trace(
+            ev.DETECTION_RETRACTED,
+            severity=Severity.WARNING,
+            component=component,
+            via=via,
+        )
+        self._ctl_send(
+            CommandMessage(
+                sender=self.name,
+                target=self.rec_name,
+                verb=RETRACT_REPORT_VERB,
+                params={"component": component},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # adaptive timeout machinery
+    # ------------------------------------------------------------------
+
+    def _current_timeout(self) -> SimTime:
+        """The reply timeout for this round, by policy."""
+        if self.timeout_policy != "adaptive" or self._srtt is None:
+            return self.reply_timeout
+        timeout = self._srtt + 4.0 * self._rttvar + self.adaptive_margin
+        # The cap keeps every judgement inside its own round: the next tick
+        # overwrites the outstanding seq, and a judge landing after it would
+        # silently lose the miss.
+        cap = 0.9 * self.ping_period
+        return min(max(timeout, self.adaptive_margin), cap)
+
+    def _observe_rtt(self, rtt: float) -> None:
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+            return
+        err = rtt - self._srtt
+        self._srtt += 0.125 * err
+        self._rttvar += 0.25 * (abs(err) - self._rttvar)
+
+    def _observe_loss(self, sample: float) -> None:
+        self._loss_ewma += 0.1 * (sample - self._loss_ewma)
+
+    def _required_misses(self) -> int:
+        """Loss-aware declaration threshold (adaptive policy only)."""
+        if self.timeout_policy != "adaptive":
+            return self.misses_to_declare
+        if self._loss_ewma >= 0.15:
+            return self.misses_to_declare + 2
+        if self._loss_ewma >= 0.03:
+            return self.misses_to_declare + 1
+        return self.misses_to_declare
+
+    def _evaluate_round(self) -> None:
+        """Partition suspicion: is *everyone* we pinged this round silent?"""
+        if not self.connected or self._partition_suspected:
+            return
+        if len(self._round_pinged) >= 2 and not self._round_replied:
+            self._partition_suspected = True
+            self.trace(
+                ev.PARTITION_SUSPECTED,
+                severity=Severity.WARNING,
+                components=tuple(sorted(self._round_pinged)),
+            )
+
+    # ------------------------------------------------------------------
+    # end-to-end probing (zombie unmasking)
+    # ------------------------------------------------------------------
+
+    def _probe_skip(self, component: str) -> bool:
+        return (
+            component in self._suppressed
+            or not self.connected
+            or component not in self._warmed
+            or self.bus_component in self._suspected
+            or self._partition_suspected
+        )
+
+    def _on_probe_suspect(self, component: str) -> None:
+        if self._misses.get(component, 0) > 0:
+            # The ping path sees trouble too — it owns attribution (probes
+            # exist to catch components that *pass* pings).
+            return
+        if component not in self._suspected:
+            self._declare(component, "probe")
+        self._report(component)
+
+    def _on_probe_recovered(self, component: str) -> None:
+        if (
+            component in self._suspected
+            and self._suspected_via.get(component) == "probe"
+        ):
+            self._suspected.discard(component)
+            self._suspected_via.pop(component, None)
+            self.trace(ev.COMPONENT_RECOVERED_OBSERVED, component=component)
+            self._maybe_retract(component, "probe")
 
     # ------------------------------------------------------------------
     # REC watchdog (the FD half of §2.2's mutual special case)

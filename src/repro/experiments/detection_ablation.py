@@ -1,0 +1,212 @@
+"""Detection-accuracy vs. MTTR ablation under network loss.
+
+The paper's detector uses a fixed 0.2 s reply timeout with a single miss
+declaring failure — correct on the quiet station LAN it assumes.  This
+bench measures what that assumption is worth: it sweeps message drop rate
+× timeout policy and reports, per cell,
+
+* **false positives** — declarations whose component was in fact healthy
+  (ground truth read at declaration time: process running, not degraded);
+* **retractions** — reports the adaptive detector withdrew after the
+  component answered again;
+* **detection latency** — the FN-side cost: a conservative detector avoids
+  false alarms by waiting longer, so real failures surface later (the
+  ``late`` column counts detections past ``LATE_DETECTION_S``);
+* **MTTR** — what the spurious restarts and the delayed detections do to
+  end-to-end recovery time.
+
+A caution on reading single cells: the FP counter is declaration-based, and
+a false positive that escalates (two spurious reports on one component buy
+a whole-subtree restart) *suppresses* further declarations for the long
+restart it causes — the counter goes quiet exactly while the cost explodes
+into detection latency and MTTR.  Compare policies on aggregates over
+several seeds, and on ``unretracted_false_positives`` (a retracted report
+never reached the restart policy, so it cost nothing but detector state).
+
+Every cell runs the full supervisor on a fault-fabric station.  The
+restart budget is overridden far up: at high drop rates the fixed policy
+fires near-continuous spurious restarts, and the stock budget (6 per
+300 s) would abandon components to the operator — this bench measures the
+detector, not the budget.  Chaos is time-boxed: failures are injected
+under loss, a tail runs out under loss, accuracy counters are snapshotted,
+and only then is the fabric cleared and the station drained (with an
+operator whole-station restart as the last-resort fallback, counted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.tree import RestartTree
+from repro.errors import ExperimentError
+from repro.experiments.metrics import RecoveryStats
+from repro.mercury.config import PAPER_CONFIG, StationConfig
+from repro.mercury.station import MercuryStation
+from repro.obs import events as ev
+from repro.obs.sinks import MetricsSink
+from repro.obs.spans import EpisodeTracker
+
+#: A detection slower than this counts as "late" (the FN-side proxy): the
+#: fixed policy detects in at most ping_period + reply_timeout = 1.2 s, so
+#: anything past 2.5 s means the policy sat out at least one full round.
+LATE_DETECTION_S = 2.5
+
+#: Components shot during the sweep (present in every tree generation).
+_TARGETS = ("rtu", "ses", "str")
+
+
+@dataclass
+class DetectionCellResult:
+    """One (tree, drop rate, policy) cell of the ablation."""
+
+    tree_name: str
+    drop_rate: float
+    policy: str
+    failures: int
+    false_positives: int = 0
+    retractions: int = 0
+    detections: int = 0
+    late_detections: int = 0
+    escalations: int = 0
+    operator_interventions: int = 0
+    net_dropped: int = 0
+    detection_latencies: List[float] = field(default_factory=list)
+    mttr_samples: List[float] = field(default_factory=list)
+
+    @property
+    def mttr(self) -> RecoveryStats:
+        """Aggregate MTTR statistics over the completed episodes."""
+        return RecoveryStats.from_samples(self.mttr_samples)
+
+    @property
+    def unretracted_false_positives(self) -> int:
+        """Spurious declarations that stood (were never withdrawn)."""
+        return max(0, self.false_positives - self.retractions)
+
+    @property
+    def mean_detection_latency(self) -> float:
+        if not self.detection_latencies:
+            return 0.0
+        return sum(self.detection_latencies) / len(self.detection_latencies)
+
+
+def run_detection_cell(
+    tree: RestartTree,
+    drop_rate: float,
+    policy: str,
+    failures: int = 3,
+    seed: int = 0,
+    config: StationConfig = PAPER_CONFIG,
+    tail_s: float = 40.0,
+    quiesce_timeout: float = 600.0,
+) -> DetectionCellResult:
+    """Inject ``failures`` crashes under ``drop_rate`` loss with ``policy``.
+
+    Deterministic in ``seed``: injection arrival gaps and targets come from
+    the station kernel's ``"ablation.arrivals"`` stream, and the fabric's
+    per-link streams drive the loss, so a cell replays bit-identically.
+    """
+    config = config.with_overrides(
+        timeout_policy=policy,
+        # The bench measures the detector, not the budget (see module doc).
+        restart_budget=10_000,
+    )
+    station = MercuryStation(
+        tree=tree,
+        config=config,
+        seed=seed,
+        supervisor="full",
+        trace_capacity=50_000,
+        net_faults=True,
+    )
+    metrics = MetricsSink()
+    tracker = EpisodeTracker()
+    station.kernel.trace.add_sink(metrics)
+    station.kernel.trace.add_sink(tracker)
+
+    station.boot()
+    station.run_until_quiescent(timeout=quiesce_timeout)
+
+    faults = station.network.faults
+    assert faults is not None
+    faults.degrade(
+        drop=drop_rate,
+        spike_probability=drop_rate,
+        spike_seconds=(0.05, 0.35),
+    )
+    arrivals = station.kernel.rngs.stream("ablation.arrivals")
+    targets = [name for name in _TARGETS if name in station.station_components]
+    for index in range(failures):
+        station.run_for(arrivals.uniform(12.0, 18.0))
+        station.injector.inject_simple(targets[index % len(targets)])
+    station.run_for(tail_s)
+
+    # Accuracy is judged on the lossy window only: snapshot before healing
+    # the fabric (the drain below runs on a clean network by design).
+    false_positives = metrics.count(ev.DETECTION_FALSE_POSITIVE)
+    retractions = metrics.count(ev.DETECTION_RETRACTED)
+    net_dropped = faults.messages_dropped
+    faults.clear()
+
+    operator_interventions = 0
+    try:
+        station.run_until_quiescent(timeout=quiesce_timeout)
+    except ExperimentError:
+        operator_interventions += 1
+        station.manager.restart(station.station_components)
+        station.run_until_quiescent(timeout=quiesce_timeout)
+    tracker.flush()
+
+    result = DetectionCellResult(
+        tree_name=tree.name,
+        drop_rate=drop_rate,
+        policy=policy,
+        failures=failures,
+        false_positives=false_positives,
+        retractions=retractions,
+        escalations=metrics.count(ev.OPERATOR_ESCALATION),
+        operator_interventions=operator_interventions,
+        net_dropped=net_dropped,
+    )
+    for episode in tracker.episodes:
+        if episode.kind != "failure":
+            continue
+        if episode.detection_latency is not None:
+            result.detections += 1
+            result.detection_latencies.append(episode.detection_latency)
+            if episode.detection_latency > LATE_DETECTION_S:
+                result.late_detections += 1
+        if episode.is_complete and episode.total_recovery is not None:
+            result.mttr_samples.append(episode.total_recovery)
+    return result
+
+
+def run_detection_ablation(
+    tree: RestartTree,
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.15),
+    policies: Sequence[str] = ("fixed", "adaptive"),
+    failures: int = 3,
+    seed: int = 0,
+    config: StationConfig = PAPER_CONFIG,
+) -> Dict[Tuple[float, str], DetectionCellResult]:
+    """The full sweep: every drop rate × every timeout policy on one tree.
+
+    Each cell derives its own seed from ``(seed, drop, policy)`` so cells
+    are independent — reordering or subsetting the sweep never changes a
+    cell's result.
+    """
+    from repro.experiments.runner import campaign_seed
+
+    results: Dict[Tuple[float, str], DetectionCellResult] = {}
+    for drop in drop_rates:
+        for policy in policies:
+            results[(drop, policy)] = run_detection_cell(
+                tree,
+                drop,
+                policy,
+                failures=failures,
+                seed=campaign_seed(seed, "detection", tree.name, drop, policy),
+                config=config,
+            )
+    return results

@@ -54,7 +54,10 @@ from repro.sim.rng import derive_seed
 #: v2: recovery payloads gained "phases"; availability gained
 #: "phase_breakdown" (per-component recovery-phase aggregates).
 #: v3: chaos cells (new "chaos" kind and the ``scenario`` spec field).
-CACHE_VERSION = 3
+#: v4: chaos payloads gained detection-accuracy and network-fabric counters
+#: (``false_positives``/``retractions``/``net_dropped``/``net_duplicated``),
+#: and scenarios may carry station overrides that change cell semantics.
+CACHE_VERSION = 4
 
 
 # ----------------------------------------------------------------------

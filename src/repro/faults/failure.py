@@ -22,6 +22,46 @@ from repro.types import SimTime
 
 _ids = itertools.count(1)
 
+#: Kinds that *crash* the manifest component (SIGKILL-style process death).
+CRASH_KINDS = frozenset(
+    {
+        "crash",  # the default: a simple process death
+        "joint",  # needs a joint restart of its cure set
+        "chaos",  # injected by a chaos scenario schedule
+        "flap",  # rapid repeated kills (flapping scenarios)
+        "transient",  # cured by any restart covering it, never re-manifests
+        "persistent",  # deliberately mislabelled cure sets (oracle stress)
+        "aging",  # resource-leak death after repeated provocations
+        "induced-resync",  # induced by a peer's restart (resync coupling)
+        "induced-group",  # induced by a correlated failure group member
+    }
+)
+
+#: Fail-slow kinds: the process stays alive but degrades.  ``hang`` stops
+#: answering everything (pings included); ``zombie`` keeps answering FD
+#: pings while silently dropping real work, so only end-to-end probes see
+#: it.  The injector degrades the process instead of killing it.
+FAIL_SLOW_KINDS = frozenset({"hang", "zombie"})
+
+_known_kinds = set(CRASH_KINDS | FAIL_SLOW_KINDS)
+
+
+def known_failure_kinds() -> FrozenSet[str]:
+    """The currently declared failure kinds."""
+    return frozenset(_known_kinds)
+
+
+def register_failure_kind(kind: str) -> str:
+    """Declare an additional failure kind (for experiment extensions).
+
+    Descriptor construction validates against the declared set so a typo'd
+    kind fails loudly instead of silently matching no injector branch.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"failure kind must be a non-empty string, got {kind!r}")
+    _known_kinds.add(kind)
+    return kind
+
 
 @dataclass(frozen=True)
 class FailureDescriptor:
@@ -39,8 +79,10 @@ class FailureDescriptor:
     injected_at:
         Simulated time of (first) injection.
     kind:
-        Free-form label for reports (``"crash"``, ``"joint"``, ``"induced"``,
-        ``"aging"``).
+        One of the declared failure kinds (:data:`CRASH_KINDS` |
+        :data:`FAIL_SLOW_KINDS`, or anything added via
+        :func:`register_failure_kind`).  Crash kinds kill the process;
+        fail-slow kinds (``"hang"``, ``"zombie"``) degrade it in place.
     induced_by:
         For correlation-induced failures, the id of the provoking failure.
     """
@@ -57,6 +99,11 @@ class FailureDescriptor:
             raise ValueError(
                 f"cure set {set(self.cure_set)!r} must contain the manifest "
                 f"component {self.manifest_component!r}"
+            )
+        if self.kind not in _known_kinds:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; declared kinds are "
+                f"{sorted(_known_kinds)} (extend via register_failure_kind)"
             )
 
     def is_cured_by(self, restarted: FrozenSet[str]) -> bool:

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.faults.curability import CurabilityProfile
 from repro.faults.distributions import LifetimeDistribution
-from repro.faults.failure import FailureDescriptor
+from repro.faults.failure import FAIL_SLOW_KINDS, FailureDescriptor
 from repro.obs import events as ev
 from repro.procmgr.manager import ProcessManager
 from repro.procmgr.process import SimProcess
@@ -82,7 +82,15 @@ class FaultInjector:
             cure_set=tuple(sorted(descriptor.cure_set)),
             failure_kind=descriptor.kind,
         )
-        self.manager.fail(descriptor.manifest_component, descriptor)
+        if descriptor.kind in FAIL_SLOW_KINDS:
+            # Fail-slow: the process stays up, degraded.  Cure semantics
+            # are unchanged — only a restart covering the cure set (which
+            # wipes the degraded mode) cures the failure.
+            self.manager.degrade(
+                descriptor.manifest_component, descriptor.kind, descriptor
+            )
+        else:
+            self.manager.fail(descriptor.manifest_component, descriptor)
         return descriptor
 
     def inject_simple(self, component: str, kind: str = "crash") -> FailureDescriptor:
@@ -165,7 +173,12 @@ class FaultInjector:
             component=descriptor.manifest_component,
             failure_id=descriptor.failure_id,
         )
-        self.manager.fail(descriptor.manifest_component, descriptor)
+        if descriptor.kind in FAIL_SLOW_KINDS:
+            self.manager.degrade(
+                descriptor.manifest_component, descriptor.kind, descriptor
+            )
+        else:
+            self.manager.fail(descriptor.manifest_component, descriptor)
 
 
 class SteadyStateInjector:

@@ -92,6 +92,16 @@ class StationConfig:
     ping_period: float = 1.0
     reply_timeout: float = 0.2
     misses_to_declare: int = 1
+    #: "fixed" is the paper's constant reply timeout; "adaptive" enables the
+    #: hardened detector (RTT-derived timeout, loss-aware miss threshold,
+    #: partition suspicion, spurious-restart retraction).
+    timeout_policy: str = "fixed"
+    #: Additive safety margin on the adaptive timeout (seconds).
+    adaptive_margin: float = 0.05
+    #: End-to-end probe cadence for zombie unmasking; 0 disables probing.
+    probe_period: float = 0.0
+    probe_timeout: float = 0.5
+    probe_misses_to_declare: int = 2
 
     # -- recovery policy ---------------------------------------------------
     observation_window: float = 3.0

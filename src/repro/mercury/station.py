@@ -57,7 +57,7 @@ from repro.mercury.trees import tree_v, uses_split_components
 from repro.procmgr.manager import ProcessManager
 from repro.procmgr.process import ProcessSpec, StartupContext
 from repro.sim.kernel import Kernel
-from repro.transport.network import Network
+from repro.transport.network import Network, NetworkFaultModel
 
 BUS_ADDRESS = "mbus:7000"
 PBCOM_ADDRESS = "pbcom:9000"
@@ -82,6 +82,7 @@ class MercuryStation:
         solution_fn: Optional[Callable] = None,
         solution_period: float = 2.0,
         trace_capacity: Optional[int] = None,
+        net_faults: bool = False,
     ) -> None:
         """Assemble the station.
 
@@ -100,12 +101,33 @@ class MercuryStation:
         steady_faults:
             Arm the Table 1 steady-state failure arrivals (availability
             experiments).
+        net_faults:
+            Attach a :class:`~repro.transport.network.NetworkFaultModel` to
+            the fabric (inert until a scenario degrades or partitions a
+            link).  Incompatible with the abstract supervisor, which models
+            detection as a latency distribution over direct process-death
+            observations and would silently ignore every network fault.
         """
         self.config = config
         self.tree = tree if tree is not None else tree_v()
         self.split = uses_split_components(self.tree)
         self.kernel = Kernel(seed=seed, trace_capacity=trace_capacity)
-        self.network = Network(self.kernel)
+        if net_faults and supervisor == "abstract":
+            raise ExperimentError(
+                "net_faults requires the full supervisor: the abstract "
+                "supervisor's no-network-faults precondition (see "
+                "repro.detection.abstract) would make lossy results a lie"
+            )
+        self.network = Network(
+            self.kernel,
+            faults=NetworkFaultModel(self.kernel) if net_faults else None,
+        )
+        if self.network.faults is not None:
+            # FD and REC are co-located supervisor processes; their control
+            # channel is host-local IPC, not station-LAN traffic, so the
+            # wildcard default profile never touches it.  (A scenario that
+            # *names* the fd~rec link still can.)
+            self.network.faults.exempt_link("fd", "rec")
         self.hardware = GroundStationHardware(self.kernel)
         self.manager = ProcessManager(
             self.kernel,
@@ -291,6 +313,11 @@ class MercuryStation:
                 ping_period=config.ping_period,
                 reply_timeout=config.reply_timeout,
                 misses_to_declare=config.misses_to_declare,
+                timeout_policy=config.timeout_policy,
+                adaptive_margin=config.adaptive_margin,
+                probe_period=config.probe_period,
+                probe_timeout=config.probe_timeout,
+                probe_misses_to_declare=config.probe_misses_to_declare,
             )
             return self.fd
 

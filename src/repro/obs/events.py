@@ -49,7 +49,8 @@ class EventSpec:
         The machine-readable kind string carried by trace records.
     layer:
         Owning subsystem (``"proc"``, ``"detection"``, ``"recovery"``,
-        ``"faults"``, ``"bus"``, ``"mercury"``, ``"hw"``, ``"passes"``).
+        ``"faults"``, ``"bus"``, ``"net"``, ``"mercury"``, ``"hw"``,
+        ``"passes"``).
     description:
         One-line human description, used by the catalogue docs and CLI.
     required:
@@ -216,6 +217,13 @@ PROCESS_STOPPED = REGISTRY.register(
     "A process was stopped deliberately (supervised restart).",
     required=("name", "signal", "was_starting"),
 )
+PROCESS_DEGRADED = REGISTRY.register(
+    "process_degraded", "proc",
+    "A running process entered a fail-slow mode: 'hang' (alive, answers "
+    "nothing) or 'zombie' (answers pings, drops real work).",
+    required=("name", "mode"), optional=("failure_id",),
+    narrative=lambda d: f"{d['name']} degraded to {d.get('mode')} mode",
+)
 
 # ----------------------------------------------------------------------
 # declarations — bus broker and bus-attached components
@@ -283,8 +291,36 @@ DETECTION = REGISTRY.register(
     "detection", "detection",
     "The supervisor declared a component failed (canonical detect mark).",
     required=("component",),
+    optional=("via",),
     phase="detect",
     narrative=lambda d: f"FD detected {d['component']}",
+)
+DETECTION_RETRACTED = REGISTRY.register(
+    "detection_retracted", "detection",
+    "A declared component answered before its restart order landed; the "
+    "declaration was withdrawn (spurious-restart guard).",
+    required=("component",), optional=("via",),
+    narrative=lambda d: f"FD retracted its declaration of {d['component']}",
+)
+DETECTION_FALSE_POSITIVE = REGISTRY.register(
+    "detection_false_positive", "detection",
+    "FD declared a component that was in fact running and undegraded "
+    "(ground-truth accounting; the detector itself cannot see this).",
+    required=("component",), optional=("via",),
+)
+PARTITION_SUSPECTED = REGISTRY.register(
+    "partition_suspected", "detection",
+    "Every monitored component missed in one ping round; FD attributes "
+    "the silence to the network, not the components.",
+    required=("components",),
+    narrative=lambda d: (
+        f"FD suspects a partition (all of {_components_list(d)} silent)"
+    ),
+)
+PARTITION_CLEARED = REGISTRY.register(
+    "partition_cleared", "detection",
+    "A ping reply arrived while a partition was suspected.",
+    optional=("component",),
 )
 REC_RESTART = REGISTRY.register(
     "rec_restart", "detection",
@@ -355,6 +391,12 @@ EPISODE_CLOSED = REGISTRY.register(
     phase="close",
     narrative=lambda d: f"episode closed for {d['component']} (cure held)",
 )
+REPORT_RETRACTED = REGISTRY.register(
+    "report_retracted", "recovery",
+    "FD withdrew a queued failure report before REC acted on it.",
+    required=("component",),
+    narrative=lambda d: f"REC dropped the retracted report for {d['component']}",
+)
 PROACTIVE_RESTART = REGISTRY.register(
     "proactive_restart", "recovery",
     "A rejuvenation round restarted a cell prophylactically.",
@@ -404,6 +446,37 @@ VICTIM_AGED = REGISTRY.register(
     "victim_aged", "faults",
     "A provoker disconnect aged its victim by one unit.",
     required=("component", "provoker", "age", "threshold"),
+)
+
+# ----------------------------------------------------------------------
+# declarations — network fault fabric (repro.transport)
+# ----------------------------------------------------------------------
+
+NET_LINK_DEGRADED = REGISTRY.register(
+    "net_link_degraded", "net",
+    "A link (or the all-links default) started dropping/delaying traffic.",
+    required=("link",),
+    optional=("drop", "spike_probability", "duplicate_probability", "duration"),
+    narrative=lambda d: (
+        f"network degraded on {d['link']} (drop {d.get('drop')})"
+    ),
+)
+NET_LINK_RESTORED = REGISTRY.register(
+    "net_link_restored", "net",
+    "A degraded link returned to clean delivery.",
+    required=("link",),
+)
+NET_PARTITION_BEGIN = REGISTRY.register(
+    "net_partition_begin", "net",
+    "A bidirectional partition cut one named link.",
+    required=("link", "until"),
+    narrative=lambda d: f"network partition on {d['link']}",
+)
+NET_PARTITION_END = REGISTRY.register(
+    "net_partition_end", "net",
+    "A partition healed (timed or manual).",
+    required=("link",),
+    narrative=lambda d: f"network partition on {d['link']} healed",
 )
 
 # ----------------------------------------------------------------------

@@ -63,6 +63,9 @@ class RecoveryEpisode:
     cure_set: tuple = ()
     injected_at: Optional[SimTime] = None
     detected_at: Optional[SimTime] = None
+    #: What the detector used to declare this failure: ``"ping"`` (liveness
+    #: miss) or ``"probe"`` (end-to-end probe unmasked a fail-slow mode).
+    detected_via: Optional[str] = None
     decided_at: Optional[SimTime] = None
     #: Cells ordered restarted during this episode, in order (escalations
     #: append; the last entry is the curing restart's cell).
@@ -166,9 +169,14 @@ class EpisodeTracker:
         self._watchdogs: Dict[str, RecoveryEpisode] = {}
         #: Rejuvenation rounds observed (not tracked as episodes).
         self.proactive_restarts = 0
+        #: Detection-accuracy tallies (ground-truth FPs and retractions).
+        self.false_positives = 0
+        self.retractions = 0
         self._dispatch = {
             ev.FAILURE_INJECTED: self._on_injected,
             ev.DETECTION: self._on_detection,
+            ev.DETECTION_FALSE_POSITIVE: self._on_false_positive,
+            ev.DETECTION_RETRACTED: self._on_retraction,
             ev.RESTART_ORDERED: self._on_restart_ordered,
             ev.RESTART_REKICK: self._on_rekick,
             ev.PROCESS_READY: self._on_ready,
@@ -255,10 +263,17 @@ class EpisodeTracker:
             # Earliest injection still undetected claims the declaration.
             earliest = min(fresh, key=lambda e: e.injected_at or 0.0)
             earliest.detected_at = time
+            earliest.detected_via = data.get("via")
             return
         if candidates:
             # Re-detection after a re-manifestation or an overlapping miss.
             min(candidates, key=lambda e: e.injected_at or 0.0).redetections += 1
+
+    def _on_false_positive(self, time: SimTime, data: Dict[str, Any]) -> None:
+        self.false_positives += 1
+
+    def _on_retraction(self, time: SimTime, data: Dict[str, Any]) -> None:
+        self.retractions += 1
 
     def _on_restart_ordered(self, time: SimTime, data: Dict[str, Any]) -> None:
         components = set(data.get("components", ()))

@@ -123,6 +123,17 @@ class ProcessManager:
         """Inject a fail-silent failure (shorthand for SIGKILL with metadata)."""
         self.kill(name, Signal.KILL, failure)
 
+    def degrade(self, name: str, mode: str, failure: Any = None) -> bool:
+        """Put a running process into a fail-slow mode (hang/zombie).
+
+        The process stays RUNNING and *no lifecycle notification fires* —
+        fail-slow failures are invisible to anything that watches process
+        deaths (notably the abstract supervisor) and must be unmasked by
+        end-to-end probing.  A later restart clears the mode.  Returns
+        whether the process actually degraded.
+        """
+        return self.get(name)._degrade(mode, failure)
+
     def restart(self, names: Iterable[str], hint: str = "cold") -> FrozenSet[str]:
         """Kill (if up) and start the named processes as one batch.
 

@@ -138,6 +138,12 @@ class SimProcess:
         self.last_batch: FrozenSet[str] = frozenset()
         #: Number of kills/failures observed.
         self.failure_count = 0
+        #: Fail-slow mode: ``None`` (healthy), ``"hang"`` (alive, answers
+        #: nothing), or ``"zombie"`` (answers pings, drops real work).
+        #: Behaviors consult this on every receive/send; a restart clears it.
+        self.degraded_mode: Optional[str] = None
+        #: Number of fail-slow degradations observed.
+        self.degrade_count = 0
         self._rng = manager.kernel.rngs.stream(f"proc.{spec.name}")
         if spec.behavior_factory is not None:
             self.behavior = spec.behavior_factory(self)
@@ -190,12 +196,46 @@ class SimProcess:
             return  # killed while starting; contention already aborted
         self.state = ProcessState.RUNNING
         self.failure = None
+        self.degraded_mode = None
         self.start_count += 1
         self.last_ready_at = self.kernel.now
         self.kernel.trace.emit(f"proc.{self.name}", ev.PROCESS_READY, name=self.name)
         if self.behavior is not None:
             self.behavior.on_start()
         self.manager._notify_ready(self)
+
+    def _degrade(self, mode: str, failure: Any = None) -> bool:
+        """Enter a fail-slow mode (manager-internal; see manager.degrade).
+
+        Unlike :meth:`_kill`, this is *not* a lifecycle transition: the
+        process stays RUNNING and no lifecycle listener is notified — the
+        whole point of fail-slow failures is that the supervisor must
+        discover them through its own probes.  Returns whether the mode
+        actually changed (degrading a non-running process is a no-op: the
+        fault landed on a corpse and the pending restart will wipe it).
+        """
+        if mode not in ("hang", "zombie"):
+            raise ValueError(f"unknown degraded mode {mode!r}")
+        if self.state is not ProcessState.RUNNING:
+            return False
+        if self.degraded_mode == "hang":
+            return False  # hang dominates: a hung process can't get worse
+        if self.degraded_mode == mode:
+            return False
+        self.degraded_mode = mode
+        self.degrade_count += 1
+        self.failure = failure
+        if failure is not None:
+            self.last_failure = failure
+        self.kernel.trace.emit(
+            f"proc.{self.name}",
+            ev.PROCESS_DEGRADED,
+            severity=Severity.WARNING,
+            name=self.name,
+            mode=mode,
+            failure_id=getattr(failure, "failure_id", None),
+        )
+        return True
 
     def _kill(self, signal: Signal, failure: Any = None) -> None:
         """Terminate the process (manager-internal; see manager.kill/fail)."""
@@ -207,6 +247,7 @@ class SimProcess:
         self.state = (
             ProcessState.FAILED if signal is Signal.KILL else ProcessState.STOPPED
         )
+        self.degraded_mode = None  # a dead process is no longer fail-slow
         self.failure = failure
         if failure is not None:
             self.last_failure = failure

@@ -127,17 +127,28 @@ class Channel:
         }
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_lost = 0
 
     def transmit(self, sender: Endpoint, message: Any) -> None:
         """Schedule delivery of ``message`` from ``sender`` to its peer."""
         receiver = sender.peer
-        delay = self._network.latency.sample()
-        arrival = max(
-            self._kernel.now + delay, self._last_arrival[id(receiver)]
-        )
-        self._last_arrival[id(receiver)] = arrival
+        faults = self._network.faults
+        if faults is not None and faults.active:
+            copies = faults.plan(sender.name, receiver.name)
+            if copies is None:
+                self.messages_sent += 1
+                self.messages_lost += 1
+                return  # dropped or partitioned: the sender never knows
+        else:
+            copies = (0.0,)
         self.messages_sent += 1
-        self._kernel.call_at(arrival, self._deliver, receiver, message)
+        for extra in copies:
+            delay = self._network.latency.sample() + extra
+            arrival = max(
+                self._kernel.now + delay, self._last_arrival[id(receiver)]
+            )
+            self._last_arrival[id(receiver)] = arrival
+            self._kernel.call_at(arrival, self._deliver, receiver, message)
 
     def _deliver(self, receiver: Endpoint, message: Any) -> None:
         if not self.open:
@@ -155,7 +166,9 @@ class Channel:
             # initiator's too — _notify_close only runs on the other side).
             endpoint._inbox_while_unset.clear()
             if endpoint is not initiator:
-                # Close notification crosses the network like data does.
+                # Close notification crosses the network like data does,
+                # but is immune to the fault model: teardown is surfaced by
+                # the local OS (RST / broken pipe), not by lossy packets.
                 self._kernel.call_after(
                     self._network.latency.sample(), endpoint._notify_close
                 )

@@ -8,15 +8,22 @@ callback.  Message propagation delay comes from a :class:`LatencyModel`.
 The ground station runs on one LAN, so the default latency is small and
 uniform; the model is pluggable so experiments can study how detection time
 (and therefore MTTR) degrades on a slower network (ablation bench).
+
+On top of the latency model sits an optional :class:`NetworkFaultModel`: a
+deterministic, per-link fabric of drops, delay spikes, duplication, and
+timed bidirectional partitions.  Every link draws from its own named RNG
+stream, so a chaos run that degrades the network replays bit-identically
+from its seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import AddressInUseError, ConnectionRefusedError_
-from repro.types import SimTime
+from repro.obs import events as ev
+from repro.types import Severity, SimTime
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.sim.kernel import Kernel
@@ -29,6 +36,12 @@ class LatencyModel:
 
     The defaults (0.2 ms base, 0.1 ms jitter) approximate a quiet switched
     LAN — negligible against seconds-scale restarts, as in the paper.
+
+    A nonzero ``jitter`` requires an RNG: jitter is *sampled*, and sampling
+    without a named stream would silently degrade to the constant base
+    delay (and break seed-determinism if patched with a global RNG).
+    :class:`Network` wires its ``"transport.latency"`` stream into a model
+    that was built without one.
     """
 
     def __init__(
@@ -43,11 +56,303 @@ class LatencyModel:
         self.jitter = jitter
         self._rng = rng
 
+    def bind_rng(self, rng: random.Random) -> None:
+        """Supply the RNG stream if the model was constructed without one."""
+        if self._rng is None:
+            self._rng = rng
+
     def sample(self) -> SimTime:
         """Draw the delay for one message."""
-        if self.jitter == 0 or self._rng is None:
+        if self.jitter == 0:
             return self.base
+        if self._rng is None:
+            raise ValueError(
+                "LatencyModel has jitter > 0 but no RNG stream; pass rng= or "
+                "attach the model to a Network (which binds its named stream)"
+            )
         return self.base + self._rng.uniform(0.0, self.jitter)
+
+
+class LinkProfile:
+    """Degradation parameters for one link (or the default for all links).
+
+    ``drop_probability`` loses a message outright; ``spike_probability``
+    adds ``U(*spike_seconds)`` of extra one-way delay; ``duplicate_
+    probability`` delivers a second copy, trailing the first by up to
+    ``duplicate_lag`` seconds.  FIFO ordering per direction is preserved by
+    the channel's arrival clamp, matching TCP semantics: loss and delay
+    manifest to the application as *stalls*, duplication as repeated
+    payloads (the bus protocol is idempotent for pings).
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        spike_probability: float = 0.0,
+        spike_seconds: Tuple[float, float] = (0.05, 0.25),
+        duplicate_probability: float = 0.0,
+        duplicate_lag: float = 0.005,
+    ) -> None:
+        for name, value in (
+            ("drop_probability", drop_probability),
+            ("spike_probability", spike_probability),
+            ("duplicate_probability", duplicate_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if spike_seconds[0] < 0 or spike_seconds[1] < spike_seconds[0]:
+            raise ValueError(f"invalid spike_seconds range {spike_seconds!r}")
+        if duplicate_lag < 0:
+            raise ValueError("duplicate_lag must be non-negative")
+        self.drop_probability = drop_probability
+        self.spike_probability = spike_probability
+        self.spike_seconds = spike_seconds
+        self.duplicate_probability = duplicate_probability
+        self.duplicate_lag = duplicate_lag
+
+    @property
+    def active(self) -> bool:
+        """Whether this profile perturbs traffic at all."""
+        return (
+            self.drop_probability > 0
+            or self.spike_probability > 0
+            or self.duplicate_probability > 0
+        )
+
+
+def link_key(a: str, b: str) -> Tuple[str, str]:
+    """Normalize two endpoint names into an unordered link key.
+
+    Endpoint names are component names on the client side and bound
+    addresses (``"mbus:7000"``) on the server side; the address prefix *is*
+    the component name, so stripping the port yields component-level links
+    regardless of which side initiated the connection.
+    """
+    a = a.split(":", 1)[0]
+    b = b.split(":", 1)[0]
+    return (a, b) if a <= b else (b, a)
+
+
+class NetworkFaultModel:
+    """Deterministic per-link drops, delay spikes, duplication, partitions.
+
+    The model is *inert by default*: with no degradation or partition
+    configured, :meth:`plan` is never consulted and no RNG stream is drawn,
+    so wiring a fault model into a station changes nothing about a clean
+    run's trace.  Each link draws from its own named stream
+    (``netfault.<a>~<b>``), so fault decisions on one link never perturb
+    another link's sequence — the property that makes lossy chaos runs
+    replay bit-identically.
+
+    Partitions are bidirectional and component-named: ``partition("fd",
+    "mbus", 10.0)`` silences both directions of the fd↔mbus link (including
+    new connection attempts) and heals itself after the duration.
+    Connection *teardown* notifications remain reliable — an abrupt close
+    is surfaced by the local OS, not by packets crossing the fabric.
+    """
+
+    _NO_EXTRA = (0.0,)
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._default: Optional[LinkProfile] = None
+        self._profiles: Dict[Tuple[str, str], LinkProfile] = {}
+        #: Links shielded from the *default* profile (see :meth:`exempt_link`).
+        self._exempt: set = set()
+        #: Link key -> partition end time.
+        self._partitions: Dict[Tuple[str, str], SimTime] = {}
+        #: Epochs guard scheduled auto-heals against manual overrides.
+        self._degrade_epochs: Dict[Tuple[str, str], int] = {}
+        self._partition_epochs: Dict[Tuple[str, str], int] = {}
+        # Diagnostics.
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_spiked = 0
+        self.partition_blocked = 0
+        self.connects_refused = 0
+
+    # ------------------------------------------------------------------
+    # configuration (scriptable from chaos scenarios)
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Fast-path flag: whether any fault could currently apply."""
+        return bool(self._profiles or self._partitions or self._default is not None)
+
+    def degrade(
+        self,
+        a: str = "*",
+        b: str = "*",
+        duration: Optional[SimTime] = None,
+        drop: float = 0.0,
+        spike_probability: float = 0.0,
+        spike_seconds: Tuple[float, float] = (0.05, 0.25),
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        """Degrade one link (or, with ``"*"``, the default for all links).
+
+        With ``duration`` set, the degradation heals itself; re-degrading
+        the same link supersedes any pending heal.
+        """
+        profile = LinkProfile(
+            drop_probability=drop,
+            spike_probability=spike_probability,
+            spike_seconds=spike_seconds,
+            duplicate_probability=duplicate_probability,
+        )
+        key = self._degrade_key(a, b)
+        if key is None:
+            self._default = profile
+        else:
+            self._profiles[key] = profile
+        epoch = self._degrade_epochs.get(key, 0) + 1
+        self._degrade_epochs[key] = epoch
+        self.kernel.trace.emit(
+            "net",
+            ev.NET_LINK_DEGRADED,
+            severity=Severity.WARNING,
+            link=self._link_label(key),
+            drop=drop,
+            spike_probability=spike_probability,
+            duplicate_probability=duplicate_probability,
+            duration=duration,
+        )
+        if duration is not None:
+            self.kernel.call_after(duration, self._auto_restore, key, epoch)
+
+    def exempt_link(self, a: str, b: str) -> None:
+        """Shield the ``a``↔``b`` link from the wildcard default profile.
+
+        A degrade/partition *naming* the link still applies — exemption
+        models links that are not on the faulted fabric at all (e.g. the
+        FD↔REC control channel, which is host-local IPC between co-located
+        supervisor processes, not station-LAN traffic).
+        """
+        self._exempt.add(link_key(a, b))
+
+    def restore(self, a: str = "*", b: str = "*") -> None:
+        """Remove the degradation on one link (or the default profile)."""
+        key = self._degrade_key(a, b)
+        self._degrade_epochs[key] = self._degrade_epochs.get(key, 0) + 1
+        self._restore(key)
+
+    def partition(self, a: str, b: str, duration: SimTime) -> None:
+        """Silence both directions of the ``a``↔``b`` link for ``duration``."""
+        if duration <= 0:
+            raise ValueError("partition duration must be positive")
+        key = link_key(a, b)
+        until = self.kernel.now + duration
+        self._partitions[key] = until
+        epoch = self._partition_epochs.get(key, 0) + 1
+        self._partition_epochs[key] = epoch
+        self.kernel.trace.emit(
+            "net",
+            ev.NET_PARTITION_BEGIN,
+            severity=Severity.WARNING,
+            link=self._link_label(key),
+            until=until,
+        )
+        self.kernel.call_after(duration, self._auto_heal, key, epoch)
+
+    def heal(self, a: str, b: str) -> None:
+        """End the ``a``↔``b`` partition early (no-op when not partitioned)."""
+        key = link_key(a, b)
+        self._partition_epochs[key] = self._partition_epochs.get(key, 0) + 1
+        self._heal(key)
+
+    def clear(self) -> None:
+        """Restore every degraded link and heal every partition."""
+        for key in list(self._profiles):
+            self._degrade_epochs[key] = self._degrade_epochs.get(key, 0) + 1
+            self._restore(key)
+        if self._default is not None:
+            none_key = self._degrade_key("*", "*")
+            self._degrade_epochs[none_key] = self._degrade_epochs.get(none_key, 0) + 1
+            self._restore(none_key)
+        for key in list(self._partitions):
+            self._partition_epochs[key] = self._partition_epochs.get(key, 0) + 1
+            self._heal(key)
+
+    # ------------------------------------------------------------------
+    # queries (consulted by Channel and Network)
+    # ------------------------------------------------------------------
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """Whether the (normalized) link between ``a`` and ``b`` is cut."""
+        until = self._partitions.get(link_key(a, b))
+        return until is not None and self.kernel.now < until
+
+    def plan(self, a: str, b: str) -> Optional[Tuple[float, ...]]:
+        """Decide the fate of one message on the ``a``→``b`` link.
+
+        Returns ``None`` when the message is lost (dropped or partitioned),
+        else a tuple of extra one-way delays — one entry per delivered copy
+        (two entries when the message is duplicated).
+        """
+        key = link_key(a, b)
+        until = self._partitions.get(key)
+        if until is not None and self.kernel.now < until:
+            self.partition_blocked += 1
+            return None
+        profile = self._profiles.get(key)
+        if profile is None and key not in self._exempt:
+            profile = self._default
+        if profile is None or not profile.active:
+            return self._NO_EXTRA
+        rng = self.kernel.rngs.stream(f"netfault.{key[0]}~{key[1]}")
+        if profile.drop_probability > 0 and rng.random() < profile.drop_probability:
+            self.messages_dropped += 1
+            return None
+        extra = 0.0
+        if profile.spike_probability > 0 and rng.random() < profile.spike_probability:
+            extra = rng.uniform(*profile.spike_seconds)
+            self.messages_spiked += 1
+        if (
+            profile.duplicate_probability > 0
+            and rng.random() < profile.duplicate_probability
+        ):
+            self.messages_duplicated += 1
+            return (extra, extra + rng.uniform(0.0, profile.duplicate_lag))
+        return (extra,)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _degrade_key(a: str, b: str) -> Optional[Tuple[str, str]]:
+        if a == "*" or b == "*":
+            return None
+        return link_key(a, b)
+
+    @staticmethod
+    def _link_label(key: Optional[Tuple[str, str]]) -> str:
+        return "*" if key is None else f"{key[0]}~{key[1]}"
+
+    def _auto_restore(self, key: Optional[Tuple[str, str]], epoch: int) -> None:
+        if self._degrade_epochs.get(key) != epoch:
+            return  # superseded by a later degrade/restore on this link
+        self._restore(key)
+
+    def _restore(self, key: Optional[Tuple[str, str]]) -> None:
+        if key is None:
+            if self._default is None:
+                return
+            self._default = None
+        elif self._profiles.pop(key, None) is None:
+            return
+        self.kernel.trace.emit("net", ev.NET_LINK_RESTORED, link=self._link_label(key))
+
+    def _auto_heal(self, key: Tuple[str, str], epoch: int) -> None:
+        if self._partition_epochs.get(key) != epoch:
+            return  # superseded by a later partition/heal on this link
+        self._heal(key)
+
+    def _heal(self, key: Tuple[str, str]) -> None:
+        if self._partitions.pop(key, None) is None:
+            return
+        self.kernel.trace.emit("net", ev.NET_PARTITION_END, link=self._link_label(key))
 
 
 class Network:
@@ -65,11 +370,21 @@ class Network:
         endpoint = network.connect("fedr", "pbcom:9000")
     """
 
-    def __init__(self, kernel: "Kernel", latency: Optional[LatencyModel] = None) -> None:
+    def __init__(
+        self,
+        kernel: "Kernel",
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[NetworkFaultModel] = None,
+    ) -> None:
         self.kernel = kernel
         self.latency = latency or LatencyModel(
             rng=kernel.rngs.stream("transport.latency")
         )
+        # A caller-supplied model with jitter but no RNG gets the named
+        # stream instead of silently (or loudly) failing to sample.
+        self.latency.bind_rng(kernel.rngs.stream("transport.latency"))
+        #: Optional fault fabric; ``None`` means a perfectly quiet network.
+        self.faults = faults
         self._listeners: Dict[str, "Listener"] = {}
         self._connections_established = 0
 
@@ -108,6 +423,12 @@ class Network:
         """
         from repro.transport.channel import Channel
 
+        if self.faults is not None and self.faults.is_partitioned(client_name, address):
+            # SYNs die in the partition: indistinguishable from a dead peer.
+            self.faults.connects_refused += 1
+            raise ConnectionRefusedError_(
+                f"{client_name!r} -> {address!r}: network partitioned"
+            )
         listener = self._listeners.get(address)
         if listener is None or not listener.open:
             raise ConnectionRefusedError_(

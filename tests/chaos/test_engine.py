@@ -135,3 +135,50 @@ def test_suite_seeds_are_cell_independent():
     wide = run_chaos_suite(["cascade", "mixed"], ["V"], trials=1, seed=6)
     narrow = run_chaos_suite(["mixed"], ["V"], trials=1, seed=6)
     assert payload_json(wide[("mixed", "V")]) == payload_json(narrow[("mixed", "V")])
+
+
+# ----------------------------------------------------------------------
+# the network-faulted and fail-slow scenarios
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scenario", ["lossy", "partition", "zombie-fleet"])
+def test_new_scenarios_run_clean_and_replay(scenario):
+    result = run_chaos(TREE_BUILDERS["V"](), scenario, trials=1, seed=7)
+    assert result.ok, result.violations
+    assert result.violations == []
+    replay = run_chaos(TREE_BUILDERS["V"](), scenario, trials=1, seed=7)
+    assert payload_json(replay) == payload_json(result)
+
+
+def test_lossy_exercises_the_fabric_and_the_guard():
+    result = run_chaos(TREE_BUILDERS["V"](), "lossy", trials=1, seed=7)
+    assert result.net_dropped > 0
+    assert result.net_duplicated > 0
+    # The adaptive detector both erred and corrected itself under loss.
+    assert result.false_positives > 0
+    assert result.retractions > 0
+
+
+def test_zombie_fleet_detects_without_a_network():
+    result = run_chaos(TREE_BUILDERS["V"](), "zombie-fleet", trials=1, seed=7)
+    assert result.ok
+    assert result.net_dropped == 0
+    assert result.episodes >= 3  # every fail-slow injection was unmasked
+
+
+def test_payload_roundtrip_carries_accuracy_counters():
+    result = run_chaos(TREE_BUILDERS["V"](), "lossy", trials=1, seed=7)
+    clone = ChaosResult.from_payload(json.loads(json.dumps(result.to_payload())))
+    assert clone.false_positives == result.false_positives
+    assert clone.retractions == result.retractions
+    assert clone.net_dropped == result.net_dropped
+    assert clone.net_duplicated == result.net_duplicated
+
+
+def test_old_payloads_without_accuracy_counters_still_load():
+    result = run_chaos(TREE_BUILDERS["IV"](), "mixed", trials=1, seed=9)
+    payload = result.to_payload()
+    for key in ("false_positives", "retractions", "net_dropped", "net_duplicated"):
+        payload.pop(key)
+    clone = ChaosResult.from_payload(payload)
+    assert clone.false_positives == 0 and clone.net_dropped == 0

@@ -50,6 +50,7 @@ def test_clean_restart_cycle_has_no_violations(tree, checker):
         record(5.0, ev.FAILURE_INJECTED, source="faults", component="rtu",
                failure_id=1, cure_set=("rtu",), failure_kind="chaos"),
         record(5.0, ev.PROCESS_FAILED, source="proc.rtu", name="rtu"),
+        record(5.5, ev.DETECTION, source="fd", component="rtu"),
         order(tree, cell, t=6.0, trigger="rtu", oracle_cell=cell),
         record(9.0, ev.PROCESS_READY, source="proc.rtu", name="rtu"),
         record(9.0, ev.FAILURE_CURED, source="faults", component="rtu",

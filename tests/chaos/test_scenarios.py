@@ -18,7 +18,10 @@ SPLIT = ("mbus", "fedr", "pbcom", "ses", "str", "rtu")
 
 
 def test_catalogue_names():
-    assert set(SCENARIOS) == {"cascade", "storm", "flapping", "mixed"}
+    assert set(SCENARIOS) == {
+        "cascade", "storm", "flapping", "mixed",
+        "lossy", "partition", "zombie-fleet",
+    }
     for name, scenario in SCENARIOS.items():
         assert scenario.name == name
         assert scenario.description
@@ -108,3 +111,68 @@ def test_compose_is_deterministic():
 def test_compose_rejects_empty():
     with pytest.raises(ValueError):
         compose("empty", [])
+
+
+# ----------------------------------------------------------------------
+# network ops (the lossy fault fabric riding on scenario plans)
+# ----------------------------------------------------------------------
+
+from repro.chaos.scenarios import NetOp
+
+
+def test_netop_validation():
+    with pytest.raises(ValueError, match="kind"):
+        NetOp(at=0.0, kind="teleport")
+    with pytest.raises(ValueError, match="name both"):
+        NetOp(at=0.0, kind="partition", a="fd", b="*", duration=5.0)
+    with pytest.raises(ValueError, match="duration"):
+        NetOp(at=0.0, kind="partition", a="fd", b="mbus")
+
+
+def test_net_ops_require_uses_network_flag():
+    bad = Scenario(
+        "bad-net",
+        "plans net ops without declaring a network",
+        lambda rng, components: ScenarioPlan(
+            injections=(Injection(at=1.0, component="rtu"),),
+            net_ops=(NetOp(at=0.5, drop=0.5),),
+        ),
+    )
+    with pytest.raises(ValueError, match="uses_network"):
+        bad.build(random.Random(1), SPLIT)
+
+
+def test_lossy_scenario_declares_its_needs():
+    scenario = SCENARIOS["lossy"]
+    assert scenario.uses_network
+    overrides = dict(scenario.station_overrides)
+    assert overrides["timeout_policy"] == "adaptive"
+    plan = scenario.build(random.Random(2), SPLIT)
+    assert plan.net_ops and plan.net_ops[0].kind == "degrade"
+    assert all(op.at >= 0 for op in plan.net_ops)
+
+
+def test_partition_scenario_names_both_endpoints():
+    plan = SCENARIOS["partition"].build(random.Random(2), SPLIT)
+    partitions = [op for op in plan.net_ops if op.kind == "partition"]
+    assert partitions
+    assert all(op.a != "*" and op.b != "*" for op in partitions)
+    assert all(op.duration and op.duration > 0 for op in partitions)
+
+
+def test_zombie_fleet_is_pure_fail_slow():
+    plan = SCENARIOS["zombie-fleet"].build(random.Random(2), SPLIT)
+    assert not SCENARIOS["zombie-fleet"].uses_network
+    kinds = {injection.kind for injection in plan.injections}
+    assert kinds <= {"hang", "zombie"}
+
+
+def test_compose_offsets_net_ops_and_unions_overrides():
+    combo = compose("net-combo", [SCENARIOS["lossy"], SCENARIOS["lossy"]], gap=10.0)
+    assert combo.uses_network
+    assert dict(combo.station_overrides)["timeout_policy"] == "adaptive"
+    plan = combo.build(random.Random(4), SPLIT)
+    single = SCENARIOS["lossy"].build(random.Random(4), SPLIT)
+    assert len(plan.net_ops) == 2 * len(single.net_ops)
+    second_half = plan.net_ops[len(single.net_ops):]
+    assert all(op.at >= single.horizon + 10.0 for op in second_half)

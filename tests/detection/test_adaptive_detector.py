@@ -1,0 +1,108 @@
+"""Tests for the hardened (adaptive-timeout) failure detector."""
+
+import pytest
+
+from repro.mercury.config import PAPER_CONFIG
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_v
+from repro.obs import events as ev
+
+
+def make_station(seed, policy, net_faults=True):
+    station = MercuryStation(
+        tree=tree_v(),
+        config=PAPER_CONFIG.with_overrides(timeout_policy=policy),
+        seed=seed,
+        supervisor="full",
+        trace_capacity=50_000,
+        net_faults=net_faults,
+    )
+    station.boot()
+    station.run_until_quiescent()
+    return station
+
+
+def test_unknown_timeout_policy_rejected():
+    from repro.errors import ExperimentError
+
+    with pytest.raises((ValueError, ExperimentError)):
+        make_station(1, "psychic")
+
+
+# ----------------------------------------------------------------------
+# the timeout and threshold math (unit level, on a built FD)
+# ----------------------------------------------------------------------
+
+def test_fixed_policy_timeout_is_constant():
+    fd = make_station(21, "fixed").fd
+    fd._observe_rtt(0.5)
+    fd._observe_rtt(0.8)
+    assert fd._current_timeout() == fd.reply_timeout
+
+
+def test_adaptive_timeout_tracks_rtt_jacobson_karels():
+    fd = make_station(22, "adaptive").fd
+    fd._srtt = None  # forget boot-time observations
+    fd._rttvar = 0.0
+    fd._observe_rtt(0.1)
+    # First sample seeds the estimator: srtt=rtt, rttvar=rtt/2.
+    assert fd._current_timeout() == pytest.approx(0.1 + 4 * 0.05 + fd.adaptive_margin)
+    before = fd._current_timeout()
+    for _ in range(5):
+        fd._observe_rtt(0.3)  # jittery network: timeout must widen
+    assert fd._current_timeout() > before
+
+
+def test_adaptive_timeout_clamped_inside_the_round():
+    fd = make_station(23, "adaptive").fd
+    for _ in range(20):
+        fd._observe_rtt(5.0)  # absurd RTTs cannot push past the next tick
+    assert fd._current_timeout() == pytest.approx(0.9 * fd.ping_period)
+
+
+def test_required_misses_scales_with_loss_ewma():
+    fd = make_station(24, "adaptive").fd
+    base = fd.misses_to_declare
+    fd._loss_ewma = 0.0
+    assert fd._required_misses() == base
+    fd._loss_ewma = 0.05
+    assert fd._required_misses() == base + 1
+    fd._loss_ewma = 0.2
+    assert fd._required_misses() == base + 2
+
+
+def test_fixed_policy_ignores_loss_ewma():
+    fd = make_station(25, "fixed").fd
+    fd._loss_ewma = 0.9
+    assert fd._required_misses() == fd.misses_to_declare
+
+
+# ----------------------------------------------------------------------
+# behaviour: delay spikes fool the fixed detector, not the adaptive one
+# ----------------------------------------------------------------------
+
+def test_spiky_network_false_positives_fixed_vs_adaptive():
+    """Pure delay spikes (no loss): every reply arrives, just late.  The
+    fixed 0.2 s timeout reads lateness as death; the adaptive timeout
+    widens to cover the observed RTT distribution."""
+    counts = {}
+    for policy in ("fixed", "adaptive"):
+        station = make_station(26, policy)
+        station.network.faults.degrade(
+            spike_probability=0.6, spike_seconds=(0.2, 0.35)
+        )
+        station.run_for(60.0)
+        counts[policy] = len(
+            station.trace.filter(kind=ev.DETECTION_FALSE_POSITIVE)
+        )
+    assert counts["fixed"] > 0
+    assert counts["adaptive"] < counts["fixed"]
+
+
+def test_adaptive_still_detects_real_crashes_promptly():
+    station = make_station(27, "adaptive")
+    failure = station.injector.inject_simple("rtu")
+    station.run_until_recovered(failure)
+    detected = station.trace.first(ev.DETECTION, component="rtu")
+    assert detected is not None
+    assert detected.data.get("via") == "ping"

@@ -1,0 +1,100 @@
+"""Regression tests for the detection-accuracy vs MTTR ablation.
+
+The headline claim the bench must keep true: on a lossy network the
+paper's fixed single-miss detector fires false positives, and the adaptive
+policy measurably reduces the spurious declarations that *stand* (reach
+REC and stay there).  Single cells are noisy — an escalated false positive
+buys a long suppressed restart that silences the FP counter while the cost
+moves into MTTR — so the regression asserts on aggregates over seeds (see
+the module docstring of :mod:`repro.experiments.detection_ablation`).
+"""
+
+import pytest
+
+from repro.experiments.detection_ablation import (
+    DetectionCellResult,
+    run_detection_ablation,
+    run_detection_cell,
+)
+from repro.mercury.trees import tree_v
+
+HIGH_DROP = 0.15
+
+
+def total(cells, attribute):
+    return sum(getattr(cell, attribute) for cell in cells)
+
+
+@pytest.fixture(scope="module")
+def high_drop_cells():
+    """Both policies at high drop over three independent seeds."""
+    cells = {"fixed": [], "adaptive": []}
+    for policy in cells:
+        for seed in (0, 1, 2):
+            cells[policy].append(
+                run_detection_cell(tree_v(), HIGH_DROP, policy, seed=seed)
+            )
+    return cells
+
+
+def test_clean_network_has_no_false_positives():
+    for policy in ("fixed", "adaptive"):
+        cell = run_detection_cell(tree_v(), 0.0, policy, seed=0)
+        assert cell.false_positives == 0
+        assert cell.retractions == 0
+        assert cell.detections == cell.failures  # every real crash caught
+
+
+def test_fixed_policy_false_positives_nonzero_at_high_drop(high_drop_cells):
+    assert all(cell.false_positives > 0 for cell in high_drop_cells["fixed"])
+    # The fixed detector never retracts: its spurious declarations all stand.
+    assert total(high_drop_cells["fixed"], "retractions") == 0
+
+
+def test_adaptive_policy_measurably_reduces_standing_false_positives(
+    high_drop_cells,
+):
+    fixed = total(high_drop_cells["fixed"], "unretracted_false_positives")
+    adaptive = total(high_drop_cells["adaptive"], "unretracted_false_positives")
+    assert fixed > 0
+    assert adaptive < fixed / 2  # "measurably": at least a 2x reduction
+
+
+def test_adaptive_policy_retracts_under_loss(high_drop_cells):
+    assert total(high_drop_cells["adaptive"], "retractions") > 0
+
+
+def test_cells_are_deterministic_in_seed():
+    a = run_detection_cell(tree_v(), HIGH_DROP, "adaptive", seed=42)
+    b = run_detection_cell(tree_v(), HIGH_DROP, "adaptive", seed=42)
+    assert (a.false_positives, a.retractions, a.detection_latencies,
+            a.mttr_samples) == (
+        b.false_positives, b.retractions, b.detection_latencies,
+        b.mttr_samples,
+    )
+
+
+def test_sweep_is_cell_independent():
+    """A subset sweep reproduces the same cells as the full sweep."""
+    full = run_detection_ablation(
+        tree_v(), drop_rates=(0.0, HIGH_DROP), policies=("fixed", "adaptive"),
+        seed=1,
+    )
+    subset = run_detection_ablation(
+        tree_v(), drop_rates=(HIGH_DROP,), policies=("adaptive",), seed=1,
+    )
+    a = full[(HIGH_DROP, "adaptive")]
+    b = subset[(HIGH_DROP, "adaptive")]
+    assert a.false_positives == b.false_positives
+    assert a.mttr_samples == b.mttr_samples
+
+
+def test_result_derived_metrics():
+    cell = DetectionCellResult(
+        tree_name="tree-V", drop_rate=0.1, policy="fixed", failures=3,
+        false_positives=5, retractions=2,
+        detection_latencies=[1.0, 3.0], mttr_samples=[4.0, 8.0],
+    )
+    assert cell.unretracted_false_positives == 3
+    assert cell.mean_detection_latency == pytest.approx(2.0)
+    assert cell.mttr.mean == pytest.approx(6.0)

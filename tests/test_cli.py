@@ -217,3 +217,23 @@ def test_chaos_trace_out_requires_single_cell(capsys):
 def test_chaos_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["chaos", "--scenario", "nope"])
+
+
+def test_detection_ablation_command(capsys):
+    code = main([
+        "detection-ablation", "--tree", "V",
+        "--drop", "0.0", "--drop", "0.15", "--failures", "2", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Detection accuracy vs MTTR" in out
+    assert "fixed" in out and "adaptive" in out
+
+
+def test_chaos_command_knows_new_scenarios(capsys):
+    assert main([
+        "chaos", "--scenario", "zombie-fleet", "--tree", "V",
+        "--trials", "1", "--seed", "7",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "invariants: all OK" in out

@@ -11,6 +11,8 @@ clock, iterates an unordered set into an RNG, or keys a schedule off
 * one short chaos campaign (cascade on tree V), run twice with the same
   seed, byte-comparing the full JSONL event traces and the JSON result
   payloads;
+* one lossy chaos campaign (the network fault fabric's per-link RNG
+  streams plus the adaptive detector), twice, compared the same way;
 * one short steady-state availability run (tree V), twice, byte-comparing
   the streamed JSONL traces and the result dataclasses.
 
@@ -81,6 +83,27 @@ def check_chaos(workdir: str) -> bool:
     return ok
 
 
+def check_chaos_lossy(workdir: str) -> bool:
+    print("determinism: chaos (lossy on tree V, seed %d) ..." % CHAOS_SEED)
+    payloads = []
+    paths = []
+    for run in (1, 2):
+        path = os.path.join(workdir, f"chaos-lossy-{run}.jsonl")
+        sink = JsonlSink(path)
+        result = run_chaos(
+            TREE_BUILDERS["V"](), "lossy", trials=1, seed=CHAOS_SEED, sinks=[sink]
+        )
+        paths.append(path)
+        payloads.append(json.dumps(result.to_payload(), sort_keys=True))
+    ok = _compare_traces("chaos-lossy", paths[0], paths[1])
+    if payloads[0] != payloads[1]:
+        print("FAIL chaos-lossy: result payloads differ")
+        ok = False
+    elif ok:
+        print("  chaos-lossy: result payloads identical")
+    return ok
+
+
 def check_availability(workdir: str) -> bool:
     print(
         "determinism: availability (tree V, %.0f h, seed %d) ..."
@@ -111,6 +134,7 @@ def check_availability(workdir: str) -> bool:
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-determinism-") as workdir:
         ok = check_chaos(workdir)
+        ok = check_chaos_lossy(workdir) and ok
         ok = check_availability(workdir) and ok
     if ok:
         print("determinism: PASS")
