@@ -1,12 +1,16 @@
 """Simulator performance — not a paper table, but the budget every other
-bench spends.  Tracks the throughput of the four hot paths: raw kernel
-event dispatch, bus ping round-trips (envelope-routed, template-encoded),
-a mixed-traffic bus profile that also exercises the full-parse fallback,
-and a full-fidelity station boot.
+bench spends.  Tracks the throughput of the five hot paths: batched
+kernel event dispatch under a station-shaped timer mix, bus ping
+round-trips (envelope-routed, template-encoded), a mixed-traffic bus
+profile that also exercises the full-parse fallback, a full-fidelity
+station boot, and the warmed-station snapshot restore that replaces it
+per campaign cell.
 """
 
 from repro.bus.broker import BusBroker
 from repro.bus.client import BusClient
+from repro.experiments import snapshot as snap
+from repro.mercury.config import PAPER_CONFIG
 from repro.mercury.station import MercuryStation
 from repro.mercury.trees import tree_v
 from repro.procmgr.manager import ProcessManager
@@ -17,21 +21,29 @@ from repro.xmlcmd.commands import CommandMessage, PingRequest, TelemetryFrame
 
 
 def test_kernel_event_throughput(benchmark):
-    def run_10k_events():
+    """50 near-1 ms interval timers, each tick fanning out a 20-callback
+    same-instant burst (mirrors ``tools/bench.py bench_kernel_events``)."""
+
+    def run_mixed_events():
         kernel = Kernel(seed=1)
         count = [0]
 
+        def deliver():
+            count[0] += 1
+
         def tick():
             count[0] += 1
-            if count[0] < 10_000:
-                kernel.call_after(0.001, tick)
+            when = kernel.now + 0.0005
+            for _ in range(20):
+                kernel.schedule_at(when, deliver)
 
-        kernel.call_after(0.001, tick)
-        kernel.run()
+        for i in range(50):
+            kernel.schedule_interval(0.001 + i * 1e-6, tick)
+        kernel.run(until=0.05)
         return count[0]
 
-    result = benchmark(run_10k_events)
-    assert result == 10_000
+    result = benchmark(run_mixed_events)
+    assert result > 40_000
 
 
 def test_bus_roundtrip_throughput(benchmark):
@@ -110,4 +122,28 @@ def test_station_boot_time(benchmark):
         return station.kernel.events_executed
 
     events = benchmark.pedantic(boot, rounds=3, iterations=1)
+    assert events > 100
+
+
+def test_station_snapshot_restore_time(benchmark):
+    """Per-cell setup with the snapshot cache warm: deepcopy + RNG rebase
+    (mirrors ``tools/bench.py bench_station_snapshot``)."""
+    tree = tree_v()
+    shape = snap.station_shape("perf", tree, PAPER_CONFIG)
+
+    def build(boot_seed):
+        return MercuryStation(tree=tree, config=PAPER_CONFIG, seed=boot_seed)
+
+    snap.clear_templates()
+    snap.warmed_station(shape, build, MercuryStation.boot, 0, snapshot=True)
+    seeds = iter(range(1, 10_000))
+
+    def restore():
+        station = snap.warmed_station(
+            shape, build, MercuryStation.boot, next(seeds), snapshot=True
+        )
+        return station.kernel.events_executed
+
+    events = benchmark.pedantic(restore, rounds=3, iterations=1)
+    snap.clear_templates()
     assert events > 100

@@ -24,6 +24,7 @@ message; the differential tests assert both modes are trace-identical.
 from __future__ import annotations
 
 import os
+from functools import partial
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.components.base import Behavior
@@ -67,14 +68,14 @@ class BusBroker(Behavior):
         self.address = address
         self._listener = None
         self._clients: Dict[str, "Endpoint"] = {}
-        #: Every accepted endpoint, attached or not, keyed by ``id()`` — the
-        #: OS closes all of a dead process's sockets, including connections
-        #: the application never finished registering.  Keyed storage keeps
-        #: close handling O(1) under kill storms.
-        self._endpoints: Dict[int, "Endpoint"] = {}
-        #: Names each endpoint attached under (normally one), so a close
-        #: never scans the client table.
-        self._names_by_endpoint: Dict[int, List[str]] = {}
+        #: Every accepted endpoint, attached or not, mapped to the names it
+        #: attached under (normally one; empty until the attach arrives) —
+        #: the OS closes all of a dead process's sockets, including
+        #: connections the application never finished registering, and keyed
+        #: storage keeps close handling O(1) under kill storms.  Endpoints
+        #: hash by identity, so this survives structural copying
+        #: (snapshot/fork) where ``id()`` keys would dangle.
+        self._endpoints: Dict["Endpoint", List[str]] = {}
         #: Legacy mode: full-parse every message instead of envelope routing.
         self._fullparse = os.environ.get("REPRO_BUS_FULLPARSE", "") not in ("", "0")
         self.routed = 0
@@ -87,7 +88,6 @@ class BusBroker(Behavior):
     def on_start(self) -> None:
         self._clients = {}
         self._endpoints = {}
-        self._names_by_endpoint = {}
         self._listener = self.network.listen(self.address, self._on_accept)
         self.trace(ev.BUS_LISTENING, address=self.address)
 
@@ -95,10 +95,9 @@ class BusBroker(Behavior):
         if self._listener is not None:
             self._listener.close()
             self._listener = None
-        for endpoint in list(self._endpoints.values()):
+        for endpoint in list(self._endpoints):
             endpoint.close()
         self._endpoints = {}
-        self._names_by_endpoint = {}
         self._clients = {}
 
     # ------------------------------------------------------------------
@@ -108,14 +107,15 @@ class BusBroker(Behavior):
     def _on_accept(self, endpoint: "Endpoint") -> None:
         # The client's identity arrives in its attach message; until then the
         # endpoint is anonymous and can only attach.
-        self._endpoints[id(endpoint)] = endpoint
-        endpoint.on_message(lambda raw: self._on_raw(endpoint, raw))
-        endpoint.on_close(lambda: self._on_client_close(endpoint))
+        self._endpoints[endpoint] = []
+        # partial(), not a lambda: a closure would keep pointing at *this*
+        # broker and endpoint after a snapshot restore; partials of bound
+        # methods re-bind through the copy machinery.
+        endpoint.on_message(partial(self._on_raw, endpoint))
+        endpoint.on_close(partial(self._on_client_close, endpoint))
 
     def _on_client_close(self, endpoint: "Endpoint") -> None:
-        key = id(endpoint)
-        self._endpoints.pop(key, None)
-        for name in self._names_by_endpoint.pop(key, ()):
+        for name in self._endpoints.pop(endpoint, ()):
             if self._clients.get(name) is endpoint:
                 del self._clients[name]
                 self.trace(ev.BUS_DETACHED, client=name)
@@ -125,11 +125,11 @@ class BusBroker(Behavior):
         # while the broker may not yet have seen the old channel's close.
         old = self._clients.get(client_name)
         if old is not None and old is not endpoint:
-            names = self._names_by_endpoint.get(id(old))
+            names = self._endpoints.get(old)
             if names is not None and client_name in names:
                 names.remove(client_name)
         self._clients[client_name] = endpoint
-        names = self._names_by_endpoint.setdefault(id(endpoint), [])
+        names = self._endpoints.setdefault(endpoint, [])
         if client_name not in names:
             names.append(client_name)
         self.trace(ev.BUS_ATTACHED, client=client_name)

@@ -9,6 +9,7 @@ command language on the bus without being restartable components.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import (
@@ -19,6 +20,7 @@ from repro.errors import (
 )
 from repro.types import SimTime
 from repro.xmlcmd.commands import CommandMessage, Message, encode_message, parse_message
+from repro.xmlcmd.fastpath import LazyMessage, scan_envelope, split_ping_wire
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Kernel
@@ -49,6 +51,9 @@ class BusClient:
         self._closed = False
         self._reconnect_pending = False
         self.received: List[Message] = []
+        # Same escape hatch the broker honors: force eager full parsing for
+        # differential runs against the lazy-decode fast path.
+        self._fullparse = os.environ.get("REPRO_BUS_FULLPARSE", "") == "1"
 
     # ------------------------------------------------------------------
     # connection
@@ -123,10 +128,22 @@ class BusClient:
         self._handlers.append(handler)
 
     def _on_raw(self, raw: str) -> None:
-        try:
-            message = parse_message(raw)
-        except XmlError:
-            return
+        # Zero-copy receive: when a cheap wire scan proves the full parser
+        # would accept this message, store it *unparsed* — decoding happens
+        # lazily on first field access, and a consumer that only counts
+        # messages never materializes a document at all.  Anything the scan
+        # cannot vouch for takes the eager parse, so malformed traffic is
+        # still dropped at delivery exactly as before.
+        if not self._fullparse and (
+            split_ping_wire(raw) is not None or scan_envelope(raw) is not None
+        ):
+            message: Message = LazyMessage(raw)  # type: ignore[assignment]
+        else:
+            try:
+                message = parse_message(raw)
+            except XmlError:
+                return
         self.received.append(message)
-        for handler in list(self._handlers):
-            handler(message)
+        if self._handlers:
+            for handler in list(self._handlers):
+                handler(message)

@@ -17,11 +17,12 @@ campaign runner cache chaos cells content-addressed and lets
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.tree import RestartTree
 from repro.errors import ExperimentError
 from repro.experiments.metrics import RecoveryStats
+from repro.experiments.snapshot import station_shape, warmed_station
 from repro.faults.correlation import CorrelationGroup
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.mercury.station import MercuryStation, OracleSpec
@@ -171,6 +172,7 @@ def run_chaos(
     sinks: Sequence[Sink] = (),
     max_restart_duration: float = 180.0,
     quiesce_timeout: float = 600.0,
+    snapshot: Optional[bool] = None,
 ) -> ChaosResult:
     """Run ``trials`` episodes of ``scenario`` against one tree.
 
@@ -179,29 +181,50 @@ def run_chaos(
     of ``seed``.  The station keeps its aging/resync couplings armed —
     chaos wants the correlated machinery live, unlike the isolated Table 2
     recovery measurements.
+
+    Station setup goes through the warmed-station snapshot cache: the
+    invariant checker and sinks attach after the (deterministic, clean)
+    boot, so they observe exactly the chaos portion of the run in both the
+    snapshot and fresh-boot modes.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if scenario.station_overrides:
         config = config.with_overrides(**dict(scenario.station_overrides))
-    station = MercuryStation(
-        tree=tree,
-        config=config,
-        seed=seed,
-        oracle=oracle,
+
+    def build(boot_seed: int) -> MercuryStation:
+        return MercuryStation(
+            tree=tree,
+            config=config,
+            seed=boot_seed,
+            oracle=oracle,
+            oracle_error_rate=oracle_error_rate,
+            supervisor=supervisor,
+            trace_capacity=50_000,
+            net_faults=scenario.uses_network,
+        )
+
+    if isinstance(oracle, str):
+        oracle_part = oracle
+    else:
+        oracle_part = f"instance:{type(oracle).__name__}"
+        snapshot = False
+    shape = station_shape(
+        "chaos",
+        tree,
+        config,
+        oracle=oracle_part,
         oracle_error_rate=oracle_error_rate,
         supervisor=supervisor,
-        trace_capacity=50_000,
         net_faults=scenario.uses_network,
     )
+    station = warmed_station(shape, build, MercuryStation.boot, seed, snapshot)
     checker = InvariantChecker(tree, max_restart_duration=max_restart_duration)
     metrics = MetricsSink()
     station.kernel.trace.add_sink(checker)
     station.kernel.trace.add_sink(metrics)
     for sink in sinks:
         station.kernel.trace.add_sink(sink)
-
-    station.boot()
     components = frozenset(station.station_components)
     plan_rng = station.kernel.rngs.stream(f"chaos.{scenario.name}")
     groups: Dict[Tuple[str, ...], CorrelationGroup] = {}

@@ -28,6 +28,7 @@ from repro.xmlcmd.commands import (
     encode_message,
     parse_message,
 )
+from repro.xmlcmd.fastpath import encode_ping_wire, split_ping_wire
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.procmgr.process import SimProcess
@@ -167,6 +168,20 @@ class BusAttachedBehavior(Behavior):
             return
         if self.process.degraded_mode == "hang":
             return  # event loop wedged: nothing is consumed, nothing answered
+        hit = split_ping_wire(raw)
+        if hit is not None and hit[0] == "ping":
+            # Liveness pings dominate bus traffic; answer straight from the
+            # wire triple — no request or reply dataclass is ever built.
+            # Byte-identical to send(PingReply(...)), including the zombie
+            # gate (a zombie's liveness thread still answers pings).
+            if self.connected:
+                try:
+                    self._endpoint.send(
+                        encode_ping_wire("ping-reply", self.name, hit[1], hit[3])
+                    )
+                except ChannelClosedError:
+                    pass
+            return
         try:
             message = parse_message(raw)
         except XmlError as error:

@@ -20,6 +20,7 @@ state, and a fresh REC process relearns the world from FD's re-reports.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Deque, FrozenSet, List, Optional, TYPE_CHECKING
 from collections import deque
 
@@ -138,7 +139,7 @@ class RecoveryModule(Behavior):
         # old channel (whose close may still be in flight).
         self._fd_endpoint = endpoint
         endpoint.on_message(self._on_ctl_raw)
-        endpoint.on_close(lambda: self._on_ctl_close(endpoint))
+        endpoint.on_close(partial(self._on_ctl_close, endpoint))
         self._fd_misses = 0
 
     def _on_ctl_close(self, endpoint: "Endpoint") -> None:

@@ -148,6 +148,12 @@ class RestartTree:
         for child in node.children:
             self._index(child, node.cell_id)
 
+    def __deepcopy__(self, memo: dict) -> "RestartTree":
+        # Immutable after construction (the transformation operators build
+        # new trees), so a station snapshot shares it — exactly as a fresh
+        # ``MercuryStation(tree=...)`` aliases the caller's tree object.
+        return self
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------

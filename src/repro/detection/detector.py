@@ -64,6 +64,7 @@ from repro.xmlcmd.commands import (
     encode_message,
     parse_message,
 )
+from repro.xmlcmd.fastpath import encode_ping_wire, split_ping_wire
 
 #: Control-channel verb asking REC to drop a queued report (see
 #: :meth:`FailureDetector._maybe_retract`).
@@ -123,6 +124,10 @@ class FailureDetector(BusAttachedBehavior):
         self.probe_period = probe_period
         self.probe_timeout = probe_timeout
         self.probe_misses_to_declare = probe_misses_to_declare
+        #: Adaptive-timeout clamp, hoisted off the per-round path: the cap
+        #: keeps every judgement inside its own round (see
+        #: :meth:`_current_timeout`).
+        self._timeout_cap = 0.9 * ping_period
         #: After this long since FD's own start, judge even components this
         #: incarnation has never seen alive.  Bounds the blind spot where a
         #: component fails, FD itself is then restarted, and the fresh FD —
@@ -209,7 +214,7 @@ class FailureDetector(BusAttachedBehavior):
                 skip=self._probe_skip,
             )
             self._prober.start()
-        self.kernel.call_after(self.ping_period, self._tick)
+        self.kernel.schedule_after(self.ping_period, self._tick)
 
     def on_kill(self) -> None:
         super().on_kill()
@@ -249,16 +254,33 @@ class FailureDetector(BusAttachedBehavior):
         self.kernel.call_after(0.25, self._connect_ctl)
 
     def _ctl_send(self, message: Message) -> bool:
+        return self._ctl_send_raw(encode_message(message))
+
+    def _ctl_send_raw(self, wire: str) -> bool:
         if self._ctl is None or not self._ctl.open:
             return False
         try:
-            self._ctl.send(encode_message(message))
+            self._ctl.send(wire)
         except ChannelClosedError:
             return False
         return True
 
     def _on_ctl_raw(self, raw: str) -> None:
         if not self._alive:
+            return
+        # Watchdog traffic (REC's pings at us, its replies to ours) dominates
+        # this channel; both directions ride the templated wire form, so the
+        # generic parser only sees restart orders and the odd control verb.
+        hit = split_ping_wire(raw)
+        if hit is not None:
+            if hit[0] == "ping":
+                self._ctl_send_raw(
+                    encode_ping_wire("ping-reply", self.name, hit[1], hit[3])
+                )
+            elif hit[0] == "ping-reply":
+                if hit[3] == self._rec_outstanding:
+                    self._rec_outstanding = None
+                    self._rec_misses = 0
             return
         message = parse_message(raw)
         if isinstance(message, PingRequest):
@@ -295,7 +317,7 @@ class FailureDetector(BusAttachedBehavior):
     def _tick(self) -> None:
         if not self._alive:
             return
-        self.kernel.call_after(self.ping_period, self._tick)
+        self.kernel.schedule_after(self.ping_period, self._tick)
         if not self.connected:
             # Try the bus right now rather than waiting for the retry loop:
             # a successful TCP connect is itself evidence the bus is back,
@@ -315,52 +337,86 @@ class FailureDetector(BusAttachedBehavior):
         self._ping_rec()
         timeout = self._current_timeout()
         now = self.kernel.now
+        # Hot loop: one ping + one judge per monitored component per second.
+        # Pings go straight from the wire template (no PingRequest object —
+        # ``send`` would produce the identical bytes via ``encode_message``),
+        # and judges are scheduled handle-free: nothing ever cancels one.
+        schedule_after = self.kernel.schedule_after
         for component in self.monitored:
             if component in self._suppressed:
                 continue
             self._seq += 1
             self._outstanding[component] = (self._seq, now)
-            sent = self.send(PingRequest(sender=self.name, target=component, seq=self._seq))
+            sent = self._send_ping_wire(component, self._seq)
             if not sent:
                 # Cannot even reach the bus: only the bus's own ping can be
                 # meaningfully judged.  Treat as an immediate miss for mbus,
                 # and leave others unjudged.
                 if component == self.bus_component:
-                    self.kernel.call_after(timeout, self._judge, component, self._seq)
+                    schedule_after(timeout, self._judge, component, self._seq)
                 else:
                     self._outstanding.pop(component, None)
                 continue
             if adaptive:
                 self._round_pinged.add(component)
-            self.kernel.call_after(timeout, self._judge, component, self._seq)
+            schedule_after(timeout, self._judge, component, self._seq)
+
+    def _send_ping_wire(self, component: str, seq: int) -> bool:
+        """Send one liveness ping, byte-identical to
+        ``send(PingRequest(...))`` including its fail-slow gates (a hung or
+        zombie FD emits no ping requests)."""
+        if self.process.degraded_mode is not None or not self.connected:
+            return False
+        assert self._endpoint is not None
+        try:
+            self._endpoint.send(encode_ping_wire("ping", self.name, component, seq))
+        except ChannelClosedError:
+            return False
+        return True
+
+    def _on_raw(self, raw: str) -> None:
+        # Ping replies are FD's dominant inbound traffic; lift them off the
+        # generic parse path straight from the wire triple.  Any degraded
+        # mode (hang drops everything, a zombie FD consumes nothing real)
+        # falls through to the base class, which owns those gates.
+        if self._alive and self.process.degraded_mode is None:
+            hit = split_ping_wire(raw)
+            if hit is not None and hit[0] == "ping-reply":
+                self._on_ping_reply(hit[1], hit[3])
+                return
+        super()._on_raw(raw)
 
     def on_message(self, message: Message) -> None:
         if isinstance(message, PingReply):
-            component = message.sender
-            self._warmed.add(component)
-            entry = self._outstanding.get(component)
-            if entry is not None and entry[0] == message.seq:
-                del self._outstanding[component]
-                if self.timeout_policy == "adaptive":
-                    self._round_replied.add(component)
-                    self._observe_rtt(self.kernel.now - entry[1])
-                    self._observe_loss(0.0)
-                    if self._partition_suspected:
-                        self._partition_suspected = False
-                        self.trace(ev.PARTITION_CLEARED, component=component)
-                self._misses[component] = 0
-                if (
-                    component in self._suspected
-                    and self._suspected_via.get(component) != "probe"
-                ):
-                    self._suspected.discard(component)
-                    self._suspected_via.pop(component, None)
-                    self.trace(ev.COMPONENT_RECOVERED_OBSERVED, component=component)
-                    self._maybe_retract(component, "ping")
+            # Non-canonical wire forms (different spacing/attribute order)
+            # miss the fast path above but mean the same thing.
+            self._on_ping_reply(message.sender, message.seq)
             return
         info = probe_reply_info(message)
         if info is not None and self._prober is not None:
             self._prober.on_reply(*info)
+
+    def _on_ping_reply(self, component: str, seq: int) -> None:
+        self._warmed.add(component)
+        entry = self._outstanding.get(component)
+        if entry is not None and entry[0] == seq:
+            del self._outstanding[component]
+            if self.timeout_policy == "adaptive":
+                self._round_replied.add(component)
+                self._observe_rtt(self.kernel.now - entry[1])
+                self._observe_loss(0.0)
+                if self._partition_suspected:
+                    self._partition_suspected = False
+                    self.trace(ev.PARTITION_CLEARED, component=component)
+            self._misses[component] = 0
+            if (
+                component in self._suspected
+                and self._suspected_via.get(component) != "probe"
+            ):
+                self._suspected.discard(component)
+                self._suspected_via.pop(component, None)
+                self.trace(ev.COMPONENT_RECOVERED_OBSERVED, component=component)
+                self._maybe_retract(component, "ping")
 
     def _judge(self, component: str, seq: int) -> None:
         if not self._alive:
@@ -490,8 +546,7 @@ class FailureDetector(BusAttachedBehavior):
         # The cap keeps every judgement inside its own round: the next tick
         # overwrites the outstanding seq, and a judge landing after it would
         # silently lose the miss.
-        cap = 0.9 * self.ping_period
-        return min(max(timeout, self.adaptive_margin), cap)
+        return min(max(timeout, self.adaptive_margin), self._timeout_cap)
 
     def _observe_rtt(self, rtt: float) -> None:
         if self._srtt is None:
@@ -572,13 +627,13 @@ class FailureDetector(BusAttachedBehavior):
             return
         self._rec_seq += 1
         self._rec_outstanding = self._rec_seq
-        sent = self._ctl_send(
-            PingRequest(sender=self.name, target=self.rec_name, seq=self._rec_seq)
+        sent = self._ctl_send_raw(
+            encode_ping_wire("ping", self.name, self.rec_name, self._rec_seq)
         )
         if not sent:
             self._rec_miss()
             return
-        self.kernel.call_after(self.reply_timeout, self._judge_rec, self._rec_seq)
+        self.kernel.schedule_after(self.reply_timeout, self._judge_rec, self._rec_seq)
 
     def _judge_rec(self, seq: int) -> None:
         if not self._alive or self._rec_outstanding != seq:

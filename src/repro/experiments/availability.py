@@ -21,6 +21,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.tree import RestartTree
 from repro.experiments.metrics import UptimeTracker
+from repro.experiments.snapshot import station_shape, warmed_station
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.mercury.station import MercuryStation
 from repro.obs.sinks import MetricsSink, PhaseSnapshot, SummaryStat
@@ -63,33 +64,50 @@ def measure_availability(
     config: StationConfig = PAPER_CONFIG,
     oracle: str = "perfect",
     sinks: Sequence = (),
+    snapshot: Optional[bool] = None,
 ) -> AvailabilityResult:
     """Run steady-state faults for ``horizon_s`` and account availability.
 
     ``sinks`` receive every trace emit even though record retention stays
     off (the determinism gate streams the run to JSONL this way).
+
+    Station setup goes through the warmed-station snapshot cache; the
+    warm point is the end of the 120 s boot settle, so the horizon does
+    not enter the shape and one template serves every horizon length.
     """
-    station = MercuryStation(
-        tree=tree,
-        config=config,
-        seed=seed,
-        oracle=oracle,
-        supervisor="abstract",
-        steady_faults=True,
-        solution_period=600.0,
-        trace_capacity=10_000,
-    )
-    # Availability is accounted from process-manager lifecycle callbacks,
-    # never from the trace; skip record retention on the month-scale loop.
-    # Sinks still receive every emit while the trace is disabled, which is
-    # how the per-phase breakdown is computed without retaining records.
-    station.kernel.trace.enabled = False
+
+    def build(boot_seed: int) -> MercuryStation:
+        return MercuryStation(
+            tree=tree,
+            config=config,
+            seed=boot_seed,
+            oracle=oracle,
+            supervisor="abstract",
+            steady_faults=True,
+            solution_period=600.0,
+            trace_capacity=10_000,
+        )
+
+    def warm(station: MercuryStation) -> None:
+        # Availability is accounted from process-manager lifecycle
+        # callbacks, never from the trace; skip record retention on the
+        # month-scale loop.  Sinks still receive every emit while the
+        # trace is disabled, which is how the per-phase breakdown is
+        # computed without retaining records.
+        station.kernel.trace.enabled = False
+        station.manager.start_all(station.station_components)
+        station.kernel.run(until=station.kernel.now + 120.0)
+
+    shape = station_shape("availability", tree, config, oracle=oracle)
+    station = warmed_station(shape, build, warm, seed, snapshot)
+    # The template's armed lifetimes were drawn under the boot seed;
+    # redraw them so first arrivals belong to this cell's streams.
+    assert station.steady is not None
+    station.steady.rearm()
     metrics = MetricsSink()
     station.kernel.trace.add_sink(metrics)
     for sink in sinks:
         station.kernel.trace.add_sink(sink)
-    station.manager.start_all(station.station_components)
-    station.kernel.run(until=station.kernel.now + 120.0)
     tracker = UptimeTracker(station.manager, station.station_components)
     station.run_for(horizon_s)
     tracker.finalize()

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.tree import RestartTree
 from repro.experiments.metrics import UptimeTracker
+from repro.experiments.snapshot import station_shape, warmed_station
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.mercury.station import MercuryStation
 
@@ -45,6 +46,7 @@ def measure_lifetimes(
     seed: int = 0,
     config: StationConfig = PAPER_CONFIG,
     correlations: bool = False,
+    snapshot: Optional[bool] = None,
 ) -> LifetimeResult:
     """Run ``horizon_s`` simulated seconds of steady-state failures.
 
@@ -57,25 +59,40 @@ def measure_lifetimes(
     observed MTTF relative to the configured arrival rate.  That is real
     behaviour — availability experiments keep it on — but the Table 1 check
     is about the injectors matching their configured means.
+
+    Station setup goes through the warmed-station snapshot cache; the
+    correlation switches are flipped after the restore (no correlated
+    machinery can fire during a clean 120 s warm), keeping one template
+    per (tree, config) shape for both ``correlations`` settings.
     """
-    station = MercuryStation(
-        tree=tree,
-        config=config,
-        seed=seed,
-        oracle="perfect",
-        supervisor="abstract",
-        steady_faults=True,
-        solution_period=600.0,
-        trace_capacity=10_000,
-    )
+
+    def build(boot_seed: int) -> MercuryStation:
+        return MercuryStation(
+            tree=tree,
+            config=config,
+            seed=boot_seed,
+            oracle="perfect",
+            supervisor="abstract",
+            steady_faults=True,
+            solution_period=600.0,
+            trace_capacity=10_000,
+        )
+
+    def warm(station: MercuryStation) -> None:
+        # MTTFs come from lifecycle accounting, not the trace; skip
+        # retention.
+        station.kernel.trace.enabled = False
+        station.manager.start_all(station.station_components)
+        station.kernel.run(until=station.kernel.now + 120.0)  # boot settle
+
+    shape = station_shape("lifetimes", tree, config)
+    station = warmed_station(shape, build, warm, seed, snapshot)
+    assert station.steady is not None
+    station.steady.rearm()
     if not correlations:
         station.resync_coupling.enabled = False
         if station.aging is not None:
             station.aging.enabled = False
-    # MTTFs come from lifecycle accounting, not the trace; skip retention.
-    station.kernel.trace.enabled = False
-    station.manager.start_all(station.station_components)
-    station.kernel.run(until=station.kernel.now + 120.0)  # boot settle
     tracker = UptimeTracker(station.manager, station.station_components)
     station.run_for(horizon_s)
     tracker.finalize()

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.core.tree import RestartTree
 from repro.experiments.metrics import RecoveryStats
+from repro.experiments.snapshot import station_shape, warmed_station
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.mercury.station import MercuryStation
 from repro.obs.sinks import MetricsSink, PhaseSnapshot, Sink, SummaryStat
@@ -78,6 +79,7 @@ def measure_recovery(
     trial_timeout: float = 300.0,
     aging: bool = False,
     sinks: Optional[Sequence[Sink]] = None,
+    snapshot: Optional[bool] = None,
 ) -> RecoveryResult:
     """Run ``trials`` kill-and-measure experiments for one component.
 
@@ -102,25 +104,49 @@ def measure_recovery(
     :class:`~repro.obs.sinks.JsonlSink`) can be attached for the run's
     duration; sinks only observe emits, so attaching them cannot perturb
     the measured samples.
+
+    Station setup goes through the warmed-station snapshot cache (see
+    :mod:`repro.experiments.snapshot`): the first cell of a shape boots,
+    later cells restore the warmed image and rebase onto their own seed.
+    ``snapshot`` overrides the ``REPRO_STATION_SNAPSHOT`` switch per call.
     """
     cure = frozenset(cure_set) if cure_set is not None else frozenset([component])
-    station = MercuryStation(
-        tree=tree,
-        config=config,
-        seed=seed,
-        oracle=oracle,
+
+    def build(boot_seed: int) -> MercuryStation:
+        return MercuryStation(
+            tree=tree,
+            config=config,
+            seed=boot_seed,
+            oracle=oracle,
+            oracle_error_rate=oracle_error_rate,
+            oracle_too_high_rate=oracle_too_high_rate,
+            supervisor=supervisor,
+            trace_capacity=50_000,
+        )
+
+    if isinstance(oracle, str):
+        oracle_part = oracle
+    else:
+        # An oracle *instance* carries state the shape key cannot see;
+        # run it through the uncached path (same boot-seed + rebase).
+        oracle_part = f"instance:{type(oracle).__name__}"
+        snapshot = False
+    shape = station_shape(
+        "recovery",
+        tree,
+        config,
+        oracle=oracle_part,
         oracle_error_rate=oracle_error_rate,
         oracle_too_high_rate=oracle_too_high_rate,
         supervisor=supervisor,
-        trace_capacity=50_000,
     )
+    station = warmed_station(shape, build, MercuryStation.boot, seed, snapshot)
     if not aging and station.aging is not None:
         station.aging.enabled = False
     metrics = MetricsSink()
     station.kernel.trace.add_sink(metrics)
     for sink in sinks or ():
         station.kernel.trace.add_sink(sink)
-    station.boot()
     phase_rng = station.kernel.rngs.stream("experiment.injection_phase")
     result = RecoveryResult(
         tree_name=tree.name,

@@ -45,6 +45,7 @@ from repro.core.tree import RestartTree
 from repro.experiments.availability import AvailabilityResult, measure_availability
 from repro.experiments.lifetimes import LifetimeResult, measure_lifetimes
 from repro.experiments.recovery import RecoveryResult, measure_recovery
+from repro.experiments.snapshot import config_fingerprint, tree_fingerprint
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.obs.sinks import merge_phase_snapshots
 from repro.sim.rng import derive_seed
@@ -57,7 +58,10 @@ from repro.sim.rng import derive_seed
 #: v4: chaos payloads gained detection-accuracy and network-fabric counters
 #: (``false_positives``/``retractions``/``net_dropped``/``net_duplicated``),
 #: and scenarios may carry station overrides that change cell semantics.
-CACHE_VERSION = 4
+#: v5: warmed-station snapshot/fork — every cell now boots under the
+#: shape-derived snapshot seed and is rebased onto the cell seed (see
+#: :mod:`repro.experiments.snapshot`), changing per-cell randomness.
+CACHE_VERSION = 5
 
 
 # ----------------------------------------------------------------------
@@ -72,21 +76,6 @@ def campaign_seed(root_seed: int, *parts: object) -> int:
     runs, independent of planning order and of every other cell.
     """
     return derive_seed(root_seed, "campaign:" + ":".join(str(p) for p in parts))
-
-
-def config_fingerprint(config: StationConfig) -> str:
-    """Short stable hash of every field of a station config."""
-    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
-
-
-def tree_fingerprint(tree: RestartTree) -> str:
-    """Structural hash of a restart tree (label alone is not enough for
-    ad hoc trees built by the transformation benches)."""
-    from repro.core.render import render_tree
-
-    payload = f"{tree.name}\n{render_tree(tree)}"
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------------

@@ -221,6 +221,21 @@ class SteadyStateInjector:
         """Disable further arrivals (armed timers become no-ops)."""
         self._enabled = False
 
+    def rearm(self) -> None:
+        """Redraw every running component's time-to-failure from its
+        stream's *current* state.
+
+        Snapshot/fork hook: a restored station's armed timers were drawn
+        while the template warmed under the shape's boot seed, so every
+        cell of the shape would share its first arrivals.  Rearming after
+        the seed rebase replaces them with draws from the cell's own
+        streams; the superseded timers die by epoch check when they fire.
+        """
+        for name in self.lifetimes:
+            process = self.manager.maybe_get(name)
+            if process is not None and process.is_running:
+                self._arm(name)
+
     def _on_lifecycle(self, process: SimProcess, event: str) -> None:
         if event == "ready" and process.name in self.lifetimes:
             self._arm(process.name)

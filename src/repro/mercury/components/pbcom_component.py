@@ -18,6 +18,7 @@ Its aging under fedr disconnects is modelled by
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
@@ -79,7 +80,7 @@ class PbcomBehavior(BusAttachedBehavior):
     def _on_accept(self, endpoint: "Endpoint") -> None:
         self._peer = endpoint
         endpoint.on_message(self._on_command)
-        endpoint.on_close(lambda: self._on_peer_close(endpoint))
+        endpoint.on_close(partial(self._on_peer_close, endpoint))
         self.trace(ev.FEDR_CONNECTED)
 
     def _on_peer_close(self, endpoint: "Endpoint") -> None:

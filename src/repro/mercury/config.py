@@ -169,6 +169,12 @@ class StationConfig:
     # derived helpers
     # ----------------------------------------------------------------------
 
+    def __deepcopy__(self, memo: dict) -> "StationConfig":
+        # Frozen and treated as immutable everywhere (updates go through
+        # :meth:`with_overrides`), so a station snapshot shares it — exactly
+        # as a fresh build shares the caller's config object.
+        return self
+
     @property
     def mean_detection(self) -> float:
         """Mean failure-detection latency: uniform ping phase + timeout."""

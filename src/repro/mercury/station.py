@@ -66,6 +66,25 @@ REC_CTL_ADDRESS = "rec:7100"
 OracleSpec = Union[str, Oracle]
 
 
+class _BehaviorFactory:
+    """Builds a named component's behavior by calling back into the station.
+
+    A callable object instead of the obvious closure: process specs live as
+    long as the station, and a snapshot restore (structural deepcopy) must
+    re-point the factory at the *copied* station — which the copy machinery
+    does for instance attributes but never for closure cells.
+    """
+
+    __slots__ = ("station", "component")
+
+    def __init__(self, station: "MercuryStation", component: str) -> None:
+        self.station = station
+        self.component = component
+
+    def __call__(self, process):
+        return self.station._make_behavior(self.component, process)
+
+
 class MercuryStation:
     """A ready-to-run simulated Mercury ground station."""
 
@@ -224,44 +243,79 @@ class MercuryStation:
 
         return work
 
-    def _build_processes(self) -> None:
+    def _make_behavior(self, name: str, process):
+        """Construct the behavior for component ``name`` on ``process``.
+
+        Called through :class:`_BehaviorFactory` on every (re)start, so it
+        must wire against *this* station's network and hardware — never a
+        captured one.
+        """
         network = self.network
         hardware = self.hardware
+        if name == "mbus":
+            return BusBroker(process, network, BUS_ADDRESS)
+        if name == "ses":
+            return SesBehavior(
+                process,
+                network,
+                BUS_ADDRESS,
+                solution_period=self._solution_period,
+                solution_fn=self._solution_fn,
+            )
+        if name == "str":
+            return StrBehavior(process, network, hardware.antenna, BUS_ADDRESS)
+        if name == "rtu":
+            proxy = "fedr" if self.split else "fedrcom"
+            return RtuBehavior(process, network, BUS_ADDRESS, radio_proxy_name=proxy)
+        if name == "fedrcom":
+            return FedrcomBehavior(
+                process, network, hardware.serial, hardware.radio, BUS_ADDRESS
+            )
+        if name == "fedr":
+            return FedrBehavior(process, network, BUS_ADDRESS, PBCOM_ADDRESS)
+        if name == "pbcom":
+            return PbcomBehavior(
+                process, network, hardware.serial, hardware.radio, PBCOM_ADDRESS
+            )
+        if name == "rec":
+            self.rec = RecoveryModule(
+                process,
+                network,
+                self.manager,
+                self.policy,
+                ctl_address=REC_CTL_ADDRESS,
+                observation_window=self.config.observation_window,
+                fd_ping_period=self.config.ping_period,
+                fd_ping_timeout=self.config.reply_timeout,
+            )
+            return self.rec
+        if name == "fd":
+            self.fd = FailureDetector(
+                process,
+                self.network,
+                self.manager,
+                monitored=list(self.station_components),
+                bus_address=BUS_ADDRESS,
+                rec_ctl_address=REC_CTL_ADDRESS,
+                ping_period=self.config.ping_period,
+                reply_timeout=self.config.reply_timeout,
+                misses_to_declare=self.config.misses_to_declare,
+                timeout_policy=self.config.timeout_policy,
+                adaptive_margin=self.config.adaptive_margin,
+                probe_period=self.config.probe_period,
+                probe_timeout=self.config.probe_timeout,
+                probe_misses_to_declare=self.config.probe_misses_to_declare,
+            )
+            return self.fd
+        raise ExperimentError(f"no behavior for component {name!r}")
 
-        def behavior_factory(name: str):
-            if name == "mbus":
-                return lambda p: BusBroker(p, network, BUS_ADDRESS)
-            if name == "ses":
-                return lambda p: SesBehavior(
-                    p,
-                    network,
-                    BUS_ADDRESS,
-                    solution_period=self._solution_period,
-                    solution_fn=self._solution_fn,
-                )
-            if name == "str":
-                return lambda p: StrBehavior(p, network, hardware.antenna, BUS_ADDRESS)
-            if name == "rtu":
-                proxy = "fedr" if self.split else "fedrcom"
-                return lambda p: RtuBehavior(p, network, BUS_ADDRESS, radio_proxy_name=proxy)
-            if name == "fedrcom":
-                return lambda p: FedrcomBehavior(
-                    p, network, hardware.serial, hardware.radio, BUS_ADDRESS
-                )
-            if name == "fedr":
-                return lambda p: FedrBehavior(p, network, BUS_ADDRESS, PBCOM_ADDRESS)
-            if name == "pbcom":
-                return lambda p: PbcomBehavior(
-                    p, network, hardware.serial, hardware.radio, PBCOM_ADDRESS
-                )
-            raise ExperimentError(f"no behavior for component {name!r}")
-
+    def _build_processes(self) -> None:
         for name in self.station_components:
             self.manager.spawn(
                 ProcessSpec(
                     name=name,
                     startup_work=self._make_work_fn(name),
-                    behavior_factory=behavior_factory(name),
+                    behavior_factory=_BehaviorFactory(self, name),
                     metadata={"mttf_s": self.config.mttf_seconds.get(name)},
                 )
             )
@@ -287,45 +341,13 @@ class MercuryStation:
         raise ExperimentError(f"unknown oracle spec {spec!r}")
 
     def _build_full_supervisor(self) -> None:
-        config = self.config
-
-        def rec_factory(process):
-            self.rec = RecoveryModule(
-                process,
-                self.network,
-                self.manager,
-                self.policy,
-                ctl_address=REC_CTL_ADDRESS,
-                observation_window=config.observation_window,
-                fd_ping_period=config.ping_period,
-                fd_ping_timeout=config.reply_timeout,
-            )
-            return self.rec
-
-        def fd_factory(process):
-            self.fd = FailureDetector(
-                process,
-                self.network,
-                self.manager,
-                monitored=list(self.station_components),
-                bus_address=BUS_ADDRESS,
-                rec_ctl_address=REC_CTL_ADDRESS,
-                ping_period=config.ping_period,
-                reply_timeout=config.reply_timeout,
-                misses_to_declare=config.misses_to_declare,
-                timeout_policy=config.timeout_policy,
-                adaptive_margin=config.adaptive_margin,
-                probe_period=config.probe_period,
-                probe_timeout=config.probe_timeout,
-                probe_misses_to_declare=config.probe_misses_to_declare,
-            )
-            return self.fd
-
         self.manager.spawn(
-            ProcessSpec("rec", self._make_work_fn("rec"), rec_factory)
+            ProcessSpec(
+                "rec", self._make_work_fn("rec"), _BehaviorFactory(self, "rec")
+            )
         )
         self.manager.spawn(
-            ProcessSpec("fd", self._make_work_fn("fd"), fd_factory)
+            ProcessSpec("fd", self._make_work_fn("fd"), _BehaviorFactory(self, "fd"))
         )
 
     # ------------------------------------------------------------------

@@ -26,6 +26,26 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+class _Stream(random.Random):
+    """A registry stream with a fast structural copy.
+
+    ``copy.deepcopy`` of a plain ``random.Random`` reconstructs it through
+    ``__reduce_ex__`` and then walks the 625-word Mersenne state tuple
+    element by element; across a registry's dozen streams that walk is the
+    single largest cost of snapshotting a warmed station.  The state tuple
+    is immutable integers, so handing it straight to ``setstate`` on a
+    fresh instance is exact and avoids the walk entirely.
+    """
+
+    def __deepcopy__(self, memo: dict) -> "_Stream":
+        # __new__, not __init__: the argless constructor would seed from OS
+        # entropy only for setstate to overwrite it a line later.
+        clone = _Stream.__new__(_Stream)
+        clone.setstate(self.getstate())
+        memo[id(self)] = clone
+        return clone
+
+
 class RngRegistry:
     """Factory and cache for named random streams.
 
@@ -51,9 +71,25 @@ class RngRegistry:
         """Return the stream for ``name``, creating it on first use."""
         stream = self._streams.get(name)
         if stream is None:
-            stream = random.Random(derive_seed(self._seed, name))
+            stream = _Stream(derive_seed(self._seed, name))
             self._streams[name] = stream
         return stream
+
+    def rebase(self, seed: int) -> None:
+        """Re-root the registry on ``seed``, reseeding every existing stream.
+
+        Each live stream is reseeded exactly as if the registry had been
+        created with ``seed`` before the stream was first requested, and
+        streams created later derive from ``seed`` too — so a registry that
+        booted under one seed and was rebased to another is
+        indistinguishable from one that ran under the new seed all along,
+        *from the rebase point onward*.  Snapshot/fork relies on this: one
+        warmed station image, restored per experiment cell, gets the cell's
+        own deterministic randomness by a rebase instead of a re-boot.
+        """
+        self._seed = int(seed)
+        for name, stream in self._streams.items():
+            stream.seed(derive_seed(self._seed, name))
 
     def fork(self, name: str) -> "RngRegistry":
         """Create a child registry whose root seed is derived from ``name``.

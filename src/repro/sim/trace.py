@@ -61,6 +61,12 @@ class TraceRecord:
         payload = " ".join(f"{k}={v!r}" for k, v in sorted(self.data.items()))
         return f"[{self.time:12.6f}] {self.severity!s:7} {self.source:18} {self.kind} {payload}".rstrip()
 
+    def __deepcopy__(self, memo: dict) -> "TraceRecord":
+        # Records are append-only history: frozen fields, and nothing ever
+        # mutates a payload after emit.  Sharing them keeps a snapshotted
+        # station's retained boot trace from being walked record by record.
+        return self
+
 
 class Trace:
     """Append-only trace front-end with pluggable sinks and query helpers.

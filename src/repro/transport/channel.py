@@ -28,6 +28,10 @@ class Endpoint:
         self._on_close: Optional[Callable[[], None]] = None
         self._peer: Optional["Endpoint"] = None
         self._inbox_while_unset: list = []
+        #: Last scheduled arrival toward *this* endpoint: the per-direction
+        #: FIFO clamp, stored on the endpoint itself so a channel survives
+        #: structural copying (snapshot/fork) without identity-keyed state.
+        self._last_arrival = 0.0
 
     # ------------------------------------------------------------------
     # wiring
@@ -119,19 +123,20 @@ class Channel:
         self.server_endpoint = Endpoint(self, server_name)
         self.client_endpoint._peer = self.server_endpoint
         self.server_endpoint._peer = self.client_endpoint
-        # Per-direction "last scheduled arrival" guarantees FIFO even when
-        # latency jitter would reorder independent sends.
-        self._last_arrival = {
-            id(self.client_endpoint): 0.0,
-            id(self.server_endpoint): 0.0,
-        }
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_lost = 0
 
     def transmit(self, sender: Endpoint, message: Any) -> None:
-        """Schedule delivery of ``message`` from ``sender`` to its peer."""
-        receiver = sender.peer
+        """Schedule delivery of ``message`` from ``sender`` to its peer.
+
+        Per-direction "last scheduled arrival" guarantees FIFO even when
+        latency jitter would reorder independent sends.  The clamp also
+        collapses back-to-back sends onto the *same* arrival instant, which
+        the kernel batches into one queue entry (the tail bucket) — a burst
+        of N sends costs one heap push, not N.
+        """
+        receiver = sender._peer
         faults = self._network.faults
         if faults is not None and faults.active:
             copies = faults.plan(sender.name, receiver.name)
@@ -142,13 +147,15 @@ class Channel:
         else:
             copies = (0.0,)
         self.messages_sent += 1
+        kernel = self._kernel
+        latency = self._network.latency
         for extra in copies:
-            delay = self._network.latency.sample() + extra
-            arrival = max(
-                self._kernel.now + delay, self._last_arrival[id(receiver)]
-            )
-            self._last_arrival[id(receiver)] = arrival
-            self._kernel.call_at(arrival, self._deliver, receiver, message)
+            arrival = kernel.clock._now + latency.sample() + extra
+            if arrival < receiver._last_arrival:
+                arrival = receiver._last_arrival
+            else:
+                receiver._last_arrival = arrival
+            kernel.schedule_at(arrival, self._deliver, receiver, message)
 
     def _deliver(self, receiver: Endpoint, message: Any) -> None:
         if not self.open:

@@ -23,6 +23,13 @@ Three accelerations, all bit-compatible with the full parse/serialize pipe:
   of a canonical ping straight to its ``(kind, sender, target)`` triple, so
   steady-state ping parsing is one ``find``, one dict hit, and one ``int()``.
 
+* :class:`LazyMessage` — a received wire string masquerading as its parsed
+  message.  Construction stores only the raw text; the first attribute
+  access (or ``isinstance`` check, via the ``__class__`` proxy) runs the
+  real parser once and caches the result.  An endpoint that never inspects
+  a message — a perf driver counting replies, a relay, a sink — therefore
+  never materializes a document at all.
+
 The guarantee relied on throughout: these functions either produce exactly
 what the full pipeline (:func:`repro.xmlcmd.parser.parse_xml` +
 :func:`repro.xmlcmd.serializer.serialize_xml`) would, or signal the caller
@@ -194,3 +201,62 @@ def split_ping_wire(raw: str) -> Optional[Tuple[str, str, str, int]]:
     except ValueError:
         return None
     return hit[0], hit[1], hit[2], seq
+
+
+# ----------------------------------------------------------------------
+# lazy decode
+# ----------------------------------------------------------------------
+
+
+class LazyMessage:
+    """A received bus message that defers parsing until first use.
+
+    Holds only the wire string.  Any attribute access delegates to the
+    parsed message, produced exactly once by
+    :func:`repro.xmlcmd.commands.parse_message` and cached.  The
+    ``__class__`` proxy makes ``isinstance(lazy, PingReply)`` (and dataclass
+    equality against a parsed message) behave as if the document had been
+    parsed eagerly — so consumers cannot tell the difference, except that a
+    consumer who looks at nothing pays for nothing.
+
+    Callers must only wrap strings the full parser is known to accept
+    (e.g. after a :func:`scan_envelope` or :func:`split_ping_wire` hit);
+    wrapping garbage would surface the parse error at first *access*
+    instead of at delivery.
+    """
+
+    __slots__ = ("raw", "_msg")
+
+    def __init__(self, raw: str) -> None:
+        self.raw = raw
+        self._msg = None
+
+    def _materialize(self):
+        msg = self._msg
+        if msg is None:
+            # Imported here: commands.py imports this module's encoders, so
+            # a top-level import would be circular.
+            from repro.xmlcmd.commands import parse_message
+
+            msg = parse_message(self.raw)
+            self._msg = msg
+        return msg
+
+    @property  # type: ignore[misc]
+    def __class__(self):
+        return self._materialize().__class__
+
+    def __getattr__(self, name: str):
+        return getattr(self._materialize(), name)
+
+    def __eq__(self, other: object) -> bool:
+        return self._materialize() == other
+
+    def __ne__(self, other: object) -> bool:
+        return self._materialize() != other
+
+    def __hash__(self) -> int:
+        return hash(self._materialize())
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())

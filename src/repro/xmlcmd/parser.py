@@ -7,7 +7,7 @@ namespaces, DTDs, processing instructions other than the declaration, and
 CDATA sections.  Unsupported constructs raise
 :class:`~repro.errors.XmlParseError` rather than being silently skipped.
 
-Implementation notes (this is the bus hot path, see BENCH_2.json): the
+Implementation notes (this is the bus hot path, see BENCH_3.json): the
 tokenizer is a single forward scan over ``(text, pos)`` locals — no cursor
 object, no per-character method calls.  Names and ``name="value"`` pairs are
 sliced out by precompiled regexes (one C-level match per token), attribute

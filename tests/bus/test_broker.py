@@ -162,7 +162,7 @@ def test_close_bookkeeping_is_keyed_not_scanned(kernel, network, manager):
     kernel.run()
     assert sorted(broker._clients) == [f"c{i}" for i in range(4, 8)]
     assert len(broker._endpoints) == 4
-    remaining = sorted(n for names in broker._names_by_endpoint.values() for n in names)
+    remaining = sorted(n for names in broker._endpoints.values() for n in names)
     assert remaining == [f"c{i}" for i in range(4, 8)]
 
 

@@ -1,0 +1,93 @@
+"""The bench artifact's baseline stays flat across chained runs.
+
+``tools/bench.py --baseline PREV --output NEXT`` embeds the previous
+artifact so one file records a before/after pair.  The bug class under
+test: embedding the previous *file* verbatim nests recursively — run N
+carries run N-1 carrying run N-2 ... — growing the artifact without bound
+and burying the one comparison that matters.  The contract is depth-1:
+the embedded baseline holds only the previous run's own ``generated`` /
+``host`` / ``metrics``, never its own ``baseline``.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+import bench  # noqa: E402
+
+
+@pytest.fixture
+def fast_bench(monkeypatch):
+    """Stub the actual measurements: these tests are about the artifact."""
+    monkeypatch.setattr(bench, "bench_kernel_events", lambda **kw: 1_000_000.0)
+    monkeypatch.setattr(bench, "bench_bus_roundtrips", lambda **kw: 100_000.0)
+    monkeypatch.setattr(bench, "bench_bus_mixed", lambda **kw: 50_000.0)
+    monkeypatch.setattr(bench, "bench_station_boot", lambda **kw: 0.01)
+    monkeypatch.setattr(bench, "bench_station_snapshot", lambda **kw: 0.002)
+
+
+def _run(args):
+    assert bench.main(args) == 0
+
+
+def test_three_chained_runs_stay_depth_one(fast_bench, tmp_path, capsys):
+    paths = [str(tmp_path / f"BENCH_{i}.json") for i in (1, 2, 3)]
+    _run(["--output", paths[0]])
+    _run(["--baseline", paths[0], "--output", paths[1]])
+    _run(["--baseline", paths[1], "--output", paths[2]])
+
+    with open(paths[2], "r", encoding="utf-8") as fh:
+        third = json.load(fh)
+    baseline = third["baseline"]
+    assert set(baseline) == {"generated", "host", "metrics"}
+    assert "baseline" not in baseline  # depth-1, not recursive
+    # The carried metrics are the *previous* run's own numbers.
+    with open(paths[1], "r", encoding="utf-8") as fh:
+        second = json.load(fh)
+    assert baseline["metrics"] == second["metrics"]
+
+
+def test_first_run_has_no_baseline_key(fast_bench, tmp_path, capsys):
+    out = str(tmp_path / "BENCH_1.json")
+    _run(["--output", out])
+    with open(out, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert "baseline" not in payload
+    assert set(payload) == {"generated", "host", "metrics"}
+
+
+def test_metrics_cover_every_hot_path(fast_bench, tmp_path, capsys):
+    out = str(tmp_path / "BENCH.json")
+    _run(["--output", out])
+    with open(out, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert set(payload["metrics"]) == {
+        "kernel_events_per_sec",
+        "bus_roundtrips_per_sec",
+        "bus_mixed_msgs_per_sec",
+        "station_boot_seconds",
+        "station_snapshot_restore_seconds",
+    }
+
+
+def test_smoke_gates_per_metric(fast_bench, tmp_path, capsys):
+    baseline_path = str(tmp_path / "BENCH.json")
+    _run(["--output", baseline_path])
+    # Parity run: every metric within budget.
+    assert bench.main(["--smoke", "--baseline", baseline_path]) == 0
+    # Regress one gated metric past its budget; the others stay at parity.
+    # (Direct assignment: the fast_bench monkeypatch still restores the
+    # real function at teardown.)
+    bench.bench_bus_mixed = lambda **kw: 50_000.0 * 0.5  # 50% drop > 20% budget
+    monkey_env = os.environ.pop("REPRO_BENCH_SMOKE_SKIP", None)
+    try:
+        assert bench.main(["--smoke", "--baseline", baseline_path]) == 1
+        out = capsys.readouterr().out
+        assert "bus_mixed_msgs_per_sec" in out and "FAIL" in out
+    finally:
+        if monkey_env is not None:
+            os.environ["REPRO_BENCH_SMOKE_SKIP"] = monkey_env

@@ -14,9 +14,13 @@ clock, iterates an unordered set into an RNG, or keys a schedule off
 * one lossy chaos campaign (the network fault fabric's per-link RNG
   streams plus the adaptive detector), twice, compared the same way;
 * one short steady-state availability run (tree V), twice, byte-comparing
-  the streamed JSONL traces and the result dataclasses.
+  the streamed JSONL traces and the result dataclasses;
+* one chaos campaign run with the warmed-station snapshot cache enabled
+  vs. disabled (fresh boot per cell), byte-comparing traces, result
+  payloads, and the campaign cache keys — the restore-vs-boot bit-identity
+  contract that lets the snapshot fast path share the result cache.
 
-Exits 0 when both legs are bit-identical, 1 otherwise (with the first
+Exits 0 when all legs are bit-identical, 1 otherwise (with the first
 differing line for the trace legs).
 """
 
@@ -131,11 +135,68 @@ def check_availability(workdir: str) -> bool:
     return ok
 
 
+def check_snapshot_fork(workdir: str) -> bool:
+    """Snapshot/fork leg: restored cells must equal fresh-boot cells.
+
+    Runs the same storm campaign once through the warmed-station snapshot
+    cache (template boot + deepcopy + RNG rebase) and once with
+    ``snapshot=False`` (full boot per cell).  The traces and payloads
+    must match byte-for-byte, and the campaign cache key must be the same
+    under both ``REPRO_STATION_SNAPSHOT`` settings — the cache stores
+    results by *meaning*, and snapshot restore is an implementation
+    detail of how a cell gets its warmed station.
+    """
+    from repro.experiments.runner import CampaignCell, cache_key
+    from repro.experiments.snapshot import clear_templates
+    from repro.mercury.config import PAPER_CONFIG
+
+    print("determinism: snapshot-fork (storm on tree V, seed %d) ..." % CHAOS_SEED)
+    payloads = []
+    paths = []
+    clear_templates()
+    for run, snapshot in ((1, True), (2, False)):
+        path = os.path.join(workdir, f"snapshot-{run}.jsonl")
+        sink = JsonlSink(path)
+        result = run_chaos(
+            TREE_BUILDERS["V"](),
+            "storm",
+            trials=1,
+            seed=CHAOS_SEED,
+            sinks=[sink],
+            snapshot=snapshot,
+        )
+        paths.append(path)
+        payloads.append(json.dumps(result.to_payload(), sort_keys=True))
+    clear_templates()
+    ok = _compare_traces("snapshot-fork", paths[0], paths[1])
+    if payloads[0] != payloads[1]:
+        print("FAIL snapshot-fork: result payloads differ")
+        ok = False
+    elif ok:
+        print("  snapshot-fork: result payloads identical")
+
+    cell = CampaignCell(kind="chaos", tree="V", seed=CHAOS_SEED, scenario="storm", trials=1)
+    keys = []
+    for flag in ("1", "0"):
+        os.environ["REPRO_STATION_SNAPSHOT"] = flag
+        try:
+            keys.append(cache_key(cell, PAPER_CONFIG))
+        finally:
+            os.environ.pop("REPRO_STATION_SNAPSHOT", None)
+    if keys[0] != keys[1]:
+        print("FAIL snapshot-fork: campaign cache keys differ between modes")
+        ok = False
+    elif ok:
+        print("  snapshot-fork: campaign cache keys identical")
+    return ok
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-determinism-") as workdir:
         ok = check_chaos(workdir)
         ok = check_chaos_lossy(workdir) and ok
         ok = check_availability(workdir) and ok
+        ok = check_snapshot_fork(workdir) and ok
     if ok:
         print("determinism: PASS")
         return 0
