@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test lint verify chaos-smoke chaos-lossy-smoke check-determinism \
-	bench bench-smoke benchmarks table4-parallel
+.PHONY: test lint verify chaos-smoke chaos-lossy-smoke strategy-smoke \
+	check-determinism bench bench-smoke benchmarks table4-parallel
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -26,6 +26,13 @@ chaos-smoke:
 chaos-lossy-smoke:
 	$(PYTHON) -m repro.cli chaos --scenario lossy --tree V --trials 1 --seed 7
 
+# One fast strategy-comparison matrix (restart vs microreboot under
+# crashes on tree V) with live invariant checking; nonzero exit on any
+# invariant violation.
+strategy-smoke:
+	$(PYTHON) -m repro.cli strategy-compare --strategy restart \
+		--strategy microreboot --kind crash --tree V --trials 2 --seed 7
+
 # Same-seed double runs of a chaos campaign and an availability run,
 # byte-comparing the JSONL traces and result payloads — plus the
 # snapshot-vs-fresh-boot leg (warmed-station forks must be bit-identical
@@ -34,21 +41,21 @@ check-determinism:
 	$(PYTHON) tools/check_determinism.py
 
 # The pre-merge gate: tier-1 tests, lint, and the chaos smoke runs.
-verify: test lint chaos-smoke chaos-lossy-smoke
+verify: test lint chaos-smoke chaos-lossy-smoke strategy-smoke
 
-# Perf session: time the simulator hot paths and write BENCH_3.json,
+# Perf session: time the simulator hot paths and write BENCH_4.json,
 # carrying the previous artifact's own results forward as the embedded
 # (depth-1) baseline so future PRs have a perf trajectory to compare
 # against.
 bench:
-	$(PYTHON) tools/bench.py --baseline BENCH_2.json --output BENCH_3.json
+	$(PYTHON) tools/bench.py --baseline BENCH_3.json --output BENCH_4.json
 
 # Fast regression gate: reduced-rep benchmarks vs the checked-in
-# BENCH_3.json under per-metric budgets (bus_roundtrips_per_sec and
+# BENCH_4.json under per-metric budgets (bus_roundtrips_per_sec and
 # bus_mixed_msgs_per_sec: 20%; station_snapshot_restore_seconds: 50%).
 # Set REPRO_BENCH_SMOKE_SKIP=1 to report without failing (slow machines).
 bench-smoke:
-	$(PYTHON) tools/bench.py --smoke --baseline BENCH_3.json
+	$(PYTHON) tools/bench.py --smoke --baseline BENCH_4.json
 
 # Full paper-reproduction suite (slow).  REPRO_BENCH_TRIALS/JOBS/CACHE
 # control fidelity, fan-out, and result caching.

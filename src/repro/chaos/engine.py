@@ -173,6 +173,7 @@ def run_chaos(
     max_restart_duration: float = 180.0,
     quiesce_timeout: float = 600.0,
     snapshot: Optional[bool] = None,
+    strategy: Optional[str] = None,
 ) -> ChaosResult:
     """Run ``trials`` episodes of ``scenario`` against one tree.
 
@@ -202,6 +203,7 @@ def run_chaos(
             supervisor=supervisor,
             trace_capacity=50_000,
             net_faults=scenario.uses_network,
+            strategy=strategy,
         )
 
     if isinstance(oracle, str):
@@ -209,15 +211,18 @@ def run_chaos(
     else:
         oracle_part = f"instance:{type(oracle).__name__}"
         snapshot = False
-    shape = station_shape(
-        "chaos",
-        tree,
-        config,
+    shape_params = dict(
         oracle=oracle_part,
         oracle_error_rate=oracle_error_rate,
         supervisor=supervisor,
         net_faults=scenario.uses_network,
     )
+    if strategy is not None:
+        # Only strategy-enabled stations carry the extra key, so every
+        # classic shape (and its boot seed) is byte-identical to before the
+        # strategy registry existed.
+        shape_params["strategy"] = strategy
+    shape = station_shape("chaos", tree, config, **shape_params)
     station = warmed_station(shape, build, MercuryStation.boot, seed, snapshot)
     checker = InvariantChecker(tree, max_restart_duration=max_restart_duration)
     metrics = MetricsSink()

@@ -251,7 +251,29 @@ class InvariantChecker(Sink):
             )
             return
         expected = self.tree.components_restarted_by(cell)
-        if components != expected:
+        strategy = data.get("strategy")
+        if strategy is not None:
+            # A non-restart strategy may legitimately bounce a subset of the
+            # cell's group (microreboot's partial batch); it must still stay
+            # inside the group, be non-empty, and cover the trigger.
+            if not components or not components <= expected:
+                self._flag(
+                    "batch-mismatch",
+                    time,
+                    cell,
+                    f"strategy {strategy!r} batch {sorted(components)} is not "
+                    f"a non-empty subset of tree batch {sorted(expected)} "
+                    f"for cell {cell!r}",
+                )
+            elif trigger in expected and trigger not in components:
+                self._flag(
+                    "batch-mismatch",
+                    time,
+                    cell,
+                    f"strategy {strategy!r} batch {sorted(components)} omits "
+                    f"the failed component {trigger!r}",
+                )
+        elif components != expected:
             self._flag(
                 "batch-mismatch",
                 time,

@@ -25,6 +25,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro.core.recovery_strategies import strategy_names
 from repro.core.render import render_tree
 from repro.experiments.availability import measure_availability_suite
 from repro.experiments.passes_experiment import run_pass_campaign
@@ -32,6 +33,7 @@ from repro.experiments.recovery import measure_recovery, measure_recovery_row
 from repro.experiments.report import format_phase_breakdown, format_table
 from repro.experiments.runner import run_recovery_matrix
 from repro.chaos.scenarios import SCENARIOS
+from repro.experiments.strategy_compare import FAILURE_KINDS
 from repro.mercury.trees import TREE_BUILDERS
 
 #: The Table 4 layout: (tree, oracle) rows and the component columns.
@@ -172,6 +174,28 @@ def build_parser() -> argparse.ArgumentParser:
         "one scenario and one tree (inspect with `repro trace FILE`)",
     )
     chaos.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the full per-cell results as sorted JSON",
+    )
+
+    strategy = subparsers.add_parser(
+        "strategy-compare",
+        help="recovery-strategy matrix: strategy x failure kind x tree",
+        parents=[common],
+    )
+    strategy.add_argument(
+        "--strategy", action="append", choices=sorted(strategy_names()),
+        default=None,
+        help="strategy name (repeatable; default: the full registry)",
+    )
+    strategy.add_argument(
+        "--kind", action="append", choices=sorted(FAILURE_KINDS), default=None,
+        help="injected failure kind (repeatable; default: "
+        + " ".join(FAILURE_KINDS) + ")",
+    )
+    _tree_argument(strategy, multiple=True)
+    strategy.add_argument("--trials", type=int, default=3)
+    strategy.add_argument(
         "--report", default=None, metavar="FILE",
         help="write the full per-cell results as sorted JSON",
     )
@@ -485,6 +509,93 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_strategy_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.strategy_compare import (
+        DEFAULT_TREES,
+        run_strategy_suite,
+    )
+
+    strategies = args.strategy or sorted(strategy_names())
+    kinds = args.kind or list(FAILURE_KINDS)
+    labels = args.tree or list(DEFAULT_TREES)
+    suite = run_strategy_suite(
+        strategies,
+        kinds,
+        labels,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+
+    for label in labels:
+        rows: List[List[object]] = []
+        for strategy in strategies:
+            for kind in kinds:
+                cell = suite[(strategy, kind, label)]
+                stats = cell.stats
+                rows.append(
+                    [
+                        strategy,
+                        kind,
+                        f"{stats.mean:.3f}",
+                        f"{stats.maximum:.3f}",
+                        cell.sessions_lost,
+                        cell.sessions_restored,
+                        cell.checkpoints_restored,
+                        cell.messages_replayed,
+                        len(cell.violations),
+                    ]
+                )
+        print(
+            format_table(
+                [
+                    "strategy", "kind", "mean MTTR (s)", "max (s)",
+                    "ses lost", "restored", "ckpt", "replayed", "viol",
+                ],
+                rows,
+                title=(
+                    f"Recovery strategies, tree {label}, "
+                    f"{args.trials} trial(s)/cell"
+                ),
+            )
+        )
+        print()
+
+    violations = [
+        (key, violation)
+        for key, cell in sorted(suite.items())
+        for violation in cell.violations
+    ]
+    if violations:
+        print(f"INVARIANT VIOLATIONS: {len(violations)}")
+        for (strategy, kind, label), violation in violations[:20]:
+            print(
+                f"  [{strategy}/{kind}/tree {label}] {violation['invariant']} "
+                f"@{violation['time']:.3f}s {violation['subject']}: "
+                f"{violation['detail']}"
+            )
+        if len(violations) > 20:
+            print(f"  ... and {len(violations) - 20} more")
+    else:
+        print("invariants: all OK")
+
+    if args.report:
+        import json
+
+        payload = {
+            f"{strategy}/{kind}/{label}": suite[(strategy, kind, label)].to_payload()
+            for strategy in strategies
+            for kind in kinds
+            for label in labels
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"report -> {args.report}")
+    return 1 if violations else 0
+
+
 def cmd_detection_ablation(args: argparse.Namespace) -> int:
     from repro.experiments.detection_ablation import run_detection_ablation
 
@@ -605,6 +716,7 @@ COMMANDS = {
     "availability": cmd_availability,
     "passes": cmd_passes,
     "chaos": cmd_chaos,
+    "strategy-compare": cmd_strategy_compare,
     "detection-ablation": cmd_detection_ablation,
     "trace": cmd_trace,
 }

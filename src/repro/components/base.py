@@ -77,6 +77,7 @@ class BusAttachedBehavior(Behavior):
         network: "Network",
         bus_address: str = "mbus:7000",
         reconnect_interval: SimTime = 0.25,
+        session_store: Any = None,
     ) -> None:
         super().__init__(process)
         self.network = network
@@ -85,6 +86,12 @@ class BusAttachedBehavior(Behavior):
         self._endpoint: Optional["Endpoint"] = None
         self._alive = False
         self._reconnect_pending = False
+        #: Crash-only session store (see :mod:`repro.mercury.session_store`),
+        #: or None on classic stations.  When set, inbound work messages are
+        #: logged so a checkpoint-replay restart can replay the tail.
+        self._session_store = session_store
+        self._replay_pending = False
+        self._replaying = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -92,6 +99,12 @@ class BusAttachedBehavior(Behavior):
 
     def on_start(self) -> None:
         self._alive = True
+        store = self._session_store
+        self._replay_pending = (
+            store is not None
+            and self.process.last_hint == "replay"
+            and (store.has_checkpoint(self.name) or store.has_log(self.name))
+        )
         self._try_connect()
 
     def on_kill(self) -> None:
@@ -125,6 +138,8 @@ class BusAttachedBehavior(Behavior):
         endpoint.send(encode_message(attach))
         self.trace(ev.BUS_CONNECTED)
         self.on_bus_connected()
+        if self._replay_pending:
+            self._replay_window()
 
     def _on_bus_close(self) -> None:
         self._endpoint = None
@@ -163,6 +178,25 @@ class BusAttachedBehavior(Behavior):
             return False
         return True
 
+    def _replay_window(self) -> None:
+        """Feed the logged message tail back through the receive path.
+
+        Runs once, right after the first (re)attach of a ``replay``-hinted
+        start: the checkpoint restored the coarse state, the log replays
+        what arrived since.  Replayed messages are not re-logged.
+        """
+        self._replay_pending = False
+        store = self._session_store
+        assert store is not None
+        entries = store.replay_log(self.name)
+        self.trace(ev.REPLAY_WINDOW, component=self.name, messages=len(entries))
+        self._replaying = True
+        try:
+            for raw in entries:
+                self._on_raw(raw)
+        finally:
+            self._replaying = False
+
     def _on_raw(self, raw: str) -> None:
         if not self._alive:
             return
@@ -182,6 +216,10 @@ class BusAttachedBehavior(Behavior):
                 except ChannelClosedError:
                     pass
             return
+        if self._session_store is not None and not self._replaying:
+            # Bus-client tap: log real work for checkpoint-replay recovery.
+            # Pings never reach the log — they carry no state.
+            self._session_store.log_message(self.name, raw)
         try:
             message = parse_message(raw)
         except XmlError as error:

@@ -63,6 +63,20 @@ class Oracle(ABC):
         this; the learning oracle builds its estimates from it.
         """
 
+    def recommend_strategy(
+        self, tree: RestartTree, failed_component: str
+    ) -> Optional[str]:
+        """Optional *how-to-recover* hint alongside the cell recommendation.
+
+        Returns a :mod:`repro.core.recovery_strategies` registry name, or
+        ``None`` for no opinion.  The hint is advisory: the supervisor's
+        :class:`~repro.core.recovery_strategies.StrategyMap` resolves it
+        *below* any explicit per-cell/per-kind/default assignment, and it
+        only matters at all on strategy-enabled stations — the classic
+        restart-only configuration never consults it.
+        """
+        return None
+
     def describe(self) -> str:
         """Human-readable label used in experiment reports."""
         return type(self).__name__
@@ -99,6 +113,27 @@ class PerfectOracle(Oracle):
         if not cure:
             return tree.cell_of_component(failed_component)
         return tree.minimal_cell_covering(cure)
+
+    def recommend_strategy(
+        self, tree: RestartTree, failed_component: str
+    ) -> Optional[str]:
+        """Hint ``bisect`` for ambiguous fail-slow group failures.
+
+        A hung/zombie failure whose cure set spans several components is
+        exactly the case where which group member is sick is unclear from
+        the outside — the bisect ladder finds the curing subset before
+        paying for the whole group.  Everything else: no opinion.
+        """
+        from repro.faults.failure import FAIL_SLOW_KINDS
+
+        process = self._manager.maybe_get(failed_component)
+        descriptor = getattr(process, "last_failure", None) if process else None
+        if descriptor is None or descriptor.kind not in FAIL_SLOW_KINDS:
+            return None
+        cure = frozenset(descriptor.cure_set) & tree.components
+        if len(cure) > 1:
+            return "bisect"
+        return None
 
     def describe(self) -> str:
         return "perfect"
@@ -175,6 +210,12 @@ class FaultyOracle(Oracle):
         self, tree: RestartTree, failed_component: str, cell_id: str, cured: bool
     ) -> None:
         self.inner.notify_outcome(tree, failed_component, cell_id, cured)
+
+    def recommend_strategy(
+        self, tree: RestartTree, failed_component: str
+    ) -> Optional[str]:
+        # Mistakes model *which cell*, not *how*: delegate the hint.
+        return self.inner.recommend_strategy(tree, failed_component)
 
     def describe(self) -> str:
         return f"faulty({self.inner.describe()}, p={self.error_rate})"

@@ -45,6 +45,13 @@ class RestartDecision:
     #: assert that every ordered cell stays on the recommendation's
     #: path-to-root — the recoverer must never wander outside that subtree.
     oracle_cell: Optional[str] = None
+    #: Recovery-strategy directive.  ``None`` lets the supervisor's
+    #: :class:`~repro.core.recovery_strategies.StrategyMap` choose;
+    #: escalated decisions pin ``"restart"`` — a cheap partial cure
+    #: already failed once, so the climb up the tree uses the proven
+    #: full-group mechanism ("try the cheapest cure first" composes with
+    #: "escalate to what is known to work").
+    strategy: Optional[str] = None
 
 
 @dataclass
@@ -124,6 +131,7 @@ class RestartPolicy:
         """Decide what to do about a failure manifesting in ``component``."""
         if component not in self.tree.components:
             return RestartDecision("ignore", reason=f"{component!r} not in restart tree")
+        strategy: Optional[str] = None
         episode = self.episode_for(component)
         if episode is None:
             episode = Episode(component=component, opened_at=now)
@@ -151,6 +159,9 @@ class RestartPolicy:
             self.escalations += 1
             cell_id = parent
             episode.state = "deciding"
+            # The previous attempt's (possibly partial) cure failed; the
+            # climb up the tree uses the proven full-group restart.
+            strategy = "restart"
 
         if self._budget_exhausted(component, now):
             episode.state = "abandoned"
@@ -170,6 +181,7 @@ class RestartPolicy:
             cell_id=cell_id,
             components=components,
             oracle_cell=episode.oracle_cell,
+            strategy=strategy,
         )
 
     def restart_began(self, batch: FrozenSet[str], now: SimTime) -> None:

@@ -31,6 +31,15 @@ recovery does not cure the failure (state corruption survived the
 checkpoint), the failure re-manifests, and the *policy escalates to the
 parent cell* — whose procedure defaults to the cold restart.  "Restart is
 just one example" composes with "try the cheapest cure first".
+
+Procedures answer *what bouncing this cell does* (cold vs warm start
+hints); :mod:`repro.core.recovery_strategies` generalises one level up —
+*which members bounce, in what steps, and how completion is verified*
+(microreboot, checkpoint+replay, bisect).  The two compose: the default
+``restart`` strategy plans by consulting this module's
+:class:`ProcedureMap`, so per-cell procedure overrides keep working
+under the strategy registry.  :class:`StrategyMap` (re-exported here for
+discoverability) is the strategy-level analogue of :class:`ProcedureMap`.
 """
 
 from __future__ import annotations
@@ -115,3 +124,14 @@ class ProcedureMap:
     def describe(self, cell_id: str) -> str:
         """Label of the procedure assigned to ``cell_id``."""
         return self.for_cell(cell_id).describe()
+
+
+from repro.core.recovery_strategies import StrategyMap  # noqa: E402  (re-export)
+
+__all__ = [
+    "RecoveryProcedure",
+    "RestartProcedure",
+    "WarmRecoveryProcedure",
+    "ProcedureMap",
+    "StrategyMap",
+]

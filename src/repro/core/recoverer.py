@@ -27,6 +27,14 @@ from collections import deque
 from repro.components.base import Behavior
 from repro.core.policy import RestartDecision, RestartPolicy
 from repro.core.procedures import ProcedureMap
+from repro.core.recovery_strategies import (
+    RecoveryPlan,
+    RecoveryStrategy,
+    StrategyContext,
+    StrategyMap,
+    get_strategy,
+    observed_failure_kind,
+)
 from repro.errors import ChannelClosedError
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
@@ -40,6 +48,7 @@ from repro.xmlcmd.commands import (
     encode_message,
     parse_message,
 )
+from repro.xmlcmd.fastpath import encode_ping_wire, split_ping_wire
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.procmgr.manager import ProcessManager
@@ -65,6 +74,8 @@ class RecoveryModule(Behavior):
         fd_grace: SimTime = 2.0,
         restart_timeout: SimTime = 90.0,
         procedures: Optional[ProcedureMap] = None,
+        strategies: Optional[StrategyMap] = None,
+        session_store=None,
     ) -> None:
         super().__init__(process)
         self.network = network
@@ -84,6 +95,15 @@ class RecoveryModule(Behavior):
         #: Per-cell recovery procedures (§7 recursive recovery); pushing a
         #: cell's button runs its procedure, restart being the default.
         self.procedures = procedures or ProcedureMap()
+        #: Per-cell/per-failure-kind recovery strategies.  ``None`` means
+        #: the classic restart-only configuration: the default strategy is
+        #: forced, the oracle's strategy hint is never consulted, and the
+        #: trace stays bit-identical to the pre-registry recoverer.
+        self.strategies = strategies
+        #: Crash-only external session store shared with the components
+        #: (set on strategy-enabled stations; strategies read it via the
+        #: per-action context).
+        self.session_store = session_store
 
         self._alive = False
         self._listener = None
@@ -91,11 +111,18 @@ class RecoveryModule(Behavior):
         self._pending_reports: Deque[str] = deque()
         self._inflight_batch: Optional[FrozenSet[str]] = None
         self._inflight_cell: Optional[str] = None
-        #: Batch members that completed their restart; the batch finishes
-        #: when all members have been ready once (gating on "all currently
-        #: running" would deadlock if a member fails again while a slower
-        #: member is still starting).
+        #: Expected members that completed their restart; the current step
+        #: finishes when all expected members have been ready once (gating
+        #: on "all currently running" would deadlock if a member fails
+        #: again while a slower member is still starting).
         self._inflight_ready: set = set()
+        #: The members the current step actually bounces and waits for —
+        #: equals the batch for the restart strategy, a subset for
+        #: microreboot/bisect probes.
+        self._inflight_expecting: FrozenSet[str] = frozenset()
+        self._inflight_strategy: Optional[RecoveryStrategy] = None
+        self._inflight_ctx: Optional[StrategyContext] = None
+        self._inflight_plan: Optional[RecoveryPlan] = None
         self._ping_seq = 0
         self._outstanding_ping: Optional[int] = None
         self._fd_misses = 0
@@ -114,6 +141,10 @@ class RecoveryModule(Behavior):
         self._inflight_batch = None
         self._inflight_cell = None
         self._inflight_ready = set()
+        self._inflight_expecting = frozenset()
+        self._inflight_strategy = None
+        self._inflight_ctx = None
+        self._inflight_plan = None
         self._outstanding_ping = None
         self._fd_misses = 0
         self._fd_restart_inflight = False
@@ -147,10 +178,13 @@ class RecoveryModule(Behavior):
             self._fd_endpoint = None
 
     def _ctl_send(self, message: Message) -> bool:
+        return self._ctl_send_raw(encode_message(message))
+
+    def _ctl_send_raw(self, wire: str) -> bool:
         if self._fd_endpoint is None or not self._fd_endpoint.open:
             return False
         try:
-            self._fd_endpoint.send(encode_message(message))
+            self._fd_endpoint.send(wire)
         except ChannelClosedError:
             return False
         return True
@@ -158,29 +192,52 @@ class RecoveryModule(Behavior):
     def _on_ctl_raw(self, raw: str) -> None:
         if not self._alive:
             return
-        message = parse_message(raw)
-        if isinstance(message, PingRequest):
-            self._ctl_send(PingReply(sender=self.name, target=message.sender, seq=message.seq))
-            return
-        if isinstance(message, PingReply):
-            if message.seq == self._outstanding_ping:
+        # Watchdog traffic (FD's pings at us, its replies to ours) dominates
+        # this channel; both directions ride the templated wire form, so
+        # the generic parser only sees failure reports and the odd control
+        # verb — and those dispatch O(1) on the message class instead of
+        # walking an isinstance chain.
+        hit = split_ping_wire(raw)
+        if hit is not None:
+            if hit[0] == "ping":
+                self._ctl_send_raw(
+                    encode_ping_wire("ping-reply", self.name, hit[1], hit[3])
+                )
+            elif hit[3] == self._outstanding_ping:
                 self._outstanding_ping = None
                 self._fd_misses = 0
             return
-        if isinstance(message, FailureReport):
-            for component in message.failed_components:
-                self._handle_failure(component)
+        message = parse_message(raw)
+        handler = _CTL_DISPATCH.get(message.__class__)
+        if handler is not None:
+            handler(self, message)
+
+    def _on_ctl_ping(self, message: PingRequest) -> None:
+        # Non-canonical wire forms miss the templated split above but mean
+        # the same thing.
+        self._ctl_send(PingReply(sender=self.name, target=message.sender, seq=message.seq))
+
+    def _on_ctl_ping_reply(self, message: PingReply) -> None:
+        if message.seq == self._outstanding_ping:
+            self._outstanding_ping = None
+            self._fd_misses = 0
+
+    def _on_ctl_failure_report(self, message: FailureReport) -> None:
+        for component in message.failed_components:
+            self._handle_failure(component)
+
+    def _on_ctl_command(self, message: CommandMessage) -> None:
+        if message.verb != "retract-report":
             return
-        if isinstance(message, CommandMessage) and message.verb == "retract-report":
-            # FD's spurious-restart guard: the declared component answered
-            # again before we acted.  Drop any still-queued report; a
-            # restart already in flight is past retracting.
-            component = message.params.get("component", "")
-            if component and component in self._pending_reports:
-                self._pending_reports = deque(
-                    name for name in self._pending_reports if name != component
-                )
-                self.trace(ev.REPORT_RETRACTED, component=component)
+        # FD's spurious-restart guard: the declared component answered
+        # again before we acted.  Drop any still-queued report; a
+        # restart already in flight is past retracting.
+        component = message.params.get("component", "")
+        if component and component in self._pending_reports:
+            self._pending_reports = deque(
+                name for name in self._pending_reports if name != component
+            )
+            self.trace(ev.REPORT_RETRACTED, component=component)
 
     # ------------------------------------------------------------------
     # recovery flow
@@ -213,7 +270,33 @@ class RecoveryModule(Behavior):
         self._execute_restart(
             decision.cell_id, decision.components, component,
             oracle_cell=decision.oracle_cell,
+            strategy=decision.strategy,
         )
+
+    def _resolve_strategy(
+        self, cell_id: str, trigger: str, requested: Optional[str]
+    ) -> RecoveryStrategy:
+        """Pick the strategy for this action.
+
+        A ``requested`` name (the policy pinning ``restart`` on
+        escalation) is a directive.  Otherwise the strategy map resolves
+        per cell and observed failure kind, with the oracle's advisory
+        hint as the lowest-priority input.  Without a map (the classic
+        configuration) the default restart strategy is forced and the
+        oracle is never consulted.
+        """
+        if requested is not None:
+            return get_strategy(requested)
+        if self.strategies is None:
+            return get_strategy("restart")
+        hint = self.policy.oracle.recommend_strategy(self.policy.tree, trigger)
+        name = self.strategies.select(
+            self.policy.tree,
+            cell_id,
+            failure_kind=observed_failure_kind(self.manager, trigger),
+            oracle_hint=hint,
+        )
+        return get_strategy(name)
 
     def _execute_restart(
         self,
@@ -221,35 +304,64 @@ class RecoveryModule(Behavior):
         components: FrozenSet[str],
         trigger: str,
         oracle_cell: Optional[str] = None,
+        strategy: Optional[str] = None,
     ) -> None:
+        chosen = self._resolve_strategy(cell_id, trigger, strategy)
+        ctx = StrategyContext(
+            manager=self.manager,
+            kernel=self.kernel,
+            tree=self.policy.tree,
+            procedures=self.procedures,
+            cell_id=cell_id,
+            components=components,
+            trigger=trigger,
+            failure_kind=observed_failure_kind(self.manager, trigger),
+            session_store=self.session_store,
+        )
+        plan = chosen.plan(ctx)
+        ctx.planned_at = self.kernel.now
         self._inflight_cell = cell_id
-        self._inflight_batch = components
+        self._inflight_batch = plan.batch
+        self._inflight_expecting = plan.gate
         self._inflight_ready = set()
-        procedure = self.procedures.for_cell(cell_id)
+        self._inflight_strategy = chosen
+        self._inflight_ctx = ctx
+        self._inflight_plan = plan
         extra = {"oracle_cell": oracle_cell} if oracle_cell is not None else {}
+        if chosen.name != "restart":
+            extra["strategy"] = chosen.name
         self.trace(
             ev.RESTART_ORDERED,
             cell=cell_id,
-            components=tuple(sorted(components)),
+            components=tuple(sorted(plan.batch)),
             trigger=trigger,
-            procedure=procedure.describe(),
+            procedure=plan.label,
             **extra,
         )
+        if chosen.name != "restart":
+            self.trace(
+                ev.STRATEGY_PLANNED,
+                cell=cell_id,
+                strategy=chosen.name,
+                batch=tuple(sorted(plan.batch)),
+                expecting=tuple(sorted(plan.gate)),
+                trigger=trigger,
+            )
         self._ctl_send(
             RestartOrder(
                 sender=self.name,
                 target=self.fd_name,
                 cell_id=cell_id,
-                components=tuple(sorted(components)),
+                components=tuple(sorted(plan.batch)),
                 reason="begin",
             )
         )
-        self.policy.restart_began(components, self.kernel.now)
+        self.policy.restart_began(plan.batch, self.kernel.now)
         self._action_seq += 1
         self.kernel.call_after(
             self.restart_timeout, self._check_restart_progress, self._action_seq
         )
-        procedure.execute(self.manager, components)
+        chosen.execute(ctx, plan)
 
     def _check_restart_progress(self, action_seq: int) -> None:
         """Watchdog: re-kick batch members that died during the restart."""
@@ -258,9 +370,10 @@ class RecoveryModule(Behavior):
         batch = self._inflight_batch
         if batch is None:
             return
+        expecting = self._inflight_expecting
         stragglers = [
             name
-            for name in sorted(batch - self._inflight_ready)
+            for name in sorted(expecting - self._inflight_ready)
             if self.manager.get(name).state.is_terminal
         ]
         if stragglers:
@@ -270,7 +383,7 @@ class RecoveryModule(Behavior):
                 components=tuple(stragglers),
             )
             for name in stragglers:
-                self.manager.start(name, batch=batch)
+                self.manager.start(name, batch=expecting)
         self.kernel.call_after(
             self.restart_timeout, self._check_restart_progress, action_seq
         )
@@ -301,20 +414,82 @@ class RecoveryModule(Behavior):
             self._fd_misses = 0
         if event != "ready" or self._inflight_batch is None:
             return
-        if process.name not in self._inflight_batch:
+        if process.name not in self._inflight_expecting:
             return
         self._inflight_ready.add(process.name)
-        if self._inflight_ready >= self._inflight_batch:
+        if self._inflight_ready >= self._inflight_expecting:
+            self._step_completed()
+
+    def _step_completed(self) -> None:
+        """Every expected member is ready: verify now or after a delay."""
+        ctx = self._inflight_ctx
+        plan = self._inflight_plan
+        if ctx is not None:
+            ctx.gate_ready_at = self.kernel.now
+        if plan is not None and plan.verify_delay > 0.0:
+            self.kernel.call_after(
+                plan.verify_delay, self._verify_step, self._action_seq
+            )
+            return
+        self._verify_step(self._action_seq)
+
+    def _verify_step(self, action_seq: int) -> None:
+        if not self._alive or action_seq != self._action_seq:
+            return
+        if self._inflight_batch is None:
+            return
+        strategy = self._inflight_strategy
+        ctx = self._inflight_ctx
+        plan = self._inflight_plan
+        follow = None
+        if strategy is not None and ctx is not None and plan is not None:
+            follow = strategy.verify(ctx, plan)
+        if follow is None:
             self._finish_restart()
+            return
+        # The strategy wants another step (bisect widening its probe):
+        # the action — and FD suppression — stays open.
+        ctx.rounds += 1
+        self._inflight_plan = follow
+        self._inflight_expecting = follow.gate
+        self._inflight_ready = set()
+        self.trace(
+            ev.BISECT_PROBE,
+            cell=self._inflight_cell,
+            components=tuple(sorted(follow.gate)),
+            round=ctx.rounds,
+        )
+        self._action_seq += 1
+        self.kernel.call_after(
+            self.restart_timeout, self._check_restart_progress, self._action_seq
+        )
+        strategy.execute(ctx, follow)
 
     def _finish_restart(self) -> None:
         batch = self._inflight_batch
         cell_id = self._inflight_cell
+        strategy = self._inflight_strategy
+        ctx = self._inflight_ctx
         assert batch is not None
         self._inflight_batch = None
         self._inflight_cell = None
         self._inflight_ready = set()
+        self._inflight_expecting = frozenset()
+        self._inflight_strategy = None
+        self._inflight_ctx = None
+        self._inflight_plan = None
         self._action_seq += 1  # invalidate the progress watchdog
+        if strategy is not None and strategy.name != "restart" and ctx is not None:
+            now = self.kernel.now
+            self.trace(
+                ev.STRATEGY_VERIFIED,
+                cell=cell_id,
+                strategy=strategy.name,
+                plan_s=0.0,
+                execute_s=round(ctx.gate_ready_at - ctx.planned_at, 9),
+                verify_s=round(now - ctx.gate_ready_at, 9),
+                rounds=ctx.rounds,
+            )
         now = self.kernel.now
         self.policy.restart_completed(batch, now)
         self.trace(ev.RESTART_COMPLETE, cell=cell_id, components=tuple(sorted(batch)))
@@ -394,3 +569,15 @@ class RecoveryModule(Behavior):
         self._fd_misses = 0
         self.trace(ev.FD_RESTART, severity=Severity.WARNING)
         self.manager.restart([self.fd_name])
+
+
+#: O(1) control-channel dispatch on the concrete message class.
+#: ``parse_message`` returns exactly these types, so a dict hit replaces
+#: the old isinstance ladder; unknown classes fall through silently, as
+#: the ladder's final case did.
+_CTL_DISPATCH = {
+    PingRequest: RecoveryModule._on_ctl_ping,
+    PingReply: RecoveryModule._on_ctl_ping_reply,
+    FailureReport: RecoveryModule._on_ctl_failure_report,
+    CommandMessage: RecoveryModule._on_ctl_command,
+}

@@ -80,7 +80,7 @@ def _rebuild(
         if rebuilt is not None:
             new_children.append(rebuilt)
     components = components_override.get(node.cell_id, node.components)
-    return RestartCell(node.cell_id, components, new_children)
+    return RestartCell(node.cell_id, components, new_children, strategy=node.strategy)
 
 
 def _leaf_id_for(component: str, taken: Iterable[str]) -> str:
@@ -125,10 +125,16 @@ def depth_augment(
     def rebuild(node: RestartCell) -> RestartCell:
         if node.cell_id == target_id:
             return RestartCell(
-                node.cell_id, (), tuple(node.children) + tuple(new_leaves)
+                node.cell_id,
+                (),
+                tuple(node.children) + tuple(new_leaves),
+                strategy=node.strategy,
             )
         return RestartCell(
-            node.cell_id, node.components, [rebuild(c) for c in node.children]
+            node.cell_id,
+            node.components,
+            [rebuild(c) for c in node.children],
+            strategy=node.strategy,
         )
 
     note = f"depth_augment({target_id}): components {sorted(target.components)} -> own cells"
@@ -164,7 +170,12 @@ def replace_component(
         part_cells.append(RestartCell(leaf_id, components=[part]))
 
     def copy(node: RestartCell) -> RestartCell:
-        return RestartCell(node.cell_id, node.components, [copy(c) for c in node.children])
+        return RestartCell(
+            node.cell_id,
+            node.components,
+            [copy(c) for c in node.children],
+            strategy=node.strategy,
+        )
 
     def rebuild(node: RestartCell) -> RestartCell:
         new_children: List[RestartCell] = []
@@ -178,10 +189,17 @@ def replace_component(
                 # The old cell survives (it held other components/children);
                 # the split parts become its siblings.
                 new_children.append(
-                    RestartCell(child.cell_id, remaining, grandchildren)
+                    RestartCell(
+                        child.cell_id,
+                        remaining,
+                        grandchildren,
+                        strategy=child.strategy,
+                    )
                 )
             new_children.extend(part_cells)
-        return RestartCell(node.cell_id, node.components, new_children)
+        return RestartCell(
+            node.cell_id, node.components, new_children, strategy=node.strategy
+        )
 
     if home_id == tree.root.cell_id:
         old_root = tree.root
@@ -189,6 +207,7 @@ def replace_component(
             old_root.cell_id,
             old_root.components - {component},
             [copy(c) for c in old_root.children] + part_cells,
+            strategy=old_root.strategy,
         )
     else:
         root = rebuild(tree.root)
@@ -238,9 +257,14 @@ def insert_joint_node(
                         placed = True
                     continue
                 new_children.append(rebuild(child))
-            return RestartCell(node.cell_id, node.components, new_children)
+            return RestartCell(
+                node.cell_id, node.components, new_children, strategy=node.strategy
+            )
         return RestartCell(
-            node.cell_id, node.components, [rebuild(c) for c in node.children]
+            node.cell_id,
+            node.components,
+            [rebuild(c) for c in node.children],
+            strategy=node.strategy,
         )
 
     note = f"insert_joint_node({joint_cell_id} over {list(child_cell_ids)})"
@@ -292,9 +316,14 @@ def consolidate_groups(
                         placed = True
                     continue
                 new_children.append(rebuild(child))
-            return RestartCell(node.cell_id, node.components, new_children)
+            return RestartCell(
+                node.cell_id, node.components, new_children, strategy=node.strategy
+            )
         return RestartCell(
-            node.cell_id, node.components, [rebuild(c) for c in node.children]
+            node.cell_id,
+            node.components,
+            [rebuild(c) for c in node.children],
+            strategy=node.strategy,
         )
 
     note = f"consolidate_groups({list(cell_ids)} -> {merged_cell_id})"
@@ -333,7 +362,9 @@ def promote_component(
             ]
             if not remaining and not children:
                 return None
-            return RestartCell(node.cell_id, remaining, children)
+            return RestartCell(
+                node.cell_id, remaining, children, strategy=node.strategy
+            )
         new_children = []
         for child in node.children:
             built = rebuild(child)
@@ -342,7 +373,9 @@ def promote_component(
         components = node.components
         if node.cell_id == parent_id:
             components = components | {component}
-        return RestartCell(node.cell_id, components, new_children)
+        return RestartCell(
+            node.cell_id, components, new_children, strategy=node.strategy
+        )
 
     root = rebuild(tree.root)
     assert root is not None  # parent_id exists, so the root survives

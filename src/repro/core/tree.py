@@ -42,21 +42,29 @@ class RestartCell:
         Component names attached directly to this cell.
     children:
         Child cells.
+    strategy:
+        Optional per-node recovery strategy name (see
+        :mod:`repro.core.recovery_strategies`): how pushing this cell's
+        button recovers, when no map override says otherwise.  ``None``
+        defers to the supervisor's :class:`~repro.core.recovery_strategies
+        .StrategyMap` (whose default is the classic restart).
     """
 
-    __slots__ = ("cell_id", "components", "children")
+    __slots__ = ("cell_id", "components", "children", "strategy")
 
     def __init__(
         self,
         cell_id: str,
         components: Iterable[str] = (),
         children: Sequence["RestartCell"] = (),
+        strategy: Optional[str] = None,
     ) -> None:
         if not cell_id:
             raise TreeError("cell_id must be non-empty")
         self.cell_id = cell_id
         self.components: FrozenSet[str] = frozenset(components)
         self.children: Tuple["RestartCell", ...] = tuple(children)
+        self.strategy = strategy
         if not self.components and not self.children:
             raise TreeError(
                 f"cell {cell_id!r} is empty: a cell must attach at least one "
@@ -94,9 +102,10 @@ def cell(
     cell_id: str,
     components: Iterable[str] = (),
     children: Sequence[RestartCell] = (),
+    strategy: Optional[str] = None,
 ) -> RestartCell:
     """Convenience constructor matching the figures' visual nesting."""
-    return RestartCell(cell_id, components, children)
+    return RestartCell(cell_id, components, children, strategy=strategy)
 
 
 class RestartTree:
@@ -197,6 +206,10 @@ class RestartTree:
         """Every component bounced when this cell's button is pushed."""
         return self.get_cell(cell_id).subtree_components()
 
+    def strategy_of(self, cell_id: str) -> Optional[str]:
+        """The cell's own recovery-strategy annotation, if any."""
+        return self.get_cell(cell_id).strategy
+
     def path_to_root(self, cell_id: str) -> List[str]:
         """Cell ids from ``cell_id`` up to and including the root."""
         path = [cell_id]
@@ -290,6 +303,8 @@ class RestartTree:
 
 def _cells_equal(a: RestartCell, b: RestartCell) -> bool:
     if a.cell_id != b.cell_id or a.components != b.components:
+        return False
+    if a.strategy != b.strategy:
         return False
     if len(a.children) != len(b.children):
         return False

@@ -37,6 +37,14 @@ from typing import Deque, FrozenSet, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.policy import RestartDecision, RestartPolicy
 from repro.core.procedures import ProcedureMap
+from repro.core.recovery_strategies import (
+    RecoveryPlan,
+    RecoveryStrategy,
+    StrategyContext,
+    StrategyMap,
+    get_strategy,
+    observed_failure_kind,
+)
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
 
@@ -60,6 +68,8 @@ class AbstractSupervisor:
         observation_window: SimTime = 3.0,
         restart_timeout: SimTime = 90.0,
         procedures: Optional[ProcedureMap] = None,
+        strategies: Optional[StrategyMap] = None,
+        session_store=None,
     ) -> None:
         self.kernel = kernel
         self.manager = manager
@@ -74,14 +84,24 @@ class AbstractSupervisor:
         self._action_seq = 0
         #: Per-cell recovery procedures (§7 recursive recovery).
         self.procedures = procedures or ProcedureMap()
+        #: Strategy registry map; ``None`` forces the classic restart
+        #: strategy (bit-identical traces, oracle hint never consulted).
+        self.strategies = strategies
+        self.session_store = session_store
         self._rng = kernel.rngs.stream("abstract_supervisor.detection")
         self._inflight_batch: Optional[FrozenSet[str]] = None
         self._inflight_cell: Optional[str] = None
-        #: Batch members that have completed their restart.  The batch
-        #: finishes when every member has been ready *once* — gating on
-        #: "all currently running" would deadlock if a member fails again
-        #: while a slower member is still starting.
+        #: Expected members that have completed their restart.  The step
+        #: finishes when every expected member has been ready *once* —
+        #: gating on "all currently running" would deadlock if a member
+        #: fails again while a slower member is still starting.
         self._inflight_ready: set = set()
+        #: The members the current step bounces and waits for (equals the
+        #: batch for restart, a subset for microreboot/bisect probes).
+        self._inflight_expecting: FrozenSet[str] = frozenset()
+        self._inflight_strategy: Optional[RecoveryStrategy] = None
+        self._inflight_ctx: Optional[StrategyContext] = None
+        self._inflight_plan: Optional[RecoveryPlan] = None
         self._pending: Deque[str] = deque()
         self.detections = 0
         self.restart_log: List[RestartDecision] = []
@@ -104,22 +124,7 @@ class AbstractSupervisor:
         components = self.policy.tree.components_restarted_by(cell_id)
         if not self.manager.all_running(components):
             return False
-        self._inflight_cell = cell_id
-        self._inflight_batch = components
-        self._inflight_ready = set()
-        self.kernel.trace.emit(
-            "supervisor",
-            ev.RESTART_ORDERED,
-            cell=cell_id,
-            components=tuple(sorted(components)),
-            trigger=reason or "proactive",
-        )
-        self.policy.restart_began(components, self.kernel.now)
-        self._action_seq += 1
-        self.kernel.call_after(
-            self.restart_timeout, self._check_restart_progress, self._action_seq
-        )
-        self.manager.restart(components)
+        self._begin_action(cell_id, components, reason or "proactive")
         return True
 
     # ------------------------------------------------------------------
@@ -140,10 +145,10 @@ class AbstractSupervisor:
             self.kernel.call_after(delay, self._declare, name)
             return
         if event == "ready" and self._inflight_batch is not None:
-            if name in self._inflight_batch:
+            if name in self._inflight_expecting:
                 self._inflight_ready.add(name)
-                if self._inflight_ready >= self._inflight_batch:
-                    self._finish_restart()
+                if self._inflight_ready >= self._inflight_expecting:
+                    self._step_completed()
 
     def _declare(self, component: str) -> None:
         process = self.manager.get(component)
@@ -181,43 +186,100 @@ class AbstractSupervisor:
             )
             return
         assert decision.cell_id is not None
-        self._inflight_cell = decision.cell_id
-        self._inflight_batch = decision.components
-        self._inflight_ready = set()
-        extra = (
-            {"oracle_cell": decision.oracle_cell}
-            if decision.oracle_cell is not None
-            else {}
+        self._begin_action(
+            decision.cell_id,
+            decision.components,
+            component,
+            oracle_cell=decision.oracle_cell,
+            strategy=decision.strategy,
         )
+
+    def _resolve_strategy(
+        self, cell_id: str, trigger: str, requested: Optional[str]
+    ) -> RecoveryStrategy:
+        """Same resolution as the recoverer's (see there)."""
+        if requested is not None:
+            return get_strategy(requested)
+        if self.strategies is None:
+            return get_strategy("restart")
+        hint = self.policy.oracle.recommend_strategy(self.policy.tree, trigger)
+        name = self.strategies.select(
+            self.policy.tree,
+            cell_id,
+            failure_kind=observed_failure_kind(self.manager, trigger),
+            oracle_hint=hint,
+        )
+        return get_strategy(name)
+
+    def _begin_action(
+        self,
+        cell_id: str,
+        components: FrozenSet[str],
+        trigger: str,
+        oracle_cell: Optional[str] = None,
+        strategy: Optional[str] = None,
+    ) -> None:
+        chosen = self._resolve_strategy(cell_id, trigger, strategy)
+        ctx = StrategyContext(
+            manager=self.manager,
+            kernel=self.kernel,
+            tree=self.policy.tree,
+            procedures=self.procedures,
+            cell_id=cell_id,
+            components=components,
+            trigger=trigger,
+            failure_kind=observed_failure_kind(self.manager, trigger),
+            session_store=self.session_store,
+        )
+        plan = chosen.plan(ctx)
+        ctx.planned_at = self.kernel.now
+        self._inflight_cell = cell_id
+        self._inflight_batch = plan.batch
+        self._inflight_expecting = plan.gate
+        self._inflight_ready = set()
+        self._inflight_strategy = chosen
+        self._inflight_ctx = ctx
+        self._inflight_plan = plan
+        extra = {"oracle_cell": oracle_cell} if oracle_cell is not None else {}
+        if chosen.name != "restart":
+            extra["strategy"] = chosen.name
         self.kernel.trace.emit(
             "supervisor",
             ev.RESTART_ORDERED,
-            cell=decision.cell_id,
-            components=tuple(sorted(decision.components)),
-            trigger=component,
+            cell=cell_id,
+            components=tuple(sorted(plan.batch)),
+            trigger=trigger,
             **extra,
         )
-        self.policy.restart_began(decision.components, self.kernel.now)
+        if chosen.name != "restart":
+            self.kernel.trace.emit(
+                "supervisor",
+                ev.STRATEGY_PLANNED,
+                cell=cell_id,
+                strategy=chosen.name,
+                batch=tuple(sorted(plan.batch)),
+                expecting=tuple(sorted(plan.gate)),
+                trigger=trigger,
+            )
+        self.policy.restart_began(plan.batch, self.kernel.now)
         self._action_seq += 1
         self.kernel.call_after(
             self.restart_timeout, self._check_restart_progress, self._action_seq
         )
-        self.procedures.for_cell(decision.cell_id).execute(
-            self.manager, decision.components
-        )
+        chosen.execute(ctx, plan)
 
     def _check_restart_progress(self, action_seq: int) -> None:
         """Watchdog: re-kick batch members that died during the restart."""
         if action_seq != self._action_seq or self._inflight_batch is None:
             return
-        batch = self._inflight_batch
+        expecting = self._inflight_expecting
         stragglers = [
             name
-            for name in sorted(batch - self._inflight_ready)
+            for name in sorted(expecting - self._inflight_ready)
             if self.manager.get(name).state.is_terminal
         ]
         for name in stragglers:
-            self.manager.start(name, batch=batch)
+            self.manager.start(name, batch=expecting)
         if stragglers:
             self.kernel.trace.emit(
                 "supervisor", ev.RESTART_REKICK, components=tuple(stragglers)
@@ -226,14 +288,73 @@ class AbstractSupervisor:
             self.restart_timeout, self._check_restart_progress, action_seq
         )
 
+    def _step_completed(self) -> None:
+        """Every expected member is ready: verify now or after a delay."""
+        ctx = self._inflight_ctx
+        plan = self._inflight_plan
+        if ctx is not None:
+            ctx.gate_ready_at = self.kernel.now
+        if plan is not None and plan.verify_delay > 0.0:
+            self.kernel.call_after(
+                plan.verify_delay, self._verify_step, self._action_seq
+            )
+            return
+        self._verify_step(self._action_seq)
+
+    def _verify_step(self, action_seq: int) -> None:
+        if action_seq != self._action_seq or self._inflight_batch is None:
+            return
+        strategy = self._inflight_strategy
+        ctx = self._inflight_ctx
+        plan = self._inflight_plan
+        follow = None
+        if strategy is not None and ctx is not None and plan is not None:
+            follow = strategy.verify(ctx, plan)
+        if follow is None:
+            self._finish_restart()
+            return
+        ctx.rounds += 1
+        self._inflight_plan = follow
+        self._inflight_expecting = follow.gate
+        self._inflight_ready = set()
+        self.kernel.trace.emit(
+            "supervisor",
+            ev.BISECT_PROBE,
+            cell=self._inflight_cell,
+            components=tuple(sorted(follow.gate)),
+            round=ctx.rounds,
+        )
+        self._action_seq += 1
+        self.kernel.call_after(
+            self.restart_timeout, self._check_restart_progress, self._action_seq
+        )
+        strategy.execute(ctx, follow)
+
     def _finish_restart(self) -> None:
         batch = self._inflight_batch
         assert batch is not None
         cell_id = self._inflight_cell
+        strategy = self._inflight_strategy
+        ctx = self._inflight_ctx
         self._inflight_batch = None
         self._inflight_cell = None
         self._inflight_ready = set()
+        self._inflight_expecting = frozenset()
+        self._inflight_strategy = None
+        self._inflight_ctx = None
+        self._inflight_plan = None
         self._action_seq += 1  # invalidate the progress watchdog
+        if strategy is not None and strategy.name != "restart" and ctx is not None:
+            self.kernel.trace.emit(
+                "supervisor",
+                ev.STRATEGY_VERIFIED,
+                cell=cell_id,
+                strategy=strategy.name,
+                plan_s=0.0,
+                execute_s=round(ctx.gate_ready_at - ctx.planned_at, 9),
+                verify_s=round(self.kernel.now - ctx.gate_ready_at, 9),
+                rounds=ctx.rounds,
+            )
         self.policy.restart_completed(batch, self.kernel.now)
         self.kernel.trace.emit(
             "supervisor", ev.RESTART_COMPLETE, cell=cell_id,

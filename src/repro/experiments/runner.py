@@ -61,7 +61,11 @@ from repro.sim.rng import derive_seed
 #: v5: warmed-station snapshot/fork — every cell now boots under the
 #: shape-derived snapshot seed and is rebased onto the cell seed (see
 #: :mod:`repro.experiments.snapshot`), changing per-cell randomness.
-CACHE_VERSION = 5
+#: v6: recovery-strategy registry — cells gained the ``strategy`` and
+#: ``failure_kind`` spec fields (new "strategy" kind; chaos cells accept a
+#: strategy sweep dimension), and strategy-enabled stations wire a session
+#: store that changes their event streams.
+CACHE_VERSION = 6
 
 
 # ----------------------------------------------------------------------
@@ -110,6 +114,12 @@ class CampaignCell:
     horizon_s: float = 0.0
     correlations: bool = False
     scenario: str = ""
+    #: Recovery-strategy registry name ("" = classic restart-only station,
+    #: which is *not* the same cell as ``strategy="restart"`` — the latter
+    #: wires the session store and therefore observes session losses).
+    strategy: str = ""
+    #: Injected failure kind for "strategy" cells (crash/hang/zombie).
+    failure_kind: str = ""
 
 
 def _resolve_tree(label: str, trees: Optional[Mapping[str, RestartTree]]) -> RestartTree:
@@ -177,8 +187,22 @@ def execute_cell(
             oracle_error_rate=cell.oracle_error_rate,
             config=config,
             supervisor=cell.supervisor,
+            strategy=cell.strategy or None,
         )
         return chaos.to_payload()
+    if cell.kind == "strategy":
+        from repro.experiments.strategy_compare import run_strategy_cell
+
+        strategy_result = run_strategy_cell(
+            tree,
+            strategy=cell.strategy,
+            failure_kind=cell.failure_kind,
+            trials=cell.trials,
+            seed=cell.seed,
+            config=config,
+            supervisor=cell.supervisor,
+        )
+        return strategy_result.to_payload()
     if cell.kind == "lifetimes":
         lifetime = measure_lifetimes(
             tree,

@@ -48,6 +48,7 @@ class ResyncCoupling:
         induced_delay: SimTime = 0.2,
         induce_probability: float = 1.0,
         freshness_window: SimTime = 5.0,
+        session_store=None,
     ) -> None:
         """Couple components ``left`` and ``right``.
 
@@ -76,6 +77,10 @@ class ResyncCoupling:
         self.induced_delay = induced_delay
         self.induce_probability = induce_probability
         self.freshness_window = freshness_window
+        #: Crash-only session store (strategy-enabled stations only).  A
+        #: side that *restored* its externalised session never announces a
+        #: fresh one, so the peer's session is not invalidated.
+        self._session_store = session_store
         #: Master switch; experiments may disable the mechanism to isolate
         #: a specific recovery path.
         self.enabled = True
@@ -99,6 +104,13 @@ class ResyncCoupling:
             return
         if peer_name in process.last_batch:
             return  # joint restart: clean mutual handshake
+        if (
+            self._session_store is not None
+            and self._session_store.restored_at(process.name) == self.kernel.now
+        ):
+            # Microreboot: this side came back on its externalised session
+            # and skipped the resync announce — the peer is unharmed.
+            return
         peer = self.manager.maybe_get(peer_name)
         if peer is None or not peer.is_running:
             return  # peer is down or restarting: it will handshake when up

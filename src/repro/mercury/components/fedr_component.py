@@ -18,6 +18,7 @@ from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import CommandMessage, Message
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.mercury.session_store import SessionStore
     from repro.procmgr.process import SimProcess
     from repro.transport.channel import Endpoint
     from repro.transport.network import Network
@@ -33,8 +34,9 @@ class FedrBehavior(BusAttachedBehavior):
         bus_address: str = "mbus:7000",
         pbcom_address: str = "pbcom:9000",
         pbcom_retry_interval: SimTime = 0.25,
+        session_store: Optional["SessionStore"] = None,
     ) -> None:
-        super().__init__(process, network, bus_address)
+        super().__init__(process, network, bus_address, session_store=session_store)
         self.pbcom_address = pbcom_address
         self.pbcom_retry_interval = pbcom_retry_interval
         self._pbcom: Optional["Endpoint"] = None
@@ -50,6 +52,20 @@ class FedrBehavior(BusAttachedBehavior):
     # ------------------------------------------------------------------
 
     def on_start(self) -> None:
+        store = self._session_store
+        if store is not None:
+            if self.process.last_hint == "replay" and store.has_checkpoint(self.name):
+                payload = store.load_checkpoint(self.name) or {}
+                self._last_frequency = payload.get("frequency") or None
+                age = store.checkpoint_age(self.name, self.kernel.now)
+                store.checkpoints_restored += 1
+                self.trace(
+                    ev.CHECKPOINT_RESTORED,
+                    component=self.name,
+                    age=round(age or 0.0, 9),
+                )
+            else:
+                store.drop_all(self.name)
         super().on_start()
         self._connect_pbcom()
 
@@ -121,3 +137,12 @@ class FedrBehavior(BusAttachedBehavior):
             self.dropped_while_disconnected += 1
             return
         self.translated += 1
+        if self._session_store is not None:
+            # Checkpoint the tuned frequency so a replay restart resumes
+            # from it instead of redoing the whole cold tune-up.
+            first = not self._session_store.has_checkpoint(self.name)
+            self._session_store.save_checkpoint(
+                self.name, self.kernel.now, {"frequency": frequency}
+            )
+            if first:
+                self.trace(ev.CHECKPOINT_TAKEN, component=self.name)

@@ -28,6 +28,7 @@ from repro.types import Severity
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mercury.hardware import Radio, SerialPort
+    from repro.mercury.session_store import SessionStore
     from repro.procmgr.process import SimProcess
     from repro.transport.channel import Endpoint
     from repro.transport.network import Network
@@ -49,8 +50,9 @@ class PbcomBehavior(BusAttachedBehavior):
         radio: "Radio",
         listen_address: str = "pbcom:9000",
         bus_address: str = "mbus:7000",
+        session_store: Optional["SessionStore"] = None,
     ) -> None:
-        super().__init__(process, network, bus_address)
+        super().__init__(process, network, bus_address, session_store=session_store)
         self.serial = serial
         self.radio = radio
         self.listen_address = listen_address
@@ -60,8 +62,28 @@ class PbcomBehavior(BusAttachedBehavior):
         self.disconnects_seen = 0
 
     def on_start(self) -> None:
+        store = self._session_store
+        restored = False
+        if store is not None:
+            if self.process.last_hint == "replay" and store.has_checkpoint(self.name):
+                age = store.checkpoint_age(self.name, self.kernel.now)
+                store.checkpoints_restored += 1
+                self.trace(
+                    ev.CHECKPOINT_RESTORED,
+                    component=self.name,
+                    age=round(age or 0.0, 9),
+                )
+                restored = True
+            else:
+                store.drop_all(self.name)
         self.serial.acquire(self.name)
         self.radio.negotiate(self.name)
+        if store is not None and not restored:
+            # Checkpoint the freshly negotiated serial/radio parameters; a
+            # replay restart then pays only the replay fraction of the
+            # 21-second negotiation (§4.2).
+            store.save_checkpoint(self.name, self.kernel.now, {"negotiated": True})
+            self.trace(ev.CHECKPOINT_TAKEN, component=self.name)
         self._listener = self.network.listen(self.listen_address, self._on_accept)
         self.trace(ev.PBCOM_LISTENING, address=self.listen_address)
         super().on_start()

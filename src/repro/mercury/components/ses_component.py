@@ -18,10 +18,15 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
+from repro.mercury.components.session_hooks import (
+    _externalize_session,
+    _handle_session_start,
+)
 from repro.types import SimTime
 from repro.xmlcmd.commands import CommandMessage, Message
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.mercury.session_store import SessionStore
     from repro.procmgr.process import SimProcess
     from repro.transport.network import Network
 
@@ -50,21 +55,30 @@ class SesBehavior(BusAttachedBehavior):
         solution_fn: Optional[SolutionFn] = None,
         tracker_name: str = "str",
         tuner_name: str = "rtu",
+        session_store: Optional["SessionStore"] = None,
     ) -> None:
-        super().__init__(process, network, bus_address)
+        super().__init__(process, network, bus_address, session_store=session_store)
         self.solution_period = solution_period
         self.solution_fn = solution_fn or _default_solution
         self.tracker_name = tracker_name
         self.tuner_name = tuner_name
         self.solutions_sent = 0
         self._loop_epoch = 0
+        #: Whether this incarnation restored its sync session from the store
+        #: (microreboot) instead of running the handshake.
+        self._session_restored = False
 
     def on_start(self) -> None:
+        self._session_restored = _handle_session_start(self)
         super().on_start()
         self._loop_epoch += 1
         self.kernel.call_after(self.solution_period, self._solve, self._loop_epoch)
 
     def on_bus_connected(self) -> None:
+        if self._session_restored:
+            # Microreboot: the externalised session is still valid and the
+            # peer kept running — no resynchronisation announce.
+            return
         # Startup synchronisation with the tracker (§4.3): announce a fresh
         # session so the peer can resynchronise.
         self.send(
@@ -72,10 +86,14 @@ class SesBehavior(BusAttachedBehavior):
         )
 
     def on_message(self, message: Message) -> None:
-        if isinstance(message, CommandMessage) and message.verb == "sync":
+        if not isinstance(message, CommandMessage):
+            return
+        if message.verb == "sync":
             self.send(
                 CommandMessage(sender=self.name, target=message.sender, verb="sync-ack")
             )
+        elif message.verb == "sync-ack":
+            _externalize_session(self, peer=message.sender)
 
     def _solve(self, epoch: int) -> None:
         if not self._alive or epoch != self._loop_epoch:

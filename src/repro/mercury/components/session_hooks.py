@@ -1,0 +1,64 @@
+"""Shared crash-only session hooks for the ``ses``/``str`` pair.
+
+Both halves of the §4.3 sync pair follow the same protocol against the
+:class:`repro.mercury.session_store.SessionStore`:
+
+* a ``micro`` (microreboot) restart with an externalised session restores
+  it and skips the resynchronisation handshake — the peer keeps running;
+* any other restart is crash-only *cold* for the session: the session is
+  dropped (that loss is exactly what the strategy comparison counts), and
+  unless the restart is a checkpoint ``replay`` the component's checkpoint
+  and message log go with it;
+* receiving ``sync-ack`` means the handshake completed, so the fresh
+  session is externalised to the store.
+
+On classic stations (no store wired) every helper is a no-op, keeping the
+default traces byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs import events as ev
+from repro.types import Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.components.base import BusAttachedBehavior
+
+
+def _handle_session_start(behavior: "BusAttachedBehavior") -> bool:
+    """Apply start-hint session semantics; returns whether a session was
+    restored (the caller then skips the sync handshake)."""
+    store = behavior._session_store
+    if store is None:
+        return False
+    name = behavior.name
+    hint = behavior.process.last_hint
+    if hint == "micro" and store.has_session(name):
+        age = store.session_age(name, behavior.kernel.now)
+        store.mark_restored(name, behavior.kernel.now)
+        behavior.trace(
+            ev.SESSION_RESTORED, component=name, age=round(age or 0.0, 9)
+        )
+        return True
+    if store.drop_session(name):
+        behavior.trace(ev.SESSION_LOST, severity=Severity.WARNING, component=name)
+    if hint != "replay":
+        # Cold restart discards *everything* externalised — discarding
+        # state is how a cold restart cures corruption.
+        store.drop_checkpoint(name)
+        store.drop_log(name)
+    return False
+
+
+def _externalize_session(behavior: "BusAttachedBehavior", peer: str) -> None:
+    """Record a completed handshake as an externalised session."""
+    store = behavior._session_store
+    if store is None:
+        return
+    name = behavior.name
+    first = not store.has_session(name)
+    store.save_session(name, behavior.kernel.now, {"peer": peer})
+    if first:
+        behavior.trace(ev.SESSION_EXTERNALIZED, component=name, peer=peer)

@@ -8,16 +8,21 @@ module is named ``str_component`` because ``str`` is a Python builtin; the
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ComponentError
+from repro.mercury.components.session_hooks import (
+    _externalize_session,
+    _handle_session_start,
+)
 from repro.obs import events as ev
 from repro.types import Severity
 from repro.xmlcmd.commands import CommandMessage, Message
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mercury.hardware import Antenna
+    from repro.mercury.session_store import SessionStore
     from repro.procmgr.process import SimProcess
     from repro.transport.network import Network
 
@@ -32,13 +37,22 @@ class StrBehavior(BusAttachedBehavior):
         antenna: "Antenna",
         bus_address: str = "mbus:7000",
         estimator_name: str = "ses",
+        session_store: Optional["SessionStore"] = None,
     ) -> None:
-        super().__init__(process, network, bus_address)
+        super().__init__(process, network, bus_address, session_store=session_store)
         self.antenna = antenna
         self.estimator_name = estimator_name
         self.track_commands = 0
+        self._session_restored = False
+
+    def on_start(self) -> None:
+        self._session_restored = _handle_session_start(self)
+        super().on_start()
 
     def on_bus_connected(self) -> None:
+        if self._session_restored:
+            # Microreboot: session restored from the store, peer unharmed.
+            return
         # Mirror of ses's handshake (§4.3): both sides block on this in the
         # real system, which is where the lone-restart penalty comes from.
         self.send(
@@ -52,6 +66,9 @@ class StrBehavior(BusAttachedBehavior):
             self.send(
                 CommandMessage(sender=self.name, target=message.sender, verb="sync-ack")
             )
+            return
+        if message.verb == "sync-ack":
+            _externalize_session(self, peer=message.sender)
             return
         if message.verb == "track":
             try:

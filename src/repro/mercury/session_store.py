@@ -1,0 +1,165 @@
+"""Crash-only external session/checkpoint store for microreboot recovery.
+
+"Microreboot — A Technique for Cheap Recovery" (PAPERS.md) requires that
+important state live *outside* the rebooted component, in a dedicated
+crash-only store, so a partial restart loses nothing.  This module models
+that store for the Mercury station:
+
+* **sessions** — the ``ses``/``str`` pair's established sync session.
+  Externalised when the handshake completes; restored on a ``micro``
+  restart (the component skips the resync and its peer keeps running);
+  deliberately *dropped* on a cold restart, because discarding state is
+  exactly how a cold restart cures corruption.
+* **checkpoints** — small component-state snapshots (``fedr``'s tuned
+  frequency, ``pbcom``'s negotiated link) restored on a ``replay``
+  restart so startup work shrinks to the configured replay fraction.
+* **message logs** — a bounded per-component log of inbound bus traffic
+  (the bus-client tap), replayed after a ``replay`` restart reconnects.
+
+The store is modeled as a separate always-up storelet (its own failure
+modes are out of scope here, as in the microreboot paper's
+session-state store): plain dicts and lists, no RNG, no event emission,
+``deepcopy``-safe — so warmed-station snapshots capture it exactly.
+Writes are atomic replacements and reads validate nothing beyond
+presence, which is what makes it crash-only: a component can die at any
+instant without leaving the store half-written.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.types import SimTime
+
+
+class SessionStore:
+    """External crash-only state store shared by a station's components."""
+
+    def __init__(self, log_limit: int = 32) -> None:
+        #: Bound on each component's replay log (the "bounded message-log
+        #: replay" window).
+        self.log_limit = log_limit
+        self._sessions: Dict[str, Tuple[SimTime, dict]] = {}
+        self._checkpoints: Dict[str, Tuple[SimTime, dict]] = {}
+        self._logs: Dict[str, List[str]] = {}
+        #: The instant a component last restored its session, consulted by
+        #: the resync coupling to spare the peer.
+        self._restored_at: Dict[str, SimTime] = {}
+        # Counters for reports and the strategy comparison.
+        self.sessions_saved = 0
+        self.sessions_restored = 0
+        self.sessions_lost = 0
+        self.checkpoints_taken = 0
+        self.checkpoints_restored = 0
+        self.messages_logged = 0
+        self.messages_replayed = 0
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+
+    def save_session(self, component: str, now: SimTime, payload: dict) -> None:
+        """Externalise ``component``'s session (atomic replace)."""
+        self._sessions[component] = (now, dict(payload))
+        self.sessions_saved += 1
+
+    def load_session(self, component: str) -> Optional[dict]:
+        """The externalised session, or ``None``."""
+        hit = self._sessions.get(component)
+        return dict(hit[1]) if hit is not None else None
+
+    def session_age(self, component: str, now: SimTime) -> Optional[SimTime]:
+        hit = self._sessions.get(component)
+        return (now - hit[0]) if hit is not None else None
+
+    def has_session(self, component: str) -> bool:
+        return component in self._sessions
+
+    def mark_restored(self, component: str, now: SimTime) -> None:
+        """Record a successful session restore (resync-coupling evidence)."""
+        self._restored_at[component] = now
+        self.sessions_restored += 1
+
+    def restored_at(self, component: str) -> Optional[SimTime]:
+        return self._restored_at.get(component)
+
+    def drop_session(self, component: str) -> bool:
+        """Discard the session (cold restart); returns whether one existed."""
+        self._restored_at.pop(component, None)
+        if self._sessions.pop(component, None) is not None:
+            self.sessions_lost += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def save_checkpoint(self, component: str, now: SimTime, payload: dict) -> None:
+        self._checkpoints[component] = (now, dict(payload))
+        self.checkpoints_taken += 1
+
+    def load_checkpoint(self, component: str) -> Optional[dict]:
+        hit = self._checkpoints.get(component)
+        return dict(hit[1]) if hit is not None else None
+
+    def checkpoint_age(self, component: str, now: SimTime) -> Optional[SimTime]:
+        hit = self._checkpoints.get(component)
+        return (now - hit[0]) if hit is not None else None
+
+    def has_checkpoint(self, component: str) -> bool:
+        return component in self._checkpoints
+
+    def drop_checkpoint(self, component: str) -> bool:
+        return self._checkpoints.pop(component, None) is not None
+
+    # ------------------------------------------------------------------
+    # message logs (the bus-client tap)
+    # ------------------------------------------------------------------
+
+    def log_message(self, component: str, raw: str) -> None:
+        """Append one inbound wire message to the bounded replay log."""
+        log = self._logs.setdefault(component, [])
+        log.append(raw)
+        if len(log) > self.log_limit:
+            del log[: len(log) - self.log_limit]
+        self.messages_logged += 1
+
+    def has_log(self, component: str) -> bool:
+        return bool(self._logs.get(component))
+
+    def replay_log(self, component: str) -> List[str]:
+        """The logged messages, oldest first (does not clear the log)."""
+        entries = list(self._logs.get(component, ()))
+        self.messages_replayed += len(entries)
+        return entries
+
+    def drop_log(self, component: str) -> bool:
+        return bool(self._logs.pop(component, None))
+
+    # ------------------------------------------------------------------
+    # cold-restart semantics
+    # ------------------------------------------------------------------
+
+    def drop_all(self, component: str) -> bool:
+        """Cold restart: discard every kind of externalised state.
+
+        Returns whether a *session* was lost (the user-visible loss the
+        strategy comparison counts).
+        """
+        lost = self.drop_session(component)
+        self.drop_checkpoint(component)
+        self.drop_log(component)
+        return lost
+
+    def counters(self) -> Dict[str, int]:
+        """Counter snapshot for reports."""
+        return {
+            "sessions_saved": self.sessions_saved,
+            "sessions_restored": self.sessions_restored,
+            "sessions_lost": self.sessions_lost,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoints_restored": self.checkpoints_restored,
+            "messages_logged": self.messages_logged,
+            "messages_replayed": self.messages_replayed,
+        }

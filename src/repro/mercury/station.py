@@ -36,6 +36,7 @@ from repro.core.oracle import (
 )
 from repro.core.policy import RestartPolicy
 from repro.core.recoverer import RecoveryModule
+from repro.core.recovery_strategies import StrategyMap
 from repro.core.tree import RestartTree
 from repro.detection.abstract import AbstractSupervisor
 from repro.detection.detector import FailureDetector
@@ -53,6 +54,7 @@ from repro.mercury.components import (
 )
 from repro.mercury.config import PAPER_CONFIG, StationConfig
 from repro.mercury.hardware import GroundStationHardware
+from repro.mercury.session_store import SessionStore
 from repro.mercury.trees import tree_v, uses_split_components
 from repro.procmgr.manager import ProcessManager
 from repro.procmgr.process import ProcessSpec, StartupContext
@@ -85,6 +87,47 @@ class _BehaviorFactory:
         return self.station._make_behavior(self.component, process)
 
 
+class _WorkFn:
+    """Startup-work function for one component.
+
+    A callable object for the same snapshot-restore reason as
+    :class:`_BehaviorFactory`: it consults the station's session store at
+    start time, so it must follow the station through a structural
+    deepcopy instead of capturing it in a closure cell.
+    """
+
+    __slots__ = ("station", "timing", "sigma")
+
+    def __init__(self, station: "MercuryStation", name: str) -> None:
+        self.station = station
+        self.timing = station.config.timing_for(name)
+        self.sigma = station.config.work_noise_sigma
+
+    def __call__(self, context: StartupContext) -> float:
+        timing, sigma = self.timing, self.sigma
+        noise = max(0.0, context.rng.gauss(1.0, sigma)) if sigma > 0 else 1.0
+        total = timing.work * noise
+        store = self.station.session_store
+        name = context.process.name
+        if timing.resync_peer and timing.resync_peer not in context.batch:
+            # The peer-noise draw always happens, so the RNG stream stays
+            # identical whether or not the penalty is waived below.
+            peer_noise = (
+                max(0.0, context.rng.gauss(1.0, sigma)) if sigma > 0 else 1.0
+            )
+            if not (
+                store is not None
+                and context.hint == "micro"
+                and store.has_session(name)
+            ):
+                total += timing.lone_penalty * peer_noise
+        if store is not None and context.hint == "replay" and store.has_checkpoint(name):
+            # Checkpoint restore + bounded log replay instead of the cold
+            # path: pay only the configured fraction.
+            total *= self.station.replay_work_fraction
+        return total
+
+
 class MercuryStation:
     """A ready-to-run simulated Mercury ground station."""
 
@@ -102,6 +145,9 @@ class MercuryStation:
         solution_period: float = 2.0,
         trace_capacity: Optional[int] = None,
         net_faults: bool = False,
+        strategy: Optional[str] = None,
+        strategies: Optional[StrategyMap] = None,
+        replay_work_fraction: float = 0.35,
     ) -> None:
         """Assemble the station.
 
@@ -117,6 +163,16 @@ class MercuryStation:
             ``"full"`` for the FD+REC process pair, ``"abstract"`` for the
             collapsed fast-path supervisor, ``"none"`` for experiments that
             drive recovery by hand.
+        strategy / strategies:
+            Recovery-strategy selection (see
+            :mod:`repro.core.recovery_strategies`).  ``strategy`` names a
+            registry entry used as the map default; ``strategies`` passes a
+            full :class:`StrategyMap`.  Either one switches the station to
+            *strategy-enabled* mode: a crash-only
+            :class:`~repro.mercury.session_store.SessionStore` is wired
+            into ses/str/fedr/pbcom and the supervisor resolves a strategy
+            per restart action.  Both ``None`` (the default) reproduces the
+            classic restart-only station bit-for-bit.
         steady_faults:
             Arm the Table 1 steady-state failure arrivals (availability
             experiments).
@@ -166,6 +222,21 @@ class MercuryStation:
         #: ses's tracking-solution period; long-horizon availability runs
         #: raise it to avoid simulating millions of idle solution rounds.
         self._solution_period = solution_period
+        if strategies is None and strategy is not None:
+            strategies = StrategyMap(default=strategy)
+        #: Per-cell/per-kind recovery-strategy selection, or None (classic).
+        self.strategies = strategies
+        #: The crash-only store — present exactly when strategies are, so a
+        #: ``restart``-strategy sweep cell counts session losses against the
+        #: same store the ``microreboot`` cell preserves.
+        self.session_store: Optional[SessionStore] = (
+            SessionStore() if strategies is not None else None
+        )
+        #: Fraction of the cold startup work a ``replay``-hinted restart
+        #: pays when a checkpoint is available.  A station parameter (not a
+        #: StationConfig field) because only strategy-enabled stations
+        #: consult it — the classic config fingerprint stays unchanged.
+        self.replay_work_fraction = replay_work_fraction
         self._build_processes()
 
         self.injector = FaultInjector(
@@ -177,6 +248,7 @@ class MercuryStation:
             "str",
             induced_delay=config.resync_induced_delay,
             induce_probability=config.resync_induce_probability,
+            session_store=self.session_store,
         )
         self.aging: Optional[DisconnectAging] = None
         if self.split:
@@ -210,6 +282,8 @@ class MercuryStation:
                 ping_period=config.ping_period,
                 reply_timeout=config.reply_timeout,
                 observation_window=config.observation_window,
+                strategies=self.strategies,
+                session_store=self.session_store,
             )
         elif supervisor != "none":
             raise ExperimentError(f"unknown supervisor kind {supervisor!r}")
@@ -228,20 +302,7 @@ class MercuryStation:
     # ------------------------------------------------------------------
 
     def _make_work_fn(self, name: str):
-        timing = self.config.timing_for(name)
-        sigma = self.config.work_noise_sigma
-
-        def work(context: StartupContext) -> float:
-            noise = max(0.0, context.rng.gauss(1.0, sigma)) if sigma > 0 else 1.0
-            total = timing.work * noise
-            if timing.resync_peer and timing.resync_peer not in context.batch:
-                peer_noise = (
-                    max(0.0, context.rng.gauss(1.0, sigma)) if sigma > 0 else 1.0
-                )
-                total += timing.lone_penalty * peer_noise
-            return total
-
-        return work
+        return _WorkFn(self, name)
 
     def _make_behavior(self, name: str, process):
         """Construct the behavior for component ``name`` on ``process``.
@@ -261,9 +322,16 @@ class MercuryStation:
                 BUS_ADDRESS,
                 solution_period=self._solution_period,
                 solution_fn=self._solution_fn,
+                session_store=self.session_store,
             )
         if name == "str":
-            return StrBehavior(process, network, hardware.antenna, BUS_ADDRESS)
+            return StrBehavior(
+                process,
+                network,
+                hardware.antenna,
+                BUS_ADDRESS,
+                session_store=self.session_store,
+            )
         if name == "rtu":
             proxy = "fedr" if self.split else "fedrcom"
             return RtuBehavior(process, network, BUS_ADDRESS, radio_proxy_name=proxy)
@@ -272,10 +340,21 @@ class MercuryStation:
                 process, network, hardware.serial, hardware.radio, BUS_ADDRESS
             )
         if name == "fedr":
-            return FedrBehavior(process, network, BUS_ADDRESS, PBCOM_ADDRESS)
+            return FedrBehavior(
+                process,
+                network,
+                BUS_ADDRESS,
+                PBCOM_ADDRESS,
+                session_store=self.session_store,
+            )
         if name == "pbcom":
             return PbcomBehavior(
-                process, network, hardware.serial, hardware.radio, PBCOM_ADDRESS
+                process,
+                network,
+                hardware.serial,
+                hardware.radio,
+                PBCOM_ADDRESS,
+                session_store=self.session_store,
             )
         if name == "rec":
             self.rec = RecoveryModule(
@@ -287,6 +366,8 @@ class MercuryStation:
                 observation_window=self.config.observation_window,
                 fd_ping_period=self.config.ping_period,
                 fd_ping_timeout=self.config.reply_timeout,
+                strategies=self.strategies,
+                session_store=self.session_store,
             )
             return self.rec
         if name == "fd":

@@ -364,7 +364,7 @@ RESTART_ORDERED = REGISTRY.register(
     "restart_ordered", "recovery",
     "The supervisor ordered a restart of one cell's component group.",
     required=("cell", "components"),
-    optional=("trigger", "procedure", "oracle_cell"),
+    optional=("trigger", "procedure", "oracle_cell", "strategy"),
     phase="decide",
     narrative=lambda d: (
         f"restart ordered: {d['cell']} (components: {_components_list(d)}; "
@@ -402,6 +402,44 @@ PROACTIVE_RESTART = REGISTRY.register(
     "A rejuvenation round restarted a cell prophylactically.",
     required=("cell",),
     narrative=lambda d: f"proactive (rejuvenation) restart of {d.get('cell')}",
+)
+
+# ----------------------------------------------------------------------
+# declarations — recovery-strategy lifecycle (plan → execute → verify)
+# ----------------------------------------------------------------------
+# Emitted only by non-``restart`` strategies: the default strategy's
+# trace stays bit-identical to the pre-registry recoverer.
+
+STRATEGY_PLANNED = REGISTRY.register(
+    "strategy_planned", "recovery",
+    "A non-default recovery strategy planned its first step.",
+    required=("cell", "strategy"),
+    optional=("batch", "expecting", "trigger"),
+    phase="decide",
+    narrative=lambda d: (
+        f"strategy {d['strategy']} planned for {d['cell']} "
+        f"(expecting: {'+'.join(d.get('expecting', ()))})"
+    ),
+)
+BISECT_PROBE = REGISTRY.register(
+    "bisect_probe", "recovery",
+    "The bisect ladder widened to its next probe set.",
+    required=("cell", "components", "round"),
+    narrative=lambda d: (
+        f"bisect probe #{d['round']} on {d['cell']}: {_components_list(d)}"
+    ),
+)
+STRATEGY_VERIFIED = REGISTRY.register(
+    "strategy_verified", "recovery",
+    "A non-default recovery strategy verified its action complete, with "
+    "the action's time attributed to the plan/execute/verify phases.",
+    required=("cell", "strategy"),
+    optional=("plan_s", "execute_s", "verify_s", "rounds"),
+    phase="restart",
+    narrative=lambda d: (
+        f"strategy {d['strategy']} verified on {d['cell']} "
+        f"(execute {d.get('execute_s')}s, verify {d.get('verify_s')}s)"
+    ),
 )
 
 # ----------------------------------------------------------------------
@@ -515,6 +553,52 @@ BAD_TUNE_COMMAND = REGISTRY.register(
 POINTING_REJECTED = REGISTRY.register(
     "pointing_rejected", "mercury", "The antenna rejected a pointing order.",
     required=("error",),
+)
+
+# ----------------------------------------------------------------------
+# declarations — crash-only session store (microreboot / checkpoint-replay)
+# ----------------------------------------------------------------------
+# Emitted only when a station runs with a session store attached; the
+# classic restart-only configuration emits none of these.
+
+SESSION_EXTERNALIZED = REGISTRY.register(
+    "session_externalized", "mercury",
+    "A component saved its established session into the crash-only store.",
+    required=("component",), optional=("peer",),
+    narrative=lambda d: f"{d['component']} externalized its session",
+)
+SESSION_RESTORED = REGISTRY.register(
+    "session_restored", "mercury",
+    "A micro-restarted component restored its session from the store, "
+    "skipping the resync handshake.",
+    required=("component",), optional=("age",),
+    narrative=lambda d: f"{d['component']} restored its session (microreboot)",
+)
+SESSION_LOST = REGISTRY.register(
+    "session_lost", "mercury",
+    "A cold restart discarded a component's externalized session "
+    "(user-visible loss; the strategy comparison counts these).",
+    required=("component",),
+    narrative=lambda d: f"{d['component']} lost its session (cold restart)",
+)
+CHECKPOINT_TAKEN = REGISTRY.register(
+    "checkpoint_taken", "mercury",
+    "A component checkpointed its state into the crash-only store.",
+    required=("component",),
+)
+CHECKPOINT_RESTORED = REGISTRY.register(
+    "checkpoint_restored", "mercury",
+    "A replay-restarted component restored its last checkpoint.",
+    required=("component",), optional=("age",),
+    narrative=lambda d: f"{d['component']} restored its checkpoint (replay)",
+)
+REPLAY_WINDOW = REGISTRY.register(
+    "replay_window", "mercury",
+    "A replay-restarted component replayed its bounded inbound message log.",
+    required=("component", "messages"),
+    narrative=lambda d: (
+        f"{d['component']} replayed {d['messages']} logged messages"
+    ),
 )
 
 # ----------------------------------------------------------------------

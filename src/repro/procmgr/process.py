@@ -136,6 +136,10 @@ class SimProcess:
         self.start_count = 0
         #: Names restarted together with this process in its latest start.
         self.last_batch: FrozenSet[str] = frozenset()
+        #: Recovery-procedure hint of the latest start ("cold" by default).
+        #: Behaviors consult it in ``on_start`` to pick e.g. a microreboot
+        #: session restore or a checkpoint-replay path.
+        self.last_hint: str = "cold"
         #: Number of kills/failures observed.
         self.failure_count = 0
         #: Fail-slow mode: ``None`` (healthy), ``"hang"`` (alive, answers
@@ -180,6 +184,7 @@ class SimProcess:
             raise InvalidTransitionError(self.name, self.state.value, "starting")
         self.state = ProcessState.STARTING
         self.last_batch = batch
+        self.last_hint = hint
         context = StartupContext(
             manager=self.manager, process=self, rng=self._rng, batch=batch, hint=hint
         )

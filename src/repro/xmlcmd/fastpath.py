@@ -2,7 +2,8 @@
 
 Three accelerations, all bit-compatible with the full parse/serialize pipe:
 
-* :func:`scan_envelope` — a single-pass scan of a message's *start tag* that
+* :func:`scan_envelope` — a single-pass scan of a message's *start tag*
+  (plus, for commands, a strict scan of the canonical ``<param>`` body) that
   extracts only the fields the bus broker routes on (``type``/``from``/
   ``to``/``verb``/``seq``) without building an element tree.  It is
   deliberately conservative: it returns an :class:`Envelope` **only** when it
@@ -63,6 +64,17 @@ _ATTR_RE = re.compile(
     r"[ \t\r\n]+([A-Za-z_][A-Za-z0-9._-]*)=(?:\"([^\"&<]*)\"|'([^'&<]*)')"
 )
 
+# The canonical body of a command message: zero or more ``<param>``
+# children exactly as the compact serializer writes them (double quotes,
+# no inter-element whitespace, no entities — escaped text contains ``&``
+# and is excluded by the character classes), then the closing tag.
+# Anything else (other child tags, nesting, comments, hand-written
+# spacing) fails the match and falls back to the full parser, which by
+# construction judges those inputs correctly.
+_COMMAND_BODY_RE = re.compile(
+    r'(?:<param name="[^"&<>]*"(?:/>|>[^&<>]*</param>))*</msg>\Z'
+)
+
 
 class Envelope(NamedTuple):
     """Routing fields of a bus message, extracted without a parse tree."""
@@ -99,15 +111,29 @@ def scan_envelope(raw: str) -> Optional[Envelope]:
         pos = am.end()
     while pos < len(raw) and raw[pos] in " \t\r\n":
         pos += 1
-    # Only a complete, self-closing document is guaranteed schema-checkable
-    # from the start tag; anything with children (or trailing junk, which
-    # the full parser rejects) falls back.
-    if not raw.startswith("/>", pos) or pos + 2 != len(raw):
+    # A complete, self-closing document is schema-checkable from the start
+    # tag alone.  Commands may additionally carry a canonical ``<param>``
+    # body (checked below); everything else with children — or trailing
+    # junk, which the full parser rejects — falls back.
+    if raw.startswith("/>", pos) and pos + 2 == len(raw):
+        body = None
+    elif pos < len(raw) and raw[pos] == ">":
+        body = raw[pos + 1 :]
+    else:
         return None
     kind = attrs.get("type")
     sender = attrs.get("from")
     target = attrs.get("to")
     if kind is None or sender is None or target is None or kind not in _ENVELOPE_KINDS:
+        return None
+    if kind == "command":
+        verb = attrs.get("verb")
+        if verb is None:
+            return None
+        if body is not None and _COMMAND_BODY_RE.match(body) is None:
+            return None
+        return Envelope(kind, _intern(sender), _intern(target), verb, None)
+    if body is not None:
         return None
     if kind == "ping" or kind == "ping-reply":
         seq_raw = attrs.get("seq")
@@ -118,11 +144,6 @@ def scan_envelope(raw: str) -> Optional[Envelope]:
         except ValueError:
             return None
         return Envelope(kind, _intern(sender), _intern(target), None, seq)
-    if kind == "command":
-        verb = attrs.get("verb")
-        if verb is None:
-            return None
-        return Envelope(kind, _intern(sender), _intern(target), verb, None)
     # telemetry: the remaining schema requirements are attribute-only.
     if "satellite" not in attrs or "pass" not in attrs:
         return None

@@ -1,0 +1,97 @@
+"""The `restart` strategy is bit-identical to the pre-refactor recoverer.
+
+``tests/core/golden_restart_traces.json`` was captured from the recoverer
+*before* the strategy registry existed: one chaos trial per
+(scenario, tree, supervisor) cell at seed 42, recording the SHA-256 of the
+full JSONL event trace plus the MTTR samples and episode counters.  These
+tests re-run every golden cell through today's strategy-aware recoverer
+(with no strategy configured — the default path every pre-existing caller
+takes) and require byte-for-byte identical traces.  Any divergence means
+the refactor changed observable behavior for classic stations, which is
+exactly the regression the registry design promises not to make.
+
+The golden file is regenerated only when a PR *intends* to change traces
+(see the capture script embedded in the file's provenance comment — it is
+this test's loop with a JSON dump instead of asserts).
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.chaos.engine import run_chaos
+from repro.mercury.trees import TREE_BUILDERS
+from repro.obs.sinks import JsonlSink
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_restart_traces.json")
+
+with open(_GOLDEN_PATH, "r", encoding="utf-8") as _fh:
+    _GOLDEN = json.load(_fh)
+
+
+@pytest.mark.parametrize("key", sorted(_GOLDEN["cells"]))
+def test_restart_traces_match_pre_refactor_golden(key):
+    scenario, tree_label, supervisor = key.split("|")
+    cell = _GOLDEN["cells"][key]
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "trace.jsonl")
+        result = run_chaos(
+            TREE_BUILDERS[tree_label](),
+            scenario,
+            trials=_GOLDEN["trials"],
+            seed=_GOLDEN["seed"],
+            sinks=[JsonlSink(path)],
+            supervisor=supervisor,
+        )
+        with open(path, "rb") as fh:
+            sha = hashlib.sha256(fh.read()).hexdigest()
+    assert sha == cell["trace_sha256"], (
+        f"{key}: trace diverged from the pre-refactor recoverer"
+    )
+    assert [round(s, 9) for s in result.mttr_samples] == cell["mttr"]
+    assert result.cured == cell["cured"]
+    assert result.escalations == cell["escalations"]
+    assert len(result.violations) == cell["violations"]
+
+
+def test_campaign_cache_keys_unchanged_by_strategy_field():
+    """A classic cell's cache key is a pure function of its spec.
+
+    ``CampaignCell.strategy`` defaulting to ``""`` is part of the v6 spec;
+    the key must not vary between equivalent constructions, and a
+    strategy-enabled cell must key differently from its classic twin.
+    """
+    import dataclasses
+
+    from repro.experiments.runner import CampaignCell, cache_key
+    from repro.mercury.config import PAPER_CONFIG
+
+    classic = CampaignCell(kind="chaos", tree="V", seed=42, scenario="cascade", trials=1)
+    rebuilt = CampaignCell(**dataclasses.asdict(classic))
+    assert cache_key(classic, PAPER_CONFIG) == cache_key(rebuilt, PAPER_CONFIG)
+    enabled = dataclasses.replace(classic, strategy="restart")
+    assert cache_key(enabled, PAPER_CONFIG) != cache_key(classic, PAPER_CONFIG)
+
+
+def test_strategy_enabled_station_shape_differs_from_classic():
+    """Strategy-enabled stations snapshot separately from classic ones.
+
+    ``station_shape`` feeds ``boot_seed``; the strategy key is added only
+    for strategy-enabled runs (classic shapes — and therefore every boot
+    seed behind the golden traces above — stay untouched), and a
+    strategy-enabled run must never share a warmed template with a classic
+    station whose components lack the session-store wiring.
+    """
+    from repro.experiments.snapshot import station_shape
+    from repro.mercury.config import PAPER_CONFIG
+
+    tree = TREE_BUILDERS["V"]()
+    base = dict(
+        oracle="perfect", oracle_error_rate=0.3, supervisor="full", net_faults=False
+    )
+    classic = station_shape("chaos", tree, PAPER_CONFIG, **base)
+    enabled = station_shape("chaos", tree, PAPER_CONFIG, strategy="restart", **base)
+    assert classic != enabled

@@ -1,0 +1,62 @@
+"""Integration tests for the strategy-comparison harness (PR 7).
+
+The headline regression here is the session-loss contract that motivates
+the whole registry: under the same seed and failure schedule, a cold
+restart of the ``ses``/``str`` pair loses the externalised sync session
+while a microreboot restores it.  If a refactor ever breaks the
+session-store wiring, these pins catch it.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.strategy_compare import (
+    FAILURE_KINDS,
+    StrategyCellResult,
+    run_strategy_cell,
+)
+from repro.mercury.trees import TREE_BUILDERS
+
+
+@pytest.fixture(scope="module")
+def crash_cells():
+    """One restart and one microreboot cell, same tree/seed/schedule."""
+    results = {}
+    for strategy in ("restart", "microreboot"):
+        results[strategy] = run_strategy_cell(
+            TREE_BUILDERS["V"](), strategy, "crash", trials=2, seed=7
+        )
+    return results
+
+
+def test_cells_recover_without_violations(crash_cells):
+    for strategy, result in crash_cells.items():
+        assert result.ok, f"{strategy}: {result.violations}"
+        assert len(result.mttr_samples) == 2
+        assert all(mttr > 0.0 for mttr in result.mttr_samples)
+        assert result.stats.n == 2
+
+
+def test_restart_loses_sessions_microreboot_preserves_them(crash_cells):
+    # the paper's mechanism discards externalised sessions on every cold
+    # bounce of a session-holding component ...
+    assert crash_cells["restart"].sessions_lost >= 1
+    assert crash_cells["restart"].sessions_restored == 0
+    # ... while microreboot restores them and loses none
+    assert crash_cells["microreboot"].sessions_lost == 0
+    assert crash_cells["microreboot"].sessions_restored >= 1
+
+
+def test_payload_roundtrip(crash_cells):
+    for result in crash_cells.values():
+        clone = StrategyCellResult.from_payload(result.to_payload())
+        assert clone == result
+
+
+def test_unknown_strategy_and_kind_rejected():
+    tree = TREE_BUILDERS["V"]()
+    with pytest.raises(ExperimentError, match="unknown recovery strategy"):
+        run_strategy_cell(tree, "reboot-harder", "crash", trials=1, seed=1)
+    with pytest.raises(ExperimentError, match="unknown failure kind"):
+        run_strategy_cell(tree, "restart", "meltdown", trials=1, seed=1)
+    assert FAILURE_KINDS == ("crash", "hang", "zombie")

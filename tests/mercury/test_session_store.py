@@ -1,0 +1,112 @@
+"""Unit tests for the crash-only :class:`SessionStore` (PR 7 tentpole).
+
+The store's contract is what makes microreboot/checkpoint-replay safe:
+atomic replacement writes, copy-on-read (a component mutating its own
+view must not corrupt the store), bounded replay logs, and cold-restart
+``drop_all`` counting exactly the user-visible session losses.
+"""
+
+from repro.mercury.session_store import SessionStore
+
+
+def test_session_roundtrip_and_copy_semantics():
+    store = SessionStore()
+    payload = {"peer": "str", "epoch": 3}
+    store.save_session("ses", 10.0, payload)
+    payload["epoch"] = 99  # caller mutates its own dict afterwards
+    loaded = store.load_session("ses")
+    assert loaded == {"peer": "str", "epoch": 3}
+    loaded["epoch"] = 7  # and mutating the read view changes nothing
+    assert store.load_session("ses") == {"peer": "str", "epoch": 3}
+    assert store.has_session("ses")
+    assert store.session_age("ses", 12.5) == 2.5
+    assert store.load_session("str") is None
+    assert store.session_age("str", 12.5) is None
+
+
+def test_save_is_atomic_replace():
+    store = SessionStore()
+    store.save_session("ses", 1.0, {"epoch": 1})
+    store.save_session("ses", 2.0, {"epoch": 2})
+    assert store.load_session("ses") == {"epoch": 2}
+    assert store.session_age("ses", 3.0) == 1.0
+    assert store.sessions_saved == 2
+
+
+def test_drop_session_counts_only_real_losses():
+    store = SessionStore()
+    assert store.drop_session("ses") is False
+    assert store.sessions_lost == 0
+    store.save_session("ses", 1.0, {})
+    assert store.drop_session("ses") is True
+    assert store.sessions_lost == 1
+    assert not store.has_session("ses")
+
+
+def test_mark_restored_tracks_instant_and_counter():
+    store = SessionStore()
+    store.save_session("ses", 1.0, {})
+    assert store.restored_at("ses") is None
+    store.mark_restored("ses", 5.0)
+    assert store.restored_at("ses") == 5.0
+    assert store.sessions_restored == 1
+    # a later cold restart clears the restore evidence too
+    store.drop_session("ses")
+    assert store.restored_at("ses") is None
+
+
+def test_checkpoint_roundtrip():
+    store = SessionStore()
+    store.save_checkpoint("fedr", 4.0, {"freq": 137.5})
+    assert store.has_checkpoint("fedr")
+    assert store.load_checkpoint("fedr") == {"freq": 137.5}
+    assert store.checkpoint_age("fedr", 6.0) == 2.0
+    assert store.checkpoints_taken == 1
+    assert store.drop_checkpoint("fedr") is True
+    assert store.drop_checkpoint("fedr") is False
+    assert store.load_checkpoint("fedr") is None
+
+
+def test_message_log_is_bounded_and_ordered():
+    store = SessionStore(log_limit=3)
+    for i in range(5):
+        store.log_message("fedr", f"m{i}")
+    assert store.messages_logged == 5
+    # the window keeps only the newest log_limit entries, oldest first
+    assert store.replay_log("fedr") == ["m2", "m3", "m4"]
+    assert store.messages_replayed == 3
+    # replay does not clear the log; drop does
+    assert store.has_log("fedr")
+    assert store.drop_log("fedr") is True
+    assert store.replay_log("fedr") == []
+    assert store.has_log("fedr") is False
+
+
+def test_drop_all_reports_session_loss_only():
+    store = SessionStore()
+    store.save_checkpoint("fedr", 1.0, {})
+    store.log_message("fedr", "m")
+    # checkpoint + log but no session: a cold restart loses nothing visible
+    assert store.drop_all("fedr") is False
+    assert not store.has_checkpoint("fedr") and not store.has_log("fedr")
+    store.save_session("ses", 1.0, {})
+    assert store.drop_all("ses") is True
+
+
+def test_counters_snapshot():
+    store = SessionStore()
+    store.save_session("ses", 1.0, {})
+    store.mark_restored("ses", 2.0)
+    store.save_checkpoint("fedr", 1.0, {})
+    store.log_message("fedr", "m")
+    store.replay_log("fedr")
+    store.drop_session("ses")
+    assert store.counters() == {
+        "sessions_saved": 1,
+        "sessions_restored": 1,
+        "sessions_lost": 1,
+        "checkpoints_taken": 1,
+        "checkpoints_restored": 0,
+        "messages_logged": 1,
+        "messages_replayed": 1,
+    }

@@ -1,0 +1,123 @@
+"""Schema-registry coverage for the strategy-lifecycle event kinds.
+
+The strategy registry (PR 7) added two families of events: recovery-layer
+strategy lifecycle (planned / bisect probe / verified, with plan→execute→
+verify time attribution) and mercury-layer crash-only session-store
+activity (session externalized/restored/lost, checkpoint taken/restored,
+replay window).  These tests pin their registration — layer, required and
+optional keys, narratives — and that validation rejects malformed
+payloads, mirroring the exact shapes the recoverer and session hooks emit.
+"""
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import ObsValidationError
+
+
+def test_strategy_lifecycle_kinds_registered():
+    assert ev.STRATEGY_PLANNED == "strategy_planned"
+    assert ev.BISECT_PROBE == "bisect_probe"
+    assert ev.STRATEGY_VERIFIED == "strategy_verified"
+    for kind in (ev.STRATEGY_PLANNED, ev.BISECT_PROBE, ev.STRATEGY_VERIFIED):
+        assert ev.REGISTRY.get(kind).layer == "recovery"
+
+
+def test_session_store_kinds_registered():
+    for kind in (
+        ev.SESSION_EXTERNALIZED,
+        ev.SESSION_RESTORED,
+        ev.SESSION_LOST,
+        ev.CHECKPOINT_TAKEN,
+        ev.CHECKPOINT_RESTORED,
+        ev.REPLAY_WINDOW,
+    ):
+        assert ev.REGISTRY.is_registered(kind)
+        assert ev.REGISTRY.get(kind).layer == "mercury"
+
+
+def test_strategy_payloads_validate_as_emitted():
+    """The exact payload shapes the recoverer emits must validate."""
+    ev.REGISTRY.validate(
+        ev.STRATEGY_PLANNED,
+        {
+            "cell": "R_ses",
+            "strategy": "microreboot",
+            "batch": ("ses",),
+            "expecting": ("ses",),
+            "trigger": "ses",
+        },
+    )
+    ev.REGISTRY.validate(
+        ev.BISECT_PROBE, {"cell": "R_all", "components": ("fedr",), "round": 2}
+    )
+    ev.REGISTRY.validate(
+        ev.STRATEGY_VERIFIED,
+        {
+            "cell": "R_ses",
+            "strategy": "bisect",
+            "plan_s": 0.0,
+            "execute_s": 6.1,
+            "verify_s": 0.25,
+            "rounds": 2,
+        },
+    )
+
+
+def test_session_store_payloads_validate_as_emitted():
+    ev.REGISTRY.validate(ev.SESSION_EXTERNALIZED, {"component": "ses", "peer": "str"})
+    ev.REGISTRY.validate(ev.SESSION_RESTORED, {"component": "ses", "age": 1.25})
+    ev.REGISTRY.validate(ev.SESSION_LOST, {"component": "str"})
+    ev.REGISTRY.validate(ev.CHECKPOINT_TAKEN, {"component": "fedr"})
+    ev.REGISTRY.validate(ev.CHECKPOINT_RESTORED, {"component": "pbcom", "age": 3.5})
+    ev.REGISTRY.validate(ev.REPLAY_WINDOW, {"component": "fedr", "messages": 14})
+
+
+@pytest.mark.parametrize(
+    ("kind", "payload"),
+    [
+        (ev.STRATEGY_PLANNED, {"cell": "R_ses"}),  # missing strategy
+        (ev.BISECT_PROBE, {"cell": "R_all", "components": ("fedr",)}),  # no round
+        (ev.STRATEGY_VERIFIED, {"strategy": "bisect"}),  # missing cell
+        (ev.SESSION_RESTORED, {}),  # missing component
+        (ev.REPLAY_WINDOW, {"component": "fedr"}),  # missing messages
+    ],
+)
+def test_strategy_payloads_missing_required_rejected(kind, payload):
+    with pytest.raises(ObsValidationError, match="missing required"):
+        ev.REGISTRY.validate(kind, payload)
+
+
+def test_strategy_payloads_undeclared_keys_rejected():
+    with pytest.raises(ObsValidationError, match="undeclared"):
+        ev.REGISTRY.validate(
+            ev.SESSION_LOST, {"component": "ses", "mood": "somber"}
+        )
+
+
+def test_restart_ordered_accepts_strategy_key():
+    """The recoverer adds ``strategy=`` to RESTART_ORDERED only for
+    non-default strategies; both spellings must validate."""
+    base = {"cell": "R_ses", "components": ("ses",), "trigger": "ses"}
+    ev.REGISTRY.validate(ev.RESTART_ORDERED, base)
+    ev.REGISTRY.validate(
+        ev.RESTART_ORDERED, {**base, "strategy": "microreboot", "procedure": "micro"}
+    )
+
+
+def test_strategy_narratives_render():
+    text = ev.REGISTRY.narrative_for(
+        ev.STRATEGY_PLANNED,
+        {"cell": "R_ses", "strategy": "microreboot", "expecting": ("ses", "str")},
+    )
+    assert "microreboot" in text and "ses+str" in text
+    text = ev.REGISTRY.narrative_for(
+        ev.BISECT_PROBE, {"cell": "R_all", "components": ("fedr", "pbcom"), "round": 1}
+    )
+    assert "bisect probe #1" in text
+    assert "replayed 14" in ev.REGISTRY.narrative_for(
+        ev.REPLAY_WINDOW, {"component": "fedr", "messages": 14}
+    )
+    assert "lost its session" in ev.REGISTRY.narrative_for(
+        ev.SESSION_LOST, {"component": "str"}
+    )

@@ -159,6 +159,13 @@ def test_envelope_covers_the_hot_shapes():
     assert scan_envelope(encode_message(PingReply("mbus", "fd", 1))) is not None
     assert scan_envelope(encode_message(CommandMessage("a", "mbus", "attach"))) is not None
     assert scan_envelope(encode_message(TelemetryFrame("a", "b", "s", "p", 10))) is not None
+    # commands with canonical <param> bodies are the mixed-traffic shape
+    # that used to stall on the full-parse fallback (ROADMAP item 5)
+    track = CommandMessage("ses", "str", "track", {"azimuth": "143.2", "elevation": "67.9"})
+    envelope = scan_envelope(encode_message(track))
+    assert envelope is not None and envelope.verb == "track"
+    empty = CommandMessage("a", "b", "v", {"flag": ""})
+    assert scan_envelope(encode_message(empty)) is not None
 
 
 @pytest.mark.parametrize(
@@ -173,7 +180,15 @@ def test_envelope_covers_the_hot_shapes():
         '<msg type="command" from="a" to="b"/>',  # command without verb
         '<msg type="telemetry" from="a" to="b" satellite="s" pass="p" bytes="x"/>',
         '<msg type="failure-report" from="fd" to="rec" detected-at="1.0"/>',
-        '<msg type="command" from="a" to="b" verb="v"><param name="x">1</param></msg>',
+        # non-canonical command bodies: only the exact serializer shape is
+        # envelope-scannable, everything else needs the full parser
+        '<msg type="command" from="a" to="b" verb="v"><param name="x">1</param>',
+        '<msg type="command" from="a" to="b" verb="v"> <param name="x">1</param></msg>',
+        '<msg type="command" from="a" to="b" verb="v"><other/></msg>',
+        '<msg type="command" from="a" to="b" verb="v"><param name="x">a&amp;b</param></msg>',
+        "<msg type=\"command\" from=\"a\" to=\"b\" verb=\"v\"><param name='x'>1</param></msg>",
+        '<msg type="command" from="a" to="b" verb="v"><param>1</param></msg>',
+        '<msg type="ping" from="a" to="b" seq="1"></msg>',  # only commands may have a body
     ],
 )
 def test_envelope_refuses_anything_it_cannot_guarantee(raw):

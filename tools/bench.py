@@ -3,8 +3,8 @@
 Mirrors ``benchmarks/test_perf_simulator.py`` without the pytest harness so
 CI can produce a machine-readable perf trajectory::
 
-    PYTHONPATH=src python tools/bench.py --output BENCH_3.json
-    PYTHONPATH=src python tools/bench.py --baseline BENCH_2.json --output BENCH_3.json
+    PYTHONPATH=src python tools/bench.py --output BENCH_4.json
+    PYTHONPATH=src python tools/bench.py --baseline BENCH_3.json --output BENCH_4.json
 
 Metrics:
 
@@ -33,7 +33,7 @@ N-1's embedded baseline.
 
 ``--smoke`` runs reduced-rep benchmarks and compares each smoke metric
 against the checked-in baseline artifact (``--baseline``, default
-``BENCH_3.json``) under a per-metric regression budget; any breach fails
+``BENCH_4.json``) under a per-metric regression budget; any breach fails
 loudly (exit 1).  Set ``REPRO_BENCH_SMOKE_SKIP=1`` to report without
 failing on slow or heavily loaded machines.
 """
@@ -286,7 +286,7 @@ def main(argv=None) -> int:
         "--baseline", default=None,
         help="embed a previous run's generated/host/metrics as the"
         " 'baseline' key (with --smoke: the artifact to regress against,"
-        " default BENCH_3.json)",
+        " default BENCH_4.json)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -296,7 +296,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        return _run_smoke(parser, args.baseline or "BENCH_3.json")
+        return _run_smoke(parser, args.baseline or "BENCH_4.json")
 
     baseline = None
     if args.baseline:

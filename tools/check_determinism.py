@@ -18,7 +18,13 @@ clock, iterates an unordered set into an RNG, or keys a schedule off
 * one chaos campaign run with the warmed-station snapshot cache enabled
   vs. disabled (fresh boot per cell), byte-comparing traces, result
   payloads, and the campaign cache keys — the restore-vs-boot bit-identity
-  contract that lets the snapshot fast path share the result cache.
+  contract that lets the snapshot fast path share the result cache;
+* one recovery-strategy cell (microreboot, crash, tree V), run twice with
+  the same seed, comparing the JSON payloads — the strategy registry,
+  session store, and strategy-enabled supervisor path stay pure functions
+  of the seed — plus a bus fast-path leg running the same cell with
+  ``REPRO_BUS_FULLPARSE=1`` (scan-based envelope decode vs. the full XML
+  parser must be observationally identical).
 
 Exits 0 when all legs are bit-identical, 1 otherwise (with the first
 differing line for the trace legs).
@@ -191,12 +197,66 @@ def check_snapshot_fork(workdir: str) -> bool:
     return ok
 
 
+def check_strategy(workdir: str) -> bool:
+    """Strategy leg: the registry path is a pure function of the seed.
+
+    Runs one microreboot cell twice (JSON payloads must match), then the
+    same cell under ``REPRO_BUS_FULLPARSE=1`` — the scan-based envelope
+    fast path and the full XML parser must be observationally identical
+    even with the session-store message tap and replay machinery live.
+    Also pins cache-key invariance: a classic chaos cell's campaign key
+    must not change with the strategy machinery present (strategy="" is
+    part of the spec, not an accident of the run).
+    """
+    from repro.experiments.runner import CampaignCell, cache_key
+    from repro.experiments.strategy_compare import run_strategy_cell
+    from repro.mercury.config import PAPER_CONFIG
+
+    print("determinism: strategy (microreboot, crash, tree V, seed %d) ..." % CHAOS_SEED)
+    payloads = []
+    for _ in (1, 2):
+        result = run_strategy_cell(
+            TREE_BUILDERS["V"](), "microreboot", "crash", trials=2, seed=CHAOS_SEED
+        )
+        payloads.append(json.dumps(result.to_payload(), sort_keys=True))
+    ok = True
+    if payloads[0] != payloads[1]:
+        print("FAIL strategy: result payloads differ between same-seed runs")
+        ok = False
+    else:
+        print("  strategy: result payloads identical")
+
+    os.environ["REPRO_BUS_FULLPARSE"] = "1"
+    try:
+        result = run_strategy_cell(
+            TREE_BUILDERS["V"](), "microreboot", "crash", trials=2, seed=CHAOS_SEED
+        )
+    finally:
+        os.environ.pop("REPRO_BUS_FULLPARSE", None)
+    if json.dumps(result.to_payload(), sort_keys=True) != payloads[0]:
+        print("FAIL strategy: full-parse run differs from fast-path run")
+        ok = False
+    elif ok:
+        print("  strategy: bus fast path == full parse")
+
+    cell = CampaignCell(kind="chaos", tree="V", seed=CHAOS_SEED, scenario="storm", trials=1)
+    key_a = cache_key(cell, PAPER_CONFIG)
+    key_b = cache_key(CampaignCell(**{**dataclasses.asdict(cell)}), PAPER_CONFIG)
+    if key_a != key_b:
+        print("FAIL strategy: cache key not a pure function of the cell spec")
+        ok = False
+    elif ok:
+        print("  strategy: campaign cache keys stable")
+    return ok
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-determinism-") as workdir:
         ok = check_chaos(workdir)
         ok = check_chaos_lossy(workdir) and ok
         ok = check_availability(workdir) and ok
         ok = check_snapshot_fork(workdir) and ok
+        ok = check_strategy(workdir) and ok
     if ok:
         print("determinism: PASS")
         return 0
