@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test lint verify chaos-smoke chaos-lossy-smoke strategy-smoke \
-	check-determinism bench bench-smoke benchmarks table4-parallel
+	fleet-smoke check-determinism bench bench-smoke benchmarks \
+	table4-parallel
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -33,6 +34,14 @@ strategy-smoke:
 	$(PYTHON) -m repro.cli strategy-compare --strategy restart \
 		--strategy microreboot --kind crash --tree V --trials 2 --seed 7
 
+# One fast sharded fleet campaign (independent + correlated waves) with
+# per-station invariant checking; nonzero exit on any violation.  Shards
+# and process fan-out are bit-identical, so the sharded smoke run stands
+# in for every execution layout.
+fleet-smoke:
+	REPRO_FLEET_JOBS=2 $(PYTHON) -m repro.cli fleet --size 8 --horizon 120 \
+		--wave-interval 0 --wave-interval 60 --shards 2 --seed 7
+
 # Same-seed double runs of a chaos campaign and an availability run,
 # byte-comparing the JSONL traces and result payloads — plus the
 # snapshot-vs-fresh-boot leg (warmed-station forks must be bit-identical
@@ -40,22 +49,23 @@ strategy-smoke:
 check-determinism:
 	$(PYTHON) tools/check_determinism.py
 
-# The pre-merge gate: tier-1 tests, lint, and the chaos smoke runs.
-verify: test lint chaos-smoke chaos-lossy-smoke strategy-smoke
+# The pre-merge gate: tier-1 tests, lint, and the smoke campaigns.
+verify: test lint chaos-smoke chaos-lossy-smoke strategy-smoke fleet-smoke
 
-# Perf session: time the simulator hot paths and write BENCH_4.json,
+# Perf session: time the simulator hot paths and write BENCH_5.json,
 # carrying the previous artifact's own results forward as the embedded
 # (depth-1) baseline so future PRs have a perf trajectory to compare
 # against.
 bench:
-	$(PYTHON) tools/bench.py --baseline BENCH_3.json --output BENCH_4.json
+	$(PYTHON) tools/bench.py --baseline BENCH_4.json --output BENCH_5.json
 
 # Fast regression gate: reduced-rep benchmarks vs the checked-in
-# BENCH_4.json under per-metric budgets (bus_roundtrips_per_sec and
-# bus_mixed_msgs_per_sec: 20%; station_snapshot_restore_seconds: 50%).
-# Set REPRO_BENCH_SMOKE_SKIP=1 to report without failing (slow machines).
+# BENCH_5.json under per-metric budgets (bus throughputs: 20%;
+# fleet_stations_per_sec: 25%; station_snapshot_restore_seconds: 35%;
+# fleet_station_setup_seconds: 50%).  Set REPRO_BENCH_SMOKE_SKIP=1 to
+# report without failing (slow machines).
 bench-smoke:
-	$(PYTHON) tools/bench.py --smoke --baseline BENCH_4.json
+	$(PYTHON) tools/bench.py --smoke --baseline BENCH_5.json
 
 # Full paper-reproduction suite (slow).  REPRO_BENCH_TRIALS/JOBS/CACHE
 # control fidelity, fan-out, and result caching.

@@ -220,6 +220,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="crashes injected per cell under loss (default: 3)",
     )
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="fleet-scale campaign: MTTR/availability/session loss vs "
+        "fleet size under independent and correlated failures",
+        parents=[common],
+    )
+    _tree_argument(fleet)
+    fleet.add_argument(
+        "--size", action="append", type=int, default=None, metavar="N",
+        help="fleet size (repeatable; default: 16 64)",
+    )
+    fleet.add_argument(
+        "--horizon", type=float, default=600.0, metavar="SECONDS",
+        help="measured window per fleet (default: 600)",
+    )
+    fleet.add_argument(
+        "--wave-interval", action="append", type=float, default=None,
+        metavar="SECONDS",
+        help="mean seconds between correlated ground-segment fault waves "
+        "(repeatable; 0 = independent failures only; default: 0 150)",
+    )
+    fleet.add_argument(
+        "--wave-drop", type=float, default=0.2, metavar="P",
+        help="wave-coupled uplink drop probability (default: 0.2)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="kernel shards per fleet (default: REPRO_FLEET_SHARDS or 1; "
+        "results are bit-identical for any value)",
+    )
+    fleet.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the full per-cell results as sorted JSON",
+    )
+
     trace = subparsers.add_parser(
         "trace",
         help="dump/filter a JSONL event trace (see `recovery --trace-out`)",
@@ -708,6 +743,71 @@ def cmd_passes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.experiments.fleet import run_fleet_suite
+
+    sizes = args.size or [16, 64]
+    intervals = args.wave_interval if args.wave_interval is not None else [0.0, 150.0]
+    if args.shards is not None:
+        # Sharding is an execution knob (bit-identical results), threaded
+        # through the environment so it can never enter a cell spec.
+        os.environ["REPRO_FLEET_SHARDS"] = str(args.shards)
+    suite = run_fleet_suite(
+        sizes,
+        tree=args.tree or "V",
+        horizon_s=args.horizon,
+        seed=args.seed,
+        wave_intervals=intervals,
+        wave_drop=args.wave_drop,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    rows = []
+    for size in sizes:
+        for interval in intervals:
+            result = suite[(size, interval)]
+            regime = "independent" if interval == 0 else f"wave/{interval:g}s"
+            rows.append(
+                [
+                    size,
+                    regime,
+                    f"{result.availability:.5f}",
+                    f"{result.mean_mttr:.2f}" if result.mean_mttr else "—",
+                    result.outages,
+                    result.sessions_lost,
+                    result.ground.get("waves", 0),
+                    "yes" if result.ok else "NO",
+                ]
+            )
+    print(
+        format_table(
+            [
+                "stations", "failures", "availability", "MTTR (s)",
+                "outages", "sessions lost", "waves", "invariants",
+            ],
+            rows,
+            title=f"Fleet campaign, tree {args.tree or 'V'}, "
+            f"{args.horizon:g}s horizon",
+        )
+    )
+    if args.report:
+        import json
+
+        payload = {
+            f"{size}:{interval:g}": result.to_payload()
+            for (size, interval), result in suite.items()
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nfull results written to {args.report}")
+    broken = [key for key, result in suite.items() if not result.ok]
+    if broken:
+        cells = ", ".join(f"size={s} wave={w:g}" for s, w in sorted(broken))
+        print(f"\nINVARIANT VIOLATIONS in: {cells}", file=sys.stderr)
+        return 1
+    return 0
+
+
 COMMANDS = {
     "trees": cmd_trees,
     "recovery": cmd_recovery,
@@ -718,6 +818,7 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "strategy-compare": cmd_strategy_compare,
     "detection-ablation": cmd_detection_ablation,
+    "fleet": cmd_fleet,
     "trace": cmd_trace,
 }
 

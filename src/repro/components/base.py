@@ -15,6 +15,7 @@ begins from a fresh connection state because ``on_kill`` dropped everything.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.errors import ChannelClosedError, ConnectionRefusedError_, XmlError
@@ -28,7 +29,12 @@ from repro.xmlcmd.commands import (
     encode_message,
     parse_message,
 )
-from repro.xmlcmd.fastpath import encode_ping_wire, split_ping_wire
+from repro.xmlcmd.fastpath import (
+    LazyMessage,
+    encode_ping_wire,
+    scan_envelope,
+    split_ping_wire,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.procmgr.process import SimProcess
@@ -92,6 +98,9 @@ class BusAttachedBehavior(Behavior):
         self._session_store = session_store
         self._replay_pending = False
         self._replaying = False
+        #: Eager-parse mode (differential runs): every inbound message goes
+        #: through the full parser at delivery, as before the lazy client.
+        self._fullparse = os.environ.get("REPRO_BUS_FULLPARSE", "") == "1"
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -220,6 +229,24 @@ class BusAttachedBehavior(Behavior):
             # Bus-client tap: log real work for checkpoint-replay recovery.
             # Pings never reach the log — they carry no state.
             self._session_store.log_message(self.name, raw)
+        env = None if self._fullparse else scan_envelope(raw)
+        if env is not None:
+            # Vouched wire: the full parser is guaranteed to accept it, so
+            # routing decisions run on the envelope and the payload stays a
+            # string unless ``on_message`` actually looks inside.
+            if env.kind == "ping":
+                # A schema-valid ping in non-canonical form (canonical ones
+                # took the wire fast path above).
+                self.send(PingReply(sender=self.name, target=env.sender, seq=env.seq))
+                return
+            if self.process.degraded_mode == "zombie":
+                return  # real work silently dropped — only e2e probes see this
+            message = LazyMessage(raw)
+            if env.kind == "command" and env.verb == E2E_PROBE_VERB:
+                self._reply_probe(message)
+                return
+            self.on_message(message)  # type: ignore[arg-type]
+            return
         try:
             message = parse_message(raw)
         except XmlError as error:
@@ -237,16 +264,21 @@ class BusAttachedBehavior(Behavior):
             # End-to-end probes exercise the worker path, not the liveness
             # thread, so they sit *behind* the zombie gate: a zombie answers
             # pings above but never reaches this reply.
-            self.send(
-                CommandMessage(
-                    sender=self.name,
-                    target=message.sender,
-                    verb=E2E_PROBE_REPLY_VERB,
-                    params={"seq": message.params.get("seq", "0")},
-                )
-            )
+            self._reply_probe(message)
             return
         self.on_message(message)
+
+    def _reply_probe(self, message: Message) -> None:
+        """Answer an end-to-end probe through the worker path (zombie-gated
+        by the caller; see :class:`repro.components.health.EndToEndProber`)."""
+        self.send(
+            CommandMessage(
+                sender=self.name,
+                target=message.sender,
+                verb=E2E_PROBE_REPLY_VERB,
+                params={"seq": message.params.get("seq", "0")},
+            )
+        )
 
     # -- hooks for subclasses --------------------------------------------
 

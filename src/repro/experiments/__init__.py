@@ -14,7 +14,14 @@ One module per experiment family, mirroring the paper's evaluation:
 * :mod:`repro.experiments.report` — paper-style table formatting;
 * :mod:`repro.experiments.runner` — the parallel campaign runner every
   multi-cell experiment fans out through (deterministic hash-derived
-  seeds, process pool, content-addressed result cache).
+  seeds, process pool, content-addressed result cache);
+* :mod:`repro.experiments.fleet` — fleet-scale campaigns on the sharded
+  :mod:`repro.sim.fleet` kernel: availability, MTTR, and session loss vs
+  fleet size under correlated ground-segment fault waves;
+* :mod:`repro.experiments.snapshot` /
+  :mod:`repro.experiments.template_store` — warmed-station templates
+  (deepcopy + RNG rebase per cell) shared across worker processes as
+  pickle-once blobs.
 """
 
 from repro.experiments.metrics import RecoveryStats, UptimeTracker

@@ -65,7 +65,12 @@ from repro.sim.rng import derive_seed
 #: ``failure_kind`` spec fields (new "strategy" kind; chaos cells accept a
 #: strategy sweep dimension), and strategy-enabled stations wire a session
 #: store that changes their event streams.
-CACHE_VERSION = 6
+#: v7: fleet campaigns — cells gained the ``fleet_size``/``wave_interval_s``
+#: /``wave_drop`` spec fields (new "fleet" kind).  Shard count and process
+#: fan-out are deliberately *absent* from the spec: fleet results are
+#: bit-identical across both (``REPRO_FLEET_SHARDS``/``REPRO_FLEET_JOBS``
+#: are execution knobs), so they must never split the cache.
+CACHE_VERSION = 7
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +125,13 @@ class CampaignCell:
     strategy: str = ""
     #: Injected failure kind for "strategy" cells (crash/hang/zombie).
     failure_kind: str = ""
+    #: Stations in a "fleet" cell (0 for every other kind).
+    fleet_size: int = 0
+    #: Mean seconds between correlated ground-segment fault waves in a
+    #: "fleet" cell; 0 runs the independent-failures baseline.
+    wave_interval_s: float = 0.0
+    #: Wave-coupled uplink drop probability ("fleet" cells).
+    wave_drop: float = 0.0
 
 
 def _resolve_tree(label: str, trees: Optional[Mapping[str, RestartTree]]) -> RestartTree:
@@ -203,6 +215,23 @@ def execute_cell(
             supervisor=cell.supervisor,
         )
         return strategy_result.to_payload()
+    if cell.kind == "fleet":
+        from repro.experiments.fleet import FleetSpec, fleet_shards, run_fleet_cell
+
+        fleet = run_fleet_cell(
+            FleetSpec(
+                tree=cell.tree,
+                size=cell.fleet_size,
+                horizon_s=cell.horizon_s,
+                seed=cell.seed,
+                wave_interval_s=cell.wave_interval_s,
+                wave_drop=cell.wave_drop,
+                oracle=cell.oracle,
+            ),
+            config=config,
+            shards=fleet_shards(),
+        )
+        return fleet.to_payload()
     if cell.kind == "lifetimes":
         lifetime = measure_lifetimes(
             tree,
@@ -563,6 +592,48 @@ def run_chaos_suite(
     payloads = run_campaign(cells, config=config, jobs=jobs, cache_dir=cache_dir)
     return {
         pair: ChaosResult.from_payload(payload)
+        for pair, payload in zip(pairs, payloads)
+    }
+
+
+def run_fleet_campaign(
+    sizes: Sequence[int],
+    tree: str = "V",
+    horizon_s: float = 600.0,
+    seed: int = 0,
+    wave_intervals: Sequence[float] = (0.0,),
+    wave_drop: float = 0.0,
+    config: StationConfig = PAPER_CONFIG,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[Tuple[int, float], "FleetResult"]:
+    """Fleet sweep: one cell per (size, wave regime), keyed accordingly.
+
+    Cell seeds hash in the size and wave interval, so growing the sweep
+    cannot perturb existing cells; within a cell every station's streams
+    derive from the cell seed and its station id alone, independent of
+    shard layout.  Sharding/fan-out inside a cell comes from
+    ``REPRO_FLEET_SHARDS`` and ``REPRO_FLEET_JOBS`` (bit-identical, hence
+    absent from the spec).
+    """
+    from repro.experiments.fleet import FleetResult
+
+    pairs = [(size, interval) for size in sizes for interval in wave_intervals]
+    cells = [
+        CampaignCell(
+            kind="fleet",
+            tree=tree,
+            seed=campaign_seed(seed, "fleet", tree, size, interval, horizon_s),
+            horizon_s=horizon_s,
+            fleet_size=size,
+            wave_interval_s=interval,
+            wave_drop=wave_drop,
+        )
+        for size, interval in pairs
+    ]
+    payloads = run_campaign(cells, config=config, jobs=jobs, cache_dir=cache_dir)
+    return {
+        pair: FleetResult.from_payload(payload)
         for pair, payload in zip(pairs, payloads)
     }
 

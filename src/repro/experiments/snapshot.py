@@ -110,6 +110,53 @@ def template_count() -> int:
     return len(_TEMPLATES)
 
 
+def warm_template(
+    shape: str,
+    build: Callable[[int], MercuryStation],
+    warm: Callable[[MercuryStation], None],
+) -> MercuryStation:
+    """The live warmed template for ``shape`` — built (or unpickled from a
+    published blob) on first use, cached per process after that.
+
+    Callers must not mutate the returned station; restore a ``deepcopy``
+    via :func:`warmed_station` instead.  Exposed so drivers can read
+    template facts (e.g. the fleet anchors its epoch schedule on the
+    template's warm-point clock) without paying a restore.
+    """
+    template = _TEMPLATES.get(shape)
+    if template is None:
+        # Shared-store hit: another process already paid the boot and
+        # published the warmed image; one unpickle replaces it.  The
+        # store is a pure amortization — blob-restored templates are
+        # bit-identical to built ones (test_template_store.py).
+        from repro.experiments.template_store import STORE
+
+        template = STORE.fetch(shape)
+        if template is None:
+            template = build(boot_seed(shape))
+            warm(template)
+        _TEMPLATES[shape] = template
+    return template
+
+
+def publish_template(
+    shape: str,
+    build: Callable[[int], MercuryStation],
+    warm: Callable[[MercuryStation], None],
+) -> None:
+    """Warm the shape's template and publish it to the shared store.
+
+    Campaign parents call this *before* process fan-out so workers restore
+    from the pickle-once blob instead of each paying a boot.  Idempotent:
+    an already-published shape costs one dict lookup.
+    """
+    from repro.experiments.template_store import STORE
+
+    if STORE.has(shape):
+        return
+    STORE.publish(shape, warm_template(shape, build, warm))
+
+
 def warmed_station(
     shape: str,
     build: Callable[[int], MercuryStation],
@@ -131,16 +178,10 @@ def warmed_station(
     ``rngs.rebase(cell_seed)``, so the returned station is bit-identical
     across modes.
     """
-    seed = boot_seed(shape)
     if snapshot_enabled(snapshot):
-        template = _TEMPLATES.get(shape)
-        if template is None:
-            template = build(seed)
-            warm(template)
-            _TEMPLATES[shape] = template
-        station = copy.deepcopy(template)
+        station = copy.deepcopy(warm_template(shape, build, warm))
     else:
-        station = build(seed)
+        station = build(boot_seed(shape))
         warm(station)
     station.kernel.rngs.rebase(cell_seed)
     return station

@@ -60,6 +60,12 @@ class ComponentTiming:
     #: The peer whose joint restart waives the penalty.
     resync_peer: str = ""
 
+    def __deepcopy__(self, memo: dict) -> "ComponentTiming":
+        # Frozen calibration data, shared like the config that owns it —
+        # station snapshots hold references (e.g. per-component work
+        # functions) that must not be rebuilt on every restore.
+        return self
+
 
 @dataclass(frozen=True)
 class StationConfig:

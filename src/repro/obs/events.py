@@ -629,3 +629,33 @@ PASS_END = REGISTRY.register(
     "pass_end", "passes", "A satellite pass window closed (with accounting).",
     required=("satellite", "received_kb", "lost_kb", "link_broken"),
 )
+
+# ----------------------------------------------------------------------
+# declarations — fleet-scale simulation (ground segment + station shells)
+# ----------------------------------------------------------------------
+
+GROUND_WAVE = REGISTRY.register(
+    "ground_wave", "fleet",
+    "The ground segment launched a correlated fault wave at one station group.",
+    required=("wave_id", "group", "stations", "component", "failure_kind"),
+    narrative=lambda d: (
+        f"ground wave {d['wave_id']} hit group {d['group']} "
+        f"({d['stations']} stations, {d['component']}/{d['failure_kind']})"
+    ),
+)
+FLEET_DIRECTIVE = REGISTRY.register(
+    "fleet_directive", "fleet",
+    "A station applied a cross-fleet directive from the ground segment.",
+    required=("directive", "src"),
+    optional=("component", "failure_kind", "drop", "duration"),
+    narrative=lambda d: f"fleet directive {d['directive']} from member {d['src']}",
+)
+FLEET_STATUS = REGISTRY.register(
+    "fleet_status", "fleet",
+    "The ground segment received a station status report.",
+    required=("station", "component"),
+    optional=("failure_id",),
+    narrative=lambda d: (
+        f"station {d['station']} reported {d['component']} recovered"
+    ),
+)

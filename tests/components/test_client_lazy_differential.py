@@ -1,0 +1,130 @@
+"""Client-side lazy delivery vs REPRO_BUS_FULLPARSE=1: observationally equal.
+
+The broker's differential suite (``tests/bus/test_fastpath_differential``)
+pins *routing*; this one pins the **client** half of the fast path:
+``BusAttachedBehavior._on_raw`` answers pings straight off the wire and
+hands non-ping traffic to ``on_message`` as a :class:`LazyMessage` instead
+of full-parsing it.  A consumer must not be able to tell which mode built
+its component — same dispatch decisions, same replies on the bus, same
+station-level measurements — except by reaching for the concrete type.
+"""
+
+from repro.bus.broker import BusBroker
+from repro.bus.client import BusClient
+from repro.components.base import BusAttachedBehavior
+from repro.experiments.recovery import measure_recovery
+from repro.experiments.snapshot import clear_templates
+from repro.mercury.trees import tree_ii
+from repro.procmgr.manager import ProcessManager
+from repro.procmgr.process import ProcessSpec, constant_work
+from repro.sim.kernel import Kernel
+from repro.transport.network import Network
+from repro.xmlcmd.commands import (
+    CommandMessage,
+    FailureReport,
+    PingReply,
+    PingRequest,
+    RestartOrder,
+    TelemetryFrame,
+)
+from repro.xmlcmd.fastpath import LazyMessage
+
+
+class RecorderBehavior(BusAttachedBehavior):
+    """Records everything dispatched to ``on_message``; echoes commands."""
+
+    def __init__(self, process, network):
+        super().__init__(process, network)
+        self.messages = []
+
+    def on_message(self, message):
+        self.messages.append(message)
+        if isinstance(message, CommandMessage) and message.verb == "echo":
+            self.send(
+                CommandMessage(self.name, message.sender, "echo-reply", message.params)
+            )
+
+
+#: Every registered shape a client can receive, canonical and not.
+TRAFFIC = [
+    PingRequest("ops", "rec", 1),
+    CommandMessage("ops", "rec", "echo", {"az": "1.5"}),
+    CommandMessage("ops", "rec", "track", {"el": "2"}),
+    TelemetryFrame("ops", "rec", "opal", "p7", 512),
+    FailureReport("ops", "rec", ("ses",), 4.5),
+    RestartOrder("ops", "rec", "R_ses", ("ses",), "begin"),
+    PingRequest("ops", "rec", 2),
+]
+
+
+def drive(fullparse: bool, monkeypatch):
+    if fullparse:
+        monkeypatch.setenv("REPRO_BUS_FULLPARSE", "1")
+    else:
+        monkeypatch.delenv("REPRO_BUS_FULLPARSE", raising=False)
+    kernel = Kernel(seed=4321)
+    network = Network(kernel)
+    manager = ProcessManager(kernel, contention_coefficient=0.05)
+    manager.spawn(
+        ProcessSpec(
+            "mbus", constant_work(0.5), lambda p: BusBroker(p, network, "mbus:7000")
+        )
+    )
+    recorder = manager.spawn(
+        ProcessSpec("rec", constant_work(0.5), lambda p: RecorderBehavior(p, network))
+    )
+    manager.start_all()
+    kernel.run(until=kernel.now + 3.0)
+    ops = BusClient(kernel, network, "ops")
+    ops.connect()
+    kernel.run(until=kernel.now + 0.5)
+    for message in TRAFFIC:
+        ops.send(message)
+        kernel.run(until=kernel.now + 0.5)
+    return recorder.behavior, ops
+
+
+def test_dispatch_and_replies_identical_across_modes(monkeypatch):
+    lazy_rec, lazy_ops = drive(False, monkeypatch)
+    full_rec, full_ops = drive(True, monkeypatch)
+
+    # Same messages dispatched (LazyMessage proxies dataclass equality) and
+    # same replies observed on the bus, ping replies included.
+    assert lazy_rec.messages == full_rec.messages
+    assert lazy_ops.received == full_ops.received
+    assert [m for m in lazy_ops.received if isinstance(m, PingReply)]
+
+    # The lazy mode really was lazy — and fullparse really was not.  The
+    # flat wires (commands, telemetry) ride the envelope fast path; the
+    # child-bearing kinds (failure reports, restart orders) are outside
+    # ``scan_envelope``'s vouched subset and take the legacy parse.
+    non_ping = len(TRAFFIC) - 2  # pings never reach on_message
+    assert len(lazy_rec.messages) == non_ping
+    lazy_kinds = {
+        m.__class__.__name__ for m in lazy_rec.messages if type(m) is LazyMessage
+    }
+    assert lazy_kinds == {"CommandMessage", "TelemetryFrame"}
+    assert not any(type(m) is LazyMessage for m in full_rec.messages)
+
+
+def test_lazy_messages_are_interchangeable_with_parsed(monkeypatch):
+    recorder, _ = drive(False, monkeypatch)
+    frames = [m for m in recorder.messages if isinstance(m, TelemetryFrame)]
+    assert len(frames) == 1
+    assert frames[0] == TelemetryFrame("ops", "rec", "opal", "p7", 512)
+    assert frames[0].satellite == "opal"
+
+
+def test_station_measurements_identical_across_modes(monkeypatch):
+    def measure(fullparse: bool):
+        if fullparse:
+            monkeypatch.setenv("REPRO_BUS_FULLPARSE", "1")
+        else:
+            monkeypatch.delenv("REPRO_BUS_FULLPARSE", raising=False)
+        clear_templates()  # templates capture the mode at boot time
+        return measure_recovery(tree_ii(), "rtu", trials=3, seed=9, snapshot=False)
+
+    lazy = measure(False)
+    full = measure(True)
+    assert lazy.samples == full.samples
+    assert lazy.phases == full.phases

@@ -1,0 +1,147 @@
+"""Shared template store: blob-restored stations are bit-identical to built.
+
+The store is a pure amortization (module docstring of
+:mod:`repro.experiments.template_store`): a worker that unpickles the
+parent's warmed template must behave byte-for-byte like one that booted
+the template locally — same trace stream, same RNG draws, same payloads.
+These tests pin that, plus the store mechanics ``run_fleet_cell`` leans
+on (publish-once, lazy fetch, idempotent install, counters).
+"""
+
+import pytest
+
+from repro.experiments.fleet import DigestSink
+from repro.experiments.snapshot import (
+    clear_templates,
+    publish_template,
+    station_shape,
+    template_count,
+    warm_template,
+    warmed_station,
+)
+from repro.experiments.template_store import STORE, SharedTemplateStore, install_blobs
+from repro.mercury.config import PAPER_CONFIG
+from repro.mercury.station import MercuryStation
+from repro.mercury.trees import tree_ii
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_templates()
+    STORE.clear()
+    yield
+    clear_templates()
+    STORE.clear()
+
+
+def _shape():
+    return station_shape("store-unit", tree_ii(), PAPER_CONFIG)
+
+
+def _build(seed: int) -> MercuryStation:
+    return MercuryStation(tree=tree_ii(), config=PAPER_CONFIG, seed=seed)
+
+
+def _warm(station: MercuryStation) -> None:
+    station.boot(settle=5.0)
+
+
+def _probe(station: MercuryStation, horizon: float = 60.0):
+    """Drive a restored station and digest everything observable."""
+    digest = DigestSink()
+    station.kernel.trace.add_sink(digest)
+    draws = [station.kernel.rngs.stream("probe").random() for _ in range(5)]
+    station.kernel.run(until=station.kernel.now + horizon)
+    return {
+        "draws": draws,
+        "now": station.kernel.now,
+        "events": station.kernel.events_executed,
+        "digest": digest.hexdigest(),
+        "records": digest.records,
+    }
+
+
+# ----------------------------------------------------------------------
+# the correctness lean: unpickled template == locally built template
+# ----------------------------------------------------------------------
+
+
+def test_blob_restored_station_bit_identical_to_built():
+    shape = _shape()
+    # Parent-side path: build + warm locally, fork a cell station from it.
+    local = _probe(warmed_station(shape, _build, _warm, 42, snapshot=True))
+    assert local["records"] > 0  # the probe saw real traffic
+
+    # Worker-side path: only the parent's pickle blob is available.
+    publish_template(shape, _build, _warm)
+    blobs = STORE.blobs()
+    clear_templates()
+    STORE.clear()
+    STORE.install(blobs)
+    fetches_before = STORE.fetches
+    restored = _probe(warmed_station(shape, _build, _warm, 42, snapshot=True))
+
+    assert restored == local
+    assert STORE.fetches == fetches_before + 1  # really came from the blob
+
+
+def test_blob_restored_stations_still_diverge_across_cell_seeds():
+    shape = _shape()
+    publish_template(shape, _build, _warm)
+    blobs = STORE.blobs()
+    clear_templates()
+    STORE.clear()
+    STORE.install(blobs)
+    a = _probe(warmed_station(shape, _build, _warm, 1, snapshot=True))
+    b = _probe(warmed_station(shape, _build, _warm, 2, snapshot=True))
+    assert a["draws"] != b["draws"]  # the post-restore rebase is real
+
+
+def test_fetch_misses_fall_back_to_a_boot():
+    shape = _shape()
+    fetches_before = STORE.fetches
+    station = warmed_station(shape, _build, _warm, 7, snapshot=True)
+    assert station is not None
+    assert STORE.fetches == fetches_before  # nothing published: plain boot
+    assert template_count() == 1
+
+
+# ----------------------------------------------------------------------
+# store mechanics
+# ----------------------------------------------------------------------
+
+
+def test_publish_is_once_per_shape():
+    shape = _shape()
+    published_before = STORE.published
+    publish_template(shape, _build, _warm)
+    blob = STORE.blobs()[shape]
+    publish_template(shape, _build, _warm)  # idempotent: already published
+    assert STORE.published == published_before + 1
+    assert STORE.blobs()[shape] == blob
+
+
+def test_fetch_returns_fresh_objects_and_counts():
+    store = SharedTemplateStore()
+    shape = _shape()
+    template = warm_template(shape, _build, _warm)
+    store.publish(shape, template)
+    assert store.has(shape) and store.shapes() == (shape,)
+    first = store.fetch(shape)
+    second = store.fetch(shape)
+    assert first is not second  # each fetch deserializes afresh
+    assert store.fetches == 2
+    assert store.fetch("missing-shape") is None
+    store.clear()
+    assert not store.has(shape)
+
+
+def test_install_blobs_is_the_module_level_installer():
+    shape = _shape()
+    publish_template(shape, _build, _warm)
+    blobs = STORE.blobs()
+    STORE.clear()
+    install_blobs(blobs)
+    assert STORE.has(shape)
+    install_blobs(blobs)  # idempotent re-install
+    assert STORE.blobs().keys() == blobs.keys()

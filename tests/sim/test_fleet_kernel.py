@@ -1,0 +1,266 @@
+"""FleetKernel: epoch barriers, canonical exchange, and the bit-identity gate.
+
+The load-bearing contract (module docstring of :mod:`repro.sim.fleet`):
+a fleet run is **bit-identical for every shard count and for serial vs
+process-parallel execution**, because each member's inputs are exactly
+(its seed, the canonically-ordered inbound message list).  These tests
+hold that gate with cheap gossiping toy shells — every member posts
+randomly-timed messages to random peers off its own RNG streams, and the
+result payload digests its complete receive log — then pin the guard
+rails: the lookahead floor on posts, the member-alignment check, the
+barrier schedule, and routing to unknown members.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.fleet import (
+    GROUND_ID,
+    FleetKernel,
+    FleetMessage,
+    FleetShell,
+    partition_ids,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.rng import derive_seed
+
+
+# ----------------------------------------------------------------------
+# toy members (module level: they cross the pickle boundary in fan-out)
+# ----------------------------------------------------------------------
+
+
+class GossipShell(FleetShell):
+    """Posts to random peers on its own streams; logs everything inbound."""
+
+    def __init__(
+        self,
+        shell_id: int,
+        size: int,
+        epoch: float,
+        seed: int,
+        start: float = 0.0,
+        to_ground: bool = False,
+    ) -> None:
+        kernel = Kernel(seed=derive_seed(seed, f"gossip:{shell_id}"), start_time=start)
+        super().__init__(shell_id, kernel, epoch)
+        self.size = size
+        self.to_ground = to_ground
+        self.log = []
+        self._rng = kernel.rngs.stream("gossip")
+        kernel.call_after(self._rng.uniform(0.1, 1.0), self._tick)
+
+    def _tick(self) -> None:
+        peer = self._rng.randrange(self.size)
+        if peer != self.shell_id:
+            self.post(
+                peer,
+                "gossip",
+                (self.shell_id, len(self.log)),
+                latency=self.min_latency + self._rng.random(),
+            )
+        if self.to_ground and self._rng.random() < 0.3:
+            self.post(GROUND_ID, "report", (len(self.log),))
+        self.kernel.call_after(self._rng.uniform(0.2, 1.5), self._tick)
+
+    def apply(self, message: FleetMessage) -> None:
+        self.log.append((self.kernel.now, message.src, message.seq, message.data))
+
+    def result(self):
+        return {
+            "id": self.shell_id,
+            "received": len(self.log),
+            "digest": hashlib.sha256(repr(self.log).encode()).hexdigest(),
+            "now": self.kernel.now,
+            "events_executed": self.kernel.events_executed,
+        }
+
+
+class GossipFactory:
+    """Pure, picklable shard factory over :class:`GossipShell`."""
+
+    def __init__(self, size, epoch, seed, start=0.0, to_ground=False):
+        self.size = size
+        self.epoch = epoch
+        self.seed = seed
+        self.start = start
+        self.to_ground = to_ground
+
+    def __call__(self, ids):
+        return [
+            GossipShell(
+                shell_id, self.size, self.epoch, self.seed, self.start, self.to_ground
+            )
+            for shell_id in ids
+        ]
+
+
+class CollectorShell(FleetShell):
+    """Coordinator stand-in: logs reports, acks every third one back."""
+
+    def __init__(self, epoch: float, seed: int, start: float = 0.0) -> None:
+        kernel = Kernel(seed=derive_seed(seed, "collector"), start_time=start)
+        super().__init__(GROUND_ID, kernel, epoch)
+        self.log = []
+
+    def apply(self, message: FleetMessage) -> None:
+        self.log.append((self.kernel.now, message.src, message.seq, message.data))
+        if len(self.log) % 3 == 0:
+            self.post(message.src, "ack", (len(self.log),))
+
+    def result(self):
+        return {
+            "received": len(self.log),
+            "digest": hashlib.sha256(repr(self.log).encode()).hexdigest(),
+            "events_executed": self.kernel.events_executed,
+        }
+
+
+def run_gossip(
+    size=12,
+    shards=1,
+    parallel=False,
+    horizon=20.0,
+    epoch=1.0,
+    seed=3,
+    start=0.0,
+    coordinator=False,
+):
+    factory = GossipFactory(size, epoch, seed, start, to_ground=coordinator)
+    coord = CollectorShell(epoch, seed, start) if coordinator else None
+    fleet = FleetKernel(
+        epoch=epoch,
+        factory=factory,
+        shell_ids=range(size),
+        shards=shards,
+        coordinator=coord,
+        start=start,
+    )
+    return fleet.run(horizon, parallel=parallel)
+
+
+# ----------------------------------------------------------------------
+# the bit-identity gate
+# ----------------------------------------------------------------------
+
+
+def test_bit_identical_across_shard_counts():
+    one = run_gossip(shards=1)
+    assert any(payload["received"] for payload in one.values())  # traffic flowed
+    for shards in (2, 3, 5, 12):
+        assert run_gossip(shards=shards) == one
+
+
+def test_bit_identical_serial_vs_parallel():
+    serial = run_gossip(size=6, shards=3, horizon=10.0)
+    fanned = run_gossip(size=6, shards=3, horizon=10.0, parallel=True)
+    assert fanned == serial
+
+
+def test_bit_identical_with_coordinator_serial_vs_parallel():
+    serial = run_gossip(size=6, shards=3, horizon=10.0, coordinator=True)
+    fanned = run_gossip(size=6, shards=3, horizon=10.0, coordinator=True, parallel=True)
+    assert fanned == serial
+    assert serial[GROUND_ID]["received"] > 0  # members really reported in
+
+
+def test_shard_grouping_does_not_leak_into_results():
+    """Same members, different contiguous blocks: identical payloads."""
+    a = run_gossip(size=9, shards=2)
+    b = run_gossip(size=9, shards=4)
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# time origin
+# ----------------------------------------------------------------------
+
+
+def test_nonzero_start_anchors_the_run():
+    results = run_gossip(size=4, shards=2, horizon=8.0, start=100.0)
+    for payload in results.values():
+        assert payload["now"] == pytest.approx(108.0)
+
+
+def test_member_ahead_of_origin_is_rejected():
+    # Members built at t=5 against a fleet origin of 0: run(until<now) would
+    # silently no-op, so the kernel must refuse loudly instead.
+    factory = GossipFactory(4, 1.0, seed=1, start=5.0)
+    fleet = FleetKernel(epoch=1.0, factory=factory, shell_ids=range(4), shards=2)
+    with pytest.raises(SimulationError, match="past the fleet origin"):
+        fleet.run(10.0)
+
+
+def test_coordinator_ahead_of_origin_is_rejected():
+    factory = GossipFactory(4, 1.0, seed=1)
+    coord = CollectorShell(1.0, seed=1, start=5.0)
+    fleet = FleetKernel(
+        epoch=1.0, factory=factory, shell_ids=range(4), coordinator=coord
+    )
+    with pytest.raises(SimulationError, match="past the fleet origin"):
+        fleet.run(10.0)
+
+
+# ----------------------------------------------------------------------
+# guard rails
+# ----------------------------------------------------------------------
+
+
+def test_post_below_lookahead_is_rejected():
+    shell = GossipShell(0, size=2, epoch=1.0, seed=1)
+    with pytest.raises(SimulationError, match="below the fleet lookahead"):
+        shell.post(1, "gossip", (), latency=0.25)
+
+
+def test_post_at_lookahead_is_allowed_and_sequenced():
+    shell = GossipShell(0, size=2, epoch=1.0, seed=1)
+    shell.post(1, "a", (1,))
+    shell.post(1, "b", (2,), latency=2.5)
+    first, second = shell.drain()
+    assert (first.seq, second.seq) == (0, 1)
+    assert first.latency == 1.0 and second.latency == 2.5
+    assert first.arrival == first.send_time + 1.0
+    assert shell.drain() == []  # drained
+
+
+def test_message_to_unknown_member_raises():
+    factory = GossipFactory(2, 1.0, seed=1)
+
+    class Stray(GossipShell):
+        def _tick(self):
+            self.post(99, "gossip", ())
+
+    class StrayFactory(GossipFactory):
+        def __call__(self, ids):
+            return [Stray(i, self.size, self.epoch, self.seed) for i in ids]
+
+    fleet = FleetKernel(epoch=1.0, factory=StrayFactory(2, 1.0, seed=1), shell_ids=range(2))
+    with pytest.raises(SimulationError, match="unknown fleet member"):
+        fleet.run(5.0)
+    del factory
+
+
+def test_epoch_and_horizon_validation():
+    factory = GossipFactory(2, 1.0, seed=1)
+    with pytest.raises(SimulationError, match="epoch must be positive"):
+        FleetKernel(epoch=0.0, factory=factory, shell_ids=range(2))
+    fleet = FleetKernel(epoch=1.0, factory=factory, shell_ids=range(2))
+    with pytest.raises(SimulationError, match="horizon must be positive"):
+        fleet.run(0.0)
+
+
+def test_barrier_schedule_covers_the_window():
+    factory = GossipFactory(2, 1.0, seed=1)
+    fleet = FleetKernel(epoch=2.0, factory=factory, shell_ids=range(2), start=10.0)
+    assert fleet._barriers(7.0) == [12.0, 14.0, 16.0, 17.0]
+    assert fleet._barriers(2.0) == [12.0]  # final barrier is the horizon itself
+
+
+def test_partition_ids_contiguous_and_balanced():
+    assert partition_ids(range(7), 3) == [(0, 1, 2), (3, 4), (5, 6)]
+    assert partition_ids(range(4), 9) == [(0,), (1,), (2,), (3,)]  # capped
+    assert partition_ids([], 2) == [()]
+    with pytest.raises(SimulationError, match="shards must be >= 1"):
+        partition_ids(range(4), 0)

@@ -28,6 +28,8 @@ def fast_bench(monkeypatch):
     monkeypatch.setattr(bench, "bench_bus_mixed", lambda **kw: 50_000.0)
     monkeypatch.setattr(bench, "bench_station_boot", lambda **kw: 0.01)
     monkeypatch.setattr(bench, "bench_station_snapshot", lambda **kw: 0.002)
+    monkeypatch.setattr(bench, "bench_fleet", lambda **kw: (20.0, 200_000.0))
+    monkeypatch.setattr(bench, "bench_fleet_setup", lambda **kw: (0.008, 0.002))
 
 
 def _run(args):
@@ -71,6 +73,10 @@ def test_metrics_cover_every_hot_path(fast_bench, tmp_path, capsys):
         "bus_mixed_msgs_per_sec",
         "station_boot_seconds",
         "station_snapshot_restore_seconds",
+        "fleet_stations_per_sec",
+        "fleet_events_per_sec",
+        "fleet_station_boot_seconds",
+        "fleet_station_setup_seconds",
     }
 
 

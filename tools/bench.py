@@ -3,8 +3,8 @@
 Mirrors ``benchmarks/test_perf_simulator.py`` without the pytest harness so
 CI can produce a machine-readable perf trajectory::
 
-    PYTHONPATH=src python tools/bench.py --output BENCH_4.json
-    PYTHONPATH=src python tools/bench.py --baseline BENCH_3.json --output BENCH_4.json
+    PYTHONPATH=src python tools/bench.py --output BENCH_5.json
+    PYTHONPATH=src python tools/bench.py --baseline BENCH_4.json --output BENCH_5.json
 
 Metrics:
 
@@ -24,7 +24,16 @@ Metrics:
 * ``station_snapshot_restore_seconds`` — wall-clock to fork one campaign
   cell from the warmed tree-V template (deepcopy + RNG rebase), the
   per-cell setup cost that replaces ``station_boot_seconds`` when the
-  snapshot cache is active.
+  snapshot cache is active;
+* ``fleet_stations_per_sec`` / ``fleet_events_per_sec`` — fleet-campaign
+  throughput: a sharded 32-station correlated-wave fleet run end to end,
+  divided by wall clock (stations simulated per second; kernel events per
+  second across every member);
+* ``fleet_station_boot_seconds`` / ``fleet_station_setup_seconds`` — a
+  full-supervisor fleet station booted fresh, versus the per-station cost
+  through the shared template store (one blob unpickle amortised over a
+  shard plus a deepcopy + rebase each).  Their ratio is the template-store
+  amortisation factor.
 
 ``--baseline`` embeds the previous run's *own* results (its ``generated``
 / ``host`` / ``metrics`` keys only) so a single artifact records the
@@ -33,7 +42,7 @@ N-1's embedded baseline.
 
 ``--smoke`` runs reduced-rep benchmarks and compares each smoke metric
 against the checked-in baseline artifact (``--baseline``, default
-``BENCH_4.json``) under a per-metric regression budget; any breach fails
+``BENCH_5.json``) under a per-metric regression budget; any breach fails
 loudly (exit 1).  Set ``REPRO_BENCH_SMOKE_SKIP=1`` to report without
 failing on slow or heavily loaded machines.
 """
@@ -41,11 +50,26 @@ failing on slow or heavily loaded machines.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
 import sys
 import time
+
+
+def _collected(measure):
+    """Run one measurement with a clean GC slate.
+
+    Each benchmark leaves a pile of short-lived garbage behind (dead
+    kernels, stations, trace buffers); without a collection between
+    measurements that pile drives generational GC cycles *inside* the
+    next bench's timed region, depressing it by 20-30% depending on
+    what ran before it.  Collecting at the boundary makes every metric
+    independent of measurement order.
+    """
+    gc.collect()
+    return measure()
 
 
 def bench_kernel_events(n: int = 200_000, reps: int = 7) -> float:
@@ -222,16 +246,107 @@ def bench_station_snapshot(reps: int = 5) -> float:
     return best
 
 
+def bench_fleet(
+    size: int = 32, horizon: float = 240.0, reps: int = 3
+) -> "tuple[float, float]":
+    """Fleet throughput: (stations simulated/s, kernel events/s).
+
+    Runs one sharded fleet cell (correlated waves on, 4 shards, serial
+    execution — sharding is bit-identical, so the serial number is the
+    honest single-core figure) and divides by wall clock.  Stations/s is
+    the capacity-planning number: how much fleet one core buys per second
+    of real time at the default horizon.
+    """
+    from repro.experiments import snapshot as snap
+    from repro.experiments.fleet import FleetSpec, run_fleet_cell
+    from repro.experiments.template_store import STORE
+
+    spec = FleetSpec(
+        size=size,
+        horizon_s=horizon,
+        seed=11,
+        wave_interval_s=120.0,
+        wave_drop=0.2,
+        drain_s=60.0,
+    )
+    best = float("inf")
+    events = 0
+    for _ in range(reps):
+        snap.clear_templates()
+        start = time.perf_counter()
+        result = run_fleet_cell(spec, shards=4)
+        best = min(best, time.perf_counter() - start)
+        events = result.events_executed
+        assert result.ok, "fleet bench run violated invariants"
+    snap.clear_templates()
+    STORE.clear()
+    return size / best, events / best
+
+
+def bench_fleet_setup(stations: int = 16) -> "tuple[float, float]":
+    """(fresh-boot seconds, shared-template per-station setup seconds).
+
+    The second number is what a fleet shard actually pays per station:
+    one blob unpickle amortised over the shard's stations plus a deepcopy
+    and RNG rebase each.  The first is what it would pay without the
+    shared store — the ratio is the template-store amortisation factor
+    (the PR acceptance bar is >= 3x).
+    """
+    from repro.experiments import snapshot as snap
+    from repro.experiments.fleet import (
+        FleetSpec,
+        _fleet_shape,
+        _StationBuild,
+        station_seed,
+    )
+    from repro.experiments.template_store import STORE
+    from repro.mercury.config import PAPER_CONFIG
+
+    spec = FleetSpec()
+    builder = _StationBuild(spec, PAPER_CONFIG)
+    shape = _fleet_shape(spec, PAPER_CONFIG)
+
+    snap.clear_templates()
+    STORE.clear()
+    start = time.perf_counter()
+    template = builder.build(snap.boot_seed(shape))
+    builder.warm(template)
+    boot_seconds = time.perf_counter() - start
+    snap._TEMPLATES[shape] = template
+    snap.publish_template(shape, builder.build, builder.warm)
+    blobs = STORE.blobs()
+
+    # Worker side: fresh per-process template cache, blob table installed.
+    snap.clear_templates()
+    STORE.clear()
+    STORE.install(blobs)
+    start = time.perf_counter()
+    for index in range(stations):
+        snap.warmed_station(
+            shape, builder.build, builder.warm, station_seed(spec.seed, index)
+        )
+    setup_seconds = (time.perf_counter() - start) / stations
+
+    snap.clear_templates()
+    STORE.clear()
+    return boot_seconds, setup_seconds
+
+
 #: ``--smoke`` regression gates: metric name -> (reduced-rep measurement,
 #: higher-is-better, allowed fractional regression).  Throughputs get the
-#: historical 20% budget; the snapshot-restore wall clock is a ~1 ms
-#: measurement and CI machines are noisy, so it gets 50% (i.e. current
-#: may be up to 2x the baseline before the gate trips).
+#: historical 20% budget (fleet runs are longer-wall-clock and steadier,
+#: but carry more machinery, so 25%); the snapshot-restore wall clock is a
+#: ~1 ms measurement and CI machines are noisy, so it gets 35% — re-pinned
+#: from the original 50% after the ComponentTiming deepcopy regression was
+#: fixed and the BENCH_5 baseline recorded the recovered number.  The
+#: per-station fleet setup is equally tiny, hence 50%.
 def _smoke_checks():
     return [
         ("bus_roundtrips_per_sec", lambda: bench_bus_roundtrips(n=500, reps=3), True, 0.20),
         ("bus_mixed_msgs_per_sec", lambda: bench_bus_mixed(n=500, reps=3), True, 0.20),
-        ("station_snapshot_restore_seconds", lambda: bench_station_snapshot(reps=3), False, 0.50),
+        ("station_snapshot_restore_seconds", lambda: bench_station_snapshot(reps=3), False, 0.35),
+        ("fleet_stations_per_sec", lambda: bench_fleet(size=8, horizon=120.0, reps=1)[0], True, 0.25),
+        ("fleet_station_setup_seconds", lambda: bench_fleet_setup(stations=8)[1], False, 0.50),
     ]
 
 
@@ -252,7 +367,7 @@ def _run_smoke(parser, baseline_path: str) -> int:
             print(f"bench-smoke: {name}: no baseline value, skipped")
             continue
         ref = float(ref)
-        current = measure()
+        current = _collected(measure)
         # Normalised so 1.0 is parity and smaller is worse for both
         # orientations; the gate is ratio >= 1 - budget.
         ratio = (current / ref) if higher_is_better else (ref / current)
@@ -286,7 +401,7 @@ def main(argv=None) -> int:
         "--baseline", default=None,
         help="embed a previous run's generated/host/metrics as the"
         " 'baseline' key (with --smoke: the artifact to regress against,"
-        " default BENCH_4.json)",
+        " default BENCH_5.json)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -296,7 +411,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        return _run_smoke(parser, args.baseline or "BENCH_4.json")
+        return _run_smoke(parser, args.baseline or "BENCH_5.json")
 
     baseline = None
     if args.baseline:
@@ -310,13 +425,27 @@ def main(argv=None) -> int:
     # Warmup pass first: interpreter caches and CPU frequency boost settle,
     # otherwise the first metric measured is penalized.
     bench_kernel_events(n=50_000, reps=3)
+    # Measurement order matters on quota-throttled CI boxes: the historical
+    # five metrics run first, in their historical order, so their numbers
+    # stay comparable with earlier artifacts; the fleet metrics (new in
+    # BENCH_5) append after.
     metrics = {
-        "kernel_events_per_sec": round(bench_kernel_events(reps=10), 1),
-        "bus_roundtrips_per_sec": round(bench_bus_roundtrips(), 1),
-        "bus_mixed_msgs_per_sec": round(bench_bus_mixed(), 1),
-        "station_boot_seconds": round(bench_station_boot(), 6),
-        "station_snapshot_restore_seconds": round(bench_station_snapshot(), 6),
+        "kernel_events_per_sec": round(_collected(lambda: bench_kernel_events(reps=10)), 1),
+        "bus_roundtrips_per_sec": round(_collected(bench_bus_roundtrips), 1),
+        "bus_mixed_msgs_per_sec": round(_collected(bench_bus_mixed), 1),
+        "station_boot_seconds": round(_collected(bench_station_boot), 6),
+        "station_snapshot_restore_seconds": round(_collected(bench_station_snapshot), 6),
     }
+    fleet_stations, fleet_events = _collected(bench_fleet)
+    fleet_boot, fleet_setup = _collected(bench_fleet_setup)
+    metrics.update(
+        {
+            "fleet_stations_per_sec": round(fleet_stations, 1),
+            "fleet_events_per_sec": round(fleet_events, 1),
+            "fleet_station_boot_seconds": round(fleet_boot, 6),
+            "fleet_station_setup_seconds": round(fleet_setup, 6),
+        }
+    )
     payload = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "host": {

@@ -24,7 +24,12 @@ clock, iterates an unordered set into an RNG, or keys a schedule off
   session store, and strategy-enabled supervisor path stay pure functions
   of the seed — plus a bus fast-path leg running the same cell with
   ``REPRO_BUS_FULLPARSE=1`` (scan-based envelope decode vs. the full XML
-  parser must be observationally identical).
+  parser must be observationally identical);
+* one correlated-wave fleet cell run four ways — one shard, three shards,
+  three shards fanned over worker processes, and snapshot-off — comparing
+  the full JSON payloads (which embed every station's event-stream
+  digest), plus fleet campaign cache-key invariance across the
+  ``REPRO_FLEET_SHARDS``/``REPRO_FLEET_JOBS`` execution knobs.
 
 Exits 0 when all legs are bit-identical, 1 otherwise (with the first
 differing line for the trace legs).
@@ -250,6 +255,67 @@ def check_strategy(workdir: str) -> bool:
     return ok
 
 
+def check_fleet(workdir: str) -> bool:
+    """Fleet leg: shard count, process fan-out, and snapshot mode are all
+    invisible in the results — and in the campaign cache keys."""
+    from repro.experiments.fleet import FleetSpec, run_fleet_cell
+    from repro.experiments.runner import CampaignCell, cache_key
+    from repro.experiments.snapshot import clear_templates
+    from repro.experiments.template_store import STORE
+    from repro.mercury.config import PAPER_CONFIG
+
+    print("determinism: fleet (8 stations, waves, seed %d) ..." % CHAOS_SEED)
+    spec = FleetSpec(
+        tree="V",
+        size=8,
+        horizon_s=120.0,
+        seed=CHAOS_SEED,
+        wave_interval_s=60.0,
+        wave_drop=0.3,
+    )
+    runs = [
+        ("1 shard", dict(shards=1)),
+        ("3 shards", dict(shards=3)),
+        ("3 shards x 3 jobs", dict(shards=3, jobs=3)),
+        ("snapshot off", dict(shards=1, snapshot=False)),
+    ]
+    payloads = []
+    for label, kwargs in runs:
+        clear_templates()
+        STORE.clear()
+        result = run_fleet_cell(spec, **kwargs)
+        payloads.append((label, json.dumps(result.to_payload(), sort_keys=True)))
+    clear_templates()
+    STORE.clear()
+    ok = True
+    reference_label, reference = payloads[0]
+    for label, payload in payloads[1:]:
+        if payload != reference:
+            print(f"FAIL fleet: {label} differs from {reference_label}")
+            ok = False
+    if ok:
+        print("  fleet: payloads identical across shard counts, fan-out, and snapshot mode")
+
+    cell = CampaignCell(
+        kind="fleet", tree="V", seed=CHAOS_SEED, horizon_s=120.0,
+        fleet_size=8, wave_interval_s=60.0, wave_drop=0.3,
+    )
+    keys = []
+    for env in ({}, {"REPRO_FLEET_SHARDS": "4", "REPRO_FLEET_JOBS": "4"}):
+        os.environ.update(env)
+        try:
+            keys.append(cache_key(cell, PAPER_CONFIG))
+        finally:
+            for name in env:
+                os.environ.pop(name, None)
+    if keys[0] != keys[1]:
+        print("FAIL fleet: campaign cache keys vary with shard/job knobs")
+        ok = False
+    elif ok:
+        print("  fleet: campaign cache keys invariant to shard/job knobs")
+    return ok
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-determinism-") as workdir:
         ok = check_chaos(workdir)
@@ -257,6 +323,7 @@ def main() -> int:
         ok = check_availability(workdir) and ok
         ok = check_snapshot_fork(workdir) and ok
         ok = check_strategy(workdir) and ok
+        ok = check_fleet(workdir) and ok
     if ok:
         print("determinism: PASS")
         return 0
