@@ -5,8 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test lint verify chaos-smoke chaos-lossy-smoke strategy-smoke \
-	fleet-smoke check-determinism bench bench-smoke benchmarks \
-	table4-parallel
+	fleet-smoke workload-smoke check-determinism bench bench-smoke \
+	benchmarks table4-parallel chaos-full fleet-large workload-soak \
+	nightly
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -42,6 +43,15 @@ fleet-smoke:
 	REPRO_FLEET_JOBS=2 $(PYTHON) -m repro.cli fleet --size 8 --horizon 120 \
 		--wave-interval 0 --wave-interval 60 --shards 2 --seed 7
 
+# One fast user-traffic matrix: the classic baseline vs restart vs
+# microreboot under crashes on tree III, with live goodput / user-loss
+# accounting and invariant checking.  Tree III keeps the lone ses/str
+# cells, so full restart's resync cascade shows up in the loss column.
+workload-smoke:
+	$(PYTHON) -m repro.cli workload --strategy classic --strategy restart \
+		--strategy microreboot --kind crash --tree III --failures 2 \
+		--rate 8 --seed 7
+
 # Same-seed double runs of a chaos campaign and an availability run,
 # byte-comparing the JSONL traces and result payloads — plus the
 # snapshot-vs-fresh-boot leg (warmed-station forks must be bit-identical
@@ -50,22 +60,25 @@ check-determinism:
 	$(PYTHON) tools/check_determinism.py
 
 # The pre-merge gate: tier-1 tests, lint, and the smoke campaigns.
-verify: test lint chaos-smoke chaos-lossy-smoke strategy-smoke fleet-smoke
+verify: test lint chaos-smoke chaos-lossy-smoke strategy-smoke fleet-smoke \
+	workload-smoke
 
-# Perf session: time the simulator hot paths and write BENCH_5.json,
+# Perf session: time the simulator hot paths and write BENCH_6.json,
 # carrying the previous artifact's own results forward as the embedded
 # (depth-1) baseline so future PRs have a perf trajectory to compare
 # against.
 bench:
-	$(PYTHON) tools/bench.py --baseline BENCH_4.json --output BENCH_5.json
+	$(PYTHON) tools/bench.py --baseline BENCH_5.json --output BENCH_6.json
 
 # Fast regression gate: reduced-rep benchmarks vs the checked-in
-# BENCH_5.json under per-metric budgets (bus throughputs: 20%;
-# fleet_stations_per_sec: 25%; station_snapshot_restore_seconds: 35%;
-# fleet_station_setup_seconds: 50%).  Set REPRO_BENCH_SMOKE_SKIP=1 to
-# report without failing (slow machines).
+# BENCH_6.json under per-metric budgets (bus throughputs: 20%;
+# fleet_stations_per_sec / workload_requests_per_sec: 25%;
+# station_snapshot_restore_seconds: 35%; fleet_station_setup_seconds:
+# 50%).  REPRO_BENCH_SMOKE_SKIP=1 ignores *timing* regressions on slow
+# machines; bench errors and metrics missing from the baseline still
+# fail.
 bench-smoke:
-	$(PYTHON) tools/bench.py --smoke --baseline BENCH_5.json
+	$(PYTHON) tools/bench.py --smoke --baseline BENCH_6.json
 
 # Full paper-reproduction suite (slow).  REPRO_BENCH_TRIALS/JOBS/CACHE
 # control fidelity, fan-out, and result caching.
@@ -76,3 +89,28 @@ benchmarks:
 table4-parallel:
 	REPRO_BENCH_JOBS=0 REPRO_BENCH_CACHE=.repro-cache \
 		$(PYTHON) -m pytest benchmarks/test_table4_mttr_matrix.py --benchmark-only -s
+
+# ---------------------------------------------------------------------------
+# Nightly campaigns (scheduled CI; all deterministic, all fail on any
+# invariant violation).
+
+# The full chaos catalogue: every scenario x every tree (7 x 6 = 42
+# cells), two trials each, fanned over all CPUs.
+chaos-full:
+	$(PYTHON) -m repro.cli chaos --trials 2 --seed 7 --jobs 0
+
+# The 64-station correlated-wave fleet cell with live user traffic,
+# sharded: the scale point the smoke run only samples.
+fleet-large:
+	$(PYTHON) -m repro.cli fleet --size 64 --horizon 300 --wave-interval 0 \
+		--wave-interval 120 --shards 4 --request-rate 2 --seed 7
+
+# Workload soak: the full strategy baseline matrix under sustained user
+# traffic — classic vs restart vs microreboot, crashes and hangs, both
+# default trees, six faults per cell.
+workload-soak:
+	$(PYTHON) -m repro.cli workload --kind crash --kind hang --failures 6 \
+		--rate 40 --seed 7 --jobs 0
+
+# Everything the scheduled nightly workflow runs.
+nightly: chaos-full fleet-large workload-soak check-determinism

@@ -39,6 +39,7 @@ class BusClient:
         bus_address: str = "mbus:7000",
         reconnect_interval: SimTime = 0.25,
         auto_reconnect: bool = True,
+        retain_messages: bool = True,
     ) -> None:
         self.kernel = kernel
         self.network = network
@@ -46,6 +47,9 @@ class BusClient:
         self.bus_address = bus_address
         self.reconnect_interval = reconnect_interval
         self.auto_reconnect = auto_reconnect
+        #: Workload drivers push millions of replies through one client;
+        #: they opt out of the ``received`` archive and rely on handlers.
+        self.retain_messages = retain_messages
         self._endpoint: Optional["Endpoint"] = None
         self._handlers: List[Callable[[Message], None]] = []
         self._closed = False
@@ -143,7 +147,8 @@ class BusClient:
                 message = parse_message(raw)
             except XmlError:
                 return
-        self.received.append(message)
+        if self.retain_messages:
+            self.received.append(message)
         if self._handlers:
             for handler in list(self._handlers):
                 handler(message)

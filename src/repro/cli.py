@@ -196,6 +196,42 @@ def build_parser() -> argparse.ArgumentParser:
     _tree_argument(strategy, multiple=True)
     strategy.add_argument("--trials", type=int, default=3)
     strategy.add_argument(
+        "--user-effects", action="store_true",
+        help="also run a user-traffic workload cell per matrix cell and "
+        "join the goodput / user-visible-loss columns into the table",
+    )
+    strategy.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the full per-cell results as sorted JSON",
+    )
+
+    workload = subparsers.add_parser(
+        "workload",
+        help="user-traffic cells: goodput and user-visible loss per "
+        "strategy x failure kind x tree",
+        parents=[common],
+    )
+    workload.add_argument(
+        "--strategy", action="append",
+        choices=sorted(strategy_names()) + ["classic"],
+        default=None,
+        help="strategy name, or 'classic' for the restart-only baseline "
+        "(repeatable; default: classic restart microreboot)",
+    )
+    workload.add_argument(
+        "--kind", action="append", choices=sorted(FAILURE_KINDS), default=None,
+        help="injected failure kind (repeatable; default: crash)",
+    )
+    _tree_argument(workload, multiple=True)
+    workload.add_argument(
+        "--failures", type=int, default=3,
+        help="faults injected per cell (default: 3)",
+    )
+    workload.add_argument(
+        "--rate", type=float, default=None, metavar="SESSIONS_PER_S",
+        help="offered session arrival rate (default: 40)",
+    )
+    workload.add_argument(
         "--report", default=None, metavar="FILE",
         help="write the full per-cell results as sorted JSON",
     )
@@ -249,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="kernel shards per fleet (default: REPRO_FLEET_SHARDS or 1; "
         "results are bit-identical for any value)",
+    )
+    fleet.add_argument(
+        "--request-rate", type=float, default=0.0, metavar="SESSIONS_PER_S",
+        help="per-station user-session arrival rate; 0 disables the "
+        "workload plane (default: 0)",
     )
     fleet.add_argument(
         "--report", default=None, metavar="FILE",
@@ -562,6 +603,19 @@ def cmd_strategy_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
     )
+    effects_suite = None
+    if getattr(args, "user_effects", False):
+        from repro.experiments.workload import run_workload_suite
+
+        effects_suite = run_workload_suite(
+            strategies,
+            kinds,
+            labels,
+            failures=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
 
     for label in labels:
         rows: List[List[object]] = []
@@ -569,25 +623,34 @@ def cmd_strategy_compare(args: argparse.Namespace) -> int:
             for kind in kinds:
                 cell = suite[(strategy, kind, label)]
                 stats = cell.stats
-                rows.append(
-                    [
-                        strategy,
-                        kind,
-                        f"{stats.mean:.3f}",
-                        f"{stats.maximum:.3f}",
-                        cell.sessions_lost,
-                        cell.sessions_restored,
-                        cell.checkpoints_restored,
-                        cell.messages_replayed,
-                        len(cell.violations),
+                row: List[object] = [
+                    strategy,
+                    kind,
+                    f"{stats.mean:.3f}",
+                    f"{stats.maximum:.3f}",
+                    cell.sessions_lost,
+                    cell.sessions_restored,
+                    cell.checkpoints_restored,
+                    cell.messages_replayed,
+                    len(cell.violations),
+                ]
+                if effects_suite is not None:
+                    effects = effects_suite[(strategy, kind, label)].user_effects
+                    row += [
+                        f"{effects.goodput_rps:.1f}",
+                        effects.lost_requests,
+                        f"{100 * effects.session_loss_ratio:.2f}%",
                     ]
-                )
+                rows.append(row)
+        headers = [
+            "strategy", "kind", "mean MTTR (s)", "max (s)",
+            "ses lost", "restored", "ckpt", "replayed", "viol",
+        ]
+        if effects_suite is not None:
+            headers += ["goodput", "req lost", "user loss"]
         print(
             format_table(
-                [
-                    "strategy", "kind", "mean MTTR (s)", "max (s)",
-                    "ses lost", "restored", "ckpt", "replayed", "viol",
-                ],
+                headers,
                 rows,
                 title=(
                     f"Recovery strategies, tree {label}, "
@@ -620,6 +683,70 @@ def cmd_strategy_compare(args: argparse.Namespace) -> int:
 
         payload = {
             f"{strategy}/{kind}/{label}": suite[(strategy, kind, label)].to_payload()
+            for strategy in strategies
+            for kind in kinds
+            for label in labels
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"report -> {args.report}")
+    return 1 if violations else 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.experiments.workload import (
+        DEFAULT_SESSION_RATE,
+        DEFAULT_TREES,
+        format_workload_report,
+        run_workload_suite,
+    )
+
+    # "classic" is the restart-only baseline station (no session store),
+    # spelled "" inside the experiment layer.
+    raw = args.strategy or ["classic", "restart", "microreboot"]
+    strategies = ["" if name == "classic" else name for name in raw]
+    kinds = args.kind or ["crash"]
+    labels = args.tree or list(DEFAULT_TREES)
+    rate = args.rate if args.rate is not None else DEFAULT_SESSION_RATE
+    suite = run_workload_suite(
+        strategies,
+        kinds,
+        labels,
+        failures=args.failures,
+        seed=args.seed,
+        session_rate=rate,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    print(
+        f"User-traffic cells: {rate:g} sessions/s, "
+        f"{args.failures} fault(s)/cell\n"
+    )
+    print(format_workload_report(suite))
+
+    violations = [
+        (key, violation)
+        for key, cell in sorted(suite.items())
+        for violation in cell.violations
+    ]
+    if violations:
+        print(f"\nINVARIANT VIOLATIONS: {len(violations)}")
+        for (strategy, kind, label), violation in violations[:20]:
+            print(
+                f"  [{strategy or 'classic'}/{kind}/tree {label}] "
+                f"{violation['invariant']} @{violation['time']:.3f}s "
+                f"{violation['subject']}: {violation['detail']}"
+            )
+    else:
+        print("\ninvariants: all OK")
+
+    if args.report:
+        import json
+
+        payload = {
+            f"{strategy or 'classic'}/{kind}/{label}":
+                suite[(strategy, kind, label)].to_payload()
             for strategy in strategies
             for kind in kinds
             for label in labels
@@ -759,32 +886,49 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         wave_intervals=intervals,
         wave_drop=args.wave_drop,
+        request_rate=args.request_rate,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
     )
+    with_effects = args.request_rate > 0
     rows = []
     for size in sizes:
         for interval in intervals:
             result = suite[(size, interval)]
             regime = "independent" if interval == 0 else f"wave/{interval:g}s"
-            rows.append(
-                [
-                    size,
-                    regime,
-                    f"{result.availability:.5f}",
-                    f"{result.mean_mttr:.2f}" if result.mean_mttr else "—",
-                    result.outages,
-                    result.sessions_lost,
-                    result.ground.get("waves", 0),
-                    "yes" if result.ok else "NO",
-                ]
-            )
+            row = [
+                size,
+                regime,
+                f"{result.availability:.5f}",
+                f"{result.mean_mttr:.2f}" if result.mean_mttr else "—",
+                result.outages,
+                result.sessions_lost,
+                result.ground.get("waves", 0),
+                "yes" if result.ok else "NO",
+            ]
+            if with_effects:
+                from repro.workload.effects import UserEffects
+
+                payload = result.user_effects
+                if payload is None:
+                    row += ["—", "—", "—"]
+                else:
+                    effects = UserEffects.from_payload(payload)
+                    row += [
+                        f"{effects.goodput_rps:.1f}",
+                        effects.lost_requests,
+                        f"{100 * effects.session_loss_ratio:.2f}%",
+                    ]
+            rows.append(row)
+    headers = [
+        "stations", "failures", "availability", "MTTR (s)",
+        "outages", "sessions lost", "waves", "invariants",
+    ]
+    if with_effects:
+        headers += ["goodput", "req lost", "user loss"]
     print(
         format_table(
-            [
-                "stations", "failures", "availability", "MTTR (s)",
-                "outages", "sessions lost", "waves", "invariants",
-            ],
+            headers,
             rows,
             title=f"Fleet campaign, tree {args.tree or 'V'}, "
             f"{args.horizon:g}s horizon",
@@ -817,6 +961,7 @@ COMMANDS = {
     "passes": cmd_passes,
     "chaos": cmd_chaos,
     "strategy-compare": cmd_strategy_compare,
+    "workload": cmd_workload,
     "detection-ablation": cmd_detection_ablation,
     "fleet": cmd_fleet,
     "trace": cmd_trace,

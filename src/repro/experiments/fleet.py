@@ -52,6 +52,9 @@ from repro.sim.fleet import GROUND_ID, FleetKernel, FleetMessage, FleetShell
 from repro.sim.kernel import Kernel
 from repro.sim.rng import derive_seed
 from repro.types import Severity
+from repro.workload.effects import merge_effects_payloads
+from repro.workload.generator import WorkloadSpec
+from repro.workload.plane import WorkloadPlane
 
 
 # ----------------------------------------------------------------------
@@ -95,6 +98,11 @@ class FleetSpec:
     wave_drop: float = 0.0
     wave_degrade_s: float = 20.0
     oracle: str = "perfect"
+    #: Per-station user-traffic load (sessions/s); 0 runs no workload
+    #: plane.  The plane attaches after restore (like the sinks), so the
+    #: station shape — and therefore the shared boot template — is the
+    #: same with or without traffic.
+    request_rate: float = 0.0
 
 
 def resolve_wave_component(spec: FleetSpec, components: Sequence[str]) -> str:
@@ -278,6 +286,16 @@ class StationShell(FleetShell):
         station.kernel.trace.add_sink(self.digest)
         self.uptime = UptimeTracker(station.manager, station.station_components)
         self.sessions = SessionChainMonitor(station)
+        #: Optional user-traffic plane: per-station open-loop workload on
+        #: the station's own (rebased) RNG streams, so offered traffic is
+        #: a pure function of the station seed — shard layouts cannot
+        #: perturb it.
+        self.workload: Optional[WorkloadPlane] = None
+        if spec.request_rate > 0:
+            self.workload = WorkloadPlane(
+                station, WorkloadSpec(session_rate=spec.request_rate)
+            )
+            self.workload.start()
         self._events_at_start = station.kernel.events_executed
         station.injector.on_cure(self._on_cure)
         # Arrivals stop at the horizon; the drain epochs after it only
@@ -289,6 +307,10 @@ class StationShell(FleetShell):
     def _enter_drain(self) -> None:
         assert self.station.steady is not None
         self.station.steady.stop()
+        if self.workload is not None:
+            # New arrivals stand down with the failure arrivals; chains
+            # already in flight resolve during the drain epochs.
+            self.workload.stop()
         if self.station.network.faults is not None:
             self.station.network.faults.clear()
 
@@ -339,6 +361,9 @@ class StationShell(FleetShell):
     def finalize(self) -> None:
         self.uptime.finalize()
         self.sessions.finalize()
+        if self.workload is not None:
+            self.workload.stop()
+            self.workload.finalize()
         self.checker.finalize(self.kernel.now)
         if self.metrics.tracker is not None:
             self.metrics.tracker.flush()
@@ -361,6 +386,11 @@ class StationShell(FleetShell):
             "injected": self.metrics.count(ev.FAILURE_INJECTED),
             "directives": self.metrics.count(ev.FLEET_DIRECTIVE),
             "sessions_lost": self.sessions.sessions_lost,
+            "user_effects": (
+                self.workload.effects.to_payload()
+                if self.workload is not None
+                else None
+            ),
             "violations": self.checker.violation_payloads(),
             "events_executed": self.kernel.events_executed - self._events_at_start,
             "digest": self.digest.hexdigest(),
@@ -533,6 +563,18 @@ class FleetResult:
         return sum(s["outages"] for s in self.stations)
 
     @property
+    def user_effects(self) -> Optional[Dict[str, Any]]:
+        """Fleet-merged user-effects ledger (None without a workload)."""
+        ledgers = [
+            s["user_effects"]
+            for s in self.stations
+            if s.get("user_effects") is not None
+        ]
+        if not ledgers:
+            return None
+        return merge_effects_payloads(ledgers)
+
+    @property
     def events_executed(self) -> int:
         return sum(s["events_executed"] for s in self.stations) + self.ground.get(
             "events_executed", 0
@@ -650,6 +692,7 @@ def run_fleet_suite(
     seed: int = 0,
     wave_intervals: Sequence[float] = (0.0,),
     wave_drop: float = 0.0,
+    request_rate: float = 0.0,
     config: StationConfig = PAPER_CONFIG,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
@@ -670,6 +713,7 @@ def run_fleet_suite(
         seed=seed,
         wave_intervals=wave_intervals,
         wave_drop=wave_drop,
+        request_rate=request_rate,
         config=config,
         jobs=jobs,
         cache_dir=cache_dir,

@@ -70,7 +70,12 @@ from repro.sim.rng import derive_seed
 #: fan-out are deliberately *absent* from the spec: fleet results are
 #: bit-identical across both (``REPRO_FLEET_SHARDS``/``REPRO_FLEET_JOBS``
 #: are execution knobs), so they must never split the cache.
-CACHE_VERSION = 7
+#: v8: user-traffic plane — cells gained the ``request_rate`` spec field
+#: (new "workload" kind; fleet cells accept an offered load and their
+#: payloads gain a merged ``user_effects`` ledger).  The Mercury service
+#: endpoints answer new request verbs, so stations under traffic emit
+#: event streams that did not exist under v7.
+CACHE_VERSION = 8
 
 
 # ----------------------------------------------------------------------
@@ -132,6 +137,9 @@ class CampaignCell:
     wave_interval_s: float = 0.0
     #: Wave-coupled uplink drop probability ("fleet" cells).
     wave_drop: float = 0.0
+    #: Offered user-traffic load in sessions/s ("workload" cells; also
+    #: arms the per-station workload plane in "fleet" cells when > 0).
+    request_rate: float = 0.0
 
 
 def _resolve_tree(label: str, trees: Optional[Mapping[str, RestartTree]]) -> RestartTree:
@@ -215,6 +223,26 @@ def execute_cell(
             supervisor=cell.supervisor,
         )
         return strategy_result.to_payload()
+    if cell.kind == "workload":
+        from repro.experiments.workload import (
+            DEFAULT_SESSION_RATE,
+            run_workload_cell,
+        )
+        from repro.workload.generator import WorkloadSpec
+
+        workload = run_workload_cell(
+            tree,
+            strategy=cell.strategy,
+            failure_kind=cell.failure_kind or "crash",
+            failures=cell.trials,
+            seed=cell.seed,
+            config=config,
+            supervisor=cell.supervisor,
+            spec=WorkloadSpec(
+                session_rate=cell.request_rate or DEFAULT_SESSION_RATE
+            ),
+        )
+        return workload.to_payload()
     if cell.kind == "fleet":
         from repro.experiments.fleet import FleetSpec, fleet_shards, run_fleet_cell
 
@@ -227,6 +255,7 @@ def execute_cell(
                 wave_interval_s=cell.wave_interval_s,
                 wave_drop=cell.wave_drop,
                 oracle=cell.oracle,
+                request_rate=cell.request_rate,
             ),
             config=config,
             shards=fleet_shards(),
@@ -603,6 +632,7 @@ def run_fleet_campaign(
     seed: int = 0,
     wave_intervals: Sequence[float] = (0.0,),
     wave_drop: float = 0.0,
+    request_rate: float = 0.0,
     config: StationConfig = PAPER_CONFIG,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
@@ -628,6 +658,7 @@ def run_fleet_campaign(
             fleet_size=size,
             wave_interval_s=interval,
             wave_drop=wave_drop,
+            request_rate=request_rate,
         )
         for size, interval in pairs
     ]

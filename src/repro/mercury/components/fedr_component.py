@@ -46,6 +46,8 @@ class FedrBehavior(BusAttachedBehavior):
         self._last_frequency: Optional[str] = None
         self.translated = 0
         self.dropped_while_disconnected = 0
+        #: User-plane command uplinks acknowledged (workload endpoint).
+        self.svc_requests = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -115,7 +117,30 @@ class FedrBehavior(BusAttachedBehavior):
     # ------------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
-        if not isinstance(message, CommandMessage) or message.verb != "radio-set-freq":
+        if not isinstance(message, CommandMessage):
+            return
+        if message.verb == "command-uplink":
+            # User-plane service endpoint: an uplink is only acknowledged
+            # while the radio path is live — with pbcom down the request is
+            # dropped and the user's client times out, exactly the §4.2
+            # coupling (fedr up, radio gone) made user-visible.
+            if not self.pbcom_connected:
+                return
+            self.svc_requests += 1
+            self.send(
+                CommandMessage(
+                    sender=self.name,
+                    target=message.sender,
+                    verb="svc-reply",
+                    params={
+                        "req": message.params.get("req", ""),
+                        "svc": "uplink",
+                        "uplinked": str(self.svc_requests),
+                    },
+                )
+            )
+            return
+        if message.verb != "radio-set-freq":
             return
         frequency = message.params.get("frequency_hz")
         if frequency is None:

@@ -42,6 +42,8 @@ class FedrcomBehavior(BusAttachedBehavior):
         self.serial = serial
         self.radio = radio
         self.commands_applied = 0
+        #: User-plane command uplinks acknowledged (workload endpoint).
+        self.svc_requests = 0
 
     def on_start(self) -> None:
         # Serial acquisition and radio negotiation happen before the bus
@@ -57,7 +59,27 @@ class FedrcomBehavior(BusAttachedBehavior):
         self.radio.drop_negotiation(self.name)
 
     def on_message(self, message: Message) -> None:
-        if not isinstance(message, CommandMessage) or message.verb != "radio-set-freq":
+        if not isinstance(message, CommandMessage):
+            return
+        if message.verb == "command-uplink":
+            # User-plane service endpoint: the monolith owns the radio
+            # directly, so an uplink is acknowledged whenever fedrcom
+            # itself is healthy (no separate radio-path coupling).
+            self.svc_requests += 1
+            self.send(
+                CommandMessage(
+                    sender=self.name,
+                    target=message.sender,
+                    verb="svc-reply",
+                    params={
+                        "req": message.params.get("req", ""),
+                        "svc": "uplink",
+                        "uplinked": str(self.svc_requests),
+                    },
+                )
+            )
+            return
+        if message.verb != "radio-set-freq":
             return
         try:
             frequency = float(message.params["frequency_hz"])

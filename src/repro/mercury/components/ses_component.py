@@ -63,6 +63,8 @@ class SesBehavior(BusAttachedBehavior):
         self.tracker_name = tracker_name
         self.tuner_name = tuner_name
         self.solutions_sent = 0
+        #: User-plane telemetry queries answered (workload service endpoint).
+        self.svc_requests = 0
         self._loop_epoch = 0
         #: Whether this incarnation restored its sync session from the store
         #: (microreboot) instead of running the handshake.
@@ -94,6 +96,24 @@ class SesBehavior(BusAttachedBehavior):
             )
         elif message.verb == "sync-ack":
             _externalize_session(self, peer=message.sender)
+        elif message.verb == "telemetry-query":
+            # User-plane service endpoint: answer with the solution ledger.
+            # Replies only flow while this incarnation is healthy — the
+            # zombie/hang gates upstream drop the request, so a failed ses
+            # is user-visible as client timeouts, not wrong answers.
+            self.svc_requests += 1
+            self.send(
+                CommandMessage(
+                    sender=self.name,
+                    target=message.sender,
+                    verb="svc-reply",
+                    params={
+                        "req": message.params.get("req", ""),
+                        "svc": "telemetry",
+                        "solutions": str(self.solutions_sent),
+                    },
+                )
+            )
 
     def _solve(self, epoch: int) -> None:
         if not self._alive or epoch != self._loop_epoch:

@@ -43,6 +43,8 @@ class StrBehavior(BusAttachedBehavior):
         self.antenna = antenna
         self.estimator_name = estimator_name
         self.track_commands = 0
+        #: User-plane pass-scheduling requests answered (workload endpoint).
+        self.svc_requests = 0
         self._session_restored = False
 
     def on_start(self) -> None:
@@ -69,6 +71,23 @@ class StrBehavior(BusAttachedBehavior):
             return
         if message.verb == "sync-ack":
             _externalize_session(self, peer=message.sender)
+            return
+        if message.verb == "pass-schedule":
+            # User-plane service endpoint: book antenna time.  The reply
+            # carries the tracker's command ledger as its booking token.
+            self.svc_requests += 1
+            self.send(
+                CommandMessage(
+                    sender=self.name,
+                    target=message.sender,
+                    verb="svc-reply",
+                    params={
+                        "req": message.params.get("req", ""),
+                        "svc": "schedule",
+                        "tracked": str(self.track_commands),
+                    },
+                )
+            )
             return
         if message.verb == "track":
             try:

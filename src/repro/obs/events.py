@@ -659,3 +659,44 @@ FLEET_STATUS = REGISTRY.register(
         f"station {d['station']} reported {d['component']} recovered"
     ),
 )
+
+# ----------------------------------------------------------------------
+# declarations — user-traffic plane (end-user effects)
+# ----------------------------------------------------------------------
+
+WORKLOAD_REQUEST_RETRIED = REGISTRY.register(
+    "workload_request_retried", "workload",
+    "A user request timed out client-side and was re-sent.",
+    required=("req", "op", "attempt", "phase"),
+    narrative=lambda d: (
+        f"request {d['req']} ({d['op']}) retried "
+        f"(attempt {d['attempt']}, phase {d['phase']})"
+    ),
+)
+WORKLOAD_REQUEST_FAILED = REGISTRY.register(
+    "workload_request_failed", "workload",
+    "A user request exhausted its retries (user-visible error).",
+    required=("req", "op", "attempts", "phase"),
+    narrative=lambda d: (
+        f"request {d['req']} ({d['op']}) failed after "
+        f"{d['attempts']} attempts (phase {d['phase']})"
+    ),
+)
+WORKLOAD_SESSION_ABANDONED = REGISTRY.register(
+    "workload_session_abandoned", "workload",
+    "A user session chain died on a failed request (session loss).",
+    required=("session", "completed", "remaining"),
+    narrative=lambda d: (
+        f"session {d['session']} abandoned "
+        f"({d['completed']} done, {d['remaining']} never issued)"
+    ),
+)
+WORKLOAD_REPORT = REGISTRY.register(
+    "workload_report", "workload",
+    "End-of-run user-effects summary from the workload plane.",
+    required=("offered", "ok", "failed", "abandoned", "sessions_lost"),
+    narrative=lambda d: (
+        f"workload: {d['ok']}/{d['offered']} served, "
+        f"{d['failed']} failed, {d['sessions_lost']} sessions lost"
+    ),
+)

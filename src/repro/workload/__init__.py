@@ -1,0 +1,50 @@
+"""repro.workload — the deterministic user-traffic plane.
+
+The paper's §5.2 argues "not all downtime is the same": what a ground
+station's users lose during recovery is not seconds of downtime but
+*work* — telemetry queries that error out, pass-scheduling sessions that
+die mid-chain, command uplinks that never reach the radio.  This package
+extends that analysis from satellite passes to request traffic, the
+metric shift of "End-User Effects of Microreboots in Three-Tiered
+Internet Systems" (Candea & Fox): MTTR is a proxy; goodput, failed vs
+retried vs abandoned requests, and session-chain loss are the end-user
+truth.
+
+Three layers:
+
+* :mod:`repro.workload.generator` — open-loop Poisson/burst session
+  arrivals and per-session request plans, drawn from named kernel RNG
+  streams so the offered load is a pure function of the cell seed;
+* :mod:`repro.workload.effects` — the :class:`UserEffects` ledger
+  (goodput, failed/retried/abandoned, session loss, per-recovery-phase
+  attribution), mergeable across fleet stations;
+* :mod:`repro.workload.plane` — the :class:`WorkloadPlane` driver: a
+  standalone bus client issuing requests against the live Mercury
+  services with client-side timeout/retry semantics.
+
+Everything here is deterministic by construction: arrivals and session
+shapes come from ``workload.*`` RNG streams, timers ride the simulation
+kernel, and the plane attaches *after* the (snapshot-cached) boot — so a
+workload cell is bit-identical serial vs parallel and across
+snapshot/template-store boot modes, held by ``make check-determinism``.
+"""
+
+from repro.workload.effects import UserEffects, merge_effects_payloads
+from repro.workload.generator import (
+    OPS,
+    ArrivalProcess,
+    SessionPlanner,
+    WorkloadSpec,
+)
+from repro.workload.plane import SERVICE_VERBS, WorkloadPlane
+
+__all__ = [
+    "OPS",
+    "ArrivalProcess",
+    "SessionPlanner",
+    "SERVICE_VERBS",
+    "UserEffects",
+    "WorkloadPlane",
+    "WorkloadSpec",
+    "merge_effects_payloads",
+]

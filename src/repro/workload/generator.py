@@ -1,0 +1,121 @@
+"""Open-loop arrival and session-shape generation for the traffic plane.
+
+The workload is *open-loop*: users arrive on their own schedule and do
+not slow down because the station is struggling — exactly the regime
+where recovery time turns into user-visible loss (a closed-loop driver
+would politely wait out every restart and hide the damage).
+
+Two deterministic sources, each on its own named RNG stream:
+
+* :class:`ArrivalProcess` (``workload.arrivals``) — when sessions start:
+  Poisson (exponential gaps at ``session_rate``) or periodic bursts
+  (``burst_size`` sessions every ``burst_period_s``, the shift-change /
+  pass-rise shape where everyone queries at once);
+* :class:`SessionPlanner` (``workload.sessions``) — what each session
+  does: a chain of 1..2L-1 requests (mean ``session_length``) over the
+  three Mercury-facing services — telemetry queries (ses), pass
+  scheduling (str), command uplink (the radio proxy) — drawn from a
+  fixed service mix.
+
+Both consume *only* their own stream, so adding a draw to one can never
+perturb the other — the same isolation discipline as the rest of the
+simulator (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    import random
+
+#: The user-facing service operations, in mix order.
+OPS: Tuple[str, ...] = ("telemetry", "schedule", "uplink")
+
+#: Cumulative service mix: 60% telemetry queries, 30% pass scheduling,
+#: 10% command uplinks — queries dominate real ground-station traffic.
+_MIX_CUMULATIVE: Tuple[float, ...] = (0.6, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload's offered-load and client-behaviour contract.
+
+    Frozen so a spec can parameterize campaign cells and template shapes
+    without aliasing surprises; every field participates in cache keys
+    via ``dataclasses.asdict`` where cells embed it.
+    """
+
+    #: Mean session arrivals per simulated second (Poisson) or the rate
+    #: implied by ``burst_size / burst_period_s`` (burst).
+    session_rate: float = 20.0
+    #: ``"poisson"`` (exponential gaps) or ``"burst"`` (periodic spikes).
+    arrival: str = "poisson"
+    #: Burst mode: this many sessions arrive together every period.
+    burst_period_s: float = 5.0
+    burst_size: int = 100
+    #: Mean requests per session chain (lengths are 1..2L-1, uniform).
+    session_length: int = 3
+    #: Client-side timeout for one request attempt.
+    request_timeout_s: float = 2.0
+    #: Re-sends after the first timeout before the request is failed.
+    max_retries: int = 2
+    #: Each retry waits this much longer than the previous attempt
+    #: (linear backoff), mimicking a polite client library.
+    retry_backoff_s: float = 0.5
+
+
+class ArrivalProcess:
+    """Deterministic open-loop arrival schedule on one RNG stream.
+
+    :meth:`next` returns ``(gap_seconds, session_count)``: advance the
+    clock by ``gap``, then start ``count`` sessions.  Poisson mode yields
+    one session per exponential gap; burst mode yields ``burst_size``
+    sessions every ``burst_period_s`` (no RNG draw at all — bursts are a
+    worst-case schedule, not a random one).
+    """
+
+    def __init__(self, stream: "random.Random", spec: WorkloadSpec) -> None:
+        if spec.arrival not in ("poisson", "burst"):
+            raise ValueError(f"unknown arrival process: {spec.arrival!r}")
+        if spec.arrival == "poisson" and spec.session_rate <= 0.0:
+            raise ValueError("poisson arrivals need session_rate > 0")
+        self._stream = stream
+        self._spec = spec
+
+    def next(self) -> Tuple[float, int]:
+        """The next ``(gap_seconds, session_count)`` pair."""
+        spec = self._spec
+        if spec.arrival == "burst":
+            return spec.burst_period_s, spec.burst_size
+        return self._stream.expovariate(spec.session_rate), 1
+
+
+class SessionPlanner:
+    """Draws per-session request chains from the ``workload.sessions`` stream.
+
+    A plan is a tuple of service ops executed strictly in order — the
+    *chain* whose mid-flight death is the session-loss metric.  Length is
+    uniform on ``1..2*session_length-1`` (mean ``session_length``), ops
+    are i.i.d. from the fixed mix.
+    """
+
+    def __init__(self, stream: "random.Random", spec: WorkloadSpec) -> None:
+        if spec.session_length < 1:
+            raise ValueError("session_length must be >= 1")
+        self._stream = stream
+        self._span = 2 * spec.session_length - 1
+
+    def draw_op(self) -> str:
+        """One service op from the fixed mix."""
+        roll = self._stream.random()
+        for op, ceiling in zip(OPS, _MIX_CUMULATIVE):
+            if roll < ceiling:
+                return op
+        return OPS[-1]
+
+    def plan(self) -> Tuple[str, ...]:
+        """A full session chain (ordered ops)."""
+        length = 1 + self._stream.randrange(self._span)
+        return tuple(self.draw_op() for _ in range(length))

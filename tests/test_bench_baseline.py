@@ -30,6 +30,7 @@ def fast_bench(monkeypatch):
     monkeypatch.setattr(bench, "bench_station_snapshot", lambda **kw: 0.002)
     monkeypatch.setattr(bench, "bench_fleet", lambda **kw: (20.0, 200_000.0))
     monkeypatch.setattr(bench, "bench_fleet_setup", lambda **kw: (0.008, 0.002))
+    monkeypatch.setattr(bench, "bench_workload", lambda **kw: 5_000.0)
 
 
 def _run(args):
@@ -77,6 +78,7 @@ def test_metrics_cover_every_hot_path(fast_bench, tmp_path, capsys):
         "fleet_events_per_sec",
         "fleet_station_boot_seconds",
         "fleet_station_setup_seconds",
+        "workload_requests_per_sec",
     }
 
 
@@ -97,3 +99,35 @@ def test_smoke_gates_per_metric(fast_bench, tmp_path, capsys):
     finally:
         if monkey_env is not None:
             os.environ["REPRO_BENCH_SMOKE_SKIP"] = monkey_env
+
+
+def test_smoke_skip_ignores_timing_but_not_breakage(fast_bench, tmp_path, capsys, monkeypatch):
+    baseline_path = str(tmp_path / "BENCH.json")
+    _run(["--output", baseline_path])
+    monkeypatch.setenv("REPRO_BENCH_SMOKE_SKIP", "1")
+    # A pure timing regression is reported but ignored under the skip knob.
+    monkeypatch.setattr(bench, "bench_bus_mixed", lambda **kw: 50_000.0 * 0.5)
+    assert bench.main(["--smoke", "--baseline", baseline_path]) == 0
+    assert "REGRESSION ignored" in capsys.readouterr().out
+    # A *broken* benchmark still fails: the skip knob is for noisy clocks,
+    # not for masking errors.
+    def boom(**kw):
+        raise RuntimeError("bench exploded")
+    monkeypatch.setattr(bench, "bench_workload", boom)
+    assert bench.main(["--smoke", "--baseline", baseline_path]) == 1
+    out = capsys.readouterr().out
+    assert "ERROR" in out and "not skippable" in out
+
+
+def test_smoke_missing_baseline_metric_fails(fast_bench, tmp_path, capsys, monkeypatch):
+    baseline_path = str(tmp_path / "BENCH.json")
+    _run(["--output", baseline_path])
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    del payload["metrics"]["workload_requests_per_sec"]
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    monkeypatch.setenv("REPRO_BENCH_SMOKE_SKIP", "1")
+    assert bench.main(["--smoke", "--baseline", baseline_path]) == 1
+    out = capsys.readouterr().out
+    assert "MISSING from baseline" in out

@@ -237,3 +237,51 @@ def test_chaos_command_knows_new_scenarios(capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "invariants: all OK" in out
+
+
+def test_workload_command(tmp_path, capsys):
+    report = str(tmp_path / "workload.json")
+    code = main([
+        "workload", "--strategy", "classic", "--strategy", "microreboot",
+        "--kind", "crash", "--tree", "III", "--failures", "1",
+        "--rate", "6", "--seed", "7", "--report", report,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "User-traffic cells" in out
+    assert "(classic)" in out and "microreboot" in out
+    assert "loss %" in out
+    assert "invariants: all OK" in out
+    import json
+    with open(report, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert set(payload) == {"classic/crash/III", "microreboot/crash/III"}
+    effects = payload["microreboot/crash/III"]["effects"]
+    assert effects["requests_ok"] > 0
+
+
+def test_workload_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["workload", "--strategy", "nope"])
+
+
+def test_strategy_compare_user_effects_columns(capsys):
+    code = main([
+        "strategy-compare", "--strategy", "microreboot", "--kind", "crash",
+        "--tree", "III", "--trials", "1", "--seed", "7", "--user-effects",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    assert "user loss" in out
+
+
+def test_fleet_request_rate_columns(capsys):
+    code = main([
+        "fleet", "--size", "2", "--horizon", "60", "--wave-interval", "0",
+        "--seed", "7", "--request-rate", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    assert "user loss" in out

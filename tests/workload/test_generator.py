@@ -1,0 +1,88 @@
+"""Arrival/session generation: deterministic, isolated, right-shaped."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.workload.generator import (
+    OPS,
+    ArrivalProcess,
+    SessionPlanner,
+    WorkloadSpec,
+)
+
+
+def _stream(seed: int, name: str = "workload.arrivals"):
+    return Kernel(seed=seed).rngs.stream(name)
+
+
+def test_poisson_arrivals_deterministic():
+    spec = WorkloadSpec(session_rate=20.0)
+    a = ArrivalProcess(_stream(42), spec)
+    b = ArrivalProcess(_stream(42), spec)
+    assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+
+def test_poisson_arrivals_match_rate():
+    spec = WorkloadSpec(session_rate=20.0)
+    arrivals = ArrivalProcess(_stream(7), spec)
+    draws = [arrivals.next() for _ in range(4000)]
+    assert all(count == 1 for _, count in draws)
+    mean_gap = sum(gap for gap, _ in draws) / len(draws)
+    assert mean_gap == pytest.approx(1.0 / spec.session_rate, rel=0.1)
+
+
+def test_burst_arrivals_consume_no_rng():
+    spec = WorkloadSpec(arrival="burst", burst_period_s=5.0, burst_size=10)
+    stream = _stream(3)
+    arrivals = ArrivalProcess(stream, spec)
+    assert arrivals.next() == (5.0, 10)
+    assert arrivals.next() == (5.0, 10)
+    # The stream is untouched: it still produces a fresh stream's output.
+    assert stream.random() == _stream(3).random()
+
+
+def test_arrival_spec_validation():
+    with pytest.raises(ValueError):
+        ArrivalProcess(_stream(1), WorkloadSpec(arrival="lognormal"))
+    with pytest.raises(ValueError):
+        ArrivalProcess(_stream(1), WorkloadSpec(session_rate=0.0))
+    with pytest.raises(ValueError):
+        SessionPlanner(_stream(1), WorkloadSpec(session_length=0))
+
+
+def test_session_plans_deterministic():
+    spec = WorkloadSpec()
+    a = SessionPlanner(_stream(42, "workload.sessions"), spec)
+    b = SessionPlanner(_stream(42, "workload.sessions"), spec)
+    assert [a.plan() for _ in range(200)] == [b.plan() for _ in range(200)]
+
+
+def test_session_plan_shape():
+    spec = WorkloadSpec(session_length=3)
+    planner = SessionPlanner(_stream(9, "workload.sessions"), spec)
+    plans = [planner.plan() for _ in range(3000)]
+    lengths = [len(plan) for plan in plans]
+    assert min(lengths) >= 1
+    assert max(lengths) <= 2 * spec.session_length - 1
+    assert sum(lengths) / len(lengths) == pytest.approx(spec.session_length, rel=0.05)
+    ops = [op for plan in plans for op in plan]
+    assert set(ops) <= set(OPS)
+    # The 60/30/10 service mix, loosely.
+    share = ops.count("telemetry") / len(ops)
+    assert share == pytest.approx(0.6, abs=0.05)
+    share = ops.count("uplink") / len(ops)
+    assert share == pytest.approx(0.1, abs=0.03)
+
+
+def test_streams_are_isolated():
+    # Draining the arrivals stream must not change the session plans —
+    # the same isolation contract as the rest of the simulator.
+    spec = WorkloadSpec()
+    kernel_a, kernel_b = Kernel(seed=5), Kernel(seed=5)
+    ArrivalProcess(kernel_a.rngs.stream("workload.arrivals"), spec)
+    arrivals_b = ArrivalProcess(kernel_b.rngs.stream("workload.arrivals"), spec)
+    for _ in range(500):
+        arrivals_b.next()
+    plans_a = SessionPlanner(kernel_a.rngs.stream("workload.sessions"), spec)
+    plans_b = SessionPlanner(kernel_b.rngs.stream("workload.sessions"), spec)
+    assert [plans_a.plan() for _ in range(50)] == [plans_b.plan() for _ in range(50)]

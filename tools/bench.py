@@ -33,7 +33,13 @@ Metrics:
   full-supervisor fleet station booted fresh, versus the per-station cost
   through the shared template store (one blob unpickle amortised over a
   shard plus a deepcopy + rebase each).  Their ratio is the template-store
-  amortisation factor.
+  amortisation factor;
+* ``workload_requests_per_sec`` — user requests served per wall-clock
+  second by the traffic plane (``repro.workload``) against a healthy
+  tree-V station: open-loop arrivals, session chains, reply matching and
+  the timeout ladder all inside the timed region.  This is the headline
+  number for the user-effects layer — how much synthetic user traffic a
+  campaign cell can absorb per core-second.
 
 ``--baseline`` embeds the previous run's *own* results (its ``generated``
 / ``host`` / ``metrics`` keys only) so a single artifact records the
@@ -332,6 +338,34 @@ def bench_fleet_setup(stations: int = 16) -> "tuple[float, float]":
     return boot_seconds, setup_seconds
 
 
+def bench_workload(horizon: float = 60.0, reps: int = 3) -> float:
+    """User requests served per wall-clock second (healthy station).
+
+    Boots a tree-V station outside the timed region, then runs the whole
+    workload plane — Poisson arrivals, session chains, bus round trips,
+    reply matching, timeout bookkeeping — for ``horizon`` simulated
+    seconds.  On a healthy station every request is served, so the
+    metric is pure throughput with no loss-path noise.
+    """
+    from repro.mercury.station import MercuryStation
+    from repro.mercury.trees import tree_v
+    from repro.workload.generator import WorkloadSpec
+    from repro.workload.plane import WorkloadPlane
+
+    best = float("inf")
+    for rep in range(reps):
+        station = MercuryStation(tree=tree_v(), seed=5 + rep)
+        station.boot()
+        plane = WorkloadPlane(station, WorkloadSpec(session_rate=50.0))
+        start = time.perf_counter()
+        effects = plane.run(horizon)
+        elapsed = time.perf_counter() - start
+        assert effects.requests_failed == 0, "healthy station dropped requests"
+        assert effects.requests_ok > 0
+        best = min(best, elapsed / effects.requests_ok)
+    return 1.0 / best
+
+
 #: ``--smoke`` regression gates: metric name -> (reduced-rep measurement,
 #: higher-is-better, allowed fractional regression).  Throughputs get the
 #: historical 20% budget (fleet runs are longer-wall-clock and steadier,
@@ -347,6 +381,7 @@ def _smoke_checks():
         ("station_snapshot_restore_seconds", lambda: bench_station_snapshot(reps=3), False, 0.35),
         ("fleet_stations_per_sec", lambda: bench_fleet(size=8, horizon=120.0, reps=1)[0], True, 0.25),
         ("fleet_station_setup_seconds", lambda: bench_fleet_setup(stations=8)[1], False, 0.50),
+        ("workload_requests_per_sec", lambda: bench_workload(horizon=30.0, reps=1), True, 0.25),
     ]
 
 
@@ -360,14 +395,29 @@ def _run_smoke(parser, baseline_path: str) -> int:
         parser.error(f"cannot read smoke baseline {baseline_path!r}: {exc}")
 
     bench_bus_roundtrips(n=200, reps=1)  # warmup
-    failures = []
+    # Two failure classes: *timing* regressions bow to the
+    # REPRO_BENCH_SMOKE_SKIP escape hatch (slow or loaded machines lie
+    # about throughput), but a bench that errors out or a metric missing
+    # from the baseline artifact is a correctness problem and fails
+    # regardless — the skip knob must never mask a broken benchmark.
+    regressions = []
+    broken = []
     for name, measure, higher_is_better, budget in _smoke_checks():
         ref = reference.get(name)
         if ref is None:
-            print(f"bench-smoke: {name}: no baseline value, skipped")
+            print(
+                f"bench-smoke: {name}: MISSING from baseline {baseline_path}"
+                " (re-run `make bench` to record it)"
+            )
+            broken.append(name)
             continue
         ref = float(ref)
-        current = _collected(measure)
+        try:
+            current = _collected(measure)
+        except Exception as exc:  # noqa: BLE001 - report, fail, keep measuring
+            print(f"bench-smoke: {name}: ERROR {exc!r}")
+            broken.append(name)
+            continue
         # Normalised so 1.0 is parity and smaller is worse for both
         # orientations; the gate is ratio >= 1 - budget.
         ratio = (current / ref) if higher_is_better else (ref / current)
@@ -377,18 +427,24 @@ def _run_smoke(parser, baseline_path: str) -> int:
             f" ({ratio:.2f}x, budget {budget:.0%}): {verdict}"
         )
         if verdict == "FAIL":
-            failures.append(name)
-    if not failures:
+            regressions.append(name)
+    if broken:
+        print(
+            f"bench-smoke: FAIL — {', '.join(broken)} broken or missing"
+            " (not skippable)"
+        )
+        return 1
+    if not regressions:
         print(f"bench-smoke: OK (all metrics within budget, {baseline_path})")
         return 0
     if os.environ.get("REPRO_BENCH_SMOKE_SKIP", "") not in ("", "0"):
         print(
             "bench-smoke: REGRESSION ignored (REPRO_BENCH_SMOKE_SKIP set):"
-            f" {', '.join(failures)}"
+            f" {', '.join(regressions)}"
         )
         return 0
     print(
-        f"bench-smoke: FAIL — {', '.join(failures)} regressed past budget"
+        f"bench-smoke: FAIL — {', '.join(regressions)} regressed past budget"
         " (set REPRO_BENCH_SMOKE_SKIP=1 to ignore on slow machines)"
     )
     return 1
@@ -401,7 +457,7 @@ def main(argv=None) -> int:
         "--baseline", default=None,
         help="embed a previous run's generated/host/metrics as the"
         " 'baseline' key (with --smoke: the artifact to regress against,"
-        " default BENCH_5.json)",
+        " default BENCH_6.json)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -411,7 +467,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        return _run_smoke(parser, args.baseline or "BENCH_5.json")
+        return _run_smoke(parser, args.baseline or "BENCH_6.json")
 
     baseline = None
     if args.baseline:
@@ -444,6 +500,8 @@ def main(argv=None) -> int:
             "fleet_events_per_sec": round(fleet_events, 1),
             "fleet_station_boot_seconds": round(fleet_boot, 6),
             "fleet_station_setup_seconds": round(fleet_setup, 6),
+            # New in BENCH_6: the user-traffic plane's headline number.
+            "workload_requests_per_sec": round(_collected(bench_workload), 1),
         }
     )
     payload = {

@@ -25,10 +25,17 @@ clock, iterates an unordered set into an RNG, or keys a schedule off
   of the seed — plus a bus fast-path leg running the same cell with
   ``REPRO_BUS_FULLPARSE=1`` (scan-based envelope decode vs. the full XML
   parser must be observationally identical);
-* one correlated-wave fleet cell run four ways — one shard, three shards,
-  three shards fanned over worker processes, and snapshot-off — comparing
-  the full JSON payloads (which embed every station's event-stream
-  digest), plus fleet campaign cache-key invariance across the
+* one user-traffic workload cell (microreboot, crash, tree III) run four
+  ways — same seed twice, fresh boot vs. snapshot restore, and under
+  ``REPRO_BUS_FULLPARSE=1`` — byte-comparing the full result payloads
+  (user-effects ledger, MTTR samples, per-phase blame), plus the same
+  cell through the campaign runner serial vs. two worker processes and
+  cache-key invariance across boot modes;
+* one correlated-wave fleet cell with live user traffic run four ways —
+  one shard, three shards, three shards fanned over worker processes,
+  and snapshot-off — comparing the full JSON payloads (which embed every
+  station's event-stream digest and user-effects ledger), plus fleet
+  campaign cache-key invariance across the
   ``REPRO_FLEET_SHARDS``/``REPRO_FLEET_JOBS`` execution knobs.
 
 Exits 0 when all legs are bit-identical, 1 otherwise (with the first
@@ -255,6 +262,111 @@ def check_strategy(workdir: str) -> bool:
     return ok
 
 
+def check_workload(workdir: str) -> bool:
+    """Workload leg: user-traffic ledgers are pure functions of the seed.
+
+    One microreboot workload cell (crash, tree III) is run four ways —
+    twice with the same seed, once through a fresh boot instead of the
+    snapshot cache, and once under ``REPRO_BUS_FULLPARSE=1`` — and every
+    ledger byte must match: arrivals, retries, failures, latency sums and
+    per-phase blame all ride the cell seed, nothing else.  Then the same
+    cell goes through the campaign runner serial vs. two worker
+    processes, and the campaign cache key is pinned invariant to the
+    snapshot knob.
+    """
+    from repro.experiments.runner import CampaignCell, cache_key, campaign_seed
+    from repro.experiments.snapshot import clear_templates
+    from repro.experiments.workload import run_workload_cell, run_workload_suite
+    from repro.mercury.config import PAPER_CONFIG
+    from repro.workload.generator import WorkloadSpec
+
+    print("determinism: workload (microreboot, crash, tree III, seed %d) ..." % CHAOS_SEED)
+    spec = WorkloadSpec(session_rate=8.0)
+
+    def run(snapshot=None):
+        clear_templates()
+        result = run_workload_cell(
+            TREE_BUILDERS["III"](),
+            "microreboot",
+            "crash",
+            failures=2,
+            seed=CHAOS_SEED,
+            spec=spec,
+            snapshot=snapshot,
+        )
+        return json.dumps(result.to_payload(), sort_keys=True)
+
+    reference = run()
+    ok = True
+    if run() != reference:
+        print("FAIL workload: result payloads differ between same-seed runs")
+        ok = False
+    else:
+        print("  workload: result payloads identical")
+    if run(snapshot=False) != reference:
+        print("FAIL workload: fresh-boot cell differs from snapshot cell")
+        ok = False
+    elif ok:
+        print("  workload: snapshot restore == fresh boot")
+    os.environ["REPRO_BUS_FULLPARSE"] = "1"
+    try:
+        fullparse = run()
+    finally:
+        os.environ.pop("REPRO_BUS_FULLPARSE", None)
+    clear_templates()
+    if fullparse != reference:
+        print("FAIL workload: full-parse run differs from fast-path run")
+        ok = False
+    elif ok:
+        print("  workload: bus fast path == full parse")
+
+    suites = []
+    for jobs in (1, 2):
+        suite = run_workload_suite(
+            ["microreboot"],
+            ["crash"],
+            ["III"],
+            failures=2,
+            seed=CHAOS_SEED,
+            session_rate=8.0,
+            jobs=jobs,
+        )
+        suites.append(
+            json.dumps(
+                {key[2]: cell.to_payload() for key, cell in suite.items()},
+                sort_keys=True,
+            )
+        )
+    if suites[0] != suites[1]:
+        print("FAIL workload: serial campaign differs from 2-process campaign")
+        ok = False
+    elif ok:
+        print("  workload: campaign serial == parallel")
+
+    cell = CampaignCell(
+        kind="workload",
+        tree="III",
+        seed=campaign_seed(CHAOS_SEED, "workload", "microreboot", "crash", "III"),
+        trials=2,
+        strategy="microreboot",
+        failure_kind="crash",
+        request_rate=8.0,
+    )
+    keys = []
+    for flag in ("1", "0"):
+        os.environ["REPRO_STATION_SNAPSHOT"] = flag
+        try:
+            keys.append(cache_key(cell, PAPER_CONFIG))
+        finally:
+            os.environ.pop("REPRO_STATION_SNAPSHOT", None)
+    if keys[0] != keys[1]:
+        print("FAIL workload: campaign cache keys differ between boot modes")
+        ok = False
+    elif ok:
+        print("  workload: campaign cache keys invariant to boot mode")
+    return ok
+
+
 def check_fleet(workdir: str) -> bool:
     """Fleet leg: shard count, process fan-out, and snapshot mode are all
     invisible in the results — and in the campaign cache keys."""
@@ -264,7 +376,7 @@ def check_fleet(workdir: str) -> bool:
     from repro.experiments.template_store import STORE
     from repro.mercury.config import PAPER_CONFIG
 
-    print("determinism: fleet (8 stations, waves, seed %d) ..." % CHAOS_SEED)
+    print("determinism: fleet (8 stations, waves, user traffic, seed %d) ..." % CHAOS_SEED)
     spec = FleetSpec(
         tree="V",
         size=8,
@@ -272,6 +384,10 @@ def check_fleet(workdir: str) -> bool:
         seed=CHAOS_SEED,
         wave_interval_s=60.0,
         wave_drop=0.3,
+        # Live user traffic on every station: the workload plane's events
+        # feed the per-station digests, so shard-layout independence of
+        # the user-effects ledger is part of this leg's bit-identity.
+        request_rate=4.0,
     )
     runs = [
         ("1 shard", dict(shards=1)),
@@ -323,6 +439,7 @@ def main() -> int:
         ok = check_availability(workdir) and ok
         ok = check_snapshot_fork(workdir) and ok
         ok = check_strategy(workdir) and ok
+        ok = check_workload(workdir) and ok
         ok = check_fleet(workdir) and ok
     if ok:
         print("determinism: PASS")
