@@ -5,9 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test lint verify chaos-smoke chaos-lossy-smoke strategy-smoke \
-	fleet-smoke workload-smoke check-determinism bench bench-smoke \
-	benchmarks table4-parallel chaos-full fleet-large workload-soak \
-	nightly
+	fleet-smoke workload-smoke store-chaos-smoke check-determinism \
+	bench bench-smoke benchmarks table4-parallel chaos-full fleet-large \
+	workload-soak nightly
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -52,6 +52,16 @@ workload-smoke:
 		--strategy microreboot --kind crash --tree III --failures 2 \
 		--rate 8 --seed 7
 
+# The crash-only recovery plane end to end: session-store crash/hang
+# windows with torn/corrupt writes forcing strategy fallback
+# (store-outage), and supervisor kills mid-recovery exercising generation
+# fencing and oracle rebuild (rogue-oracle-crash) — both under the
+# no-recovery-deadlock-on-store-failure and stale-plan-fencing
+# invariants; nonzero exit on any violation.
+store-chaos-smoke:
+	$(PYTHON) -m repro.cli chaos --scenario store-outage \
+		--scenario rogue-oracle-crash --tree V --trials 1 --seed 7
+
 # Same-seed double runs of a chaos campaign and an availability run,
 # byte-comparing the JSONL traces and result payloads — plus the
 # snapshot-vs-fresh-boot leg (warmed-station forks must be bit-identical
@@ -61,7 +71,7 @@ check-determinism:
 
 # The pre-merge gate: tier-1 tests, lint, and the smoke campaigns.
 verify: test lint chaos-smoke chaos-lossy-smoke strategy-smoke fleet-smoke \
-	workload-smoke
+	workload-smoke store-chaos-smoke
 
 # Perf session: time the simulator hot paths and write BENCH_6.json,
 # carrying the previous artifact's own results forward as the embedded
@@ -94,7 +104,7 @@ table4-parallel:
 # Nightly campaigns (scheduled CI; all deterministic, all fail on any
 # invariant violation).
 
-# The full chaos catalogue: every scenario x every tree (7 x 6 = 42
+# The full chaos catalogue: every scenario x every tree (9 x 6 = 54
 # cells), two trials each, fanned over all CPUs.
 chaos-full:
 	$(PYTHON) -m repro.cli chaos --trials 2 --seed 7 --jobs 0

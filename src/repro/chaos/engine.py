@@ -29,7 +29,8 @@ from repro.mercury.station import MercuryStation, OracleSpec
 from repro.obs import events as ev
 from repro.obs.sinks import MetricsSink, PhaseSnapshot, Sink
 from repro.chaos.invariants import InvariantChecker
-from repro.chaos.scenarios import Injection, NetOp, Scenario, get_scenario
+from repro.chaos.scenarios import Injection, NetOp, Scenario, StoreOp, get_scenario
+from repro.faults.store_faults import StoreFaultModel
 
 
 @dataclass
@@ -58,6 +59,13 @@ class ChaosResult:
     #: Network-fabric accounting (zero for scenarios without net ops).
     net_dropped: int = 0
     net_duplicated: int = 0
+    #: Crash-only recovery-plane accounting (zero for scenarios without
+    #: store ops or supervisor kills).
+    store_outages: int = 0
+    store_fallbacks: int = 0
+    plans_fenced: int = 0
+    supervisor_restarts: int = 0
+    records_quarantined: int = 0
     violations: List[Dict[str, Any]] = field(default_factory=list)
     phases: PhaseSnapshot = field(default_factory=dict)
 
@@ -88,6 +96,11 @@ class ChaosResult:
             "retractions": self.retractions,
             "net_dropped": self.net_dropped,
             "net_duplicated": self.net_duplicated,
+            "store_outages": self.store_outages,
+            "store_fallbacks": self.store_fallbacks,
+            "plans_fenced": self.plans_fenced,
+            "supervisor_restarts": self.supervisor_restarts,
+            "records_quarantined": self.records_quarantined,
             "violations": list(self.violations),
             "phases": self.phases,
         }
@@ -109,6 +122,11 @@ class ChaosResult:
             retractions=payload.get("retractions", 0),
             net_dropped=payload.get("net_dropped", 0),
             net_duplicated=payload.get("net_duplicated", 0),
+            store_outages=payload.get("store_outages", 0),
+            store_fallbacks=payload.get("store_fallbacks", 0),
+            plans_fenced=payload.get("plans_fenced", 0),
+            supervisor_restarts=payload.get("supervisor_restarts", 0),
+            records_quarantined=payload.get("records_quarantined", 0),
             violations=list(payload["violations"]),
             phases=payload["phases"],
         )
@@ -160,6 +178,20 @@ def _apply_net(station: MercuryStation, op: NetOp) -> None:
         )
 
 
+def _apply_store(station: MercuryStation, op: StoreOp) -> None:
+    """Script one session-store outage window."""
+    store = station.session_store
+    model = store.faults if store is not None else None
+    if model is None:  # pragma: no cover - run_chaos attaches it up front
+        raise ExperimentError(
+            "scenario plans store ops but the station has no store fault model"
+        )
+    if op.kind == "hang":
+        model.hang(op.duration)
+    else:
+        model.crash(op.duration)
+
+
 def run_chaos(
     tree: RestartTree,
     scenario: Union[str, Scenario],
@@ -192,6 +224,10 @@ def run_chaos(
         scenario = get_scenario(scenario)
     if scenario.station_overrides:
         config = config.with_overrides(**dict(scenario.station_overrides))
+    if strategy is None and scenario.default_strategy is not None:
+        # Recipes exercising the crash-only recovery plane need a stateful
+        # strategy (and its session store) unless the caller picked one.
+        strategy = scenario.default_strategy
 
     def build(boot_seed: int) -> MercuryStation:
         return MercuryStation(
@@ -224,6 +260,17 @@ def run_chaos(
         shape_params["strategy"] = strategy
     shape = station_shape("chaos", tree, config, **shape_params)
     station = warmed_station(shape, build, MercuryStation.boot, seed, snapshot)
+    if scenario.uses_store:
+        # Attached post-boot (like sinks), so warmed-station templates and
+        # classic boot traces stay byte-identical.
+        if station.session_store is None:
+            raise ExperimentError(
+                f"scenario {scenario.name!r} injects store faults but the "
+                f"station has no session store (pick a recovery strategy)"
+            )
+        station.session_store.attach_faults(
+            StoreFaultModel(station.kernel, **dict(scenario.store_faults))
+        )
     checker = InvariantChecker(tree, max_restart_duration=max_restart_duration)
     metrics = MetricsSink()
     station.kernel.trace.add_sink(checker)
@@ -258,12 +305,14 @@ def run_chaos(
                 group.induced_delay = spec.induced_delay
 
         base = station.kernel.now
-        # One merged timeline: fabric operations and injections interleave
-        # in plan order (net ops first at equal instants, so a same-time
-        # crash already experiences the degraded link).
+        # One merged timeline: fabric and store operations interleave with
+        # injections in plan order (ops first at equal instants, so a
+        # same-time crash already experiences the degraded link / dead
+        # store).
         timeline = sorted(
             [(op.at, 0, op) for op in plan.net_ops]
-            + [(injection.at, 1, injection) for injection in plan.injections],
+            + [(op.at, 1, op) for op in plan.store_ops]
+            + [(injection.at, 2, injection) for injection in plan.injections],
             key=lambda item: (item[0], item[1]),
         )
         for at, _, item in timeline:
@@ -272,6 +321,8 @@ def run_chaos(
                 station.run_for(target - station.kernel.now)
             if isinstance(item, NetOp):
                 _apply_net(station, item)
+            elif isinstance(item, StoreOp):
+                _apply_store(station, item)
             elif _fire(station, item, components):
                 injected += 1
             else:
@@ -329,6 +380,11 @@ def run_chaos(
         retractions=metrics.count(ev.DETECTION_RETRACTED),
         net_dropped=faults.messages_dropped if faults is not None else 0,
         net_duplicated=faults.messages_duplicated if faults is not None else 0,
+        store_outages=metrics.count(ev.STORE_CRASHED),
+        store_fallbacks=metrics.count(ev.STRATEGY_FALLBACK),
+        plans_fenced=metrics.count(ev.PLAN_FENCED),
+        supervisor_restarts=metrics.count(ev.SUPERVISOR_RESTARTED),
+        records_quarantined=metrics.count(ev.STORE_RECORD_QUARANTINED),
         violations=checker.violation_payloads(),
         phases=metrics.phase_snapshot(),
     )

@@ -52,6 +52,19 @@ pin them):
     operator-escalated, and every component is back up (escalated ones
     exempt — they are the operator's problem by contract).
 
+``no-recovery-deadlock-on-store-failure``
+    A stateful recovery strategy (microreboot / checkpoint-replay) ordered
+    while the session store is inside an outage window must have announced
+    its fallback to plain restart (``strategy_fallback`` from the same
+    supervisor at the same instant) — recovery never proceeds statefully
+    against a dead store.
+
+``stale-plan-fencing``
+    Once a supervisor has been restarted (``supervisor_restarted``), its
+    dead incarnation's in-flight restart order is void: a
+    ``restart_complete`` or ``bisect_probe`` from that supervisor with no
+    live order means a pre-crash plan executed past the fence.
+
 The checker embeds an :class:`~repro.obs.spans.EpisodeTracker` for the
 span-level checks, so its episode list doubles as the chaos engine's MTTR
 sample source.
@@ -131,6 +144,12 @@ class InvariantChecker(Sink):
         self._declarations: Dict[str, int] = {}
         #: Per-component retraction counts, matched against declarations.
         self._retractions: Dict[str, int] = {}
+        #: Session-store outage window: down-since time (None = healthy).
+        self._store_down_since: Optional[SimTime] = None
+        #: supervisor source -> instant of its last announced fallback.
+        self._fallback_at: Dict[str, SimTime] = {}
+        #: supervisor source -> number of crash-only restarts observed.
+        self._fenced_sources: Dict[str, int] = {}
         self._finalized = False
         self._dispatch = {
             ev.PROCESS_FAILED: self._on_down,
@@ -143,6 +162,11 @@ class InvariantChecker(Sink):
             ev.RESTART_COMPLETE: self._on_restart_complete,
             ev.DETECTION: self._on_detection,
             ev.DETECTION_RETRACTED: self._on_retraction,
+            ev.STORE_CRASHED: self._on_store_crashed,
+            ev.STORE_RECOVERED: self._on_store_recovered,
+            ev.STRATEGY_FALLBACK: self._on_strategy_fallback,
+            ev.SUPERVISOR_RESTARTED: self._on_supervisor_restarted,
+            ev.BISECT_PROBE: self._on_bisect_probe,
         }
 
     # -- sink interface ---------------------------------------------------
@@ -225,10 +249,61 @@ class InvariantChecker(Sink):
                 f"{self._declarations.get(component, 0)} declaration(s) seen",
             )
 
+    def _on_store_crashed(
+        self, time: SimTime, source: str, data: Dict[str, Any]
+    ) -> None:
+        self._store_down_since = time
+
+    def _on_store_recovered(
+        self, time: SimTime, source: str, data: Dict[str, Any]
+    ) -> None:
+        self._store_down_since = None
+
+    def _on_strategy_fallback(
+        self, time: SimTime, source: str, data: Dict[str, Any]
+    ) -> None:
+        self._fallback_at[source] = time
+
+    def _on_supervisor_restarted(
+        self, time: SimTime, source: str, data: Dict[str, Any]
+    ) -> None:
+        # The dead incarnation's in-flight order is void: drop it so the
+        # fresh supervisor's re-order is not misread as a stuck restart,
+        # and arm the fence — any completion from this source without a
+        # live order from here on is a stale pre-crash plan executing.
+        self._open_restarts.pop(source, None)
+        self._fenced_sources[source] = self._fenced_sources.get(source, 0) + 1
+
+    def _on_bisect_probe(
+        self, time: SimTime, source: str, data: Dict[str, Any]
+    ) -> None:
+        if source in self._fenced_sources and source not in self._open_restarts:
+            self._flag(
+                "stale-plan-fencing",
+                time,
+                source,
+                f"bisect probe from {source} with no live restart order after "
+                f"its supervisor restart — a pre-crash plan is still running",
+            )
+
     def _on_restart_ordered(
         self, time: SimTime, source: str, data: Dict[str, Any]
     ) -> None:
         cell = data["cell"]
+        if (
+            self._store_down_since is not None
+            and data.get("strategy") in ("microreboot", "checkpoint-replay")
+            and self._fallback_at.get(source) != time
+        ):
+            self._flag(
+                "no-recovery-deadlock-on-store-failure",
+                time,
+                cell,
+                f"{source} ordered stateful strategy "
+                f"{data.get('strategy')!r} while the session store has been "
+                f"down since {self._store_down_since:.3f} without announcing "
+                f"a fallback to plain restart",
+            )
         components = frozenset(data.get("components", ()))
         trigger = data.get("trigger")
         oracle_cell = data.get("oracle_cell")
@@ -318,6 +393,15 @@ class InvariantChecker(Sink):
     ) -> None:
         open_restart = self._open_restarts.pop(source, None)
         if open_restart is None:
+            if source in self._fenced_sources:
+                self._flag(
+                    "stale-plan-fencing",
+                    time,
+                    source,
+                    f"restart_complete from {source} with no live order after "
+                    f"its supervisor restart — a pre-crash plan executed past "
+                    f"the fence",
+                )
             return
         duration = time - open_restart.ordered_at
         if duration > self.max_restart_duration:

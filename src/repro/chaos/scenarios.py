@@ -38,6 +38,16 @@ The catalogue covers the four adversarial shapes the chaos engine ships:
 ``zombie-fleet``
     Fail-slow failures only: two zombies (answer pings, drop work) and a
     hang, unmasked by end-to-end health probes rather than liveness pings.
+``store-outage``
+    The session store itself crashes and hangs around real component
+    faults (timed :class:`StoreOp` windows plus torn/corrupt write
+    probabilities): stateful strategies must detect the outage within
+    the timeout ladder and fall back to plain cold restarts.
+``rogue-oracle-crash``
+    REC — hosting the oracle — is shot moments after ordering recovery:
+    stale pre-crash plans must be fenced, FD's watchdog restarts REC
+    crash-only, and the fresh incarnation reconciles half-done episodes
+    and rebuilds the oracle's estimates from the store.
 
 Scenarios targeting components a given tree generation does not run (fd/rec
 under the abstract supervisor, fedrcom after the split) degrade gracefully:
@@ -100,6 +110,27 @@ class NetOp:
 
 
 @dataclass(frozen=True)
+class StoreOp:
+    """One timed session-store outage at plan-relative time ``at``.
+
+    ``kind`` is ``"crash"`` (the storelet dies: operations fail fast after
+    the retry ladder's backoff gaps) or ``"hang"`` (it stops answering:
+    every attempt burns its full per-op timeout too).  The window heals
+    itself after ``duration`` seconds.
+    """
+
+    at: float
+    kind: str = "crash"
+    duration: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang"):
+            raise ValueError(f"unknown store op kind {self.kind!r}")
+        if self.duration <= 0.0:
+            raise ValueError(f"store outages need a positive duration: {self!r}")
+
+
+@dataclass(frozen=True)
 class GroupSpec:
     """A shared-fate correlation group to arm for the scenario's duration."""
 
@@ -122,6 +153,8 @@ class ScenarioPlan:
     horizon: float = 60.0
     #: Timed network-fabric operations, interleaved with the injections.
     net_ops: Tuple[NetOp, ...] = ()
+    #: Timed session-store outages (crash/hang windows).
+    store_ops: Tuple[StoreOp, ...] = ()
 
 
 #: Builds a plan from a dedicated RNG and the station's component tuple.
@@ -139,6 +172,14 @@ class Scenario:
     ``uses_network`` declares that the recipe scripts the fault fabric, so
     the engine must build the station with a
     :class:`~repro.transport.network.NetworkFaultModel` attached.
+    ``uses_store`` declares that the recipe injects session-store faults:
+    the engine attaches a
+    :class:`~repro.faults.store_faults.StoreFaultModel` post-boot,
+    configured from ``store_faults`` (field/value pairs, kept as a tuple
+    of pairs so the recipe stays hashable).  ``default_strategy`` names a
+    recovery-strategy registry entry the engine uses when the caller did
+    not pick one — recipes that exercise the crash-only recovery plane
+    need a stateful strategy (and thus a store) to mean anything.
     """
 
     name: str
@@ -146,6 +187,9 @@ class Scenario:
     builder: PlanBuilder = field(compare=False)
     station_overrides: Tuple[Tuple[str, object], ...] = ()
     uses_network: bool = False
+    uses_store: bool = False
+    default_strategy: Optional[str] = None
+    store_faults: Tuple[Tuple[str, float], ...] = ()
 
     def build(self, rng: random.Random, components: Sequence[str]) -> ScenarioPlan:
         """Materialise the plan for one station (deterministic in ``rng``)."""
@@ -163,11 +207,21 @@ class Scenario:
                 f"scenario {self.name!r} plans net ops but does not declare "
                 f"uses_network=True"
             )
+        store_ops = tuple(sorted(plan.store_ops, key=lambda op: (op.at, op.kind)))
+        for op in store_ops:
+            if op.at < 0.0:
+                raise ValueError(f"store op before trial start: {op!r}")
+        if store_ops and not self.uses_store:
+            raise ValueError(
+                f"scenario {self.name!r} plans store ops but does not declare "
+                f"uses_store=True"
+            )
         return ScenarioPlan(
             injections=injections,
             groups=plan.groups,
             horizon=plan.horizon,
             net_ops=net_ops,
+            store_ops=store_ops,
         )
 
 
@@ -185,6 +239,7 @@ def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scen
         injections = []
         groups = []
         net_ops = []
+        store_ops = []
         seen_groups = set()
         offset = 0.0
         for scenario in scenarios:
@@ -201,6 +256,8 @@ def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scen
                 )
             for op in plan.net_ops:
                 net_ops.append(dataclasses.replace(op, at=offset + op.at))
+            for op in plan.store_ops:
+                store_ops.append(dataclasses.replace(op, at=offset + op.at))
             for group in plan.groups:
                 if group.members not in seen_groups:
                     seen_groups.add(group.members)
@@ -211,6 +268,7 @@ def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scen
             groups=tuple(groups),
             horizon=offset,
             net_ops=tuple(net_ops),
+            store_ops=tuple(store_ops),
         )
 
     # Overrides union with first occurrence winning (like groups) — children
@@ -222,6 +280,16 @@ def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scen
             if key not in seen_keys:
                 seen_keys.add(key)
                 overrides.append((key, value))
+    store_faults = []
+    seen_fault_keys = set()
+    default_strategy = None
+    for scenario in scenarios:
+        for key, value in scenario.store_faults:
+            if key not in seen_fault_keys:
+                seen_fault_keys.add(key)
+                store_faults.append((key, value))
+        if default_strategy is None and scenario.default_strategy is not None:
+            default_strategy = scenario.default_strategy
     description = " then ".join(s.name for s in scenarios)
     return Scenario(
         name=name,
@@ -229,6 +297,9 @@ def compose(name: str, scenarios: Sequence[Scenario], gap: float = 20.0) -> Scen
         builder=build,
         station_overrides=tuple(overrides),
         uses_network=any(s.uses_network for s in scenarios),
+        uses_store=any(s.uses_store for s in scenarios),
+        default_strategy=default_strategy,
+        store_faults=tuple(store_faults),
     )
 
 
@@ -382,6 +453,57 @@ def _build_zombie_fleet(rng: random.Random, components: Tuple[str, ...]) -> Scen
     )
 
 
+def _build_store_outage(rng: random.Random, components: Tuple[str, ...]) -> ScenarioPlan:
+    first = rng.uniform(5.0, 8.0)
+    # The store crashes just before the ses fault's recovery decision, so
+    # the stateful strategy's probe fails and it must fall back to a plain
+    # cold restart instead of deadlocking on the dead store.  A later hang
+    # window exercises the slower per-op-timeout path against the str
+    # fault, and the final rtu fault lands with the store healthy again —
+    # the stateful path must come back cleanly.  Torn/corrupt write
+    # probabilities run throughout, so checksum quarantine sees traffic.
+    crash_at = first - rng.uniform(1.0, 2.0)
+    second = first + rng.uniform(30.0, 35.0)
+    hang_at = second - rng.uniform(1.0, 2.0)
+    third = second + rng.uniform(30.0, 35.0)
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first, component="ses"),
+            Injection(at=second, component="str"),
+            Injection(at=third, component="rtu"),
+        ),
+        store_ops=(
+            StoreOp(at=crash_at, kind="crash", duration=rng.uniform(8.0, 12.0)),
+            StoreOp(at=hang_at, kind="hang", duration=rng.uniform(8.0, 12.0)),
+        ),
+        horizon=150.0,
+    )
+
+
+def _build_rogue_oracle_crash(
+    rng: random.Random, components: Tuple[str, ...]
+) -> ScenarioPlan:
+    first = rng.uniform(5.0, 8.0)
+    # REC (hosting the oracle) is shot moments after it ordered recovery
+    # for the rtu fault: its in-flight plan must be fenced, FD's watchdog
+    # must restart it, and the fresh incarnation has to reconcile the
+    # half-done episode and rebuild the oracle from the store.  The later
+    # ses and str faults check the rebuilt supervisor recovers normally —
+    # including a second REC kill while *that* recovery is pending.
+    return ScenarioPlan(
+        injections=(
+            Injection(at=first, component="rtu"),
+            Injection(at=first + rng.uniform(1.6, 2.4), component="rec", kind="flap"),
+            Injection(at=first + rng.uniform(25.0, 30.0), component="ses"),
+            Injection(
+                at=first + rng.uniform(26.0, 28.0), component="rec", kind="flap"
+            ),
+            Injection(at=first + rng.uniform(55.0, 60.0), component="str"),
+        ),
+        horizon=150.0,
+    )
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -433,6 +555,24 @@ SCENARIOS: Dict[str, Scenario] = {
                 ("timeout_policy", "adaptive"),
                 ("probe_period", 2.0),
             ),
+        ),
+        Scenario(
+            "store-outage",
+            "session-store crash/hang windows mid-recovery force strategy fallback",
+            _build_store_outage,
+            uses_store=True,
+            default_strategy="microreboot",
+            store_faults=(
+                ("torn_write_probability", 0.05),
+                ("corrupt_write_probability", 0.03),
+            ),
+        ),
+        Scenario(
+            "rogue-oracle-crash",
+            "REC/oracle shot mid-recovery: stale plans fenced, view rebuilt from store",
+            _build_rogue_oracle_crash,
+            uses_store=True,
+            default_strategy="microreboot",
         ),
     )
 }

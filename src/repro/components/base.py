@@ -19,6 +19,7 @@ import os
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.errors import ChannelClosedError, ConnectionRefusedError_, XmlError
+from repro.faults.store_faults import StoreError
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import (
@@ -197,7 +198,10 @@ class BusAttachedBehavior(Behavior):
         self._replay_pending = False
         store = self._session_store
         assert store is not None
-        entries = store.replay_log(self.name)
+        try:
+            entries = store.replay_log(self.name)
+        except StoreError:
+            entries = []  # store down: the replay window is empty (honest)
         self.trace(ev.REPLAY_WINDOW, component=self.name, messages=len(entries))
         self._replaying = True
         try:
@@ -227,8 +231,13 @@ class BusAttachedBehavior(Behavior):
             return
         if self._session_store is not None and not self._replaying:
             # Bus-client tap: log real work for checkpoint-replay recovery.
-            # Pings never reach the log — they carry no state.
-            self._session_store.log_message(self.name, raw)
+            # Pings never reach the log — they carry no state.  A store
+            # outage leaves a gap in the replay window (counted by the
+            # store's op-timeout ladder); real work is never blocked on it.
+            try:
+                self._session_store.log_message(self.name, raw)
+            except StoreError:
+                pass
         env = None if self._fullparse else scan_envelope(raw)
         if env is not None:
             # Vouched wire: the full parser is guaranteed to accept it, so

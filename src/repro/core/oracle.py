@@ -272,5 +272,32 @@ class LearningOracle(Oracle):
                 out[cell_id] = self._cures[component][cell_id] / attempts
         return out
 
+    # -- crash-only lifecycle (the oracle rides inside REC's process) ----
+
+    def export_state(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """JSON-safe snapshot of the learned estimates, for checkpointing."""
+        return {
+            "attempts": {c: dict(cells) for c, cells in self._attempts.items() if cells},
+            "cures": {c: dict(cells) for c, cells in self._cures.items() if cells},
+        }
+
+    def restore_state(self, snapshot: Dict) -> int:
+        """Rebuild the estimates from a checkpoint; returns entries loaded."""
+        self.crash()
+        entries = 0
+        for component, cells in snapshot.get("attempts", {}).items():
+            for cell_id, count in cells.items():
+                self._attempts[component][cell_id] = int(count)
+                entries += 1
+        for component, cells in snapshot.get("cures", {}).items():
+            for cell_id, count in cells.items():
+                self._cures[component][cell_id] = int(count)
+        return entries
+
+    def crash(self) -> None:
+        """Lose all in-memory estimates, as a process kill would."""
+        self._attempts.clear()
+        self._cures.clear()
+
     def describe(self) -> str:
         return f"learning(n>={self.min_samples}, conf={self.confidence})"

@@ -226,6 +226,41 @@ class RestartPolicy:
             self.oracle.notify_outcome(self.tree, component, episode.last_cell, cured=True)
         return True
 
+    def reconcile_after_supervisor_restart(self, now: SimTime, is_running) -> tuple:
+        """Crash-only reconciliation for a freshly restarted supervisor.
+
+        The policy object is station-owned and survives the supervisor
+        process, but episodes wedged in ``deciding``/``restarting`` refer
+        to in-flight work the dead incarnation will never finish: left
+        alone they eat every subsequent report as "restart in flight" — a
+        recovery deadlock.  Reconcile against observable reality instead
+        of trusting the pre-crash plan:
+
+        * component running → the restart evidently completed; move the
+          episode to ``observing`` so the normal expiry path closes it;
+        * component down → drop the episode entirely so the detector's
+          re-report opens a fresh one (the per-component restart budget
+          lives outside episodes and still bounds crash loops).
+
+        Returns ``(observing, dropped)`` component-name lists; the caller
+        re-arms observation expiry for both the reconciled episodes and
+        any that were already observing (whose timers died with the old
+        process in the general, non-reused-instance case).
+        """
+        observing: List[str] = []
+        dropped: List[str] = []
+        for component, episode in list(self._episodes.items()):
+            if episode.state not in ("deciding", "restarting"):
+                continue
+            if is_running(component):
+                episode.state = "observing"
+                episode.last_completed_at = now
+                observing.append(component)
+            else:
+                del self._episodes[component]
+                dropped.append(component)
+        return observing, dropped
+
     # ------------------------------------------------------------------
     # budget
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import Deque, FrozenSet, List, Optional, TYPE_CHECKING
 from collections import deque
 
 from repro.components.base import Behavior
+from repro.core.oracle import LearningOracle
 from repro.core.policy import RestartDecision, RestartPolicy
 from repro.core.procedures import ProcedureMap
 from repro.core.recovery_strategies import (
@@ -36,6 +37,7 @@ from repro.core.recovery_strategies import (
     observed_failure_kind,
 )
 from repro.errors import ChannelClosedError
+from repro.faults.store_faults import StoreError
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import (
@@ -91,7 +93,16 @@ class RecoveryModule(Behavior):
         #: (e.g. a component killed mid-startup by a concurrent fault); the
         #: watchdog re-kicks terminal members so the action cannot wedge.
         self.restart_timeout = restart_timeout
+        #: Monotonic across incarnations (deliberately NOT reset in
+        #: ``on_start``): a later action always has a later seq, so stale
+        #: per-action watchdogs die on the seq check alone.
         self._action_seq = 0
+        #: Incarnation counter (bumped every ``on_start``).  Scheduled
+        #: plan callbacks carry the generation that authored them; a
+        #: callback from a pre-crash incarnation is *fenced* — traced and
+        #: discarded — so a stale recovery plan can never execute after
+        #: its author was restarted.
+        self._generation = 0
         #: Per-cell recovery procedures (§7 recursive recovery); pushing a
         #: cell's button runs its procedure, restart being the default.
         self.procedures = procedures or ProcedureMap()
@@ -137,6 +148,7 @@ class RecoveryModule(Behavior):
 
     def on_start(self) -> None:
         self._alive = True
+        self._generation += 1
         self._pending_reports.clear()
         self._inflight_batch = None
         self._inflight_cell = None
@@ -150,7 +162,76 @@ class RecoveryModule(Behavior):
         self._fd_restart_inflight = False
         self._listener = self.network.listen(self.ctl_address, self._on_accept)
         self.trace(ev.REC_LISTENING, address=self.ctl_address)
+        if self.process.start_count > 1 and self.strategies is not None:
+            # Crash-only rebuild is part of the strategy-enabled recovery
+            # plane; the classic configuration keeps the original relearn-
+            # from-re-reports behavior (and its byte-identical trace).
+            self._rebuild_after_crash()
         self._schedule_fd_ping()
+
+    def _rebuild_after_crash(self) -> None:
+        """Crash-only rebuild for a restarted REC incarnation.
+
+        The fresh incarnation trusts nothing the dead one left mid-flight:
+        it reconciles the station-owned policy against observable process
+        state (episodes wedged ``restarting``/``deciding`` either advance
+        to ``observing`` or are dropped for the detector to re-report),
+        re-arms every observation-expiry timer (the old incarnation's
+        timers died with it), and rebuilds the learning oracle's view
+        from the session store's snapshot rather than from process memory.
+        """
+        observing, dropped = self.policy.reconcile_after_supervisor_restart(
+            self.kernel.now,
+            lambda name: (p := self.manager.maybe_get(name)) is not None
+            and p.is_running,
+        )
+        self.trace(
+            ev.SUPERVISOR_RESTARTED,
+            severity=Severity.WARNING,
+            supervisor=self.name,
+            generation=self._generation,
+            reconciled=len(observing),
+            dropped=len(dropped),
+        )
+        for episode in self.policy.open_episodes():
+            if episode.state == "observing":
+                self.kernel.call_after(
+                    self.observation_window, self._expire_observation,
+                    episode.component,
+                )
+        self._rebuild_oracle()
+
+    def _rebuild_oracle(self) -> None:
+        """Restore the learning oracle from the store (or start naive)."""
+        oracle = self.policy.oracle
+        if not isinstance(oracle, LearningOracle):
+            return
+        # The oracle rode inside REC's process: its memory is gone.
+        oracle.crash()
+        origin, entries = "naive", 0
+        if self.session_store is not None:
+            try:
+                snapshot = self.session_store.load_snapshot("oracle")
+            except StoreError:
+                snapshot = None  # store down too: restart from naive
+            if snapshot is not None:
+                entries = oracle.restore_state(snapshot)
+                origin = "store"
+        self.trace(ev.ORACLE_REBUILT, origin=origin, entries=entries)
+
+    def _persist_oracle(self) -> None:
+        """Checkpoint the oracle's estimates so a crash cannot lose them."""
+        if self.session_store is None:
+            return
+        oracle = self.policy.oracle
+        if not isinstance(oracle, LearningOracle):
+            return
+        try:
+            self.session_store.save_snapshot(
+                "oracle", self.kernel.now, oracle.export_state()
+            )
+        except StoreError:
+            pass  # outage: estimates learned since the last snapshot are at risk
 
     def on_kill(self) -> None:
         self._alive = False
@@ -255,6 +336,9 @@ class RecoveryModule(Behavior):
     def _decide_and_execute(self, component: str) -> None:
         decision = self.policy.report_failure(component, self.kernel.now)
         self.restart_log.append(decision)
+        # An escalating re-report just fed the oracle a cured=False
+        # outcome; checkpoint the estimates before acting on them.
+        self._persist_oracle()
         if decision.action == "ignore":
             self.trace(ev.DECISION_IGNORE, component=component, reason=decision.reason)
             return
@@ -320,6 +404,19 @@ class RecoveryModule(Behavior):
         )
         plan = chosen.plan(ctx)
         ctx.planned_at = self.kernel.now
+        if plan.fallback_from is not None:
+            # The store probe failed inside plan(): the stateful strategy
+            # degrades to a plain cold restart, announced before the order
+            # so the trace reads cause-then-effect.
+            self.trace(
+                ev.STRATEGY_FALLBACK,
+                severity=Severity.WARNING,
+                cell=cell_id,
+                strategy=plan.fallback_from,
+                fallback="restart",
+                reason="store-unavailable",
+                waited=round(plan.decision_delay, 9),
+            )
         self._inflight_cell = cell_id
         self._inflight_batch = plan.batch
         self._inflight_expecting = plan.gate
@@ -359,13 +456,58 @@ class RecoveryModule(Behavior):
         self.policy.restart_began(plan.batch, self.kernel.now)
         self._action_seq += 1
         self.kernel.call_after(
-            self.restart_timeout, self._check_restart_progress, self._action_seq
+            self.restart_timeout,
+            self._check_restart_progress,
+            self._generation,
+            self._action_seq,
         )
-        chosen.execute(ctx, plan)
+        if plan.decision_delay > 0.0:
+            # The ladder's timeout cost of discovering the outage delays
+            # the kill itself; suppression/budget are already in place, so
+            # the wait cannot race a ready event.
+            self.kernel.call_after(
+                plan.decision_delay,
+                self._execute_deferred,
+                self._generation,
+                self._action_seq,
+            )
+        else:
+            chosen.execute(ctx, plan)
 
-    def _check_restart_progress(self, action_seq: int) -> None:
+    def _execute_deferred(self, generation: int, action_seq: int) -> None:
+        """Run a plan whose decision was delayed by the store's ladder."""
+        if not self._alive or action_seq != self._action_seq:
+            return
+        if generation != self._generation:
+            self._fence(generation)
+            return
+        strategy = self._inflight_strategy
+        ctx = self._inflight_ctx
+        plan = self._inflight_plan
+        if strategy is None or ctx is None or plan is None:
+            return
+        strategy.execute(ctx, plan)
+
+    def _fence(self, stale_generation: int, cell: Optional[str] = None) -> None:
+        """Trace a pre-crash plan callback being discarded (the guard).
+
+        Silent in the classic configuration: there the stale callback
+        would have fallen through to the (reset) in-flight state and
+        returned without a trace, and that trace is golden-pinned.
+        """
+        if self.strategies is None:
+            return
+        data = {"generation": self._generation, "stale_generation": stale_generation}
+        if cell is not None:
+            data["cell"] = cell
+        self.trace(ev.PLAN_FENCED, severity=Severity.WARNING, **data)
+
+    def _check_restart_progress(self, generation: int, action_seq: int) -> None:
         """Watchdog: re-kick batch members that died during the restart."""
         if not self._alive or action_seq != self._action_seq:
+            return
+        if generation != self._generation:
+            self._fence(generation, cell=self._inflight_cell)
             return
         batch = self._inflight_batch
         if batch is None:
@@ -385,7 +527,7 @@ class RecoveryModule(Behavior):
             for name in stragglers:
                 self.manager.start(name, batch=expecting)
         self.kernel.call_after(
-            self.restart_timeout, self._check_restart_progress, action_seq
+            self.restart_timeout, self._check_restart_progress, generation, action_seq
         )
 
     def request_restart(self, cell_id: str, reason: str = "") -> bool:
@@ -428,13 +570,16 @@ class RecoveryModule(Behavior):
             ctx.gate_ready_at = self.kernel.now
         if plan is not None and plan.verify_delay > 0.0:
             self.kernel.call_after(
-                plan.verify_delay, self._verify_step, self._action_seq
+                plan.verify_delay, self._verify_step, self._generation, self._action_seq
             )
             return
-        self._verify_step(self._action_seq)
+        self._verify_step(self._generation, self._action_seq)
 
-    def _verify_step(self, action_seq: int) -> None:
+    def _verify_step(self, generation: int, action_seq: int) -> None:
         if not self._alive or action_seq != self._action_seq:
+            return
+        if generation != self._generation:
+            self._fence(generation, cell=self._inflight_cell)
             return
         if self._inflight_batch is None:
             return
@@ -461,7 +606,10 @@ class RecoveryModule(Behavior):
         )
         self._action_seq += 1
         self.kernel.call_after(
-            self.restart_timeout, self._check_restart_progress, self._action_seq
+            self.restart_timeout,
+            self._check_restart_progress,
+            self._generation,
+            self._action_seq,
         )
         strategy.execute(ctx, follow)
 
@@ -524,6 +672,7 @@ class RecoveryModule(Behavior):
             return
         if self.policy.observation_expired(component, self.kernel.now):
             self.trace(ev.EPISODE_CLOSED, component=component)
+            self._persist_oracle()
 
     # ------------------------------------------------------------------
     # FD watchdog (the REC half of §2.2's mutual special case)

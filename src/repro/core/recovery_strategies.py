@@ -104,6 +104,15 @@ class RecoveryPlan:
     #: Seconds to wait after the expected set is ready before ``verify``
     #: runs — long enough for an uncured failure to re-manifest.
     verify_delay: float = 0.0
+    #: Set when a store-dependent strategy degraded to this plain-restart
+    #: plan because the session store was unavailable; the supervisor
+    #: emits ``STRATEGY_FALLBACK`` and the extra session loss is counted
+    #: by the normal cold-restart accounting.
+    fallback_from: Optional[str] = None
+    #: Simulated seconds the planning probe burned on the store's
+    #: timeout/retry ladder; the supervisor delays execution by this much
+    #: so the degraded decision costs honest wall time.
+    decision_delay: float = 0.0
 
     @property
     def gate(self) -> FrozenSet[str]:
@@ -172,6 +181,32 @@ class StrategyContext:
             if process.state.is_terminal or process.degraded_mode is not None:
                 bad.add(name)
         return frozenset(bad)
+
+
+def _store_fallback(ctx: StrategyContext, strategy: str) -> Optional[RecoveryPlan]:
+    """Plain-restart fallback when the session store is unavailable.
+
+    Store-dependent strategies probe the store inside their ``plan`` —
+    the probe burns the per-op timeout + retry/backoff ladder — and
+    degrade to a full-batch cold restart rather than hanging on a dead
+    store or silently losing the sessions a microreboot would have
+    preserved.  The fallback is marked on the plan so supervisors trace
+    it and the invariant checker can hold the discipline.
+    """
+    store = ctx.session_store
+    if store is None:
+        return None
+    ok, waited = store.probe()
+    if ok:
+        return None
+    ctx.state["store_fallback"] = strategy
+    return RecoveryPlan(
+        batch=ctx.components,
+        label=f"{strategy}-fallback",
+        hint="cold",
+        fallback_from=strategy,
+        decision_delay=waited,
+    )
 
 
 class RecoveryStrategy(ABC):
@@ -247,6 +282,9 @@ class MicrorebootStrategy(RecoveryStrategy):
     VERIFY_DELAY = 0.25
 
     def plan(self, ctx: StrategyContext) -> RecoveryPlan:
+        fallback = _store_fallback(ctx, self.name)
+        if fallback is not None:
+            return fallback
         partial = set(ctx.unhealthy(ctx.components))
         if ctx.trigger in ctx.components:
             partial.add(ctx.trigger)
@@ -287,6 +325,9 @@ class CheckpointReplayStrategy(RecoveryStrategy):
     name = "checkpoint-replay"
 
     def plan(self, ctx: StrategyContext) -> RecoveryPlan:
+        fallback = _store_fallback(ctx, self.name)
+        if fallback is not None:
+            return fallback
         return RecoveryPlan(batch=ctx.components, label=self.name, hint=REPLAY_HINT)
 
     def execute(self, ctx: StrategyContext, plan: RecoveryPlan) -> None:

@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, FrozenSet, List, Optional, Sequence, TYPE_CHECKING
 
+from repro.core.oracle import LearningOracle
 from repro.core.policy import RestartDecision, RestartPolicy
 from repro.core.procedures import ProcedureMap
 from repro.core.recovery_strategies import (
@@ -45,6 +46,7 @@ from repro.core.recovery_strategies import (
     get_strategy,
     observed_failure_kind,
 )
+from repro.faults.store_faults import StoreError
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
 
@@ -105,7 +107,130 @@ class AbstractSupervisor:
         self._pending: Deque[str] = deque()
         self.detections = 0
         self.restart_log: List[RestartDecision] = []
+        #: Crash-only lifecycle: the supervisor itself is a restartable
+        #: node.  ``crash``/``hang`` take it down; a
+        #: :class:`SupervisorWatchdog` (or a test) calls :meth:`restart`.
+        self._alive = True
+        #: Incarnation counter; scheduled callbacks carry the generation
+        #: that authored them, and a stale generation is fenced so a
+        #: pre-crash recovery plan can never execute post-restart.
+        self._generation = 1
+        self._down_mode: Optional[str] = None
+        self.restart_count = 0
         manager.subscribe(self._on_lifecycle)
+
+    # ------------------------------------------------------------------
+    # crash-only lifecycle (the supervisor as a restartable node)
+    # ------------------------------------------------------------------
+
+    @property
+    def responsive(self) -> bool:
+        """Heartbeat view: does the supervisor still answer its watchdog?"""
+        return self._alive
+
+    def crash(self) -> None:
+        """The supervisor process dies: all in-flight plans are lost."""
+        self._alive = False
+        self._down_mode = "crash"
+
+    def hang(self) -> None:
+        """The supervisor wedges: alive to the OS, dead to the system."""
+        self._alive = False
+        self._down_mode = "hang"
+
+    def restart(self) -> None:
+        """Crash-only restart: rebuild the world view, trust nothing stale.
+
+        Mirrors the full REC's restarted-incarnation path: reconcile the
+        station-owned policy against observable process state, re-arm
+        observation expiries, rebuild the learning oracle from the store,
+        and rescan the monitored set for components that died while the
+        supervisor was down (their death events went unobserved).
+        """
+        self._alive = True
+        self._down_mode = None
+        self._generation += 1
+        self.restart_count += 1
+        self._inflight_batch = None
+        self._inflight_cell = None
+        self._inflight_ready = set()
+        self._inflight_expecting = frozenset()
+        self._inflight_strategy = None
+        self._inflight_ctx = None
+        self._inflight_plan = None
+        self._pending.clear()
+        now = self.kernel.now
+        observing, dropped = self.policy.reconcile_after_supervisor_restart(
+            now,
+            lambda name: (p := self.manager.maybe_get(name)) is not None
+            and p.is_running,
+        )
+        self.kernel.trace.emit(
+            "supervisor",
+            ev.SUPERVISOR_RESTARTED,
+            severity=Severity.WARNING,
+            supervisor="supervisor",
+            generation=self._generation,
+            reconciled=len(observing),
+            dropped=len(dropped),
+        )
+        for episode in self.policy.open_episodes():
+            if episode.state == "observing":
+                self.kernel.call_after(
+                    self.observation_window,
+                    self._expire_observation,
+                    self._generation,
+                    episode.component,
+                )
+        self._rebuild_oracle()
+        # Deaths during the outage were never observed: rescan and declare
+        # them with a fresh sampled detection latency.
+        for name in sorted(self.monitored):
+            process = self.manager.maybe_get(name)
+            if process is not None and not process.is_running:
+                delay = self._rng.uniform(0.0, self.ping_period) + self.reply_timeout
+                self.kernel.call_after(delay, self._declare, self._generation, name)
+
+    def _fence(self, stale_generation: int, cell: Optional[str] = None) -> None:
+        """Trace a pre-crash plan callback being discarded."""
+        data = {"generation": self._generation, "stale_generation": stale_generation}
+        if cell is not None:
+            data["cell"] = cell
+        self.kernel.trace.emit(
+            "supervisor", ev.PLAN_FENCED, severity=Severity.WARNING, **data
+        )
+
+    def _rebuild_oracle(self) -> None:
+        """Restore the learning oracle from the store (or start naive)."""
+        oracle = self.policy.oracle
+        if not isinstance(oracle, LearningOracle):
+            return
+        oracle.crash()  # its memory died with the supervisor process
+        origin, entries = "naive", 0
+        if self.session_store is not None:
+            try:
+                snapshot = self.session_store.load_snapshot("oracle")
+            except StoreError:
+                snapshot = None
+            if snapshot is not None:
+                entries = oracle.restore_state(snapshot)
+                origin = "store"
+        self.kernel.trace.emit(
+            "supervisor", ev.ORACLE_REBUILT, origin=origin, entries=entries
+        )
+
+    def _persist_oracle(self) -> None:
+        if self.session_store is None:
+            return
+        oracle = self.policy.oracle
+        if not isinstance(oracle, LearningOracle):
+            return
+        try:
+            self.session_store.save_snapshot(
+                "oracle", self.kernel.now, oracle.export_state()
+            )
+        except StoreError:
+            pass  # outage: estimates since the last snapshot are at risk
 
     # ------------------------------------------------------------------
     # proactive restarts (rejuvenation)
@@ -132,6 +257,8 @@ class AbstractSupervisor:
     # ------------------------------------------------------------------
 
     def _on_lifecycle(self, process: "SimProcess", event: str) -> None:
+        if not self._alive:
+            return  # a dead supervisor observes nothing
         name = process.name
         if event.startswith("down:"):
             if name not in self.monitored:
@@ -142,7 +269,7 @@ class AbstractSupervisor:
                 # The member completed its restart and then failed anew
                 # (fresh fault or re-manifestation); detect it normally.
             delay = self._rng.uniform(0.0, self.ping_period) + self.reply_timeout
-            self.kernel.call_after(delay, self._declare, name)
+            self.kernel.call_after(delay, self._declare, self._generation, name)
             return
         if event == "ready" and self._inflight_batch is not None:
             if name in self._inflight_expecting:
@@ -150,7 +277,11 @@ class AbstractSupervisor:
                 if self._inflight_ready >= self._inflight_expecting:
                     self._step_completed()
 
-    def _declare(self, component: str) -> None:
+    def _declare(self, generation: int, component: str) -> None:
+        if not self._alive or generation != self._generation:
+            # A dead incarnation's pending detection; the restart rescan
+            # re-declares anything genuinely still down.
+            return
         process = self.manager.get(component)
         if process.is_running:
             return  # came back before we would have noticed
@@ -174,6 +305,7 @@ class AbstractSupervisor:
     def _decide(self, component: str) -> None:
         decision = self.policy.report_failure(component, self.kernel.now)
         self.restart_log.append(decision)
+        self._persist_oracle()
         if decision.action == "ignore":
             return
         if decision.action == "give_up":
@@ -233,6 +365,19 @@ class AbstractSupervisor:
         )
         plan = chosen.plan(ctx)
         ctx.planned_at = self.kernel.now
+        if plan.fallback_from is not None:
+            # Store probe failed inside plan(): degrade to a cold restart,
+            # announced before the order (cause-then-effect in the trace).
+            self.kernel.trace.emit(
+                "supervisor",
+                ev.STRATEGY_FALLBACK,
+                severity=Severity.WARNING,
+                cell=cell_id,
+                strategy=plan.fallback_from,
+                fallback="restart",
+                reason="store-unavailable",
+                waited=round(plan.decision_delay, 9),
+            )
         self._inflight_cell = cell_id
         self._inflight_batch = plan.batch
         self._inflight_expecting = plan.gate
@@ -264,13 +409,44 @@ class AbstractSupervisor:
         self.policy.restart_began(plan.batch, self.kernel.now)
         self._action_seq += 1
         self.kernel.call_after(
-            self.restart_timeout, self._check_restart_progress, self._action_seq
+            self.restart_timeout,
+            self._check_restart_progress,
+            self._generation,
+            self._action_seq,
         )
-        chosen.execute(ctx, plan)
+        if plan.decision_delay > 0.0:
+            # The ladder's cost of discovering the outage delays the kill.
+            self.kernel.call_after(
+                plan.decision_delay,
+                self._execute_deferred,
+                self._generation,
+                self._action_seq,
+            )
+        else:
+            chosen.execute(ctx, plan)
 
-    def _check_restart_progress(self, action_seq: int) -> None:
+    def _execute_deferred(self, generation: int, action_seq: int) -> None:
+        """Run a plan whose decision was delayed by the store's ladder."""
+        if not self._alive or action_seq != self._action_seq:
+            return
+        if generation != self._generation:
+            self._fence(generation)
+            return
+        strategy = self._inflight_strategy
+        ctx = self._inflight_ctx
+        plan = self._inflight_plan
+        if strategy is None or ctx is None or plan is None:
+            return
+        strategy.execute(ctx, plan)
+
+    def _check_restart_progress(self, generation: int, action_seq: int) -> None:
         """Watchdog: re-kick batch members that died during the restart."""
-        if action_seq != self._action_seq or self._inflight_batch is None:
+        if not self._alive or action_seq != self._action_seq:
+            return
+        if generation != self._generation:
+            self._fence(generation, cell=self._inflight_cell)
+            return
+        if self._inflight_batch is None:
             return
         expecting = self._inflight_expecting
         stragglers = [
@@ -285,7 +461,7 @@ class AbstractSupervisor:
                 "supervisor", ev.RESTART_REKICK, components=tuple(stragglers)
             )
         self.kernel.call_after(
-            self.restart_timeout, self._check_restart_progress, action_seq
+            self.restart_timeout, self._check_restart_progress, generation, action_seq
         )
 
     def _step_completed(self) -> None:
@@ -296,13 +472,18 @@ class AbstractSupervisor:
             ctx.gate_ready_at = self.kernel.now
         if plan is not None and plan.verify_delay > 0.0:
             self.kernel.call_after(
-                plan.verify_delay, self._verify_step, self._action_seq
+                plan.verify_delay, self._verify_step, self._generation, self._action_seq
             )
             return
-        self._verify_step(self._action_seq)
+        self._verify_step(self._generation, self._action_seq)
 
-    def _verify_step(self, action_seq: int) -> None:
-        if action_seq != self._action_seq or self._inflight_batch is None:
+    def _verify_step(self, generation: int, action_seq: int) -> None:
+        if not self._alive or action_seq != self._action_seq:
+            return
+        if generation != self._generation:
+            self._fence(generation, cell=self._inflight_cell)
+            return
+        if self._inflight_batch is None:
             return
         strategy = self._inflight_strategy
         ctx = self._inflight_ctx
@@ -326,7 +507,10 @@ class AbstractSupervisor:
         )
         self._action_seq += 1
         self.kernel.call_after(
-            self.restart_timeout, self._check_restart_progress, self._action_seq
+            self.restart_timeout,
+            self._check_restart_progress,
+            self._generation,
+            self._action_seq,
         )
         strategy.execute(ctx, follow)
 
@@ -362,7 +546,10 @@ class AbstractSupervisor:
         )
         for component in sorted(batch):
             self.kernel.call_after(
-                self.observation_window, self._expire_observation, component
+                self.observation_window,
+                self._expire_observation,
+                self._generation,
+                component,
             )
         pending, self._pending = list(self._pending), deque()
         for component in pending:
@@ -374,5 +561,53 @@ class AbstractSupervisor:
             else:
                 self._pending.append(component)
 
-    def _expire_observation(self, component: str) -> None:
-        self.policy.observation_expired(component, self.kernel.now)
+    def _expire_observation(self, generation: int, component: str) -> None:
+        if not self._alive or generation != self._generation:
+            return  # died with its incarnation; restart() re-armed fresh ones
+        if self.policy.observation_expired(component, self.kernel.now):
+            self._persist_oracle()
+
+
+class SupervisorWatchdog:
+    """The lightweight tier above the supervisor (recursive restartability).
+
+    A plain heartbeat: every ``period`` it checks the supervisor's
+    ``responsive`` flag; after ``grace`` seconds of silence it restarts
+    the supervisor crash-only via :meth:`AbstractSupervisor.restart`.
+    Deliberately trivial — the paper's recursion has to bottom out in
+    something simple enough to trust (the hardware watchdog analogue).
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        supervisor: AbstractSupervisor,
+        period: SimTime = 1.0,
+        grace: SimTime = 2.0,
+    ) -> None:
+        if period <= 0.0:
+            raise ValueError(f"period must be positive: {period!r}")
+        self.kernel = kernel
+        self.supervisor = supervisor
+        self.period = period
+        self.grace = grace
+        self.restarts = 0
+        self._misses = 0
+        self._armed = True
+        kernel.call_after(period, self._tick)
+
+    def stop(self) -> None:
+        self._armed = False
+
+    def _tick(self) -> None:
+        if not self._armed:
+            return
+        if self.supervisor.responsive:
+            self._misses = 0
+        else:
+            self._misses += 1
+            if self._misses * self.period >= self.grace:
+                self._misses = 0
+                self.restarts += 1
+                self.supervisor.restart()
+        self.kernel.call_after(self.period, self._tick)

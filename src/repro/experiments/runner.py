@@ -75,7 +75,14 @@ from repro.sim.rng import derive_seed
 #: payloads gain a merged ``user_effects`` ledger).  The Mercury service
 #: endpoints answer new request verbs, so stations under traffic emit
 #: event streams that did not exist under v7.
-CACHE_VERSION = 8
+#: v9: crash-only recovery plane — the session store gained a fault model
+#: (crash/hang windows, torn/corrupt writes) and checksummed records, the
+#: oracle/supervisors became restartable nodes with generation fencing,
+#: and scenarios gained ``store_ops``/``store_faults``/``default_strategy``
+#: (new "store-outage" and "rogue-oracle-crash" recipes).  Strategy-enabled
+#: stations emit new store/supervisor event kinds, so their streams differ
+#: from v8 even when no fault fires.
+CACHE_VERSION = 9
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ChannelClosedError, ConnectionRefusedError_
+from repro.faults.store_faults import StoreError
 from repro.obs import events as ev
 from repro.types import Severity, SimTime
 from repro.xmlcmd.commands import CommandMessage, Message
@@ -56,16 +57,27 @@ class FedrBehavior(BusAttachedBehavior):
     def on_start(self) -> None:
         store = self._session_store
         if store is not None:
-            if self.process.last_hint == "replay" and store.has_checkpoint(self.name):
-                payload = store.load_checkpoint(self.name) or {}
-                self._last_frequency = payload.get("frequency") or None
-                age = store.checkpoint_age(self.name, self.kernel.now)
-                store.checkpoints_restored += 1
-                self.trace(
-                    ev.CHECKPOINT_RESTORED,
-                    component=self.name,
-                    age=round(age or 0.0, 9),
+            try:
+                restorable = (
+                    self.process.last_hint == "replay"
+                    and store.has_checkpoint(self.name)
                 )
+            except StoreError:
+                restorable = False  # store down: degrade to the cold path
+            if restorable:
+                try:
+                    payload = store.load_checkpoint(self.name) or {}
+                    age = store.checkpoint_age(self.name, self.kernel.now)
+                except StoreError:
+                    store.drop_all(self.name)
+                else:
+                    self._last_frequency = payload.get("frequency") or None
+                    store.checkpoints_restored += 1
+                    self.trace(
+                        ev.CHECKPOINT_RESTORED,
+                        component=self.name,
+                        age=round(age or 0.0, 9),
+                    )
             else:
                 store.drop_all(self.name)
         super().on_start()
@@ -165,9 +177,12 @@ class FedrBehavior(BusAttachedBehavior):
         if self._session_store is not None:
             # Checkpoint the tuned frequency so a replay restart resumes
             # from it instead of redoing the whole cold tune-up.
-            first = not self._session_store.has_checkpoint(self.name)
-            self._session_store.save_checkpoint(
-                self.name, self.kernel.now, {"frequency": frequency}
-            )
+            try:
+                first = not self._session_store.has_checkpoint(self.name)
+                self._session_store.save_checkpoint(
+                    self.name, self.kernel.now, {"frequency": frequency}
+                )
+            except StoreError:
+                return  # store down: this tune-up goes un-checkpointed
             if first:
                 self.trace(ev.CHECKPOINT_TAKEN, component=self.name)

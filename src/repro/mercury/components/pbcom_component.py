@@ -23,6 +23,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.components.base import BusAttachedBehavior
 from repro.errors import ComponentError
+from repro.faults.store_faults import StoreError
 from repro.obs import events as ev
 from repro.types import Severity
 
@@ -65,25 +66,37 @@ class PbcomBehavior(BusAttachedBehavior):
         store = self._session_store
         restored = False
         if store is not None:
-            if self.process.last_hint == "replay" and store.has_checkpoint(self.name):
-                age = store.checkpoint_age(self.name, self.kernel.now)
-                store.checkpoints_restored += 1
-                self.trace(
-                    ev.CHECKPOINT_RESTORED,
-                    component=self.name,
-                    age=round(age or 0.0, 9),
-                )
-                restored = True
-            else:
-                store.drop_all(self.name)
+            try:
+                if (
+                    self.process.last_hint == "replay"
+                    and store.has_checkpoint(self.name)
+                ):
+                    age = store.checkpoint_age(self.name, self.kernel.now)
+                    store.checkpoints_restored += 1
+                    self.trace(
+                        ev.CHECKPOINT_RESTORED,
+                        component=self.name,
+                        age=round(age or 0.0, 9),
+                    )
+                    restored = True
+                else:
+                    store.drop_all(self.name)
+            except StoreError:
+                store.drop_all(self.name)  # store down: cold negotiation
         self.serial.acquire(self.name)
         self.radio.negotiate(self.name)
         if store is not None and not restored:
             # Checkpoint the freshly negotiated serial/radio parameters; a
             # replay restart then pays only the replay fraction of the
             # 21-second negotiation (§4.2).
-            store.save_checkpoint(self.name, self.kernel.now, {"negotiated": True})
-            self.trace(ev.CHECKPOINT_TAKEN, component=self.name)
+            try:
+                store.save_checkpoint(
+                    self.name, self.kernel.now, {"negotiated": True}
+                )
+            except StoreError:
+                pass  # store down: this negotiation goes un-checkpointed
+            else:
+                self.trace(ev.CHECKPOINT_TAKEN, component=self.name)
         self._listener = self.network.listen(self.listen_address, self._on_accept)
         self.trace(ev.PBCOM_LISTENING, address=self.listen_address)
         super().on_start()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.faults.store_faults import StoreError
 from repro.obs import events as ev
 from repro.types import Severity
 
@@ -35,15 +36,27 @@ def _handle_session_start(behavior: "BusAttachedBehavior") -> bool:
         return False
     name = behavior.name
     hint = behavior.process.last_hint
-    if hint == "micro" and store.has_session(name):
-        age = store.session_age(name, behavior.kernel.now)
-        store.mark_restored(name, behavior.kernel.now)
-        behavior.trace(
-            ev.SESSION_RESTORED, component=name, age=round(age or 0.0, 9)
-        )
-        return True
+    unreachable = False
+    if hint == "micro":
+        try:
+            if store.has_session(name):
+                age = store.session_age(name, behavior.kernel.now)
+                store.mark_restored(name, behavior.kernel.now)
+                behavior.trace(
+                    ev.SESSION_RESTORED, component=name, age=round(age or 0.0, 9)
+                )
+                return True
+        except StoreError:
+            # The store is down mid-microreboot: degrade to the cold
+            # path.  Any externalised session is now stale (this
+            # incarnation will re-handshake), so tombstone it — that
+            # loss is real and counted.
+            unreachable = True
     if store.drop_session(name):
-        behavior.trace(ev.SESSION_LOST, severity=Severity.WARNING, component=name)
+        extra = {"reason": "store-unavailable"} if unreachable else {}
+        behavior.trace(
+            ev.SESSION_LOST, severity=Severity.WARNING, component=name, **extra
+        )
     if hint != "replay":
         # Cold restart discards *everything* externalised — discarding
         # state is how a cold restart cures corruption.
@@ -58,7 +71,10 @@ def _externalize_session(behavior: "BusAttachedBehavior", peer: str) -> None:
     if store is None:
         return
     name = behavior.name
-    first = not store.has_session(name)
-    store.save_session(name, behavior.kernel.now, {"peer": peer})
+    try:
+        first = not store.has_session(name)
+        store.save_session(name, behavior.kernel.now, {"peer": peer})
+    except StoreError:
+        return  # store down: the session stays un-externalised (honest)
     if first:
         behavior.trace(ev.SESSION_EXTERNALIZED, component=name, peer=peer)

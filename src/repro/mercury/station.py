@@ -44,6 +44,7 @@ from repro.errors import ExperimentError
 from repro.faults.correlation import DisconnectAging, ResyncCoupling
 from repro.faults.injector import FaultInjector, SteadyStateInjector
 from repro.faults.distributions import Exponential
+from repro.faults.store_faults import StoreUnavailableError
 from repro.mercury.components import (
     FedrBehavior,
     FedrcomBehavior,
@@ -115,16 +116,25 @@ class _WorkFn:
             peer_noise = (
                 max(0.0, context.rng.gauss(1.0, sigma)) if sigma > 0 else 1.0
             )
-            if not (
-                store is not None
-                and context.hint == "micro"
-                and store.has_session(name)
-            ):
+            has_session = False
+            if store is not None and context.hint == "micro":
+                try:
+                    has_session = store.has_session(name)
+                except StoreUnavailableError as exc:
+                    # The store died between the plan and this start: the
+                    # component burns the retry ladder, then pays the full
+                    # cold resync anyway — honest extra startup latency.
+                    total += exc.waited
+            if not has_session:
                 total += timing.lone_penalty * peer_noise
-        if store is not None and context.hint == "replay" and store.has_checkpoint(name):
-            # Checkpoint restore + bounded log replay instead of the cold
-            # path: pay only the configured fraction.
-            total *= self.station.replay_work_fraction
+        if store is not None and context.hint == "replay":
+            try:
+                if store.has_checkpoint(name):
+                    # Checkpoint restore + bounded log replay instead of
+                    # the cold path: pay only the configured fraction.
+                    total *= self.station.replay_work_fraction
+            except StoreUnavailableError as exc:
+                total += exc.waited  # ladder burned; cold startup follows
         return total
 
 
@@ -386,6 +396,7 @@ class MercuryStation:
                 probe_period=self.config.probe_period,
                 probe_timeout=self.config.probe_timeout,
                 probe_misses_to_declare=self.config.probe_misses_to_declare,
+                crash_only_supervision=self.strategies is not None,
             )
             return self.fd
         raise ExperimentError(f"no behavior for component {name!r}")

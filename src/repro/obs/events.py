@@ -274,8 +274,9 @@ SUPPRESSION_BEGIN = REGISTRY.register(
 )
 SUPPRESSION_END = REGISTRY.register(
     "suppression_end", "detection",
-    "FD resumed judging components after a restart completed.",
-    required=("components",),
+    "FD resumed judging components after a restart completed (or after "
+    "restarting a dead REC whose orders can no longer complete).",
+    required=("components",), optional=("reason",),
 )
 COMPONENT_RECOVERED_OBSERVED = REGISTRY.register(
     "component_recovered_observed", "detection",
@@ -578,7 +579,7 @@ SESSION_LOST = REGISTRY.register(
     "session_lost", "mercury",
     "A cold restart discarded a component's externalized session "
     "(user-visible loss; the strategy comparison counts these).",
-    required=("component",),
+    required=("component",), optional=("reason",),
     narrative=lambda d: f"{d['component']} lost its session (cold restart)",
 )
 CHECKPOINT_TAKEN = REGISTRY.register(
@@ -599,6 +600,77 @@ REPLAY_WINDOW = REGISTRY.register(
     narrative=lambda d: (
         f"{d['component']} replayed {d['messages']} logged messages"
     ),
+)
+
+# ----------------------------------------------------------------------
+# declarations — session-store failure model and the crash-only
+# recovery plane (store outages, watchdog restarts, plan fencing)
+# ----------------------------------------------------------------------
+# Emitted only when a StoreFaultModel is attached or a supervisor is
+# actually restarted; classic and healthy-store runs emit none of these.
+
+STORE_CRASHED = REGISTRY.register(
+    "store_crashed", "store",
+    "The session storelet entered an outage window (crash or hang).",
+    required=("mode", "duration"),
+    narrative=lambda d: f"session store {d['mode']} for {d['duration']}s",
+)
+STORE_RECOVERED = REGISTRY.register(
+    "store_recovered", "store",
+    "The session storelet's outage window ended; operations succeed again.",
+    narrative=lambda d: "session store recovered",
+)
+STORE_OP_TIMEOUT = REGISTRY.register(
+    "store_op_timeout", "store",
+    "A store operation exhausted its per-op timeout and retry/backoff "
+    "ladder (rate-limited to one per caller+op per outage).",
+    required=("op", "component", "waited"),
+    narrative=lambda d: (
+        f"store {d['op']} for {d['component']} timed out after {d['waited']}s"
+    ),
+)
+STORE_RECORD_QUARANTINED = REGISTRY.register(
+    "store_record_quarantined", "store",
+    "A record failed checksum validation and was quarantined; when the "
+    "last good version survives it is recovered in place.",
+    required=("component", "record"), optional=("recovered",),
+    narrative=lambda d: (
+        f"store quarantined a corrupt {d['record']} record of {d['component']}"
+    ),
+)
+STRATEGY_FALLBACK = REGISTRY.register(
+    "strategy_fallback", "recovery",
+    "A store-dependent recovery strategy found the store unavailable "
+    "within the timeout ladder and fell back to a plain cold restart.",
+    required=("cell", "strategy", "fallback"), optional=("reason", "waited"),
+    phase="decide",
+    narrative=lambda d: (
+        f"{d['strategy']} fell back to {d['fallback']} for cell {d['cell']}"
+    ),
+)
+SUPERVISOR_RESTARTED = REGISTRY.register(
+    "supervisor_restarted", "recovery",
+    "A restarted supervisor came back crash-only and rebuilt its view "
+    "from the event stream and the store.",
+    required=("supervisor", "generation"),
+    optional=("reconciled", "dropped"),
+    narrative=lambda d: (
+        f"{d['supervisor']} restarted (generation {d['generation']})"
+    ),
+)
+PLAN_FENCED = REGISTRY.register(
+    "plan_fenced", "recovery",
+    "A recovery-plan step authored before its supervisor's restart was "
+    "fenced by the generation guard instead of executing.",
+    required=("generation",), optional=("stale_generation", "cell"),
+    narrative=lambda d: "a stale pre-crash recovery plan step was fenced",
+)
+ORACLE_REBUILT = REGISTRY.register(
+    "oracle_rebuilt", "recovery",
+    "A restarted supervisor rebuilt the learning oracle's estimates from "
+    "the store (or started naive when the store was down).",
+    required=("origin",), optional=("entries",),
+    narrative=lambda d: f"oracle rebuilt from {d['origin']}",
 )
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,7 @@ def test_catalogue_names():
     assert set(SCENARIOS) == {
         "cascade", "storm", "flapping", "mixed",
         "lossy", "partition", "zombie-fleet",
+        "store-outage", "rogue-oracle-crash",
     }
     for name, scenario in SCENARIOS.items():
         assert scenario.name == name

@@ -3,10 +3,21 @@
 The store's contract is what makes microreboot/checkpoint-replay safe:
 atomic replacement writes, copy-on-read (a component mutating its own
 view must not corrupt the store), bounded replay logs, and cold-restart
-``drop_all`` counting exactly the user-visible session losses.
+``drop_all`` counting exactly the user-visible session losses.  Since
+the store became a restartable citizen itself, the contract also covers
+checksummed records: a torn or corrupted write is detected on read,
+quarantined, and recovered from the last good version instead of being
+trusted as-is.
 """
 
+import pytest
+
+from repro.faults.store_faults import (
+    StoreFaultModel,
+    StoreUnavailableError,
+)
 from repro.mercury.session_store import SessionStore
+from repro.sim.kernel import Kernel
 
 
 def test_session_roundtrip_and_copy_semantics():
@@ -109,4 +120,89 @@ def test_counters_snapshot():
         "checkpoints_restored": 0,
         "messages_logged": 1,
         "messages_replayed": 1,
+        "records_quarantined": 0,
+        "records_recovered": 0,
+        "ops_timed_out": 0,
     }
+
+
+# ----------------------------------------------------------------------
+# the failure model: checksums, quarantine, and the timeout ladder
+# ----------------------------------------------------------------------
+
+
+def _faulty_store(**kwargs):
+    kernel = Kernel(seed=7)
+    store = SessionStore()
+    model = StoreFaultModel(kernel, **kwargs)
+    store.attach_faults(model)
+    return kernel, store, model
+
+
+def test_torn_write_is_quarantined_and_recovers_last_good():
+    # Force every write to tear: the first (torn) record is unreadable,
+    # but once a good version exists a later torn write falls back to it.
+    kernel, store, model = _faulty_store(torn_write_probability=1.0)
+    store.save_session("ses", 1.0, {"peer": "str", "epoch": 1})
+    assert store.has_session("ses") is False  # torn first write: no good copy
+    assert store.records_quarantined == 1
+    assert store.records_recovered == 0
+
+    model.torn_write_probability = 0.0
+    store.save_session("ses", 2.0, {"peer": "str", "epoch": 2})
+    model.torn_write_probability = 1.0
+    store.save_session("ses", 3.0, {"peer": "str", "epoch": 3})
+    # The torn epoch-3 write garbles only the in-flight record; the read
+    # detects the checksum mismatch and recovers epoch 2.
+    assert store.load_session("ses") == {"peer": "str", "epoch": 2}
+    assert store.records_quarantined == 2
+    assert store.records_recovered == 1
+    # Recovery is durable: subsequent reads see the recovered version.
+    assert store.session_age("ses", 5.0) == 3.0
+
+
+def test_corrupt_write_detected_by_checksum():
+    kernel, store, model = _faulty_store(corrupt_write_probability=1.0)
+    store.save_checkpoint("fedr", 1.0, {"frequency": "137.5"})
+    assert store.load_checkpoint("fedr") is None  # garbage is never trusted
+    assert store.records_quarantined == 1
+    assert model.writes_corrupted == 1
+
+
+def test_crash_window_times_out_ops_then_recovers():
+    kernel, store, model = _faulty_store()
+    store.save_session("ses", 0.0, {"peer": "str"})
+    model.crash(5.0)
+    with pytest.raises(StoreUnavailableError) as exc_info:
+        store.has_session("ses")
+    # A crash fails fast: only the ladder's backoff gaps are burned.
+    assert exc_info.value.waited == pytest.approx(sum(model.retry_backoff))
+    assert store.ops_timed_out == 1
+    ok, waited = store.probe()
+    assert ok is False and waited > 0.0
+    # Drops are tombstones: a cold restart never blocks on the store.
+    assert store.drop_session("ses") is True
+    kernel.run(until=6.0)
+    assert store.probe() == (True, 0.0)
+    assert not store.has_session("ses")
+
+
+def test_hang_window_burns_full_per_op_timeouts():
+    kernel, store, model = _faulty_store()
+    model.hang(5.0)
+    with pytest.raises(StoreUnavailableError) as exc_info:
+        store.load_session("ses")
+    ladder = sum(model.retry_backoff)
+    per_op = model.op_timeout * (len(model.retry_backoff) + 1)
+    assert exc_info.value.waited == pytest.approx(ladder + per_op)
+
+
+def test_fault_model_is_inert_by_default():
+    # No model attached: no RNG, no guards, no checksum failures — the
+    # always-up storelet contract the classic paths rely on.
+    store = SessionStore()
+    store.save_session("ses", 1.0, {"peer": "str"})
+    assert store.has_session("ses")
+    assert store.probe() == (True, 0.0)
+    assert store.records_quarantined == 0
+    assert store.ops_timed_out == 0

@@ -31,6 +31,12 @@ clock, iterates an unordered set into an RNG, or keys a schedule off
   (user-effects ledger, MTTR samples, per-phase blame), plus the same
   cell through the campaign runner serial vs. two worker processes and
   cache-key invariance across boot modes;
+* one store-outage chaos cell (session-store crash/hang windows, torn and
+  corrupt writes, strategy fallback) run twice with the same seed,
+  byte-comparing the full JSONL event traces and result payloads — the
+  store fault model's RNG streams and the crash-only supervision plane
+  stay pure functions of the seed — plus campaign cache-key invariance
+  for the store-outage cell across the snapshot knob;
 * one correlated-wave fleet cell with live user traffic run four ways —
   one shard, three shards, three shards fanned over worker processes,
   and snapshot-off — comparing the full JSON payloads (which embed every
@@ -367,6 +373,56 @@ def check_workload(workdir: str) -> bool:
     return ok
 
 
+def check_store(workdir: str) -> bool:
+    """Store leg: the crash-only recovery plane rides the seed, not the clock.
+
+    Runs one store-outage chaos cell twice with the same seed — store
+    crash/hang windows, torn/corrupt write lotteries, quarantine recovery
+    and strategy fallback all draw from named kernel RNG streams, so the
+    full event traces and result payloads must match byte-for-byte.  Also
+    pins the store-outage campaign cache key invariant to the snapshot
+    knob, like every other cell kind.
+    """
+    from repro.experiments.runner import CampaignCell, cache_key
+    from repro.mercury.config import PAPER_CONFIG
+
+    print("determinism: store (store-outage on tree V, seed %d) ..." % CHAOS_SEED)
+    payloads = []
+    paths = []
+    for run in (1, 2):
+        path = os.path.join(workdir, f"store-{run}.jsonl")
+        sink = JsonlSink(path)
+        result = run_chaos(
+            TREE_BUILDERS["V"](), "store-outage", trials=1, seed=CHAOS_SEED,
+            sinks=[sink],
+        )
+        paths.append(path)
+        payloads.append(json.dumps(result.to_payload(), sort_keys=True))
+    ok = _compare_traces("store", paths[0], paths[1])
+    if payloads[0] != payloads[1]:
+        print("FAIL store: result payloads differ")
+        ok = False
+    elif ok:
+        print("  store: result payloads identical")
+
+    cell = CampaignCell(
+        kind="chaos", tree="V", seed=CHAOS_SEED, scenario="store-outage", trials=1,
+    )
+    keys = []
+    for flag in ("1", "0"):
+        os.environ["REPRO_STATION_SNAPSHOT"] = flag
+        try:
+            keys.append(cache_key(cell, PAPER_CONFIG))
+        finally:
+            os.environ.pop("REPRO_STATION_SNAPSHOT", None)
+    if keys[0] != keys[1]:
+        print("FAIL store: campaign cache keys differ between boot modes")
+        ok = False
+    elif ok:
+        print("  store: campaign cache keys invariant to boot mode")
+    return ok
+
+
 def check_fleet(workdir: str) -> bool:
     """Fleet leg: shard count, process fan-out, and snapshot mode are all
     invisible in the results — and in the campaign cache keys."""
@@ -440,6 +496,7 @@ def main() -> int:
         ok = check_snapshot_fork(workdir) and ok
         ok = check_strategy(workdir) and ok
         ok = check_workload(workdir) and ok
+        ok = check_store(workdir) and ok
         ok = check_fleet(workdir) and ok
     if ok:
         print("determinism: PASS")
